@@ -1,0 +1,106 @@
+//! Criterion microbenchmarks of the computational kernels: GEMM, TTM per
+//! mode, unfolding Gram, the subspace-iteration contraction, symmetric
+//! EVD, and QRCP. These are the building blocks whose relative costs
+//! drive every Table 1 row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ratucker_linalg::{qrcp, sym_evd};
+use ratucker_tensor::prelude::*;
+use ratucker_tensor::{contract_all_but, gram};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn tensor_3way(n: usize) -> DenseTensor<f32> {
+    DenseTensor::from_fn([n, n, n], |idx| {
+        ((idx[0] * 31 + idx[1] * 7 + idx[2] + 1) as f32 * 0.01).sin()
+    })
+}
+
+fn factor(n: usize, r: usize) -> Matrix<f32> {
+    Matrix::from_fn(n, r, |i, j| ((i * 13 + j * 5 + 1) as f32 * 0.01).cos())
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for n in [64usize, 128] {
+        let a = factor(n, n);
+        let b = factor(n, n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_ttm_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ttm_mode");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let n = 64;
+    let r = 8;
+    let x = tensor_3way(n);
+    for mode in 0..3 {
+        let u = factor(n, r);
+        g.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |bench, &m| {
+            bench.iter(|| black_box(ttm(&x, m, &u, Transpose::Yes)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_gram_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gram_mode");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let x = tensor_3way(48);
+    for mode in 0..3 {
+        g.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |bench, &m| {
+            bench.iter(|| black_box(gram(&x, m)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_contract(c: &mut Criterion) {
+    let mut g = c.benchmark_group("si_contract");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let n = 64;
+    let r = 8;
+    // Y has dims (n, r, r) — the all-but-one product shape for mode 0.
+    let y = DenseTensor::from_fn([n, r, r], |idx| ((idx[0] + idx[1] * 3 + idx[2]) as f32).sin());
+    let core = DenseTensor::from_fn([r, r, r], |idx| ((idx[0] * 2 + idx[1] + idx[2]) as f32).cos());
+    g.bench_function("mode0_n64_r8", |bench| {
+        bench.iter(|| black_box(contract_all_but(&y, &core, 0)));
+    });
+    g.finish();
+}
+
+fn bench_evd_vs_qrcp(c: &mut Criterion) {
+    // The §3.4 trade: EVD of an n×n Gram vs QRCP of an n×r iterate.
+    let mut g = c.benchmark_group("llsv_factorizations");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for n in [96usize, 192] {
+        let r = 12;
+        let gram_m = {
+            let b = factor(n, n);
+            b.matmul(&b.transpose())
+        };
+        let z = factor(n, r);
+        g.bench_with_input(BenchmarkId::new("sym_evd_nxn", n), &n, |bench, _| {
+            bench.iter(|| black_box(sym_evd(&gram_m)));
+        });
+        g.bench_with_input(BenchmarkId::new("qrcp_nxr", n), &n, |bench, _| {
+            bench.iter(|| black_box(qrcp(&z)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_ttm_modes,
+    bench_gram_modes,
+    bench_contract,
+    bench_evd_vs_qrcp
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Ablation benches for the paper's two optimizations (Table 1 rows):
+//!
+//! - dimension-tree memoization: one HOOI sweep with direct multi-TTMs vs
+//!   the tree (expected ≈ d/2 TTM saving for d = 4);
+//! - subspace-iteration LLSV: a Gram+EVD sweep vs an SI sweep (removes
+//!   the O(n³) eigensolve);
+//! - the rank-adaptive core analysis in isolation (expected negligible).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ratucker::prelude::*;
+use ratucker::{analyze_core, hooi_with_init};
+use ratucker_tensor::dense::DenseTensor;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn synthetic(dims: &[usize], r: usize, seed: u64) -> DenseTensor<f32> {
+    let d = dims.len();
+    SyntheticSpec::new(dims, &vec![r; d], 1e-4, seed).build()
+}
+
+fn sweep_time(c: &mut Criterion, name: &str, x: &DenseTensor<f32>, r: usize, cfg: HooiConfig) {
+    let d = x.order();
+    let ranks = vec![r; d];
+    let init = ratucker::hooi::random_init::<f32>(x.shape().dims(), &ranks, 9);
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let res = hooi_with_init(
+                x,
+                &ranks,
+                init.clone(),
+                &cfg.clone().with_max_iters(1),
+            );
+            black_box(res.rel_error())
+        })
+    });
+}
+
+fn bench_dim_tree_ablation(c: &mut Criterion) {
+    let x = synthetic(&[20, 20, 20, 20], 4, 21);
+    sweep_time(c, "sweep_4way/direct_ttm", &x, 4, HooiConfig::hooi());
+    sweep_time(c, "sweep_4way/dim_tree", &x, 4, HooiConfig::hooi_dt());
+}
+
+fn bench_subspace_ablation(c: &mut Criterion) {
+    let x = synthetic(&[72, 72, 72], 6, 23);
+    sweep_time(c, "sweep_3way/gram_evd", &x, 6, HooiConfig::hooi_dt());
+    sweep_time(c, "sweep_3way/subspace_iter", &x, 6, HooiConfig::hosi_dt());
+}
+
+fn bench_core_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core_analysis");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for r in [8usize, 16] {
+        let core = DenseTensor::from_fn([r, r, r], |idx| {
+            (-0.4 * idx.iter().sum::<usize>() as f64).exp()
+        });
+        let xns = core.squared_norm_f64() * 1.0001;
+        g.bench_function(format!("r{r}^3"), |b| {
+            b.iter(|| black_box(analyze_core(&core, &[512, 512, 512], xns, 0.05)))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_dim_tree_ablation, bench_subspace_ablation, bench_core_analysis
+}
+criterion_main!(benches);

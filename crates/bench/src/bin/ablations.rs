@@ -1,0 +1,181 @@
+//! Ablations of the paper's design choices:
+//!
+//! 1. **Rank growth factor α** (§3.2: "trades off how many iterations are
+//!    required … with how large the overestimate is once the error is
+//!    achieved; we typically use 1.5 or 2") — sweeps α from an undershot
+//!    start and reports iterations-to-tolerance, time, and final size.
+//! 2. **Subspace-iteration steps** (§3.4: "we choose to do only a single
+//!    subspace iteration … in principle, the computations could be
+//!    repeated") — compares per-sweep error trajectories for 1–3 steps.
+//! 3. **QRCP vs unpivoted QR column ordering** — QRCP's column ordering
+//!    is what justifies the leading-subtensor core analysis; this
+//!    measures how much truncated mass ordering saves.
+//!
+//! Run: `cargo run --release -p ratucker-bench --bin ablations`
+
+use ratucker::prelude::*;
+use ratucker_bench::Table;
+use std::time::Instant;
+
+fn alpha_ablation() {
+    println!("Ablation 1: rank growth factor alpha (undershot start, eps = 0.05)\n");
+    let x = SyntheticSpec::new(&[48, 48, 48], &[8, 8, 8], 0.02, 601).build::<f32>();
+    let mut t = Table::new(
+        "alpha ablation: RA-HOSI-DT from ranks [2,2,2]",
+        &["alpha", "iters_to_eps", "seconds", "final_ranks", "rel_size", "rel_error"],
+    );
+    for alpha in [1.25, 1.5, 2.0, 3.0] {
+        let cfg = RaConfig::ra_hosi_dt(0.05, &[2, 2, 2])
+            .with_alpha(alpha)
+            .with_seed(5)
+            .with_max_iters(8)
+            .stopping_on_threshold();
+        let t0 = Instant::now();
+        let res = ra_hooi(&x, &cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        t.row_strings(vec![
+            format!("{alpha}"),
+            res.met_at.map(|k| (k + 1).to_string()).unwrap_or("never".into()),
+            format!("{secs:.3}"),
+            format!("{:?}", res.tucker.ranks()),
+            format!("{:.5}", res.tucker.relative_size()),
+            format!("{:.4}", res.rel_error),
+        ]);
+    }
+    t.print();
+    t.save_csv("ablation_alpha");
+    println!("Small alpha needs more growth sweeps; large alpha overshoots harder");
+    println!("per sweep but converges in fewer — the §3.2 trade-off.\n");
+}
+
+fn si_steps_ablation() {
+    println!("Ablation 2: subspace-iteration steps per subiteration\n");
+    let x = SyntheticSpec::new(&[40, 40, 40], &[6, 6, 6], 0.05, 603).build::<f64>();
+    let mut t = Table::new(
+        "SI-steps ablation: HOSI-DT error after each sweep",
+        &["si_steps", "sweep1_err", "sweep2_err", "seconds"],
+    );
+    // Reference: the Gram+EVD route (exact subiterations).
+    let t0 = Instant::now();
+    let exact = hooi(&x, &[6, 6, 6], &HooiConfig::hooi_dt().with_seed(7).with_max_iters(2));
+    let exact_secs = t0.elapsed().as_secs_f64();
+    t.row_strings(vec![
+        "exact (Gram+EVD)".into(),
+        format!("{:.5}", exact.sweeps[0].rel_error),
+        format!("{:.5}", exact.sweeps[1].rel_error),
+        format!("{exact_secs:.3}"),
+    ]);
+    for steps in [1usize, 2, 3] {
+        let cfg = HooiConfig::hosi_dt()
+            .with_seed(7)
+            .with_max_iters(2)
+            .with_si_steps(steps);
+        let t0 = Instant::now();
+        let res = hooi(&x, &[6, 6, 6], &cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        t.row_strings(vec![
+            steps.to_string(),
+            format!("{:.5}", res.sweeps[0].rel_error),
+            format!("{:.5}", res.sweeps[1].rel_error),
+            format!("{secs:.3}"),
+        ]);
+    }
+    t.print();
+    t.save_csv("ablation_si_steps");
+    println!("The paper's claim: one step per subiteration suffices for full-sweep");
+    println!("accuracy — extra steps improve the *first* sweep but converge to the");
+    println!("same error by sweep two at higher cost.\n");
+}
+
+fn qrcp_ordering_ablation() {
+    println!("Ablation 3: QRCP column ordering and the core analysis\n");
+    // Measure how much of the core's mass the leading subtensor captures
+    // with (QRCP, the implementation) vs a column-shuffled control.
+    let x = SyntheticSpec::new(&[36, 36, 36], &[9, 9, 9], 0.02, 605).build::<f64>();
+    let cfg = HooiConfig::hosi_dt().with_seed(11).with_max_iters(2);
+    let res = hooi(&x, &[9, 9, 9], &cfg);
+    let core = &res.tucker.core;
+    let total = core.squared_norm_f64();
+    let mut t = Table::new(
+        "leading-subtensor mass capture (fraction of ||G||^2)",
+        &["leading ranks", "QRCP ordering", "reversed ordering"],
+    );
+    for keep in [3usize, 5, 7] {
+        let lead = core.leading_subtensor(&[keep; 3]).squared_norm_f64() / total;
+        // Control: reverse every mode (worst case for a "leading" search).
+        let rev = {
+            let dims = core.shape().dims().to_vec();
+            let flipped = ratucker_tensor::DenseTensor::from_fn(
+                core.shape().clone(),
+                |idx| {
+                    let src: Vec<usize> = idx.iter().zip(&dims).map(|(&i, &n)| n - 1 - i).collect();
+                    core.get(&src)
+                },
+            );
+            flipped.leading_subtensor(&[keep; 3]).squared_norm_f64() / total
+        };
+        t.row_strings(vec![
+            format!("[{keep},{keep},{keep}]"),
+            format!("{lead:.4}"),
+            format!("{rev:.4}"),
+        ]);
+    }
+    t.print();
+    t.save_csv("ablation_qrcp_ordering");
+    println!("QRCP concentrates core mass toward low indices (left column near 1),");
+    println!("which is what makes the eq.-(3) leading-subtensor search sound.");
+}
+
+fn core_analysis_ablation() {
+    println!("Ablation 4: exhaustive eq.-(3) search vs greedy mode-wise truncation\n");
+    // Unbalanced outer dims + unbalanced spectra: the regime where
+    // shifting rank across modes (which greedy cannot do) pays off —
+    // the §5 conclusion about beating STHOSVD's greedy per-mode choices.
+    let mut spec = ratucker_datasets::miranda_like(4);
+    spec.dims = vec![256, 64, 32];
+    spec.core_ranks = vec![24, 20, 16];
+    spec.decay = vec![0.35, 0.3, 0.25];
+    let x = spec.build::<f64>();
+    let xns = x.squared_norm_f64();
+    let cfg = HooiConfig::hosi_dt().with_seed(3).with_max_iters(2);
+    let res = hooi(&x, &[16, 14, 12], &cfg);
+    let core = &res.tucker.core;
+    let dims = x.shape().dims().to_vec();
+
+    let mut t = Table::new(
+        "core-analysis ablation: storage of the chosen truncation",
+        &["eps", "exhaustive_ranks", "exhaustive_storage", "greedy_ranks", "greedy_storage", "greedy_overhead"],
+    );
+    for eps in [0.05, 0.1, 0.2] {
+        let ex = ratucker::analyze_core(core, &dims, xns, eps);
+        let gr = ratucker::analyze_core_greedy(core, &dims, xns, eps);
+        match (ex, gr) {
+            (Some(e), Some(g)) => {
+                t.row_strings(vec![
+                    format!("{eps}"),
+                    format!("{:?}", e.ranks),
+                    e.storage.to_string(),
+                    format!("{:?}", g.ranks),
+                    g.storage.to_string(),
+                    format!("{:+.1}%", 100.0 * (g.storage as f64 / e.storage as f64 - 1.0)),
+                ]);
+            }
+            _ => {
+                t.row_strings(vec![format!("{eps}"), "infeasible".into(), "-".into(), "infeasible".into(), "-".into(), "-".into()]);
+            }
+        }
+    }
+    t.print();
+    t.save_csv("ablation_core_analysis");
+    println!("The exhaustive search is never worse and wins when modes have very");
+    println!("different outer dimensions — the flexibility §5 credits for beating");
+    println!("STHOSVD's compression ratios.");
+}
+
+fn main() {
+    println!("Design-choice ablations (DESIGN.md experiment extensions).\n");
+    alpha_ablation();
+    si_steps_ablation();
+    qrcp_ordering_ablation();
+    core_analysis_ablation();
+}

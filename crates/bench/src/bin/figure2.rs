@@ -1,0 +1,204 @@
+//! Figure 2 reproduction: strong scaling of STHOSVD and the four HOOI
+//! variants on the 3-way (3750³, ranks 30) and 4-way (560⁴, ranks 10)
+//! synthetic tensors.
+//!
+//! Two parts (DESIGN.md §6 substitution — this host has one core):
+//! 1. **Functional runs** on the threaded message-passing runtime at
+//!    P ∈ {1,2,4,8} with scaled-down tensors: validates that every
+//!    algorithm runs the real distributed code path on real grids and
+//!    reports the measured communication volume per P.
+//! 2. **Model curves** at the paper's dimensions out to P = 8192 using
+//!    the calibrated cost model: this regenerates the *shape* of Fig. 2
+//!    (STHOSVD's sequential-EVD plateau on the 3-way tensor, HOSI-DT
+//!    scaling through 4096, the 4-way regime where STHOSVD scales far).
+//!
+//! Run: `cargo run --release -p ratucker-bench --bin figure2`
+
+use ratucker::dist::{dist_hooi, dist_sthosvd};
+use ratucker::prelude::*;
+use ratucker_bench::{calibrated_machine, loglog_chart, problems, Series, Table};
+use ratucker_dist::DistTensor;
+use ratucker_mpi::{enumerate_grids, CartGrid, Universe};
+use ratucker_perfmodel::{strong_scaling, AlgKind, Problem};
+use std::time::Instant;
+
+/// Best-over-grids functional wall time at one core count.
+fn functional_point(
+    spec: &SyntheticSpec,
+    ranks: &[usize],
+    p: usize,
+    alg: AlgKind,
+) -> (f64, Vec<usize>, u64) {
+    let d = spec.dims.len();
+    let mut best: Option<(f64, Vec<usize>, u64)> = None;
+    for grid_dims in enumerate_grids(p, d) {
+        // Skip grids that would oversubscribe a mode (rank < grid dim).
+        if grid_dims.iter().zip(ranks).any(|(&g, &r)| g > r) {
+            continue;
+        }
+        let u = Universe::new(p);
+        let gd = grid_dims.clone();
+        let t0 = Instant::now();
+        u.run(|c| {
+            let grid = CartGrid::new(c, &gd);
+            let x_full = spec.build::<f32>();
+            let x = DistTensor::scatter_from_replicated(&grid, &x_full);
+            match alg {
+                AlgKind::Sthosvd => {
+                    let _ = dist_sthosvd(&grid, &x, &SthosvdTruncation::Ranks(ranks.to_vec()));
+                }
+                _ => {
+                    let cfg = match alg {
+                        AlgKind::Hooi => HooiConfig::hooi(),
+                        AlgKind::HooiDt => HooiConfig::hooi_dt(),
+                        AlgKind::Hosi => HooiConfig::hosi(),
+                        AlgKind::HosiDt => HooiConfig::hosi_dt(),
+                        AlgKind::Sthosvd => unreachable!(),
+                    }
+                    .with_max_iters(2)
+                    .with_seed(5);
+                    let _ = dist_hooi(&grid, &x, ranks, &cfg);
+                }
+            }
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        let bytes = u.traffic().snapshot().0;
+        if best.as_ref().is_none_or(|(b, _, _)| secs < *b) {
+            best = Some((secs, grid_dims, bytes));
+        }
+    }
+    best.expect("at least the all-ones grid must be admissible")
+}
+
+fn main() {
+    println!("Reproducing paper Figure 2: strong scaling of Tucker algorithms.\n");
+
+    // ---------- Part 1: functional runs (threaded runtime) ----------
+    println!("Part 1 - functional distributed runs (threaded ranks, 1 physical core;");
+    println!("wall times do not speed up here, but code paths, grids, and traffic are real).\n");
+
+    let specs: [(&str, SyntheticSpec, Vec<usize>); 2] = [
+        (
+            "3-way",
+            SyntheticSpec::new(
+                &problems::THREE_WAY_DIMS,
+                &[problems::THREE_WAY_RANK; 3],
+                problems::NOISE,
+                11,
+            ),
+            vec![problems::THREE_WAY_RANK; 3],
+        ),
+        (
+            "4-way",
+            SyntheticSpec::new(
+                &problems::FOUR_WAY_DIMS,
+                &[problems::FOUR_WAY_RANK; 4],
+                problems::NOISE,
+                13,
+            ),
+            vec![problems::FOUR_WAY_RANK; 4],
+        ),
+    ];
+
+    for (name, spec, ranks) in &specs {
+        let mut t = Table::new(
+            &format!("Figure 2 functional runs: {name} {:?} ranks {ranks:?}", spec.dims),
+            &["algorithm", "P", "best_grid", "seconds", "comm_bytes"],
+        );
+        for alg in AlgKind::ALL {
+            for p in [1usize, 2, 4, 8] {
+                let (secs, grid, bytes) = functional_point(spec, ranks, p, alg);
+                t.row_strings(vec![
+                    alg.name().into(),
+                    p.to_string(),
+                    format!("{grid:?}"),
+                    format!("{secs:.3}"),
+                    bytes.to_string(),
+                ]);
+            }
+        }
+        t.print();
+        t.save_csv(&format!("figure2_functional_{name}"));
+    }
+
+    // ---------- Part 2: model curves at paper scale ----------
+    println!("Part 2 - calibrated model curves at the paper's problem sizes.\n");
+    let machine = calibrated_machine();
+    let core_counts: Vec<usize> = (0..14).map(|k| 1usize << k).collect();
+
+    for (name, prob) in [
+        ("3way_3750_r30", Problem::new(3750, 30, 3, 2)),
+        ("4way_560_r10", Problem::new(560, 10, 4, 2)),
+    ] {
+        let mut t = Table::new(
+            &format!("Figure 2 model curves: {name} (seconds, best grid per P)"),
+            &["P", "STHOSVD", "HOOI", "HOOI-DT", "HOSI", "HOSI-DT"],
+        );
+        let series: Vec<Vec<f64>> = AlgKind::ALL
+            .iter()
+            .map(|&alg| {
+                strong_scaling(&machine, alg, &prob, &core_counts)
+                    .into_iter()
+                    .map(|s| s.seconds)
+                    .collect()
+            })
+            .collect();
+        for (i, &p) in core_counts.iter().enumerate() {
+            t.row_strings(vec![
+                p.to_string(),
+                format!("{:.3}", series[0][i]),
+                format!("{:.3}", series[1][i]),
+                format!("{:.3}", series[2][i]),
+                format!("{:.3}", series[3][i]),
+                format!("{:.3}", series[4][i]),
+            ]);
+        }
+        t.print();
+        t.save_csv(&format!("figure2_model_{name}"));
+
+        // The Fig. 2 curves, rendered in the terminal.
+        let chart_series: Vec<Series> = AlgKind::ALL
+            .iter()
+            .zip(&series)
+            .map(|(&alg, ys)| Series {
+                label: alg.name().to_string(),
+                points: core_counts
+                    .iter()
+                    .zip(ys)
+                    .map(|(&p, &y)| (p as f64, y))
+                    .collect(),
+            })
+            .collect();
+        println!("{}", loglog_chart(&format!("Figure 2: {name}, seconds vs cores"), &chart_series, 64, 18));
+
+        // Headline shape checks, printed for EXPERIMENTS.md.
+        let idx = |p: usize| core_counts.iter().position(|&q| q == p).unwrap();
+        if name.starts_with("3way") {
+            let st64 = series[0][idx(64)];
+            let st2048 = series[0][idx(2048)];
+            let hosi4096 = series[4][idx(4096)];
+            let st4096 = series[0][idx(4096)];
+            let hooidt4096 = series[2][idx(4096)];
+            println!("3-way shape checks:");
+            println!("  STHOSVD 64->2048 speedup:   {:.2}x (paper: 1.3x)", st64 / st2048);
+            println!("  HOSI-DT vs STHOSVD @4096:   {:.0}x (paper: 259x)", st4096 / hosi4096);
+            println!("  HOSI-DT vs HOOI-DT @4096:   {:.0}x (paper: 515x)", hooidt4096 / hosi4096);
+            println!();
+        } else {
+            let st1 = series[0][idx(1)];
+            let st8192 = series[0][idx(8192)];
+            let best = |s: &Vec<f64>| s.iter().cloned().fold(f64::INFINITY, f64::min);
+            println!("4-way shape checks:");
+            println!("  STHOSVD 1->8192 speedup:    {:.0}x (paper: 937x)", st1 / st8192);
+            println!(
+                "  best HOSI-DT vs best STHOSVD: {:.2}x (paper: 1.5x)",
+                best(&series[0]) / best(&series[4])
+            );
+            println!(
+                "  best HOSI-DT vs best HOOI-DT: {:.2}x (paper: 2.9x)",
+                best(&series[2]) / best(&series[4])
+            );
+            println!();
+        }
+    }
+}

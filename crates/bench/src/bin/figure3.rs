@@ -1,0 +1,101 @@
+//! Figure 3 reproduction: running-time breakdown of each algorithm on the
+//! synthetic 3-way and 4-way tensors, at one core and at scale.
+//!
+//! - Sequential breakdowns are *measured* with the per-phase timers on the
+//!   scaled-down problems (these correspond to the single-core bars).
+//! - Large-P breakdowns come from the calibrated cost model at the paper's
+//!   dimensions (4096 cores), reproducing the structural story: at 4096
+//!   cores the 3-way Gram-based variants are EVD-dominated while HOSI-DT
+//!   has no serial term left.
+//!
+//! Run: `cargo run --release -p ratucker-bench --bin figure3`
+
+use ratucker::prelude::*;
+use ratucker::ALL_PHASES;
+use ratucker_bench::{calibrated_machine, problems, Table};
+use ratucker_perfmodel::{algorithm_cost, best_grid_time, AlgKind, Problem};
+
+fn main() {
+    println!("Reproducing paper Figure 3: per-phase running-time breakdowns.\n");
+
+    // ---------- measured single-core breakdowns ----------
+    // Larger than the figure2 functional stand-ins so every phase is
+    // visible on the wall clock.
+    let _ = (problems::THREE_WAY_DIMS, problems::FOUR_WAY_DIMS);
+    for (name, dims, r) in [
+        ("3-way", vec![192usize, 192, 192], 12usize),
+        ("4-way", vec![48usize, 48, 48, 48], 6),
+    ] {
+        let d = dims.len();
+        let spec = SyntheticSpec::new(&dims, &vec![r; d], problems::NOISE, 17);
+        let x = spec.build::<f32>();
+
+        let mut header: Vec<String> = vec!["algorithm".into(), "total_s".into()];
+        header.extend(ALL_PHASES.iter().map(|p| p.label().to_string()));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(
+            &format!("Figure 3 measured breakdown (P=1): {name} {dims:?} r={r}"),
+            &header_refs,
+        );
+
+        let st = sthosvd(&x, &SthosvdTruncation::Ranks(vec![r; d]));
+        let mut row = vec!["STHOSVD".to_string(), format!("{:.3}", st.timings.total_secs())];
+        row.extend(ALL_PHASES.iter().map(|&p| format!("{:.3}", st.timings.secs(p))));
+        t.row_strings(row);
+
+        for cfg in [
+            HooiConfig::hooi(),
+            HooiConfig::hooi_dt(),
+            HooiConfig::hosi(),
+            HooiConfig::hosi_dt(),
+        ] {
+            let cfg = cfg.with_max_iters(2).with_seed(5);
+            let res = hooi(&x, &vec![r; d], &cfg);
+            let mut row = vec![
+                cfg.variant_name().to_string(),
+                format!("{:.3}", res.timings.total_secs()),
+            ];
+            row.extend(ALL_PHASES.iter().map(|&p| format!("{:.3}", res.timings.secs(p))));
+            t.row_strings(row);
+        }
+        t.print();
+        t.save_csv(&format!("figure3_measured_{name}"));
+    }
+
+    // ---------- model breakdowns at the paper's scale ----------
+    let machine = calibrated_machine();
+    for (name, prob) in [
+        ("3way_3750_r30", Problem::new(3750, 30, 3, 2)),
+        ("4way_560_r10", Problem::new(560, 10, 4, 2)),
+    ] {
+        for p in [1usize, 4096] {
+            let mut t = Table::new(
+                &format!("Figure 3 model breakdown: {name} at P={p} (seconds)"),
+                &["algorithm", "grid", "phase", "seconds", "share"],
+            );
+            for alg in AlgKind::ALL {
+                let pt = best_grid_time(&machine, alg, &prob, p);
+                let costs = algorithm_cost(alg, &prob, &pt.grid);
+                let total: f64 = machine.total_time(&costs, p);
+                for (label, secs) in machine.phase_times(&costs, p) {
+                    t.row_strings(vec![
+                        alg.name().into(),
+                        format!("{:?}", pt.grid),
+                        label.into(),
+                        format!("{secs:.3}"),
+                        format!("{:.1}%", 100.0 * secs / total),
+                    ]);
+                }
+            }
+            t.print();
+            t.save_csv(&format!("figure3_model_{name}_p{p}"));
+        }
+    }
+
+    println!("Reading the figures:");
+    println!("- P=1: TTM dominates direct HOOI; the tree variants cut it by ~d/2;");
+    println!("  Gram dominates STHOSVD (factor ~n/r over its TTM).");
+    println!("- P=4096, 3-way: the sequential EVD is nearly 100% of STHOSVD and");
+    println!("  the HOOI/HOOI-DT bars (twice as tall: 2 iterations); HOSI-DT's bar");
+    println!("  is tiny and EVD-free - the source of its 259x win.");
+}

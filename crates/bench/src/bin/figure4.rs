@@ -1,0 +1,51 @@
+//! Figure 4 reproduction: progression of time, error, and relative size
+//! over 3 iterations of rank-adaptive HOSI-DT on the Miranda-like 3-way
+//! dataset, against STHOSVD, at ε ∈ {0.1, 0.05, 0.01} from perfect /
+//! overshot / undershot starting ranks.
+//!
+//! (Miranda itself is 3072³/115 GB; see DESIGN.md §6 for the stand-in.)
+//!
+//! Run: `cargo run --release -p ratucker-bench --bin figure4`
+
+use ratucker_bench::datasets_experiment::run_dataset_experiment;
+use ratucker_bench::{calibrated_machine, Table};
+use ratucker_datasets::miranda_like;
+use ratucker_perfmodel::{best_grid_time, AlgKind, Problem};
+
+fn main() {
+    println!("Reproducing paper Figure 4 (Miranda, 3-way, single precision).\n");
+    let spec = miranda_like(12); // 192^3 stand-in
+    let report = run_dataset_experiment::<f32>(&spec);
+    println!();
+    report.progression_table().print();
+    report.progression_table().save_csv("figure4_miranda_progression");
+    report.speedup_table().print();
+    report.speedup_table().save_csv("figure4_miranda_speedup");
+
+    // The paper's 82x-156x Miranda speedups arise at 1024 cores, where
+    // STHOSVD's sequential EVD of an n = 3072 Gram dominates. The
+    // measured stand-in above is sequential; the calibrated cost model
+    // bridges to the paper's setting (3072^3, ranks ~10, P = 1024).
+    let machine = calibrated_machine();
+    let mut t = Table::new(
+        "Figure 4 companion: model at paper scale (Miranda 3072^3, r=10, P=1024)",
+        &["algorithm", "iterations", "seconds", "speedup_vs_sthosvd"],
+    );
+    let st = best_grid_time(&machine, AlgKind::Sthosvd, &Problem::new(3072, 10, 3, 1), 1024);
+    t.row_strings(vec!["STHOSVD".into(), "-".into(), format!("{:.2}", st.seconds), "1.0x".into()]);
+    for iters in 1..=3usize {
+        let ra = best_grid_time(&machine, AlgKind::HosiDt, &Problem::new(3072, 10, 3, iters), 1024);
+        t.row_strings(vec![
+            "RA-HOSI-DT".into(),
+            iters.to_string(),
+            format!("{:.2}", ra.seconds),
+            format!("{:.0}x", st.seconds / ra.seconds),
+        ]);
+    }
+    t.print();
+    t.save_csv("figure4_miranda_model_scale");
+    println!("Paper headline (§4.2.1): perfect ranks 82x (high) / 25x (mid);");
+    println!("under 91x / 35x; over 156x / 47x; best compression-ratio gain 69% at");
+    println!("high compression. Expect the same ordering and regime structure here");
+    println!("(largest wins at high compression), with host-specific magnitudes.");
+}

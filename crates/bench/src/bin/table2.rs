@@ -1,0 +1,109 @@
+//! Table 2 reproduction: leading-order *communication* (bandwidth) costs,
+//! validated by running the distributed algorithms on the threaded
+//! message-passing runtime and comparing the *measured* bytes on the wire
+//! against the analytic Table 2 expressions.
+//!
+//! Run: `cargo run --release -p ratucker-bench --bin table2`
+
+use ratucker::dist::{dist_hooi, dist_sthosvd};
+use ratucker::prelude::*;
+use ratucker_bench::Table;
+use ratucker_dist::DistTensor;
+use ratucker_mpi::{CartGrid, Universe};
+use ratucker_perfmodel::{algorithm_cost, AlgKind, Problem};
+
+/// Measured total bytes for one collective algorithm run on a grid.
+fn measured_bytes(
+    spec: &SyntheticSpec,
+    grid_dims: &[usize],
+    run: impl Fn(&CartGrid, &DistTensor<f32>) + Sync,
+) -> u64 {
+    let p: usize = grid_dims.iter().product();
+    let u = Universe::new(p);
+    u.run(|c| {
+        let grid = CartGrid::new(c, grid_dims);
+        let x_full = spec.build::<f32>();
+        let x = DistTensor::scatter_from_replicated(&grid, &x_full);
+        // Only count algorithm traffic, not construction: snapshot after
+        // setup via a barrier to flush.
+        grid.comm.barrier();
+        run(&grid, &x);
+    });
+    u.traffic().snapshot().0
+}
+
+fn main() {
+    println!("Reproducing paper Table 2: leading-order communication costs.\n");
+    println!("Analytic words (Table 2 expressions x 4 bytes/word, f32) vs. bytes");
+    println!("measured on the message-passing fabric. The analytic side keeps only");
+    println!("the leading terms and ignores collective-tree constant factors, so");
+    println!("agreement within a small factor validates the scaling.\n");
+
+    let dims = vec![24usize, 24, 24];
+    let r = 4usize;
+    let n = dims[0];
+    let d = dims.len();
+    let spec = SyntheticSpec::new(&dims, &vec![r; d], 1e-4, 3);
+
+    let mut table = Table::new(
+        "Table 2: analytic vs measured communication volume (bytes)",
+        &["grid", "algorithm", "analytic_bytes", "measured_bytes", "ratio"],
+    );
+
+    for grid_dims in [vec![1usize, 2, 2], vec![2, 2, 2], vec![1, 1, 4]] {
+        let prob = Problem::new(n, r, d, 1);
+
+        // STHOSVD.
+        {
+            let bytes = measured_bytes(&spec, &grid_dims, |grid, x| {
+                let _ = dist_sthosvd(grid, x, &SthosvdTruncation::Ranks(vec![r; d]));
+            });
+            let words = algorithm_cost(AlgKind::Sthosvd, &prob, &grid_dims).words();
+            let p: f64 = grid_dims.iter().map(|&g| g as f64).product();
+            // The model charges critical-path words per rank; the fabric
+            // counts every byte sent by every rank.
+            let analytic = words * 4.0 * p;
+            table.row_strings(vec![
+                format!("{grid_dims:?}"),
+                "STHOSVD".into(),
+                format!("{analytic:.3e}"),
+                format!("{bytes:.3e}"),
+                format!("{:.2}", bytes as f64 / analytic.max(1.0)),
+            ]);
+        }
+
+        // One sweep of each HOOI variant.
+        for (alg, cfg) in [
+            (AlgKind::Hooi, HooiConfig::hooi()),
+            (AlgKind::HooiDt, HooiConfig::hooi_dt()),
+            (AlgKind::Hosi, HooiConfig::hosi()),
+            (AlgKind::HosiDt, HooiConfig::hosi_dt()),
+        ] {
+            let cfg = cfg.with_max_iters(1).with_seed(1);
+            let cfg2 = cfg.clone();
+            let bytes = measured_bytes(&spec, &grid_dims, move |grid, x| {
+                let _ = dist_hooi(grid, x, &vec![r; d], &cfg2);
+            });
+            let words = algorithm_cost(alg, &prob, &grid_dims).words();
+            let p: f64 = grid_dims.iter().map(|&g| g as f64).product();
+            let analytic = words * 4.0 * p;
+            table.row_strings(vec![
+                format!("{grid_dims:?}"),
+                cfg.variant_name().into(),
+                format!("{analytic:.3e}"),
+                format!("{bytes:.3e}"),
+                format!("{:.2}", bytes as f64 / analytic.max(1.0)),
+            ]);
+        }
+    }
+
+    table.print();
+    table.save_csv("table2_comm");
+
+    println!("Reading the table:");
+    println!("- On P1=1 grids STHOSVD avoids the mode-1 redistribution entirely.");
+    println!("- HOOI-DT's TTM traffic depends only on P_1 and P_d (reduce-scatters");
+    println!("  on the two root branches); direct HOOI pays (d-1)x the P_1 term.");
+    println!("- HOSI variants replace the n² Gram allreduces with n·r iterate");
+    println!("  reductions plus an r^d core gather.");
+}

@@ -1,0 +1,32 @@
+//! Shared harness utilities for the table/figure reproduction binaries.
+//!
+//! Each paper element has one binary (`table1`, `table2`, `figure1` …
+//! `figure9`); they print human-readable reports to stdout and write CSV
+//! series to `results/` so the numbers land in EXPERIMENTS.md unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod datasets_experiment;
+pub mod plot;
+pub mod report;
+
+pub use calibrate::calibrated_machine;
+pub use plot::{loglog_chart, Series};
+pub use report::{write_csv, Table};
+
+/// Scaled-down stand-ins for the paper's synthetic problems, sized to run
+/// the *functional* (threaded) pipeline in seconds on one host.
+pub mod problems {
+    /// 3-way synthetic: paper uses 3750³ rank 30; functional runs use this.
+    pub const THREE_WAY_DIMS: [usize; 3] = [96, 96, 96];
+    /// Rank of the 3-way synthetic stand-in.
+    pub const THREE_WAY_RANK: usize = 8;
+    /// 4-way synthetic: paper uses 560⁴ rank 10; functional runs use this.
+    pub const FOUR_WAY_DIMS: [usize; 4] = [28, 28, 28, 28];
+    /// Rank of the 4-way synthetic stand-in.
+    pub const FOUR_WAY_RANK: usize = 4;
+    /// Noise level of the paper's synthetic experiments.
+    pub const NOISE: f64 = 1e-4;
+}

@@ -1,0 +1,145 @@
+//! Minimal ASCII charts for the figure harnesses.
+//!
+//! Terminal-rendered log-log line charts: enough to see the *shape* of a
+//! strong-scaling curve (plateaus, crossovers) directly in the harness
+//! output without leaving the terminal. CSV remains the machine-readable
+//! product; these are the human-readable one.
+
+/// One named series of (x, y) points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points (x strictly positive for log axes).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Marker characters assigned to series in order.
+const MARKS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Renders a log-log scatter/line chart of the series into a string.
+///
+/// Width/height are the plot-area dimensions in characters; axes and the
+/// legend are added around it.
+pub fn loglog_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 10 && height >= 5, "chart too small");
+    let finite_points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|&(x, y)| x > 0.0 && y > 0.0 && x.is_finite() && y.is_finite())
+        .collect();
+    if finite_points.is_empty() {
+        return format!("== {title} ==\n(no positive data)\n");
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &finite_points {
+        x0 = x0.min(x.log10());
+        x1 = x1.max(x.log10());
+        y0 = y0.min(y.log10());
+        y1 = y1.max(y.log10());
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            if !(x > 0.0 && y > 0.0) {
+                continue;
+            }
+            let cx = ((x.log10() - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+            let cy = ((y.log10() - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            let col = cx.min(width - 1);
+            // Later series overwrite; collisions show the last marker.
+            grid[row][col] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("== {title} (log-log) ==\n"));
+    for (i, row) in grid.iter().enumerate() {
+        let y_here = y1 - (y1 - y0) * i as f64 / (height - 1) as f64;
+        let label = if i == 0 || i == height - 1 || i == height / 2 {
+            format!("{:>9.2e} |", 10f64.powf(y_here))
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10}+{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>10} {:<12.3e}{:>w$.3e}\n",
+        "",
+        10f64.powf(x0),
+        10f64.powf(x1),
+        w = width.saturating_sub(12)
+    ));
+    out.push_str("legend: ");
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{}={} ", MARKS[si % MARKS.len()], s.label));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                label: "ideal".into(),
+                points: (0..8).map(|k| (2f64.powi(k), 100.0 / 2f64.powi(k))).collect(),
+            },
+            Series {
+                label: "plateau".into(),
+                points: (0..8).map(|k| (2f64.powi(k), (100.0 / 2f64.powi(k)).max(10.0))).collect(),
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_title_legend_and_marks() {
+        let s = loglog_chart("demo", &demo_series(), 40, 10);
+        assert!(s.contains("== demo"));
+        assert!(s.contains("*=ideal"));
+        assert!(s.contains("o=plateau"));
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn monotone_series_descends_across_rows() {
+        let s = loglog_chart("mono", &demo_series()[..1], 30, 8);
+        // The ideal-scaling series' marker must appear in both the top
+        // and bottom plot rows (strictly decreasing over 2 decades).
+        let rows: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        assert!(rows.first().unwrap().contains('*'));
+        assert!(rows.last().unwrap().contains('*'));
+    }
+
+    #[test]
+    fn empty_and_degenerate_input_are_safe() {
+        let s = loglog_chart("empty", &[], 20, 6);
+        assert!(s.contains("no positive data"));
+        let one = vec![Series { label: "pt".into(), points: vec![(1.0, 1.0)] }];
+        let s = loglog_chart("one", &one, 20, 6);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn rejects_tiny_canvas() {
+        loglog_chart("x", &[], 2, 2);
+    }
+}

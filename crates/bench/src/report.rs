@@ -1,0 +1,117 @@
+//! Plain-text table rendering and CSV output.
+
+use std::fmt::Display;
+use std::fs;
+use std::path::Path;
+
+/// A simple column-aligned text table that doubles as a CSV writer.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column names.
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.header.len(), "row/header mismatch");
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Appends a row of pre-rendered strings.
+    pub fn row_strings(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row/header mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Writes the table as CSV under `results/<name>.csv`.
+    pub fn save_csv(&self, name: &str) {
+        let csv = std::iter::once(self.header.join(","))
+            .chain(self.rows.iter().map(|r| r.join(",")))
+            .collect::<Vec<_>>()
+            .join("\n");
+        write_csv(name, &csv);
+    }
+}
+
+/// Writes raw CSV text to `results/<name>.csv` (relative to the workspace
+/// root when run via `cargo run`, else the current directory).
+pub fn write_csv(name: &str, contents: &str) {
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = fs::write(&path, contents) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("[csv] wrote {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["alg", "time"]);
+        t.row(&[&"STHOSVD", &1.25]);
+        t.row(&[&"HOSI-DT", &0.5]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("STHOSVD"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row/header mismatch")]
+    fn row_length_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&[&1]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Dataset generation driver — the stand-in for the artifact's
+//! `download-setup-miranda.sh` step: materializes one of the simulation
+//! stand-ins (or a synthetic low-rank tensor) as a raw file the
+//! `sthosvd`/`hooi` drivers can consume via `Input file`.
+//!
+//! ```sh
+//! cargo run --release -p ratucker-cli --bin generate -- --parameter-file GEN.cfg
+//! ```
+//!
+//! Keys: `Dataset` (`miranda` | `hcci` | `sp` | `synthetic`), `Scale`
+//! (dataset size multiplier), `Output file`, `Precision`; synthetic mode
+//! additionally reads `Global dims`, `Construction Ranks`, `Noise`,
+//! `Seed`.
+
+use ratucker::prelude::*;
+use ratucker_cli::{maybe_print_options, parameter_file_from_args, precision, Params, Precision};
+use ratucker_datasets::{hcci_like, miranda_like, sp_like, DatasetSpec};
+use ratucker_tensor::dense::DenseTensor;
+use ratucker_tensor::io::IoScalar;
+
+fn build_spec(params: &Params) -> Result<Option<DatasetSpec>, Box<dyn std::error::Error>> {
+    let scale = params.usize_or("Scale", 4)?;
+    Ok(match params.get("Dataset").unwrap_or("synthetic") {
+        "miranda" => Some(miranda_like(scale)),
+        "hcci" => Some(hcci_like(scale)),
+        "sp" => Some(sp_like(scale)),
+        "synthetic" => None,
+        other => return Err(format!("unknown Dataset `{other}`").into()),
+    })
+}
+
+fn run<T: IoScalar>(params: &Params) -> Result<(), Box<dyn std::error::Error>> {
+    let output = params.get("Output file").ok_or("missing `Output file`")?;
+    let x: DenseTensor<T> = match build_spec(params)? {
+        Some(spec) => {
+            println!("generating {} …", spec.name);
+            spec.build()
+        }
+        None => {
+            let dims = params.usize_list("Global dims")?;
+            let ranks = params.usize_list("Construction Ranks")?;
+            let noise = params.f64_or("Noise", 1e-4)?;
+            let seed = params.usize_or("Seed", 0)? as u64;
+            println!("generating synthetic {dims:?} with ranks {ranks:?} …");
+            SyntheticSpec::new(&dims, &ranks, noise, seed).build()
+        }
+    };
+    if output.ends_with(".rtt") {
+        ratucker_tensor::io::write_rtt(output, &x)?;
+    } else {
+        ratucker_tensor::io::write_raw(output, &x)?;
+    }
+    println!(
+        "wrote {:?} ({} entries, {} MB) to {output}",
+        x.shape().dims(),
+        x.num_entries(),
+        x.num_entries() * std::mem::size_of::<T>() / 1_000_000
+    );
+    println!("hint: set `Input file = {output}` and `Global dims = {}` in an",
+        x.shape().dims().iter().map(|n| n.to_string()).collect::<Vec<_>>().join(" "));
+    println!("STHOSVD/HOOI parameter file to compress it.");
+    Ok(())
+}
+
+fn main() {
+    let params = match parameter_file_from_args() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    maybe_print_options(&params);
+    let res = match precision(&params).unwrap_or(Precision::Single) {
+        Precision::Single => run::<f32>(&params),
+        Precision::Double => run::<f64>(&params),
+    };
+    if let Err(e) = res {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

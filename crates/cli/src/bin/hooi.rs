@@ -1,0 +1,72 @@
+//! HOOI driver (the artifact's `hooi` binary).
+//!
+//! ```sh
+//! cargo run --release -p ratucker-cli --bin hooi -- --parameter-file HOOI.cfg
+//! ```
+//!
+//! The variant is selected exactly as in the paper's artifact table:
+//!
+//! | variant  | Dimension Tree Memoization | SVD Method |
+//! |----------|----------------------------|------------|
+//! | HOOI     | false                      | 0          |
+//! | HOOI-DT  | true                       | 0          |
+//! | HOSI     | false                      | 2          |
+//! | HOSI-DT  | true                       | 2          |
+//!
+//! `HOOI-Adapt Threshold > 0` switches to the rank-adaptive formulation.
+
+use ratucker_cli::{
+    maybe_print_options, maybe_print_timings, parameter_file_from_args, precision,
+    run_hooi_driver, Precision,
+};
+
+fn main() {
+    let params = match parameter_file_from_args() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    maybe_print_options(&params);
+    let prec = precision(&params).unwrap_or(Precision::Single);
+    let dt = params
+        .bool_or("Dimension Tree Memoization", false)
+        .unwrap_or(false);
+    let svd = params.usize_or("SVD Method", 0).unwrap_or(0);
+    let adapt = params.f64_or("HOOI-Adapt Threshold", 0.0).unwrap_or(0.0);
+    let variant = match (dt, svd) {
+        (false, 0) => "HOOI",
+        (true, 0) => "HOOI-DT",
+        (false, 2) => "HOSI",
+        (true, 2) => "HOSI-DT",
+        _ => "HOOI(?)",
+    };
+    println!(
+        "Running {}{} ({:?} precision; SVD Method = {}, Dimension Tree Memoization = {})…",
+        if adapt > 0.0 { "rank-adaptive " } else { "" },
+        variant,
+        prec,
+        svd,
+        dt
+    );
+    let outcome = match prec {
+        Precision::Single => run_hooi_driver::<f32>(&params),
+        Precision::Double => run_hooi_driver::<f64>(&params),
+    };
+    match outcome {
+        Ok(out) => {
+            println!("{variant} finished:");
+            for (k, e) in out.sweep_errors.iter().enumerate() {
+                println!("  iteration {}: relative error = {e:.6}", k + 1);
+            }
+            println!("  final ranks       = {:?}", out.ranks);
+            println!("  compression ratio = {:.1}x", out.compression);
+            maybe_print_timings(&params, &out.timings);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

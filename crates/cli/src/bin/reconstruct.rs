@@ -1,0 +1,86 @@
+//! Reconstruction driver: load a stored Tucker decomposition (the
+//! `Output prefix` files of the `sthosvd`/`hooi` drivers) and decompress
+//! either the full tensor or one hyper-rectangular region — the fast
+//! subtensor-visualization use case of the paper's introduction.
+//!
+//! ```sh
+//! cargo run --release -p ratucker-cli --bin reconstruct -- --parameter-file RECON.cfg
+//! ```
+//!
+//! Keys: `Decomposition prefix` (required), `Output file` (required, raw
+//! little-endian), `Precision`, and optionally `Region offsets` +
+//! `Region sizes` (whitespace-separated, one entry per mode).
+
+use ratucker::TuckerTensor;
+use ratucker_cli::{maybe_print_options, parameter_file_from_args, precision, Params, Precision};
+use ratucker_tensor::dense::DenseTensor;
+use ratucker_tensor::io::IoScalar;
+use ratucker_tensor::matrix::Matrix;
+
+fn load_tucker<T: IoScalar>(prefix: &str) -> Result<TuckerTensor<T>, Box<dyn std::error::Error>> {
+    let core: DenseTensor<T> = ratucker_tensor::io::read_rtt(format!("{prefix}_core.rtt"))?;
+    let mut factors = Vec::with_capacity(core.order());
+    for k in 0..core.order() {
+        let t: DenseTensor<T> = ratucker_tensor::io::read_rtt(format!("{prefix}_factor_{k}.rtt"))?;
+        if t.order() != 2 {
+            return Err(format!("factor {k} is not a matrix").into());
+        }
+        factors.push(Matrix::from_vec(t.dim(0), t.dim(1), t.clone().into_vec()));
+    }
+    Ok(TuckerTensor::new(core, factors))
+}
+
+fn run<T: IoScalar>(params: &Params) -> Result<(), Box<dyn std::error::Error>> {
+    let prefix = params
+        .get("Decomposition prefix")
+        .ok_or("missing `Decomposition prefix`")?;
+    let output = params.get("Output file").ok_or("missing `Output file`")?;
+    let tucker = load_tucker::<T>(prefix)?;
+    println!(
+        "loaded decomposition: ranks {:?}, outer dims {:?} ({:.1}x compression)",
+        tucker.ranks(),
+        tucker.outer_dims(),
+        tucker.compression_ratio()
+    );
+    let result = match (
+        params.usize_list_opt("Region offsets")?,
+        params.usize_list_opt("Region sizes")?,
+    ) {
+        (Some(offsets), Some(sizes)) => {
+            println!("reconstructing region offsets={offsets:?} sizes={sizes:?}…");
+            tucker.reconstruct_region(&offsets, &sizes)
+        }
+        (None, None) => {
+            println!("reconstructing the full tensor…");
+            tucker.reconstruct()
+        }
+        _ => return Err("`Region offsets` and `Region sizes` must be given together".into()),
+    };
+    ratucker_tensor::io::write_raw(output, &result)?;
+    println!(
+        "wrote {} entries ({} bytes) to {output}",
+        result.num_entries(),
+        result.num_entries() * std::mem::size_of::<T>()
+    );
+    Ok(())
+}
+
+fn main() {
+    let params = match parameter_file_from_args() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    maybe_print_options(&params);
+    let prec = precision(&params).unwrap_or(Precision::Single);
+    let res = match prec {
+        Precision::Single => run::<f32>(&params),
+        Precision::Double => run::<f64>(&params),
+    };
+    if let Err(e) = res {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,40 @@
+//! STHOSVD driver (the artifact's `sthosvd` binary).
+//!
+//! ```sh
+//! cargo run --release -p ratucker-cli --bin sthosvd -- --parameter-file STHOSVD.cfg
+//! ```
+
+use ratucker_cli::{
+    maybe_print_options, maybe_print_timings, parameter_file_from_args, precision,
+    run_sthosvd_driver, Precision,
+};
+
+fn main() {
+    let params = match parameter_file_from_args() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    maybe_print_options(&params);
+    let prec = precision(&params).unwrap_or(Precision::Single);
+    println!("Running STHOSVD ({:?} precision)…", prec);
+    let outcome = match prec {
+        Precision::Single => run_sthosvd_driver::<f32>(&params),
+        Precision::Double => run_sthosvd_driver::<f64>(&params),
+    };
+    match outcome {
+        Ok(out) => {
+            println!("STHOSVD finished:");
+            println!("  relative error    = {:.6}", out.rel_error);
+            println!("  ranks             = {:?}", out.ranks);
+            println!("  compression ratio = {:.1}x", out.compression);
+            maybe_print_timings(&params, &out.timings);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

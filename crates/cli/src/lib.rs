@@ -1,0 +1,409 @@
+//! Parameter-file driven drivers, mirroring the TuckerMPI drivers of the
+//! paper's artifact.
+//!
+//! The artifact runs
+//! `srun -n 8 ./build/mpi/drivers/bin/sthosvd --parameter-file STHOSVD.cfg`;
+//! here the same experiment is
+//! `cargo run --release -p ratucker-cli --bin sthosvd -- --parameter-file STHOSVD.cfg`,
+//! with the "MPI processes" provided by the threaded runtime (one rank
+//! thread per grid cell).
+//!
+//! Recognized keys (artifact names, plus a few additions marked `+`):
+//!
+//! | key | meaning | default |
+//! |---|---|---|
+//! | `Print options` | echo the parsed parameters | `false` |
+//! | `Print timings` | print the per-phase breakdown | `false` |
+//! | `Global dims` | tensor dimensions | required |
+//! | `Processor grid dims` | grid (product = rank count) | all ones |
+//! | `Noise` | synthetic noise level | `1e-4` |
+//! | `Construction Ranks` | synthetic ground-truth ranks | `Ranks` |
+//! | `Ranks` / `Decomposition Ranks` | target / initial ranks | required unless error-specified |
+//! | `SV Threshold` | STHOSVD relative error ε (0 ⇒ rank-specified) | `0` |
+//! | `SVD Method` | `0` Gram+EVD, `2` subspace iteration | `0` |
+//! | `Dimension Tree Memoization` | enable Alg. 4 | `false` |
+//! | `HOOI-Adapt Threshold` | RA tolerance ε (0 ⇒ fixed-rank) | `0` |
+//! | `HOOI max iters` | sweep cap | `2` |
+//! | `HOOI Adapt core tensor gather type` | accepted for compatibility (allgather is always used) | `false` |
+//! | `Rank Growth Factor` + | RA α | `1.5` |
+//! | `Seed` + | RNG seed | `0` |
+//! | `Precision` + | `single` / `double` | `single` |
+//! | `Input file` + | raw tensor to load instead of synthetic | none |
+//! | `Output prefix` + | write core/factors as `.rtt` files | none |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod params;
+
+pub use params::{ParamError, Params};
+
+use ratucker::dist::{dist_hooi, dist_ra_hooi, dist_sthosvd, DistRunResult};
+use ratucker::prelude::*;
+use ratucker::{Timings, ALL_PHASES};
+use ratucker_dist::DistTensor;
+use ratucker_mpi::{CartGrid, Universe};
+use ratucker_tensor::dense::DenseTensor;
+use ratucker_tensor::io::IoScalar;
+use ratucker_tensor::shape::Shape;
+
+/// Which floating-point width a driver runs in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Precision {
+    /// `f32` (the synthetic experiments of §4.1).
+    Single,
+    /// `f64` (the HCCI/SP experiments of §4.2.2).
+    Double,
+}
+
+/// Parses the `Precision` key.
+pub fn precision(params: &Params) -> Result<Precision, ParamError> {
+    match params.get("Precision").unwrap_or("single").to_ascii_lowercase().as_str() {
+        "single" | "f32" => Ok(Precision::Single),
+        "double" | "f64" => Ok(Precision::Double),
+        other => Err(ParamError::Invalid {
+            key: "Precision".into(),
+            value: other.into(),
+            expected: "single or double",
+        }),
+    }
+}
+
+/// Echoes the parameter file (the artifact's `Print options = true`).
+pub fn maybe_print_options(params: &Params) {
+    if params.bool_or("Print options", false).unwrap_or(false) {
+        println!("--- options ---");
+        for (k, v) in params.keys() {
+            println!("{k} = {v}");
+        }
+        println!("---------------");
+    }
+}
+
+/// Prints a per-phase timing breakdown (the artifact's `Print timings`).
+pub fn maybe_print_timings(params: &Params, timings: &Timings) {
+    if params.bool_or("Print timings", false).unwrap_or(false) {
+        println!("--- timings (rank 0) ---");
+        for &p in &ALL_PHASES {
+            let s = timings.secs(p);
+            if s > 0.0 || timings.flops(p) > 0 {
+                println!(
+                    "{:>12}: {:.6} s  ({} flops)",
+                    p.label(),
+                    s,
+                    timings.flops(p)
+                );
+            }
+        }
+        println!("{:>12}: {:.6} s", "total", timings.total_secs());
+        println!("------------------------");
+    }
+}
+
+/// Loads the input tensor (`Input file`) or generates the synthetic one.
+pub fn input_tensor<T: IoScalar>(params: &Params) -> Result<DenseTensor<T>, Box<dyn std::error::Error>> {
+    let dims = params.usize_list("Global dims")?;
+    if let Some(path) = params.get("Input file") {
+        let x = if path.ends_with(".rtt") {
+            ratucker_tensor::io::read_rtt(path)?
+        } else {
+            ratucker_tensor::io::read_raw(path, Shape::new(&dims))?
+        };
+        if x.shape().dims() != dims {
+            return Err(format!(
+                "input tensor has shape {:?}, parameter file says {:?}",
+                x.shape().dims(),
+                dims
+            )
+            .into());
+        }
+        return Ok(x);
+    }
+    let construction = params
+        .usize_list_opt("Construction Ranks")?
+        .or(params.usize_list_opt("Ranks")?)
+        .ok_or_else(|| ParamError::Missing("Construction Ranks (or Ranks)".into()))?;
+    let noise = params.f64_or("Noise", 1e-4)?;
+    let seed = params.usize_or("Seed", 0)? as u64;
+    Ok(SyntheticSpec::new(&dims, &construction, noise, seed).build())
+}
+
+/// The grid dims (default: all ones over the tensor order).
+pub fn grid_dims(params: &Params) -> Result<Vec<usize>, ParamError> {
+    let dims = params.usize_list("Global dims")?;
+    Ok(params
+        .usize_list_opt("Processor grid dims")?
+        .unwrap_or_else(|| vec![1; dims.len()]))
+}
+
+/// Writes a Tucker decomposition as `.rtt` files under a prefix.
+pub fn write_tucker<T: IoScalar>(
+    prefix: &str,
+    tucker: &TuckerTensor<T>,
+) -> std::io::Result<()> {
+    ratucker_tensor::io::write_rtt(format!("{prefix}_core.rtt"), &tucker.core)?;
+    for (k, u) in tucker.factors.iter().enumerate() {
+        let t = DenseTensor::from_vec(
+            Shape::new(&[u.rows(), u.cols()]),
+            u.as_slice().to_vec(),
+        );
+        ratucker_tensor::io::write_rtt(format!("{prefix}_factor_{k}.rtt"), &t)?;
+    }
+    Ok(())
+}
+
+/// Outcome of a driver run, for printing and for the integration tests.
+#[derive(Clone, Debug)]
+pub struct DriverOutcome {
+    /// Final relative error.
+    pub rel_error: f64,
+    /// Final Tucker ranks.
+    pub ranks: Vec<usize>,
+    /// Compression ratio.
+    pub compression: f64,
+    /// Rank-0 phase breakdown.
+    pub timings: Timings,
+    /// Per-sweep errors (HOOI) or the single STHOSVD error.
+    pub sweep_errors: Vec<f64>,
+}
+
+/// Runs STHOSVD as configured by a parameter file. Returns the rank-0
+/// outcome.
+pub fn run_sthosvd_driver<T: IoScalar>(
+    params: &Params,
+) -> Result<DriverOutcome, Box<dyn std::error::Error>> {
+    if !params.bool_or("Perform STHOSVD", true)? {
+        return Err("parameter file sets `Perform STHOSVD = false`".into());
+    }
+    let x = input_tensor::<T>(params)?;
+    let grid = grid_dims(params)?;
+    let eps = params.f64_or("SV Threshold", 0.0)?;
+    let trunc = if eps > 0.0 {
+        SthosvdTruncation::RelError(eps)
+    } else {
+        SthosvdTruncation::Ranks(
+            params
+                .usize_list_opt("Ranks")?
+                .ok_or_else(|| ParamError::Missing("Ranks".into()))?,
+        )
+    };
+    let p: usize = grid.iter().product();
+    let outcome = run_collective(p, &grid, &x, move |g, xd| dist_sthosvd(g, xd, &trunc));
+    if let Some(prefix) = params.get("Output prefix") {
+        // Re-run gather on a fresh universe is unnecessary: outcome holds
+        // the gathered tucker already.
+        write_tucker(prefix, &outcome.1)?;
+    }
+    Ok(outcome.0)
+}
+
+/// Runs HOOI (fixed-rank or rank-adaptive) as configured by a parameter
+/// file. Returns the rank-0 outcome.
+pub fn run_hooi_driver<T: IoScalar>(
+    params: &Params,
+) -> Result<DriverOutcome, Box<dyn std::error::Error>> {
+    let x = input_tensor::<T>(params)?;
+    let grid = grid_dims(params)?;
+    let ranks = params
+        .usize_list_opt("Decomposition Ranks")?
+        .or(params.usize_list_opt("Ranks")?)
+        .ok_or_else(|| ParamError::Missing("Decomposition Ranks (or Ranks)".into()))?;
+
+    let mut cfg = match (
+        params.bool_or("Dimension Tree Memoization", false)?,
+        params.usize_or("SVD Method", 0)?,
+    ) {
+        (false, 0) => HooiConfig::hooi(),
+        (true, 0) => HooiConfig::hooi_dt(),
+        (false, 2) => HooiConfig::hosi(),
+        (true, 2) => HooiConfig::hosi_dt(),
+        (_, other) => {
+            return Err(format!("SVD Method = {other} is not supported (use 0 or 2)").into())
+        }
+    };
+    cfg = cfg
+        .with_max_iters(params.usize_or("HOOI max iters", 2)?)
+        .with_seed(params.usize_or("Seed", 0)? as u64)
+        .with_si_steps(params.usize_or("Subspace Iteration Steps", 1)?);
+    // Accepted for compatibility with the artifact's parameter files.
+    let _ = params.bool_or("HOOI Adapt core tensor gather type", false)?;
+
+    let adapt_eps = params.f64_or("HOOI-Adapt Threshold", 0.0)?;
+    let p: usize = grid.iter().product();
+    let outcome = if adapt_eps > 0.0 {
+        let ra = RaConfig {
+            eps: adapt_eps,
+            alpha: params.f64_or("Rank Growth Factor", 1.5)?,
+            initial_ranks: ranks,
+            max_iters: cfg.max_iters,
+            stop_on_threshold: params.bool_or("Stop On Threshold", false)?,
+            inner: cfg,
+        };
+        run_collective(p, &grid, &x, move |g, xd| dist_ra_hooi(g, xd, &ra))
+    } else {
+        run_collective(p, &grid, &x, move |g, xd| dist_hooi(g, xd, &ranks, &cfg))
+    };
+    if let Some(prefix) = params.get("Output prefix") {
+        write_tucker(prefix, &outcome.1)?;
+    }
+    Ok(outcome.0)
+}
+
+/// Launches a universe over the given grid, scatters the tensor, runs the
+/// collective algorithm, and collects rank-0's outcome plus the gathered
+/// decomposition.
+fn run_collective<T: IoScalar>(
+    p: usize,
+    grid_dims: &[usize],
+    x: &DenseTensor<T>,
+    run: impl Fn(&CartGrid, &DistTensor<T>) -> DistRunResult<T> + Sync,
+) -> (DriverOutcome, TuckerTensor<T>) {
+    let results = Universe::launch(p, |c| {
+        let grid = CartGrid::new(c, grid_dims);
+        let xd = DistTensor::scatter_from_replicated(&grid, x);
+        let res = run(&grid, &xd);
+        let tucker = res.tucker.gather(&grid);
+        (res, tucker)
+    });
+    let (res, tucker) = results.into_iter().next().expect("at least one rank");
+    (
+        DriverOutcome {
+            rel_error: res.rel_error,
+            ranks: res.tucker.ranks(),
+            compression: tucker.compression_ratio(),
+            timings: res.timings,
+            sweep_errors: res.sweep_errors,
+        },
+        tucker,
+    )
+}
+
+/// Parses `--parameter-file <path>` from argv (the artifact's interface).
+pub fn parameter_file_from_args() -> Result<Params, Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let pos = args
+        .iter()
+        .position(|a| a == "--parameter-file")
+        .ok_or("usage: <driver> --parameter-file <file.cfg>")?;
+    let path = args
+        .get(pos + 1)
+        .ok_or("--parameter-file requires a path argument")?;
+    Params::load(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sthosvd_cfg(extra: &str) -> Params {
+        Params::parse(&format!(
+            "Global dims = 12 10 8\nRanks = 3 3 2\nNoise = 0.01\nProcessor grid dims = 1 2 2\n{extra}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn sthosvd_driver_rank_specified() {
+        let p = sthosvd_cfg("");
+        let out = run_sthosvd_driver::<f32>(&p).unwrap();
+        assert_eq!(out.ranks, vec![3, 3, 2]);
+        assert!(out.rel_error < 0.05, "err {}", out.rel_error);
+        assert!(out.compression > 1.0);
+    }
+
+    #[test]
+    fn sthosvd_driver_error_specified() {
+        let p = sthosvd_cfg("SV Threshold = 0.1\n");
+        let out = run_sthosvd_driver::<f32>(&p).unwrap();
+        assert!(out.rel_error <= 0.1);
+    }
+
+    #[test]
+    fn sthosvd_driver_respects_perform_flag() {
+        let p = sthosvd_cfg("Perform STHOSVD = false\n");
+        assert!(run_sthosvd_driver::<f32>(&p).is_err());
+    }
+
+    #[test]
+    fn hooi_driver_all_variant_selectors() {
+        for (dt, svd) in [(false, 0usize), (true, 0), (false, 2), (true, 2)] {
+            let p = Params::parse(&format!(
+                "Global dims = 10 9 8\nConstruction Ranks = 3 2 2\nDecomposition Ranks = 3 2 2\n\
+                 Noise = 0.01\nProcessor grid dims = 2 1 1\n\
+                 Dimension Tree Memoization = {dt}\nSVD Method = {svd}\nHOOI max iters = 2\n"
+            ))
+            .unwrap();
+            let out = run_hooi_driver::<f64>(&p).unwrap();
+            assert!(out.rel_error < 0.05, "dt={dt} svd={svd}: {}", out.rel_error);
+            assert_eq!(out.sweep_errors.len(), 2);
+        }
+    }
+
+    #[test]
+    fn hooi_driver_rank_adaptive() {
+        let p = Params::parse(
+            "Global dims = 12 10 8\nConstruction Ranks = 3 3 2\nDecomposition Ranks = 4 4 3\n\
+             Noise = 0.01\nProcessor grid dims = 1 1 2\nDimension Tree Memoization = true\n\
+             SVD Method = 2\nHOOI-Adapt Threshold = 0.1\nHOOI max iters = 3\n",
+        )
+        .unwrap();
+        let out = run_hooi_driver::<f32>(&p).unwrap();
+        assert!(out.rel_error <= 0.1);
+        // Adaptive truncation should land at or below the start ranks.
+        assert!(out.ranks.iter().zip(&[4usize, 4, 3]).all(|(a, b)| a <= b));
+    }
+
+    #[test]
+    fn hooi_driver_rejects_unknown_svd_method() {
+        let p = Params::parse(
+            "Global dims = 8 8\nRanks = 2 2\nSVD Method = 7\n",
+        )
+        .unwrap();
+        assert!(run_hooi_driver::<f32>(&p).is_err());
+    }
+
+    #[test]
+    fn driver_roundtrips_through_files() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("ratucker_cli_in_{}.rtt", std::process::id()));
+        let prefix = dir
+            .join(format!("ratucker_cli_out_{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let x = SyntheticSpec::new(&[10, 8, 6], &[2, 2, 2], 0.01, 9).build::<f32>();
+        ratucker_tensor::io::write_rtt(&input, &x).unwrap();
+
+        let p = Params::parse(&format!(
+            "Global dims = 10 8 6\nRanks = 2 2 2\nInput file = {}\nOutput prefix = {prefix}\n",
+            input.display()
+        ))
+        .unwrap();
+        let out = run_sthosvd_driver::<f32>(&p).unwrap();
+        assert!(out.rel_error < 0.05);
+
+        // The written core must load back with the reported ranks.
+        let core: DenseTensor<f32> =
+            ratucker_tensor::io::read_rtt(format!("{prefix}_core.rtt")).unwrap();
+        assert_eq!(core.shape().dims(), &out.ranks[..]);
+        std::fs::remove_file(&input).unwrap();
+        for k in 0..3 {
+            std::fs::remove_file(format!("{prefix}_factor_{k}.rtt")).unwrap();
+        }
+        std::fs::remove_file(format!("{prefix}_core.rtt")).unwrap();
+    }
+
+    #[test]
+    fn input_shape_mismatch_is_error() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("ratucker_cli_mismatch_{}.rtt", std::process::id()));
+        let x = SyntheticSpec::new(&[6, 6], &[2, 2], 0.0, 1).build::<f32>();
+        ratucker_tensor::io::write_rtt(&input, &x).unwrap();
+        let p = Params::parse(&format!(
+            "Global dims = 6 7\nRanks = 2 2\nInput file = {}\n",
+            input.display()
+        ))
+        .unwrap();
+        assert!(run_sthosvd_driver::<f32>(&p).is_err());
+        std::fs::remove_file(&input).unwrap();
+    }
+}

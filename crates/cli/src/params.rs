@@ -1,0 +1,249 @@
+//! TuckerMPI-style parameter files.
+//!
+//! The paper's artifact drives its drivers with `key = value` files:
+//!
+//! ```text
+//! Print options = true
+//! Print timings = true
+//! Noise = 0.0001
+//! SV Threshold = 0.0
+//! Perform STHOSVD = true
+//! # 4D grid with 8 processors
+//! Processor grid dims = 1 2 2 2
+//! Global dims = 100 100 100 100
+//! Ranks = 10 10 10 10
+//! ```
+//!
+//! This module parses that format: one `key = value` per line, `#` starts
+//! a comment, keys are case-sensitive phrases, list values are
+//! whitespace-separated.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// A parsed parameter file.
+#[derive(Clone, Debug, Default)]
+pub struct Params {
+    entries: BTreeMap<String, String>,
+}
+
+/// Parameter lookup/parse failure.
+#[derive(Debug)]
+pub enum ParamError {
+    /// The key is absent and no default applies.
+    Missing(String),
+    /// The value failed to parse.
+    Invalid {
+        /// The offending key.
+        key: String,
+        /// Its raw value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A line without `=` or an empty key.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::Missing(k) => write!(f, "missing required parameter `{k}`"),
+            ParamError::Invalid { key, value, expected } => {
+                write!(f, "parameter `{key}` = `{value}` is not a valid {expected}")
+            }
+            ParamError::Syntax { line, text } => {
+                write!(f, "line {line}: expected `key = value`, got `{text}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl Params {
+    /// Parses parameter text.
+    pub fn parse(text: &str) -> Result<Params, ParamError> {
+        let mut entries = BTreeMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ParamError::Syntax {
+                    line: i + 1,
+                    text: raw.to_string(),
+                });
+            };
+            let key = key.trim();
+            if key.is_empty() {
+                return Err(ParamError::Syntax {
+                    line: i + 1,
+                    text: raw.to_string(),
+                });
+            }
+            entries.insert(key.to_string(), value.trim().to_string());
+        }
+        Ok(Params { entries })
+    }
+
+    /// Loads and parses a parameter file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Params, Box<dyn std::error::Error>> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(Self::parse(&text)?)
+    }
+
+    /// Raw string value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(|s| s.as_str())
+    }
+
+    /// All keys, for `Print options = true` echoes.
+    pub fn keys(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Boolean with a default (`true`/`false`, case-insensitive).
+    pub fn bool_or(&self, key: &str, default: bool) -> Result<bool, ParamError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => match v.to_ascii_lowercase().as_str() {
+                "true" | "1" | "yes" => Ok(true),
+                "false" | "0" | "no" => Ok(false),
+                _ => Err(ParamError::Invalid {
+                    key: key.to_string(),
+                    value: v.to_string(),
+                    expected: "boolean",
+                }),
+            },
+        }
+    }
+
+    /// Float with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, ParamError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ParamError::Invalid {
+                key: key.to_string(),
+                value: v.to_string(),
+                expected: "floating-point number",
+            }),
+        }
+    }
+
+    /// Integer with a default.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, ParamError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ParamError::Invalid {
+                key: key.to_string(),
+                value: v.to_string(),
+                expected: "nonnegative integer",
+            }),
+        }
+    }
+
+    /// Required whitespace-separated integer list (e.g. `Global dims`).
+    pub fn usize_list(&self, key: &str) -> Result<Vec<usize>, ParamError> {
+        let v = self.get(key).ok_or_else(|| ParamError::Missing(key.to_string()))?;
+        v.split_whitespace()
+            .map(|tok| {
+                tok.parse().map_err(|_| ParamError::Invalid {
+                    key: key.to_string(),
+                    value: v.to_string(),
+                    expected: "list of nonnegative integers",
+                })
+            })
+            .collect()
+    }
+
+    /// Optional integer list.
+    pub fn usize_list_opt(&self, key: &str) -> Result<Option<Vec<usize>>, ParamError> {
+        if self.get(key).is_none() {
+            return Ok(None);
+        }
+        self.usize_list(key).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+Print options = true
+Print timings = true
+Noise = 0.0001
+SV Threshold = 0.0
+Perform STHOSVD = true
+# 4D grid with 8 processors
+Processor grid dims = 1 2 2 2
+Global dims = 100 100 100 100
+Ranks = 10 10 10 10
+";
+
+    #[test]
+    fn parses_the_artifact_example() {
+        let p = Params::parse(SAMPLE).unwrap();
+        assert!(p.bool_or("Print options", false).unwrap());
+        assert_eq!(p.f64_or("Noise", 0.0).unwrap(), 0.0001);
+        assert_eq!(p.f64_or("SV Threshold", 1.0).unwrap(), 0.0);
+        assert_eq!(p.usize_list("Processor grid dims").unwrap(), vec![1, 2, 2, 2]);
+        assert_eq!(p.usize_list("Global dims").unwrap(), vec![100; 4]);
+        assert_eq!(p.usize_list("Ranks").unwrap(), vec![10; 4]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = Params::parse("# nothing\n\n  A = 1 # trailing\n").unwrap();
+        assert_eq!(p.usize_or("A", 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn defaults_apply_when_missing() {
+        let p = Params::parse("").unwrap();
+        assert_eq!(p.usize_or("HOOI max iters", 2).unwrap(), 2);
+        assert!(!p.bool_or("Dimension Tree Memoization", false).unwrap());
+        assert!(p.usize_list_opt("Ranks").unwrap().is_none());
+    }
+
+    #[test]
+    fn missing_required_list_is_error() {
+        let p = Params::parse("").unwrap();
+        assert!(matches!(p.usize_list("Global dims"), Err(ParamError::Missing(_))));
+    }
+
+    #[test]
+    fn invalid_values_are_errors() {
+        let p = Params::parse("Noise = lots\nRanks = 1 two 3\nFlag = maybe").unwrap();
+        assert!(p.f64_or("Noise", 0.0).is_err());
+        assert!(p.usize_list("Ranks").is_err());
+        assert!(p.bool_or("Flag", false).is_err());
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = Params::parse("A = 1\nnot a pair\n").unwrap_err();
+        match err {
+            ParamError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn later_entries_override_earlier() {
+        let p = Params::parse("A = 1\nA = 2\n").unwrap();
+        assert_eq!(p.usize_or("A", 0).unwrap(), 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! Block-distributed dense tensors — the TuckerMPI-equivalent substrate.
+//!
+//! A global `d`-way tensor is distributed over a `P_1 × … × P_d` Cartesian
+//! processor grid with near-even contiguous blocks per mode; factor
+//! matrices are replicated on every rank (TuckerMPI's convention). On top
+//! of the distribution this crate implements the three parallel kernels
+//! the Tucker algorithms need:
+//!
+//! - [`ops::dist_ttm`] — TTM with reduce-scatter along the mode fiber;
+//! - [`ops::dist_gram`] — unfolding Gram via fiber all-to-all
+//!   redistribution + local rank-k update + allreduce;
+//! - [`ops::dist_contract`] — the paper's new all-but-one contraction for
+//!   subspace iteration (§3.4), with sum-reduce + broadcast so each rank
+//!   runs the subsequent QR redundantly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod dtensor;
+pub mod ops;
+
+pub use distribution::{block_len, block_offset, block_range, owner_of, BlockRange, TensorDist};
+pub use dtensor::DistTensor;
+pub use ops::{dist_contract, dist_gram, dist_multi_ttm_all_but, dist_ttm};

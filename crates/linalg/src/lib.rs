@@ -1,0 +1,34 @@
+//! Dense linear algebra substrate for the RA-HOOI reproduction.
+//!
+//! The paper's system (TuckerMPI + this paper's extension) leans on vendor
+//! BLAS/LAPACK for four factorizations; this crate implements all of them
+//! from scratch in safe Rust:
+//!
+//! - [`evd::sym_evd`] — symmetric EVD (Householder tridiagonalization +
+//!   implicit-shift QL), the Gram-route LLSV and STHOSVD's sequential
+//!   bottleneck;
+//! - [`qr::qr`] / [`qr::qrcp`] — Householder QR and QR with column
+//!   pivoting, the orthonormalization step of subspace iteration (Alg. 5);
+//! - [`svd::svd_jacobi`] — an independent one-sided Jacobi SVD used to
+//!   cross-validate the two LLSV routes in tests.
+//!
+//! GEMM-level kernels live in `ratucker-tensor::kernels` because the TTM
+//! slab views call them directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evd;
+pub mod qr;
+pub mod svd;
+
+pub use evd::{rank_for_error, sym_evd, SymEvd};
+pub use qr::{qr, qrcp, QrFactors};
+pub use svd::{svd_jacobi, Svd};
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::evd::{rank_for_error, sym_evd, SymEvd};
+    pub use crate::qr::{qr, qrcp, QrFactors};
+    pub use crate::svd::{svd_jacobi, Svd};
+}

@@ -1,0 +1,289 @@
+//! Householder QR and QR with column pivoting (QRCP).
+//!
+//! The subspace-iteration LLSV (Alg. 5, line 4) orthonormalizes the
+//! `n × r` iterate `Z` with QRCP. Pivoting serves two purposes in the
+//! paper: numerical rank revelation, and *ordering* the output columns by
+//! importance so the core's weight concentrates toward low indices —
+//! which is what makes the leading-subtensor search of the core analysis
+//! (§3.2) a reasonable heuristic.
+
+use ratucker_tensor::flops;
+use ratucker_tensor::kernels;
+use ratucker_tensor::matrix::Matrix;
+use ratucker_tensor::scalar::Scalar;
+
+/// Result of a (pivoted) QR factorization: `A[:, perm] = Q · R` with `Q`
+/// thin (`m × k`, `k = min(m, n)`) and orthonormal, `R` upper triangular.
+#[derive(Clone, Debug)]
+pub struct QrFactors<T: Scalar> {
+    /// Orthonormal basis of the column space, pivots first.
+    pub q: Matrix<T>,
+    /// Upper-triangular factor (`k × n`).
+    pub r: Matrix<T>,
+    /// Column permutation: original column `perm[j]` maps to position `j`.
+    /// Identity for the unpivoted factorization.
+    pub perm: Vec<usize>,
+}
+
+/// Unpivoted Householder QR (thin).
+pub fn qr<T: Scalar>(a: &Matrix<T>) -> QrFactors<T> {
+    householder_qr(a.clone(), false)
+}
+
+/// QR with column pivoting (LAPACK `dgeqp3`-style norm downdating with the
+/// cancellation-recompute safeguard).
+pub fn qrcp<T: Scalar>(a: &Matrix<T>) -> QrFactors<T> {
+    householder_qr(a.clone(), true)
+}
+
+fn householder_qr<T: Scalar>(mut a: Matrix<T>, pivot: bool) -> QrFactors<T> {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    flops::add(2 * (n as u64) * (n as u64) * (m as u64));
+
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Current and original residual column norms for pivoting.
+    let mut col_norms: Vec<T> = (0..n).map(|j| kernels::nrm2(a.col(j))).collect();
+    let orig_norms = col_norms.clone();
+    // Householder vectors are stored below the diagonal of `a`; the scalar
+    // taus in `taus`.
+    let mut taus = vec![T::ZERO; k];
+
+    for step in 0..k {
+        if pivot {
+            // Select the remaining column with the largest residual norm.
+            let (best, _) = col_norms[step..]
+                .iter()
+                .enumerate()
+                .fold((0usize, T::ZERO), |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                });
+            let best = step + best;
+            if best != step {
+                perm.swap(step, best);
+                col_norms.swap(step, best);
+                let (c1, c2) = a.cols_mut_pair(step, best);
+                c1.swap_with_slice(c2);
+            }
+        }
+
+        // Build the Householder reflector for column `step`, rows `step..`.
+        let (tau, beta) = {
+            let col = &mut a.col_mut(step)[step..];
+            make_householder(col)
+        };
+        taus[step] = tau;
+
+        // Apply (I - tau v vᵀ) to the trailing columns.
+        if tau != T::ZERO {
+            for j in step + 1..n {
+                let dot = {
+                    let (cs, cj) = a.cols_mut_pair(step, j);
+                    let v = &cs[step..];
+                    let c = &cj[step..];
+                    kernels::dot(v, c)
+                };
+                let scale = tau * dot;
+                let (cs, cj) = a.cols_mut_pair(step, j);
+                let v = &cs[step..];
+                let c = &mut cj[step..];
+                kernels::axpy(-scale, v, c);
+            }
+        }
+        // The diagonal entry of R.
+        a[(step, step)] = beta;
+
+        if pivot {
+            // Downdate residual norms; recompute on cancellation
+            // (`dgeqp3` safeguard: if the downdated norm has lost more
+            // than ~half the digits of the original, recompute exactly).
+            for j in step + 1..n {
+                let r_entry = a[(step, j)].abs();
+                let cn = col_norms[j];
+                if cn > T::ZERO {
+                    let ratio = r_entry / cn;
+                    let tmp = (T::ONE - ratio * ratio).max_s(T::ZERO);
+                    let safe = tmp.sqrt() * cn;
+                    let orig = orig_norms[perm[j]];
+                    let rel = if orig > T::ZERO { safe / orig } else { T::ZERO };
+                    if rel * rel <= T::EPSILON * T::from_f64(100.0) {
+                        col_norms[j] = kernels::nrm2(&a.col(j)[step + 1..]);
+                    } else {
+                        col_norms[j] = safe;
+                    }
+                }
+            }
+        }
+    }
+
+    // Extract R (k × n upper triangular).
+    let mut r = Matrix::zeros(k, n);
+    for j in 0..n {
+        for i in 0..=j.min(k - 1) {
+            r[(i, j)] = a[(i, j)];
+        }
+    }
+
+    // Form the thin Q by applying the reflectors to the first k identity
+    // columns, from the last reflector to the first.
+    let mut q = Matrix::zeros(m, k);
+    for j in 0..k {
+        q[(j, j)] = T::ONE;
+    }
+    for step in (0..k).rev() {
+        let tau = taus[step];
+        if tau == T::ZERO {
+            continue;
+        }
+        for j in 0..k {
+            // v has implicit 1 at `step`, entries a[step+1.., step] below.
+            let mut dot = q[(step, j)];
+            {
+                let v = &a.col(step)[step + 1..];
+                let c = &q.col(j)[step + 1..];
+                dot += kernels::dot(v, c);
+            }
+            let scale = tau * dot;
+            q[(step, j)] -= scale;
+            kernels::axpy(-scale, &a.col(step)[step + 1..], &mut q.col_mut(j)[step + 1..]);
+        }
+    }
+
+    QrFactors { q, r, perm }
+}
+
+/// Builds a Householder reflector in place: on entry `col` is the vector
+/// `x`; on exit `col[0]` is unused (caller overwrites with `beta`),
+/// `col[1..]` holds the reflector tail `v[1..]` (with `v[0] = 1` implicit).
+/// Returns `(tau, beta)` such that `(I − τ v vᵀ) x = β e₁`.
+fn make_householder<T: Scalar>(col: &mut [T]) -> (T, T) {
+    let alpha = col[0];
+    let xnorm = kernels::nrm2(&col[1..]);
+    if xnorm == T::ZERO {
+        return (T::ZERO, alpha);
+    }
+    let beta = -alpha.hypot(xnorm).copysign_s(alpha);
+    let tau = (beta - alpha) / beta;
+    let inv = T::ONE / (alpha - beta);
+    kernels::scal(inv, &mut col[1..]);
+    col[0] = T::ONE;
+    (tau, beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ratucker_tensor::random::normal_matrix;
+
+    fn reconstruct<T: Scalar>(f: &QrFactors<T>, n: usize) -> Matrix<T> {
+        // A[:, perm[j]] = (Q R)[:, j]  ⇒  A = Q R P⁻¹.
+        let qr_prod = f.q.matmul(&f.r);
+        let mut a = Matrix::zeros(f.q.rows(), n);
+        for j in 0..n {
+            a.col_mut(f.perm[j]).copy_from_slice(qr_prod.col(j));
+        }
+        a
+    }
+
+    #[test]
+    fn qr_reconstructs_tall() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a: Matrix<f64> = normal_matrix(8, 5, &mut rng);
+        let f = qr(&a);
+        assert!(f.q.orthonormality_defect() < 1e-13);
+        assert!(reconstruct(&f, 5).max_abs_diff(&a) < 1e-13);
+        // R upper triangular.
+        for j in 0..5 {
+            for i in j + 1..5 {
+                assert_eq!(f.r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_wide() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a: Matrix<f64> = normal_matrix(4, 7, &mut rng);
+        let f = qr(&a);
+        assert_eq!(f.q.cols(), 4);
+        assert!(f.q.orthonormality_defect() < 1e-13);
+        assert!(reconstruct(&f, 7).max_abs_diff(&a) < 1e-13);
+    }
+
+    #[test]
+    fn qrcp_reconstructs_and_orders_diagonal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Matrix<f64> = normal_matrix(10, 6, &mut rng);
+        let f = qrcp(&a);
+        assert!(f.q.orthonormality_defect() < 1e-13);
+        assert!(reconstruct(&f, 6).max_abs_diff(&a) < 1e-12);
+        // |R[j,j]| non-increasing (pivoting property).
+        for j in 1..6 {
+            assert!(
+                f.r[(j, j)].abs() <= f.r[(j - 1, j - 1)].abs() + 1e-12,
+                "diag not ordered at {j}"
+            );
+        }
+        // perm is a permutation.
+        let mut seen = f.perm.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn qrcp_rank_deficient() {
+        // Rank-2 matrix: QRCP must push near-zeros to trailing diagonal.
+        let mut rng = StdRng::seed_from_u64(4);
+        let b: Matrix<f64> = normal_matrix(8, 2, &mut rng);
+        let c: Matrix<f64> = normal_matrix(2, 5, &mut rng);
+        let a = b.matmul(&c);
+        let f = qrcp(&a);
+        assert!(reconstruct(&f, 5).max_abs_diff(&a) < 1e-12);
+        for j in 2..5 {
+            assert!(f.r[(j, j)].abs() < 1e-10, "R[{j},{j}] = {}", f.r[(j, j)]);
+        }
+    }
+
+    #[test]
+    fn qrcp_identity_input() {
+        let a: Matrix<f64> = Matrix::identity(4);
+        let f = qrcp(&a);
+        assert!(f.q.orthonormality_defect() < 1e-14);
+        assert!(reconstruct(&f, 4).max_abs_diff(&a) < 1e-14);
+    }
+
+    #[test]
+    fn qr_zero_column_is_handled() {
+        let mut a: Matrix<f64> = Matrix::zeros(5, 3);
+        a[(0, 0)] = 1.0;
+        a[(1, 2)] = 2.0;
+        // Column 1 is identically zero.
+        let f = qrcp(&a);
+        assert!(reconstruct(&f, 3).max_abs_diff(&a) < 1e-14);
+        assert!(f.q.orthonormality_defect() < 1e-13);
+    }
+
+    #[test]
+    fn qr_single_column() {
+        let a = Matrix::from_vec(3, 1, vec![3.0f64, 0.0, 4.0]);
+        let f = qr(&a);
+        assert!((f.r[(0, 0)].abs() - 5.0).abs() < 1e-14);
+        assert!(reconstruct(&f, 1).max_abs_diff(&a) < 1e-14);
+    }
+
+    #[test]
+    fn qrcp_f32() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a: Matrix<f32> = normal_matrix(12, 4, &mut rng);
+        let f = qrcp(&a);
+        assert!(f.q.orthonormality_defect() < 1e-5);
+        assert!(reconstruct(&f, 4).max_abs_diff(&a) < 1e-4);
+    }
+}

@@ -1,0 +1,200 @@
+//! Singular value decomposition via one-sided Jacobi.
+//!
+//! The Tucker algorithms obtain leading left singular vectors through the
+//! Gram+EVD route or subspace iteration; this module provides an
+//! *independent* high-accuracy SVD used to cross-validate those routes in
+//! tests, and for small-matrix needs (e.g. analyzing factor subspaces).
+
+use ratucker_tensor::flops;
+use ratucker_tensor::kernels;
+use ratucker_tensor::matrix::Matrix;
+use ratucker_tensor::scalar::Scalar;
+
+/// Thin SVD `A = U Σ Vᵀ` with singular values descending.
+#[derive(Clone, Debug)]
+pub struct Svd<T: Scalar> {
+    /// Left singular vectors (`m × k`).
+    pub u: Matrix<T>,
+    /// Singular values, largest first.
+    pub sigma: Vec<T>,
+    /// Right singular vectors (`n × k`).
+    pub v: Matrix<T>,
+}
+
+/// One-sided Jacobi SVD (Hestenes). Robust and simple; `O(mn²)` per sweep
+/// with quadratic convergence once nearly orthogonal.
+///
+/// For `m < n` the routine factors `Aᵀ` and swaps the factors.
+pub fn svd_jacobi<T: Scalar>(a: &Matrix<T>) -> Svd<T> {
+    if a.rows() < a.cols() {
+        let t = svd_jacobi(&a.transpose());
+        return Svd {
+            u: t.v,
+            sigma: t.sigma,
+            v: t.u,
+        };
+    }
+    let m = a.rows();
+    let n = a.cols();
+    let mut u = a.clone();
+    let mut v: Matrix<T> = Matrix::identity(n);
+    let tol = T::EPSILON * T::from_f64(8.0);
+    let max_sweeps = 60;
+
+    for _sweep in 0..max_sweeps {
+        let mut off = T::ZERO;
+        for p in 0..n {
+            for q in p + 1..n {
+                // 2x2 Gram block of columns p, q.
+                let (cp, cq) = u.cols_mut_pair(p, q);
+                let alpha = kernels::dot(cp, cp);
+                let beta = kernels::dot(cq, cq);
+                let gamma = kernels::dot(cp, cq);
+                if alpha == T::ZERO || beta == T::ZERO {
+                    continue;
+                }
+                let denom = (alpha * beta).sqrt();
+                let ortho = gamma.abs() / denom;
+                off = off.max_s(ortho);
+                if ortho <= tol {
+                    continue;
+                }
+                // Jacobi rotation orthogonalizing the column pair.
+                let two = T::from_f64(2.0);
+                let zeta = (beta - alpha) / (two * gamma);
+                let t = {
+                    let sign = if zeta >= T::ZERO { T::ONE } else { -T::ONE };
+                    sign / (zeta.abs() + (T::ONE + zeta * zeta).sqrt())
+                };
+                let c = T::ONE / (T::ONE + t * t).sqrt();
+                let s = c * t;
+                flops::add(6 * (m + n) as u64);
+                for i in 0..m {
+                    let up = cp[i];
+                    let uq = cq[i];
+                    cp[i] = c * up - s * uq;
+                    cq[i] = s * up + c * uq;
+                }
+                let (vp, vq) = v.cols_mut_pair(p, q);
+                for i in 0..n {
+                    let a_ = vp[i];
+                    let b_ = vq[i];
+                    vp[i] = c * a_ - s * b_;
+                    vq[i] = s * a_ + c * b_;
+                }
+            }
+        }
+        if off <= tol {
+            break;
+        }
+    }
+
+    // Singular values are the column norms of the rotated U.
+    let mut sigma: Vec<T> = (0..n).map(|j| kernels::nrm2(u.col(j))).collect();
+    // Sort descending with columns.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut u_sorted = Matrix::zeros(m, n);
+    let mut v_sorted = Matrix::zeros(n, n);
+    let mut s_sorted = vec![T::ZERO; n];
+    for (new, &old) in order.iter().enumerate() {
+        s_sorted[new] = sigma[old];
+        v_sorted.col_mut(new).copy_from_slice(v.col(old));
+        let col = u.col(old);
+        if sigma[old] > T::ZERO {
+            let inv = T::ONE / sigma[old];
+            for (dst, &src) in u_sorted.col_mut(new).iter_mut().zip(col) {
+                *dst = src * inv;
+            }
+        }
+    }
+    sigma = s_sorted;
+    Svd {
+        u: u_sorted,
+        sigma,
+        v: v_sorted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ratucker_tensor::random::{normal_matrix, random_orthonormal};
+
+    fn check_svd(a: &Matrix<f64>, tol: f64) {
+        let Svd { u, sigma, v } = svd_jacobi(a);
+        let k = sigma.len();
+        // Reconstruct A = U Σ Vᵀ.
+        let mut us = u.clone();
+        for j in 0..k {
+            let s = sigma[j];
+            for x in us.col_mut(j) {
+                *x *= s;
+            }
+        }
+        let rec = us.matmul(&v.transpose());
+        assert!(rec.max_abs_diff(a) < tol, "reconstruction {}", rec.max_abs_diff(a));
+        // Descending.
+        for j in 1..k {
+            assert!(sigma[j - 1] >= sigma[j] - 1e-12);
+        }
+        assert!(v.orthonormality_defect() < tol);
+    }
+
+    #[test]
+    fn svd_random_tall_and_wide() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a: Matrix<f64> = normal_matrix(9, 5, &mut rng);
+        check_svd(&a, 1e-11);
+        let b: Matrix<f64> = normal_matrix(4, 8, &mut rng);
+        check_svd(&b, 1e-11);
+    }
+
+    #[test]
+    fn svd_known_singular_values() {
+        // A = U diag(5,3,1) Vᵀ built from random orthonormal factors.
+        let mut rng = StdRng::seed_from_u64(12);
+        let u: Matrix<f64> = random_orthonormal(7, 3, &mut rng);
+        let v: Matrix<f64> = random_orthonormal(4, 3, &mut rng);
+        let mut us = u.clone();
+        let s_true = [5.0, 3.0, 1.0];
+        for j in 0..3 {
+            for x in us.col_mut(j) {
+                *x *= s_true[j];
+            }
+        }
+        let a = us.matmul(&v.transpose());
+        let svd = svd_jacobi(&a);
+        for j in 0..3 {
+            assert!((svd.sigma[j] - s_true[j]).abs() < 1e-12, "{}", svd.sigma[j]);
+        }
+        assert!(svd.sigma[3].abs() < 1e-12);
+    }
+
+    #[test]
+    fn svd_matches_gram_evd_spectrum() {
+        // σ_i² must equal the eigenvalues of A Aᵀ.
+        let mut rng = StdRng::seed_from_u64(13);
+        let a: Matrix<f64> = normal_matrix(6, 10, &mut rng);
+        let svd = svd_jacobi(&a);
+        let gram = a.matmul(&a.transpose());
+        let evd = crate::evd::sym_evd(&gram);
+        for j in 0..6 {
+            assert!(
+                (svd.sigma[j] * svd.sigma[j] - evd.values[j]).abs() < 1e-9,
+                "σ²={} λ={}",
+                svd.sigma[j] * svd.sigma[j],
+                evd.values[j]
+            );
+        }
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let a: Matrix<f64> = Matrix::zeros(3, 2);
+        let svd = svd_jacobi(&a);
+        assert!(svd.sigma.iter().all(|&s| s == 0.0));
+    }
+}

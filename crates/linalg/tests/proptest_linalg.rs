@@ -1,0 +1,127 @@
+//! Property-based tests of the factorization invariants.
+
+use proptest::prelude::*;
+use ratucker_linalg::{qr, qrcp, rank_for_error, svd_jacobi, sym_evd};
+use ratucker_tensor::matrix::Matrix;
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix<f64>> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(m, n)| {
+        prop::collection::vec(-1.0f64..1.0, m * n)
+            .prop_map(move |data| Matrix::from_vec(m, n, data))
+    })
+}
+
+fn arb_symmetric(max_dim: usize) -> impl Strategy<Value = Matrix<f64>> {
+    (1..=max_dim).prop_flat_map(|n| {
+        prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+            let b = Matrix::from_vec(n, n, data);
+            let mut s = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    s[(i, j)] = 0.5 * (b[(i, j)] + b[(j, i)]);
+                }
+            }
+            s
+        })
+    })
+}
+
+fn reconstruct_qr(f: &ratucker_linalg::QrFactors<f64>, n: usize) -> Matrix<f64> {
+    let prod = f.q.matmul(&f.r);
+    let mut a = Matrix::zeros(f.q.rows(), n);
+    for j in 0..n {
+        a.col_mut(f.perm[j]).copy_from_slice(prod.col(j));
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn evd_reconstructs_symmetric(a in arb_symmetric(10)) {
+        let e = sym_evd(&a);
+        let n = a.rows();
+        prop_assert!(e.vectors.orthonormality_defect() < 1e-9);
+        // A = V Λ Vᵀ entrywise.
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += e.vectors[(i, k)] * e.values[k] * e.vectors[(j, k)];
+                }
+                prop_assert!((acc - a[(i, j)]).abs() < 1e-8, "({i},{j}): {acc} vs {}", a[(i, j)]);
+            }
+        }
+        // Eigenvalue sum = trace.
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qr_reconstructs_and_is_orthonormal(a in arb_matrix(10)) {
+        let f = qr(&a);
+        prop_assert!(f.q.orthonormality_defect() < 1e-9);
+        prop_assert!(reconstruct_qr(&f, a.cols()).max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn qrcp_reconstructs_with_ordered_diagonal(a in arb_matrix(10)) {
+        let f = qrcp(&a);
+        prop_assert!(f.q.orthonormality_defect() < 1e-9);
+        prop_assert!(reconstruct_qr(&f, a.cols()).max_abs_diff(&a) < 1e-9);
+        let k = f.r.rows();
+        for j in 1..k.min(f.r.cols()) {
+            prop_assert!(
+                f.r[(j, j)].abs() <= f.r[(j - 1, j - 1)].abs() + 1e-9,
+                "diagonal not non-increasing at {j}"
+            );
+        }
+        // perm is a permutation.
+        let mut p = f.perm.clone();
+        p.sort_unstable();
+        prop_assert_eq!(p, (0..a.cols()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn svd_reconstructs_and_matches_gram_spectrum(a in arb_matrix(8)) {
+        let s = svd_jacobi(&a);
+        // Reconstruction.
+        let k = s.sigma.len();
+        let mut us = s.u.clone();
+        for j in 0..k {
+            let sv = s.sigma[j];
+            for x in us.col_mut(j) {
+                *x *= sv;
+            }
+        }
+        let rec = us.matmul(&s.v.transpose());
+        prop_assert!(rec.max_abs_diff(&a) < 1e-8);
+        // σ² = eigenvalues of A Aᵀ (descending, padded with zeros).
+        let gram = a.matmul(&a.transpose());
+        let e = sym_evd(&gram);
+        for j in 0..a.rows().min(k) {
+            prop_assert!((s.sigma[j] * s.sigma[j] - e.values[j]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn rank_for_error_is_minimal_and_feasible(
+        evs in prop::collection::vec(0.0f64..10.0, 1..10),
+        budget in 0.0f64..20.0,
+    ) {
+        let mut sorted = evs.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let r = rank_for_error(&sorted, budget);
+        prop_assert!(r >= 1 && r <= sorted.len());
+        // Feasible: discarded mass ≤ budget (or r = len and nothing discarded).
+        let tail: f64 = sorted[r..].iter().sum();
+        prop_assert!(tail <= budget + 1e-12);
+        // Minimal: discarding one more would overshoot (unless r == 1).
+        if r > 1 {
+            let tail_more: f64 = sorted[r - 1..].iter().sum();
+            prop_assert!(tail_more > budget);
+        }
+    }
+}

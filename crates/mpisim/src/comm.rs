@@ -1,0 +1,317 @@
+//! Communicators and collective operations.
+//!
+//! A [`Comm`] is a view of an ordered subset of a universe's ranks, in the
+//! sense of an MPI communicator: rank `r` of the communicator maps to a
+//! world rank through the group table. Sub-communicators are created with
+//! [`Comm::split`], exactly like `MPI_Comm_split`.
+//!
+//! Collective algorithms:
+//! - barrier — dissemination;
+//! - broadcast / reduce — binomial trees;
+//! - allreduce — reduce + broadcast;
+//! - allgatherv — ring (bandwidth-optimal, `(p-1)/p · total` per link);
+//! - reduce-scatter — ring with accumulate;
+//! - all-to-all — direct pairwise exchange (channels are unbounded, so
+//!   posting all sends before any receive cannot deadlock).
+//!
+//! Every collective assumes all ranks of the communicator call it in the
+//! same program order — the usual MPI contract.
+
+use crate::fabric::Fabric;
+use std::sync::Arc;
+
+/// Element types that can travel through the fabric.
+pub trait Elem: Clone + Send + 'static {}
+impl<T: Clone + Send + 'static> Elem for T {}
+
+/// A communicator: an ordered group of ranks over a shared fabric.
+#[derive(Clone)]
+pub struct Comm {
+    fabric: Arc<Fabric>,
+    /// World ranks of the group members, in communicator order.
+    group: Arc<Vec<usize>>,
+    /// This rank's index within `group`.
+    rank: usize,
+}
+
+impl Comm {
+    /// The world communicator for `world_rank` over `fabric`.
+    pub fn world(fabric: Arc<Fabric>, world_rank: usize) -> Comm {
+        let p = fabric.size();
+        assert!(world_rank < p);
+        Comm {
+            fabric,
+            group: Arc::new((0..p).collect()),
+            rank: world_rank,
+        }
+    }
+
+    /// This rank's index within the communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// The world rank backing communicator rank `r`.
+    #[inline]
+    pub fn world_rank_of(&self, r: usize) -> usize {
+        self.group[r]
+    }
+
+    /// The universe-wide traffic statistics.
+    pub fn traffic(&self) -> &crate::fabric::TrafficStats {
+        self.fabric.stats()
+    }
+
+    /// Point-to-point send to communicator rank `dst`.
+    pub fn send<T: Elem>(&self, dst: usize, data: Vec<T>) {
+        self.fabric
+            .send(self.group[self.rank], self.group[dst], data);
+    }
+
+    /// Point-to-point receive from communicator rank `src`.
+    pub fn recv<T: Elem>(&self, src: usize) -> Vec<T> {
+        self.fabric.recv(self.group[src], self.group[self.rank])
+    }
+
+    /// Dissemination barrier.
+    pub fn barrier(&self) {
+        let p = self.size();
+        let mut k = 1;
+        while k < p {
+            let dst = (self.rank + k) % p;
+            let src = (self.rank + p - k) % p;
+            self.send::<u8>(dst, Vec::new());
+            let _ = self.recv::<u8>(src);
+            k <<= 1;
+        }
+    }
+
+    /// Binomial-tree broadcast. The root passes the payload; other ranks'
+    /// argument is ignored (pass `Vec::new()`).
+    pub fn bcast<T: Elem>(&self, root: usize, data: Vec<T>) -> Vec<T> {
+        let p = self.size();
+        if p == 1 {
+            return data;
+        }
+        let vrank = (self.rank + p - root) % p; // virtual rank, root = 0
+        let mut have: Option<Vec<T>> = if vrank == 0 { Some(data) } else { None };
+        // Receive from parent.
+        if vrank != 0 {
+            let mut mask = 1;
+            while mask < p {
+                if vrank & mask != 0 {
+                    let vsrc = vrank & !mask;
+                    let src = (vsrc + root) % p;
+                    have = Some(self.recv(src));
+                    break;
+                }
+                mask <<= 1;
+            }
+        }
+        let buf = have.expect("bcast tree logic error");
+        // Forward to children: all set bits above my lowest set bit.
+        let lowest = if vrank == 0 { p.next_power_of_two() } else { vrank & vrank.wrapping_neg() };
+        let mut mask = lowest >> 1;
+        while mask > 0 {
+            let vdst = vrank | mask;
+            if vdst < p && vdst != vrank {
+                let dst = (vdst + root) % p;
+                self.send(dst, buf.clone());
+            }
+            mask >>= 1;
+        }
+        buf
+    }
+
+    /// Binomial-tree reduce with an elementwise combiner
+    /// `op(acc, incoming)`. Returns `Some(result)` on the root.
+    pub fn reduce<T: Elem>(
+        &self,
+        root: usize,
+        data: Vec<T>,
+        op: impl Fn(&mut [T], &[T]) + Copy,
+    ) -> Option<Vec<T>> {
+        let p = self.size();
+        if p == 1 {
+            return Some(data);
+        }
+        let vrank = (self.rank + p - root) % p;
+        let mut acc = data;
+        let mut mask = 1;
+        while mask < p {
+            if vrank & mask == 0 {
+                let vsrc = vrank | mask;
+                if vsrc < p {
+                    let src = (vsrc + root) % p;
+                    let incoming: Vec<T> = self.recv(src);
+                    assert_eq!(incoming.len(), acc.len(), "reduce length mismatch");
+                    op(&mut acc, &incoming);
+                }
+            } else {
+                let vdst = vrank & !mask;
+                let dst = (vdst + root) % p;
+                self.send(dst, acc);
+                return None;
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Allreduce = reduce to rank 0 + broadcast.
+    pub fn allreduce<T: Elem>(&self, data: Vec<T>, op: impl Fn(&mut [T], &[T]) + Copy) -> Vec<T> {
+        let reduced = self.reduce(0, data, op);
+        self.bcast(0, reduced.unwrap_or_default())
+    }
+
+    /// Ring allgather of variable-size blocks: returns every rank's block,
+    /// indexed by communicator rank.
+    pub fn allgatherv<T: Elem>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+        let p = self.size();
+        let mut blocks: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
+        blocks[self.rank] = Some(data);
+        let right = (self.rank + 1) % p;
+        let left = (self.rank + p - 1) % p;
+        for step in 0..p.saturating_sub(1) {
+            // Send the block that arrived `step` hops ago (own block first).
+            let send_idx = (self.rank + p - step) % p;
+            let block = blocks[send_idx].clone().expect("ring allgather gap");
+            self.send(right, block);
+            let recv_idx = (self.rank + p - step - 1) % p;
+            blocks[recv_idx] = Some(self.recv(left));
+        }
+        blocks.into_iter().map(|b| b.expect("missing block")).collect()
+    }
+
+    /// Ring reduce-scatter: the input is partitioned into `p` contiguous
+    /// blocks of the given lengths (`counts.len() == p`,
+    /// `Σ counts == data.len()`); on return each rank holds the elementwise
+    /// reduction of its own block across all ranks.
+    pub fn reduce_scatter<T: Elem>(
+        &self,
+        data: Vec<T>,
+        counts: &[usize],
+        op: impl Fn(&mut [T], &[T]) + Copy,
+    ) -> Vec<T> {
+        let p = self.size();
+        assert_eq!(counts.len(), p, "reduce_scatter needs one count per rank");
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, data.len(), "reduce_scatter counts must cover the buffer");
+        if p == 1 {
+            return data;
+        }
+        let offsets: Vec<usize> = counts
+            .iter()
+            .scan(0usize, |acc, &c| {
+                let o = *acc;
+                *acc += c;
+                Some(o)
+            })
+            .collect();
+        let block = |buf: &[T], i: usize| buf[offsets[i]..offsets[i] + counts[i]].to_vec();
+
+        let right = (self.rank + 1) % p;
+        let left = (self.rank + p - 1) % p;
+        // Step 0 sends the block belonging to my left neighbor-chain end;
+        // after p-1 steps the fully-reduced own block remains.
+        let mut carry = block(&data, (self.rank + 1) % p);
+        for step in 0..p - 1 {
+            self.send(left, carry);
+            let incoming: Vec<T> = self.recv(right);
+            // The incoming partial sum corresponds to block
+            // (rank + step + 2) mod p … except on the final step, where it
+            // is my own block: accumulate my contribution and continue.
+            let idx = (self.rank + step + 2) % p;
+            let mut acc = incoming;
+            let mine = block(&data, idx);
+            assert_eq!(acc.len(), mine.len(), "reduce_scatter length mismatch");
+            op(&mut acc, &mine);
+            carry = acc;
+        }
+        carry
+    }
+
+    /// Direct all-to-all of variable blocks: `blocks[r]` goes to rank `r`;
+    /// returns the blocks received, indexed by source rank.
+    pub fn alltoallv<T: Elem>(&self, blocks: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let p = self.size();
+        assert_eq!(blocks.len(), p, "alltoallv needs one block per rank");
+        let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        for (dst, block) in blocks.into_iter().enumerate() {
+            if dst == self.rank {
+                out[self.rank] = block;
+            } else {
+                self.send(dst, block);
+            }
+        }
+        for (src, slot) in out.iter_mut().enumerate() {
+            if src != self.rank {
+                *slot = self.recv(src);
+            }
+        }
+        out
+    }
+
+    /// Gather of variable blocks to `root`; returns `Some(blocks)` there.
+    pub fn gatherv<T: Elem>(&self, root: usize, data: Vec<T>) -> Option<Vec<Vec<T>>> {
+        if self.rank == root {
+            let mut out: Vec<Vec<T>> = (0..self.size()).map(|_| Vec::new()).collect();
+            out[root] = data;
+            for (src, slot) in out.iter_mut().enumerate() {
+                if src != root {
+                    *slot = self.recv(src);
+                }
+            }
+            Some(out)
+        } else {
+            self.send(root, data);
+            None
+        }
+    }
+
+    /// Splits the communicator: ranks sharing `color` form a new
+    /// communicator, ordered by `(key, old rank)` — `MPI_Comm_split`.
+    pub fn split(&self, color: usize, key: usize) -> Comm {
+        let triple = vec![color, key, self.rank];
+        let all = self.allgatherv(triple);
+        let mut members: Vec<(usize, usize)> = all
+            .iter()
+            .filter(|t| t[0] == color)
+            .map(|t| (t[1], t[2]))
+            .collect();
+        members.sort_unstable();
+        let group: Vec<usize> = members.iter().map(|&(_, r)| self.group[r]).collect();
+        let rank = members
+            .iter()
+            .position(|&(_, r)| r == self.rank)
+            .expect("split: caller missing from its own color group");
+        Comm {
+            fabric: Arc::clone(&self.fabric),
+            group: Arc::new(group),
+            rank,
+        }
+    }
+}
+
+/// Elementwise sum combiner for numeric payloads.
+pub fn sum_op<T: Copy + std::ops::AddAssign + Send + 'static>(acc: &mut [T], inc: &[T]) {
+    for (a, &b) in acc.iter_mut().zip(inc) {
+        *a += b;
+    }
+}
+
+/// Elementwise max combiner.
+pub fn max_op<T: Copy + PartialOrd + Send + 'static>(acc: &mut [T], inc: &[T]) {
+    for (a, &b) in acc.iter_mut().zip(inc) {
+        if b > *a {
+            *a = b;
+        }
+    }
+}

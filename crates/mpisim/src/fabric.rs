@@ -1,0 +1,186 @@
+//! The in-memory interconnect: one unbounded channel per ordered rank
+//! pair, plus traffic accounting.
+//!
+//! Messages are type-erased (`Box<dyn Any + Send>`) so a single fabric can
+//! carry `f32`, `f64`, `usize`, … payloads; the typed [`crate::comm::Comm`]
+//! API downcasts on receipt and panics with a clear message on a type
+//! mismatch (which indicates mismatched collective calls — the moral
+//! equivalent of an MPI datatype error).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocked receive waits before declaring deadlock. Generous
+/// enough for debug-mode collective trees; short enough that a mismatched
+/// collective fails a test instead of hanging it.
+pub const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+type Payload = Box<dyn Any + Send>;
+
+/// Per-universe traffic counters (shared by every communicator derived
+/// from the universe).
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    /// Total bytes moved through point-to-point sends.
+    pub bytes: AtomicU64,
+    /// Total messages sent.
+    pub messages: AtomicU64,
+    /// Per-source-rank byte counts (load-imbalance analysis).
+    pub bytes_by_rank: Vec<AtomicU64>,
+}
+
+impl TrafficStats {
+    fn new(p: usize) -> Self {
+        TrafficStats {
+            bytes: AtomicU64::new(0),
+            messages: AtomicU64::new(0),
+            bytes_by_rank: (0..p).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Snapshot of `(bytes, messages)`.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (
+            self.bytes.load(Ordering::Relaxed),
+            self.messages.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Largest per-rank byte count (the paper's cost model charges the
+    /// critical path, i.e. the busiest rank).
+    pub fn max_bytes_per_rank(&self) -> u64 {
+        self.bytes_by_rank
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The channel matrix connecting `p` ranks.
+pub struct Fabric {
+    p: usize,
+    /// `txs[dst][src]`: sender used by `src` to reach `dst`.
+    txs: Vec<Vec<Sender<Payload>>>,
+    /// `rxs[dst][src]`: receiver drained by `dst` for messages from `src`.
+    rxs: Vec<Vec<Receiver<Payload>>>,
+    stats: TrafficStats,
+}
+
+impl Fabric {
+    /// Builds a fully-connected fabric for `p` ranks.
+    pub fn new(p: usize) -> Arc<Fabric> {
+        assert!(p > 0, "fabric needs at least one rank");
+        let mut txs = Vec::with_capacity(p);
+        let mut rxs = Vec::with_capacity(p);
+        for _dst in 0..p {
+            let mut tx_row = Vec::with_capacity(p);
+            let mut rx_row = Vec::with_capacity(p);
+            for _src in 0..p {
+                let (tx, rx) = unbounded();
+                tx_row.push(tx);
+                rx_row.push(rx);
+            }
+            txs.push(tx_row);
+            rxs.push(rx_row);
+        }
+        Arc::new(Fabric {
+            p,
+            txs,
+            rxs,
+            stats: TrafficStats::new(p),
+        })
+    }
+
+    /// Number of ranks in the universe.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// Traffic counters for this universe.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Sends a typed vector from `src` to `dst`, recording traffic.
+    pub fn send<T: Send + 'static>(&self, src: usize, dst: usize, data: Vec<T>) {
+        let bytes = std::mem::size_of_val(data.as_slice()) as u64;
+        self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_by_rank[src].fetch_add(bytes, Ordering::Relaxed);
+        self.txs[dst][src]
+            .send(Box::new(data))
+            .expect("fabric channel closed: a rank panicked");
+    }
+
+    /// Receives the next message sent from `src` to `dst`, downcasting to
+    /// the expected element type.
+    ///
+    /// # Panics
+    /// Panics on element-type mismatch or after [`RECV_TIMEOUT`] (deadlock:
+    /// mismatched send/recv pattern).
+    pub fn recv<T: Send + 'static>(&self, src: usize, dst: usize) -> Vec<T> {
+        let payload = self.rxs[dst][src]
+            .recv_timeout(RECV_TIMEOUT)
+            .unwrap_or_else(|_| {
+                panic!("rank {dst} timed out waiting for a message from rank {src} (mismatched collective?)")
+            });
+        *payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
+            panic!(
+                "rank {dst} received a message from rank {src} with unexpected element type {}",
+                std::any::type_name::<T>()
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let f = Fabric::new(2);
+        f.send(0, 1, vec![1.0f64, 2.0, 3.0]);
+        let got: Vec<f64> = f.recv(0, 1);
+        assert_eq!(got, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn traffic_is_counted() {
+        let f = Fabric::new(2);
+        f.send(0, 1, vec![0u64; 10]);
+        let _: Vec<u64> = f.recv(0, 1);
+        let (bytes, msgs) = f.stats().snapshot();
+        assert_eq!(bytes, 80);
+        assert_eq!(msgs, 1);
+        assert_eq!(f.stats().max_bytes_per_rank(), 80);
+    }
+
+    #[test]
+    fn messages_from_same_source_are_fifo() {
+        let f = Fabric::new(2);
+        f.send(0, 1, vec![1i64]);
+        f.send(0, 1, vec![2i64]);
+        assert_eq!(f.recv::<i64>(0, 1), vec![1]);
+        assert_eq!(f.recv::<i64>(0, 1), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected element type")]
+    fn type_mismatch_panics() {
+        let f = Fabric::new(2);
+        f.send(0, 1, vec![1.0f32]);
+        let _: Vec<f64> = f.recv(0, 1);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let f = Fabric::new(1);
+        f.send(0, 0, vec![7u8]);
+        assert_eq!(f.recv::<u8>(0, 0), vec![7]);
+    }
+}

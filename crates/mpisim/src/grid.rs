@@ -1,0 +1,201 @@
+//! Cartesian processor grids.
+//!
+//! TuckerMPI distributes a `d`-way tensor over a `P_1 × … × P_d` processor
+//! grid; per-mode collectives (the TTM reduce-scatter, the Gram allgather)
+//! run on "fiber" sub-communicators in which only one grid coordinate
+//! varies. This module builds those from a world communicator, mirroring
+//! `MPI_Cart_create` + `MPI_Cart_sub`.
+//!
+//! Coordinate order matches the tensor layout: coordinate 0 varies fastest
+//! with rank, so rank ↔ coords is the same mode-0-fastest mapping used for
+//! tensor entries.
+
+use crate::comm::Comm;
+
+/// A Cartesian view of a communicator.
+pub struct CartGrid {
+    /// The full-grid communicator.
+    pub comm: Comm,
+    dims: Vec<usize>,
+    coords: Vec<usize>,
+    /// `mode_comms[k]`: the sub-communicator of ranks sharing all
+    /// coordinates except `k`; its rank equals `coords[k]`.
+    mode_comms: Vec<Comm>,
+}
+
+impl CartGrid {
+    /// Builds a grid of the given dimensions over `comm`.
+    ///
+    /// # Panics
+    /// Panics if `Π dims != comm.size()`.
+    pub fn new(comm: Comm, dims: &[usize]) -> CartGrid {
+        let p: usize = dims.iter().product();
+        assert_eq!(
+            p,
+            comm.size(),
+            "grid {dims:?} needs {p} ranks, communicator has {}",
+            comm.size()
+        );
+        let coords = Self::rank_to_coords(comm.rank(), dims);
+        // Build one fiber communicator per mode. All ranks perform the
+        // same sequence of splits, as the collective contract requires.
+        let mut mode_comms = Vec::with_capacity(dims.len());
+        for k in 0..dims.len() {
+            // Color = flattened coordinates with mode k removed.
+            let mut color = 0usize;
+            let mut stride = 1usize;
+            for (m, (&c, &d)) in coords.iter().zip(dims).enumerate() {
+                if m == k {
+                    continue;
+                }
+                color += c * stride;
+                stride *= d;
+            }
+            mode_comms.push(comm.split(color, coords[k]));
+        }
+        CartGrid {
+            comm,
+            dims: dims.to_vec(),
+            coords,
+            mode_comms,
+        }
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of modes.
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// This rank's grid coordinates.
+    pub fn coords(&self) -> &[usize] {
+        &self.coords
+    }
+
+    /// Grid coordinate of this rank in mode `k`.
+    pub fn coord(&self, k: usize) -> usize {
+        self.coords[k]
+    }
+
+    /// The fiber sub-communicator of mode `k` (rank within it equals
+    /// `coords[k]`).
+    pub fn mode_comm(&self, k: usize) -> &Comm {
+        &self.mode_comms[k]
+    }
+
+    /// Converts a grid rank to coordinates (coordinate 0 fastest).
+    pub fn rank_to_coords(mut rank: usize, dims: &[usize]) -> Vec<usize> {
+        let mut coords = Vec::with_capacity(dims.len());
+        for &d in dims {
+            coords.push(rank % d);
+            rank /= d;
+        }
+        coords
+    }
+
+    /// Converts coordinates to a grid rank.
+    pub fn coords_to_rank(coords: &[usize], dims: &[usize]) -> usize {
+        let mut rank = 0;
+        let mut stride = 1;
+        for (&c, &d) in coords.iter().zip(dims) {
+            debug_assert!(c < d);
+            rank += c * stride;
+            stride *= d;
+        }
+        rank
+    }
+}
+
+/// Enumerates every factorization of `p` into `d` grid dimensions
+/// (used by the experiment harness to search over grids, as the paper
+/// "test[s] all algorithms on a variety of grids … and report[s] the
+/// fastest observed running times").
+pub fn enumerate_grids(p: usize, d: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = vec![1usize; d];
+    fn rec(p: usize, mode: usize, d: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if mode == d - 1 {
+            current[mode] = p;
+            out.push(current.clone());
+            return;
+        }
+        let mut f = 1;
+        while f <= p {
+            if p.is_multiple_of(f) {
+                current[mode] = f;
+                rec(p / f, mode + 1, d, current, out);
+            }
+            f += 1;
+        }
+    }
+    rec(p, 0, d, &mut current, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn coords_roundtrip() {
+        let dims = [3, 2, 4];
+        for r in 0..24 {
+            let c = CartGrid::rank_to_coords(r, &dims);
+            assert_eq!(CartGrid::coords_to_rank(&c, &dims), r);
+        }
+        assert_eq!(CartGrid::rank_to_coords(0, &dims), vec![0, 0, 0]);
+        assert_eq!(CartGrid::rank_to_coords(1, &dims), vec![1, 0, 0]);
+        assert_eq!(CartGrid::rank_to_coords(3, &dims), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn fiber_comms_have_right_shape() {
+        let results = Universe::launch(12, |c| {
+            let grid = CartGrid::new(c, &[3, 2, 2]);
+            let sizes: Vec<usize> = (0..3).map(|k| grid.mode_comm(k).size()).collect();
+            let ranks: Vec<usize> = (0..3).map(|k| grid.mode_comm(k).rank()).collect();
+            (grid.coords().to_vec(), sizes, ranks)
+        });
+        for (coords, sizes, ranks) in results {
+            assert_eq!(sizes, vec![3, 2, 2]);
+            assert_eq!(ranks, coords);
+        }
+    }
+
+    #[test]
+    fn fiber_allreduce_sums_along_one_mode_only() {
+        // Sum of coord-0 along the mode-0 fiber = 0+1+2 = 3 everywhere.
+        let results = Universe::launch(12, |c| {
+            let grid = CartGrid::new(c, &[3, 2, 2]);
+            let v = vec![grid.coord(0) as u64];
+            let s = grid.mode_comm(0).allreduce(v, crate::comm::sum_op);
+            s[0]
+        });
+        assert!(results.iter().all(|&s| s == 3));
+    }
+
+    #[test]
+    fn enumerate_grids_is_complete() {
+        let grids = enumerate_grids(8, 3);
+        // Factorizations of 8 into 3 ordered factors: (1,1,8),(1,2,4),
+        // (1,4,2),(1,8,1),(2,1,4),(2,2,2),(2,4,1),(4,1,2),(4,2,1),(8,1,1).
+        assert_eq!(grids.len(), 10);
+        for g in &grids {
+            assert_eq!(g.iter().product::<usize>(), 8);
+        }
+        assert!(grids.contains(&vec![2, 2, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 0 panicked")]
+    fn grid_size_must_match() {
+        Universe::launch(4, |c| {
+            CartGrid::new(c, &[3, 2]);
+        });
+    }
+}

@@ -1,0 +1,269 @@
+//! Threaded message-passing runtime — the MPI stand-in substrate.
+//!
+//! The paper runs on OpenMPI across NERSC Perlmutter; this crate provides
+//! the same programming model in a single process so the distributed
+//! algorithms can be implemented *and validated* faithfully: ranks are OS
+//! threads, point-to-point messages travel over per-pair channels, and the
+//! full set of collectives the Tucker kernels need (barrier, broadcast,
+//! reduce, allreduce, ring allgather, ring reduce-scatter, all-to-all,
+//! gather, comm split, Cartesian grids) is implemented on top.
+//!
+//! Every byte sent is counted ([`fabric::TrafficStats`]), which is how the
+//! communication-cost claims of the paper's Table 2 are validated against
+//! *measured* traffic rather than restated formulas.
+//!
+//! # Example
+//!
+//! ```
+//! use ratucker_mpi::{sum_op, CartGrid, Universe};
+//!
+//! // Four ranks on a 2x2 grid: allreduce along each grid fiber.
+//! let sums = Universe::launch(4, |comm| {
+//!     let grid = CartGrid::new(comm, &[2, 2]);
+//!     let mine = vec![grid.coord(0) as u64 + 1];
+//!     // Sum over the ranks sharing my column (coordinate 1 varies).
+//!     grid.mode_comm(1).allreduce(mine, sum_op)[0]
+//! });
+//! // Ranks in column 0 sum 1+1, column 1 sums 2+2.
+//! assert_eq!(sums, vec![2, 4, 2, 4]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod fabric;
+pub mod grid;
+pub mod universe;
+
+pub use comm::{max_op, sum_op, Comm};
+pub use fabric::{Fabric, TrafficStats};
+pub use grid::{enumerate_grids, CartGrid};
+pub use universe::Universe;
+
+#[cfg(test)]
+mod collective_tests {
+    use super::*;
+
+    #[test]
+    fn barrier_all_sizes() {
+        for p in [1, 2, 3, 4, 7, 8] {
+            Universe::launch(p, |c| {
+                for _ in 0..3 {
+                    c.barrier();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for p in [1, 2, 3, 5, 8] {
+            for root in 0..p {
+                let out = Universe::launch(p, move |c| {
+                    let data = if c.rank() == root {
+                        vec![42.5f64, -1.0, root as f64]
+                    } else {
+                        Vec::new()
+                    };
+                    c.bcast(root, data)
+                });
+                for v in out {
+                    assert_eq!(v, vec![42.5, -1.0, root as f64], "p={p} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_to_root() {
+        for p in [1, 2, 3, 6, 8] {
+            for root in [0, p - 1] {
+                let out = Universe::launch(p, move |c| {
+                    let data = vec![c.rank() as u64, 1u64];
+                    c.reduce(root, data, sum_op)
+                });
+                let expected_sum: u64 = (0..p as u64).sum();
+                for (r, res) in out.into_iter().enumerate() {
+                    if r == root {
+                        assert_eq!(res.unwrap(), vec![expected_sum, p as u64]);
+                    } else {
+                        assert!(res.is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_matches_sequential_fold() {
+        for p in [1, 2, 4, 5, 8] {
+            let out = Universe::launch(p, |c| {
+                let data = vec![(c.rank() + 1) as f64; 4];
+                c.allreduce(data, sum_op)
+            });
+            let want: f64 = (1..=p as u64).sum::<u64>() as f64;
+            for v in out {
+                assert_eq!(v, vec![want; 4]);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        let out = Universe::launch(6, |c| {
+            let data = vec![(c.rank() * 7 % 5) as i64];
+            c.allreduce(data, max_op)
+        });
+        for v in out {
+            assert_eq!(v[0], 4); // max of {0,2,4,1,3,0}
+        }
+    }
+
+    #[test]
+    fn allgatherv_variable_blocks() {
+        for p in [1, 2, 3, 5] {
+            let out = Universe::launch(p, |c| {
+                let data: Vec<u64> = (0..c.rank() + 1).map(|i| (c.rank() * 10 + i) as u64).collect();
+                c.allgatherv(data)
+            });
+            for blocks in out {
+                assert_eq!(blocks.len(), p);
+                for (r, b) in blocks.iter().enumerate() {
+                    let want: Vec<u64> = (0..r + 1).map(|i| (r * 10 + i) as u64).collect();
+                    assert_eq!(b, &want, "p={p} block {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_even_blocks() {
+        for p in [1, 2, 4, 8] {
+            let out = Universe::launch(p, move |c| {
+                // Every rank contributes data[i] = i; block b (length 2)
+                // must come back as p * [2b, 2b+1].
+                let data: Vec<u64> = (0..2 * p as u64).collect();
+                let counts = vec![2usize; p];
+                c.reduce_scatter(data, &counts, sum_op)
+            });
+            for (r, block) in out.into_iter().enumerate() {
+                let want: Vec<u64> = (0..2u64)
+                    .map(|i| (2 * r as u64 + i) * p as u64)
+                    .collect();
+                assert_eq!(block, want, "p={p} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_uneven_blocks() {
+        let p = 3;
+        let counts = [1usize, 3, 2];
+        let out = Universe::launch(p, move |c| {
+            let scale = (c.rank() + 1) as f64;
+            let data: Vec<f64> = (0..6).map(|i| scale * i as f64).collect();
+            c.reduce_scatter(data, &counts, sum_op)
+        });
+        // Sum of scales = 1+2+3 = 6.
+        let offsets = [0usize, 1, 4];
+        for (r, block) in out.into_iter().enumerate() {
+            let want: Vec<f64> = (0..counts[r]).map(|i| 6.0 * (offsets[r] + i) as f64).collect();
+            assert_eq!(block, want, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn alltoallv_exchanges_blocks() {
+        let p = 4;
+        let out = Universe::launch(p, |c| {
+            let blocks: Vec<Vec<u64>> = (0..p)
+                .map(|dst| vec![(c.rank() * 100 + dst) as u64])
+                .collect();
+            c.alltoallv(blocks)
+        });
+        for (me, received) in out.into_iter().enumerate() {
+            for (src, b) in received.into_iter().enumerate() {
+                assert_eq!(b, vec![(src * 100 + me) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn gatherv_collects_on_root() {
+        let out = Universe::launch(4, |c| c.gatherv(2, vec![c.rank() as u32; c.rank()]));
+        for (r, res) in out.into_iter().enumerate() {
+            if r == 2 {
+                let blocks = res.unwrap();
+                for (src, b) in blocks.into_iter().enumerate() {
+                    assert_eq!(b, vec![src as u32; src]);
+                }
+            } else {
+                assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn split_forms_row_communicators() {
+        // 6 ranks → 2 colors of 3; key reverses the order within color.
+        let out = Universe::launch(6, |c| {
+            let color = c.rank() % 2;
+            let key = 100 - c.rank();
+            let sub = c.split(color, key);
+            let gathered = sub.allgatherv(vec![c.rank() as u64]);
+            (sub.rank(), sub.size(), gathered)
+        });
+        for (r, (sub_rank, sub_size, gathered)) in out.into_iter().enumerate() {
+            assert_eq!(sub_size, 3);
+            let flat: Vec<u64> = gathered.into_iter().flatten().collect();
+            if r % 2 == 0 {
+                assert_eq!(flat, vec![4, 2, 0]); // descending by key order
+            } else {
+                assert_eq!(flat, vec![5, 3, 1]);
+            }
+            let expect_rank = flat.iter().position(|&x| x == r as u64).unwrap();
+            assert_eq!(sub_rank, expect_rank);
+        }
+    }
+
+    #[test]
+    fn nested_splits_work() {
+        // Split twice: 8 → 2 groups of 4 → 4 groups of 2.
+        let out = Universe::launch(8, |c| {
+            let sub = c.split(c.rank() / 4, c.rank());
+            let subsub = sub.split(sub.rank() / 2, sub.rank());
+            let s = subsub.allreduce(vec![c.rank() as u64], sum_op);
+            s[0]
+        });
+        assert_eq!(out, vec![1, 1, 5, 5, 9, 9, 13, 13]);
+    }
+
+    #[test]
+    fn point_to_point_between_ranks() {
+        let out = Universe::launch(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, vec![3.25f32]);
+                c.recv::<f32>(1)
+            } else {
+                let got = c.recv::<f32>(0);
+                c.send(0, vec![got[0] * 2.0]);
+                got
+            }
+        });
+        assert_eq!(out[0], vec![6.5]);
+        assert_eq!(out[1], vec![3.25]);
+    }
+
+    #[test]
+    fn traffic_accounting_allreduce() {
+        let u = Universe::new(4);
+        u.run(|c| {
+            let _ = c.allreduce(vec![0.0f64; 100], sum_op);
+        });
+        let (bytes, msgs) = u.traffic().snapshot();
+        // Reduce (3 sends of 800B) + bcast (3 sends of 800B) = 4800 bytes.
+        assert_eq!(bytes, 4800);
+        assert_eq!(msgs, 6);
+    }
+}

@@ -1,0 +1,103 @@
+//! Launching a set of ranks.
+//!
+//! [`Universe::run`] plays the role of `mpirun`: it spawns one OS thread
+//! per rank, hands each a world [`Comm`], and collects the per-rank return
+//! values. A rank panic propagates (all other ranks then fail their next
+//! receive with a closed-channel error instead of hanging).
+
+use crate::comm::Comm;
+use crate::fabric::{Fabric, TrafficStats};
+use std::sync::Arc;
+
+/// A set of `p` ranks over a shared fabric.
+pub struct Universe {
+    fabric: Arc<Fabric>,
+}
+
+impl Universe {
+    /// Creates a universe with `p` ranks.
+    pub fn new(p: usize) -> Universe {
+        Universe {
+            fabric: Fabric::new(p),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.fabric.size()
+    }
+
+    /// Traffic counters accumulated by everything run on this universe.
+    pub fn traffic(&self) -> &TrafficStats {
+        self.fabric.stats()
+    }
+
+    /// Runs `f` on every rank concurrently and returns the per-rank
+    /// results in rank order. May be called repeatedly; traffic counters
+    /// accumulate across calls.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
+        let p = self.fabric.size();
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..p)
+                .map(|rank| {
+                    let comm = Comm::world(Arc::clone(&self.fabric), rank);
+                    scope.spawn(move || f(comm))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(rank, h)| {
+                    h.join()
+                        .unwrap_or_else(|_| panic!("rank {rank} panicked"))
+                })
+                .collect()
+        })
+    }
+
+    /// Convenience one-shot: build a universe, run, return results.
+    pub fn launch<R, F>(p: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
+        Universe::new(p).run(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let ids = Universe::launch(5, |c| (c.rank(), c.size()));
+        for (i, &(r, s)) in ids.iter().enumerate() {
+            assert_eq!(r, i);
+            assert_eq!(s, 5);
+        }
+    }
+
+    #[test]
+    fn universe_is_reusable() {
+        let u = Universe::new(3);
+        let a = u.run(|c| c.rank());
+        let b = u.run(|c| c.rank() * 10);
+        assert_eq!(a, vec![0, 1, 2]);
+        assert_eq!(b, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn single_rank_universe() {
+        let out = Universe::launch(1, |c| {
+            c.barrier();
+            c.rank()
+        });
+        assert_eq!(out, vec![0]);
+    }
+}

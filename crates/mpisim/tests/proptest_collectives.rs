@@ -1,0 +1,117 @@
+//! Property-based tests: every collective must agree with its sequential
+//! specification for arbitrary payloads, rank counts, and roots.
+
+use proptest::prelude::*;
+use ratucker_mpi::{sum_op, Universe};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allreduce_equals_sequential_fold(
+        p in 1usize..=6,
+        len in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        // Deterministic per-rank payloads derived from (seed, rank).
+        let payload = move |rank: usize| -> Vec<f64> {
+            (0..len).map(|i| ((seed as usize + rank * 31 + i * 7) % 97) as f64).collect()
+        };
+        let expected: Vec<f64> = (0..len)
+            .map(|i| (0..p).map(|r| payload(r)[i]).sum())
+            .collect();
+        let out = Universe::launch(p, move |c| c.allreduce(payload(c.rank()), sum_op));
+        for v in out {
+            prop_assert_eq!(&v, &expected);
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_root_payload(
+        p in 1usize..=6,
+        root_pick in 0usize..6,
+        len in 0usize..8,
+    ) {
+        let root = root_pick % p;
+        let data: Vec<u64> = (0..len as u64).map(|i| i * 3 + 1).collect();
+        let expected = data.clone();
+        let out = Universe::launch(p, move |c| {
+            let send = if c.rank() == root { data.clone() } else { Vec::new() };
+            c.bcast(root, send)
+        });
+        for v in out {
+            prop_assert_eq!(&v, &expected);
+        }
+    }
+
+    #[test]
+    fn allgather_then_flatten_reconstructs_all(
+        p in 1usize..=6,
+        seed in 0u64..1000,
+    ) {
+        let payload = move |rank: usize| -> Vec<u64> {
+            (0..(rank % 3) + 1).map(|i| seed + (rank * 100 + i) as u64).collect()
+        };
+        let out = Universe::launch(p, move |c| c.allgatherv(payload(c.rank())));
+        for blocks in out {
+            prop_assert_eq!(blocks.len(), p);
+            for (r, b) in blocks.iter().enumerate() {
+                prop_assert_eq!(b, &payload(r));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_partitions_allreduce(
+        p in 1usize..=5,
+        seed in 0u64..1000,
+        counts_seed in 0usize..100,
+    ) {
+        // Random per-rank counts (some possibly zero).
+        let counts: Vec<usize> = (0..p).map(|i| (counts_seed + i * 13) % 4).collect();
+        let total: usize = counts.iter().sum();
+        let payload = move |rank: usize| -> Vec<f64> {
+            (0..total).map(|i| ((seed as usize + rank * 17 + i * 5) % 89) as f64).collect()
+        };
+        let full_sum: Vec<f64> = (0..total)
+            .map(|i| (0..p).map(|r| payload(r)[i]).sum())
+            .collect();
+        let counts2 = counts.clone();
+        let out = Universe::launch(p, move |c| {
+            c.reduce_scatter(payload(c.rank()), &counts2, sum_op)
+        });
+        let mut offset = 0;
+        for (r, block) in out.into_iter().enumerate() {
+            prop_assert_eq!(&block[..], &full_sum[offset..offset + counts[r]]);
+            offset += counts[r];
+        }
+    }
+
+    #[test]
+    fn alltoall_is_a_transpose(p in 1usize..=6, seed in 0u64..100) {
+        let out = Universe::launch(p, move |c| {
+            let blocks: Vec<Vec<u64>> =
+                (0..p).map(|dst| vec![seed + (c.rank() * 1000 + dst) as u64]).collect();
+            c.alltoallv(blocks)
+        });
+        for (me, rows) in out.into_iter().enumerate() {
+            for (src, b) in rows.into_iter().enumerate() {
+                prop_assert_eq!(b, vec![seed + (src * 1000 + me) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_and_preserves_ranks(p in 1usize..=8, ncolors in 1usize..4) {
+        let out = Universe::launch(p, move |c| {
+            let color = c.rank() % ncolors;
+            let sub = c.split(color, c.rank());
+            (color, sub.rank(), sub.size())
+        });
+        for (rank, (color, sub_rank, sub_size)) in out.into_iter().enumerate() {
+            let members: Vec<usize> = (0..p).filter(|r| r % ncolors == color).collect();
+            prop_assert_eq!(sub_size, members.len());
+            prop_assert_eq!(members[sub_rank], rank);
+        }
+    }
+}

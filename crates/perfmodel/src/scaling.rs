@@ -1,0 +1,203 @@
+//! The strong-scaling simulator (Fig. 2 / Fig. 3 generator).
+//!
+//! For each core count the simulator evaluates every factorization of `P`
+//! into a `d`-way grid — the paper likewise "test[s] all algorithms on a
+//! variety of grids … and report[s] the fastest observed running times" —
+//! and keeps the best grid's predicted time and phase breakdown.
+
+use crate::costs::{algorithm_cost, AlgKind, Problem};
+use crate::machine::Machine;
+
+/// One point of a strong-scaling curve.
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// Core count.
+    pub p: usize,
+    /// The best grid found.
+    pub grid: Vec<usize>,
+    /// Predicted total seconds on that grid.
+    pub seconds: f64,
+    /// Predicted per-phase `(label, seconds)` on that grid.
+    pub phase_seconds: Vec<(&'static str, f64)>,
+}
+
+/// Enumerates `d`-way factorizations of `p` (delegates to the runtime's
+/// grid enumeration so the model and the functional runs agree on the
+/// candidate set).
+fn grids(p: usize, d: usize) -> Vec<Vec<usize>> {
+    // Inline enumeration (avoids a dependency on the runtime crate):
+    // all ordered factorizations of p into d factors.
+    let mut out = Vec::new();
+    let mut cur = vec![1usize; d];
+    fn rec(p: usize, k: usize, d: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k == d - 1 {
+            cur[k] = p;
+            out.push(cur.clone());
+            return;
+        }
+        for f in 1..=p {
+            if p.is_multiple_of(f) {
+                cur[k] = f;
+                rec(p / f, k + 1, d, cur, out);
+            }
+        }
+    }
+    rec(p, 0, d, &mut cur, &mut out);
+    out
+}
+
+/// Best-over-grids predicted time for one algorithm at one core count.
+pub fn best_grid_time(
+    machine: &Machine,
+    alg: AlgKind,
+    prob: &Problem,
+    p: usize,
+) -> ScalingPoint {
+    let mut best: Option<ScalingPoint> = None;
+    for grid in grids(p, prob.d) {
+        let costs = algorithm_cost(alg, prob, &grid);
+        let seconds = machine.total_time(&costs, p);
+        if best.as_ref().is_none_or(|b| seconds < b.seconds) {
+            best = Some(ScalingPoint {
+                p,
+                phase_seconds: machine.phase_times(&costs, p),
+                grid,
+                seconds,
+            });
+        }
+    }
+    best.expect("p ≥ 1 always admits a grid")
+}
+
+/// Full strong-scaling sweep for one algorithm.
+pub fn strong_scaling(
+    machine: &Machine,
+    alg: AlgKind,
+    prob: &Problem,
+    core_counts: &[usize],
+) -> Vec<ScalingPoint> {
+    core_counts
+        .iter()
+        .map(|&p| best_grid_time(machine, alg, prob, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::perlmutter_like()
+    }
+
+    /// The paper's 3-way synthetic problem: 3750³, ranks 30.
+    fn three_way() -> Problem {
+        Problem::new(3750, 30, 3, 2)
+    }
+
+    /// The paper's 4-way synthetic problem: 560⁴, ranks 10.
+    fn four_way() -> Problem {
+        Problem::new(560, 10, 4, 2)
+    }
+
+    #[test]
+    fn sthosvd_plateaus_on_large_n_but_hosi_dt_keeps_scaling() {
+        // Fig. 2 (top): for the 3-way tensor STHOSVD stops scaling past
+        // ~64 cores (sequential EVD of n = 3750) while HOSI-DT scales on.
+        let m = machine();
+        let prob = three_way();
+        let st_64 = best_grid_time(&m, AlgKind::Sthosvd, &prob, 64).seconds;
+        let st_2048 = best_grid_time(&m, AlgKind::Sthosvd, &prob, 2048).seconds;
+        let st_speedup = st_64 / st_2048;
+        assert!(
+            st_speedup < 2.0,
+            "STHOSVD 64→2048 speedup should be modest, got {st_speedup}"
+        );
+        let hd_64 = best_grid_time(&m, AlgKind::HosiDt, &prob, 64).seconds;
+        let hd_2048 = best_grid_time(&m, AlgKind::HosiDt, &prob, 2048).seconds;
+        assert!(
+            hd_64 / hd_2048 > 4.0,
+            "HOSI-DT should keep scaling, got {}",
+            hd_64 / hd_2048
+        );
+    }
+
+    #[test]
+    fn hosi_dt_fastest_at_scale_in_3way() {
+        // Fig. 2 (top) at 4096 cores: HOSI-DT beats STHOSVD and HOOI-DT
+        // by large factors (paper: 259× and 515×).
+        let m = machine();
+        let prob = three_way();
+        let p = 4096;
+        let st = best_grid_time(&m, AlgKind::Sthosvd, &prob, p).seconds;
+        let hooi_dt = best_grid_time(&m, AlgKind::HooiDt, &prob, p).seconds;
+        let hosi_dt = best_grid_time(&m, AlgKind::HosiDt, &prob, p).seconds;
+        assert!(hosi_dt * 20.0 < st, "HOSI-DT {hosi_dt} vs STHOSVD {st}");
+        assert!(hosi_dt * 20.0 < hooi_dt, "HOSI-DT {hosi_dt} vs HOOI-DT {hooi_dt}");
+    }
+
+    #[test]
+    fn hooi_variants_suffer_sequential_evd_in_3way() {
+        // Fig. 2/3: at 4096 cores HOOI(-DT) ≈ 2× STHOSVD (twice the EVDs
+        // over two iterations).
+        let m = machine();
+        let prob = three_way();
+        let st = best_grid_time(&m, AlgKind::Sthosvd, &prob, 4096).seconds;
+        let hooi = best_grid_time(&m, AlgKind::HooiDt, &prob, 4096).seconds;
+        let ratio = hooi / st;
+        assert!(
+            (1.2..4.0).contains(&ratio),
+            "HOOI-DT/STHOSVD at scale: {ratio}"
+        );
+    }
+
+    #[test]
+    fn four_way_sthosvd_scales_much_further() {
+        // Fig. 2 (bottom): with n = 560 the sequential EVD is tiny, so
+        // STHOSVD scales to thousands of cores (paper: 937× at 8192).
+        let m = machine();
+        let prob = four_way();
+        let t1 = best_grid_time(&m, AlgKind::Sthosvd, &prob, 1).seconds;
+        let t8192 = best_grid_time(&m, AlgKind::Sthosvd, &prob, 8192).seconds;
+        assert!(
+            t1 / t8192 > 100.0,
+            "4-way STHOSVD speedup at 8192: {}",
+            t1 / t8192
+        );
+    }
+
+    #[test]
+    fn four_way_hosi_dt_beats_sthosvd_modestly() {
+        // Fig. 2 (bottom): best HOSI-DT ≈ 1.5× faster than best STHOSVD.
+        let m = machine();
+        let prob = four_way();
+        let ps: Vec<usize> = (0..14).map(|k| 1usize << k).collect();
+        let best = |alg| {
+            strong_scaling(&m, alg, &prob, &ps)
+                .into_iter()
+                .map(|s| s.seconds)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let st = best(AlgKind::Sthosvd);
+        let hd = best(AlgKind::HosiDt);
+        let ratio = st / hd;
+        assert!(
+            (1.05..6.0).contains(&ratio),
+            "HOSI-DT should win modestly on the 4-way problem: {ratio}"
+        );
+    }
+
+    #[test]
+    fn best_grid_for_sthosvd_avoids_splitting_mode_1() {
+        let m = machine();
+        let prob = three_way();
+        let pt = best_grid_time(&m, AlgKind::Sthosvd, &prob, 64);
+        assert_eq!(pt.grid[0], 1, "best STHOSVD grid should have P1=1: {:?}", pt.grid);
+    }
+
+    #[test]
+    fn grids_enumeration_counts() {
+        assert_eq!(grids(8, 3).len(), 10);
+        assert_eq!(grids(1, 4).len(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! All-but-one tensor contractions.
+//!
+//! The subspace-iteration LLSV (Alg. 5, line 3) needs `Z = A · Gᵀ` where
+//! `A = Y_(j)` is the unfolding of the all-but-one multi-TTM result and
+//! `G = G_(j)` is the matching unfolding of the current core. Written on
+//! tensors, `Z[a, b] = Σ_{i : i_j = a} Y[i] · G[i with i_j ← b]` — a
+//! contraction over every mode except `j` between two tensors that agree
+//! in all non-`j` dimensions. The paper notes this kernel did not exist in
+//! TuckerMPI and "mimics the computation of the Gram matrix … but is a
+//! nonsymmetric operation" (§3.4); this module is that kernel.
+
+use crate::dense::DenseTensor;
+use crate::kernels;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Computes `Z = Y_(mode) · G_(mode)ᵀ` (an `n_mode × r_mode` matrix)
+/// without materializing either unfolding.
+///
+/// # Panics
+/// Panics if `y` and `g` differ in any dimension other than `mode`.
+pub fn contract_all_but<T: Scalar>(
+    y: &DenseTensor<T>,
+    g: &DenseTensor<T>,
+    mode: usize,
+) -> Matrix<T> {
+    let mut z = Matrix::zeros(y.dim(mode), g.dim(mode));
+    contract_all_but_accumulate(y, g, mode, &mut z);
+    z
+}
+
+/// Accumulating form of [`contract_all_but`], for distributed partial sums.
+pub fn contract_all_but_accumulate<T: Scalar>(
+    y: &DenseTensor<T>,
+    g: &DenseTensor<T>,
+    mode: usize,
+    z: &mut Matrix<T>,
+) {
+    assert_eq!(y.order(), g.order(), "order mismatch in contraction");
+    for k in 0..y.order() {
+        if k != mode {
+            assert_eq!(
+                y.dim(k),
+                g.dim(k),
+                "contraction requires matching dims in mode {k} (got {} vs {})",
+                y.dim(k),
+                g.dim(k)
+            );
+        }
+    }
+    let n_j = y.dim(mode);
+    let r_j = g.dim(mode);
+    assert_eq!(z.rows(), n_j);
+    assert_eq!(z.cols(), r_j);
+
+    if mode == 0 {
+        // Z = Y_(0) · G_(0)ᵀ on the natural views: (n_0 × rest)·(rest × r_0).
+        let rest = y.num_entries() / n_j;
+        kernels::gemm_nt(
+            n_j,
+            r_j,
+            rest,
+            y.data(),
+            n_j,
+            g.data(),
+            r_j,
+            z.as_mut_slice(),
+            n_j,
+        );
+        return;
+    }
+
+    let left = y.shape().left(mode);
+    let right = y.shape().right(mode);
+    let y_slab = left * n_j;
+    let g_slab = left * r_j;
+    // Z += A_rᵀ B_r for each right slab (A_r : left×n_j, B_r : left×r_j).
+    for r in 0..right {
+        let a = &y.data()[r * y_slab..(r + 1) * y_slab];
+        let b = &g.data()[r * g_slab..(r + 1) * g_slab];
+        kernels::gemm_tn(n_j, r_j, left, a, left, b, left, z.as_mut_slice(), n_j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unfold::unfold;
+
+    fn tensor_from_seed(dims: &[usize], seed: f64) -> DenseTensor<f64> {
+        DenseTensor::from_fn(crate::shape::Shape::new(dims), |idx| {
+            let mut v = seed;
+            for (k, &i) in idx.iter().enumerate() {
+                v += ((k + 1) * (i + 2)) as f64 * 0.13;
+            }
+            v.sin()
+        })
+    }
+
+    #[test]
+    fn contraction_matches_unfold_reference() {
+        let dims_y = [4, 3, 5];
+        for mode in 0..3 {
+            let mut dims_g = dims_y;
+            dims_g[mode] = 2; // r_mode != n_mode
+            let y = tensor_from_seed(&dims_y, 0.1);
+            let g = tensor_from_seed(&dims_g, 0.7);
+            let want = unfold(&y, mode).matmul(&unfold(&g, mode).transpose());
+            let got = contract_all_but(&y, &g, mode);
+            assert!(got.max_abs_diff(&want) < 1e-11, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn contraction_with_self_equals_gram() {
+        let y = tensor_from_seed(&[3, 4, 2], 0.2);
+        for mode in 0..3 {
+            let z = contract_all_but(&y, &y, mode);
+            let g = crate::gram::gram(&y, mode);
+            assert!(z.max_abs_diff(&g) < 1e-11, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn accumulate_form_sums() {
+        let y = tensor_from_seed(&[3, 4], 0.3);
+        let g = tensor_from_seed(&[3, 2], 0.9);
+        let once = contract_all_but(&y, &g, 1);
+        let mut acc = once.clone();
+        contract_all_but_accumulate(&y, &g, 1, &mut acc);
+        for i in 0..acc.rows() {
+            for j in 0..acc.cols() {
+                assert!((acc[(i, j)] - 2.0 * once[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matching dims")]
+    fn rejects_mismatched_free_modes() {
+        let y: DenseTensor<f64> = DenseTensor::zeros([3, 4]);
+        let g: DenseTensor<f64> = DenseTensor::zeros([3, 5]);
+        contract_all_but(&y, &g, 0);
+    }
+}

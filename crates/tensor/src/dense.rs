@@ -1,0 +1,304 @@
+//! Dense `d`-way tensors in generalized column-major layout.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::shape::Shape;
+
+/// A dense tensor with entries stored mode-0-fastest.
+#[derive(Clone, PartialEq)]
+pub struct DenseTensor<T> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> DenseTensor<T> {
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let data = vec![T::ZERO; shape.num_entries()];
+        DenseTensor { shape, data }
+    }
+
+    /// Builds a tensor entry-wise from a multi-index function.
+    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(&[usize]) -> T) -> Self {
+        let shape = shape.into();
+        let mut data = Vec::with_capacity(shape.num_entries());
+        for idx in shape.indices() {
+            data.push(f(&idx));
+        }
+        DenseTensor { shape, data }
+    }
+
+    /// Wraps an existing buffer (must be in layout order).
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not match the shape.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<T>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.num_entries(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        DenseTensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.shape.order()
+    }
+
+    /// Dimension of mode `j`.
+    #[inline]
+    pub fn dim(&self, mode: usize) -> usize {
+        self.shape.dim(mode)
+    }
+
+    /// Total entry count.
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Underlying buffer in layout order.
+    #[inline]
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable buffer access.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Entry at a multi-index.
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> T {
+        self.data[self.shape.linear_index(idx)]
+    }
+
+    /// Sets the entry at a multi-index.
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], v: T) {
+        let off = self.shape.linear_index(idx);
+        self.data[off] = v;
+    }
+
+    /// Frobenius-style tensor norm ‖X‖ (accumulated in `f64`).
+    pub fn norm(&self) -> T {
+        T::from_f64(self.squared_norm_f64().sqrt())
+    }
+
+    /// ‖X‖² accumulated in `f64`, the quantity the rank-adaptive stopping
+    /// rule of Alg. 3 compares against `(1-ε²)‖X‖²`.
+    pub fn squared_norm_f64(&self) -> f64 {
+        crate::flops::add(2 * self.data.len() as u64);
+        let mut acc = 0.0f64;
+        for &x in &self.data {
+            let v = x.to_f64();
+            acc += v * v;
+        }
+        acc
+    }
+
+    /// In-place `self += alpha * other` (used by noise injection).
+    pub fn add_scaled(&mut self, alpha: T, other: &DenseTensor<T>) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_scaled");
+        crate::kernels::axpy(alpha, &other.data, &mut self.data);
+    }
+
+    /// Scales every entry.
+    pub fn scale(&mut self, alpha: T) {
+        crate::kernels::scal(alpha, &mut self.data);
+    }
+
+    /// Largest absolute entry-wise difference (test helper).
+    pub fn max_abs_diff(&self, other: &DenseTensor<T>) -> f64 {
+        assert_eq!(self.shape, other.shape, "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Relative Frobenius error ‖self − other‖ / ‖other‖.
+    pub fn rel_error(&self, other: &DenseTensor<T>) -> f64 {
+        assert_eq!(self.shape, other.shape, "shape mismatch in rel_error");
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for (&a, &b) in self.data.iter().zip(&other.data) {
+            let d = a.to_f64() - b.to_f64();
+            num += d * d;
+            den += b.to_f64() * b.to_f64();
+        }
+        (num / den).sqrt()
+    }
+
+    /// The leading subtensor `X(0..r_0, …, 0..r_{d-1})` as a new tensor.
+    ///
+    /// This is the truncation primitive of the rank-adaptive core analysis
+    /// (§3.2): any leading subtensor of the core, with the corresponding
+    /// leading factor columns, is a valid Tucker approximation.
+    pub fn leading_subtensor(&self, ranks: &[usize]) -> DenseTensor<T> {
+        assert_eq!(ranks.len(), self.order(), "rank vector order mismatch");
+        for (k, &r) in ranks.iter().enumerate() {
+            assert!(
+                r >= 1 && r <= self.dim(k),
+                "rank {r} out of range for mode {k} (dim {})",
+                self.dim(k)
+            );
+        }
+        let sub_shape = Shape::new(ranks);
+        let mut out = DenseTensor::zeros(sub_shape.clone());
+        // Copy contiguous mode-0 runs.
+        let run = ranks[0];
+        let out_entries = sub_shape.num_entries();
+        let mut idx = vec![0usize; self.order()];
+        let mut out_off = 0;
+        while out_off < out_entries {
+            let src = self.shape.linear_index(&idx);
+            out.data[out_off..out_off + run].copy_from_slice(&self.data[src..src + run]);
+            out_off += run;
+            // Advance the multi-index over modes 1.. (mode 0 handled by runs).
+            for k in 1..self.order() {
+                idx[k] += 1;
+                if idx[k] < ranks[k] {
+                    break;
+                }
+                idx[k] = 0;
+            }
+        }
+        out
+    }
+
+    /// Views the tensor as its mode-0 unfolding: an `n_0 × (N/n_0)`
+    /// column-major matrix *over the same buffer* (zero-copy by layout).
+    pub fn as_mode0_matrix(&self) -> (usize, usize, &[T]) {
+        let n0 = self.dim(0);
+        (n0, self.num_entries() / n0, &self.data)
+    }
+
+    /// Reinterprets the buffer under a new shape with equal entry count.
+    pub fn reshape(self, shape: impl Into<Shape>) -> DenseTensor<T> {
+        let shape = shape.into();
+        assert_eq!(
+            shape.num_entries(),
+            self.data.len(),
+            "reshape must preserve entry count"
+        );
+        DenseTensor {
+            shape,
+            data: self.data,
+        }
+    }
+
+    /// Converts a 2-way tensor into a [`Matrix`] (zero-copy).
+    pub fn into_matrix(self) -> Matrix<T> {
+        assert_eq!(self.order(), 2, "into_matrix requires a 2-way tensor");
+        Matrix::from_vec(self.dim(0), self.dim(1), self.data)
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for DenseTensor<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DenseTensor({}, {} entries, ‖·‖={:.6e})",
+            self.shape,
+            self.num_entries(),
+            self.norm().to_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_get_agree() {
+        let t = DenseTensor::from_fn([2, 3, 4], |idx| (idx[0] + 10 * idx[1] + 100 * idx[2]) as f64);
+        assert_eq!(t.get(&[1, 2, 3]), 321.0);
+        assert_eq!(t.get(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn layout_is_mode0_fastest() {
+        let t = DenseTensor::from_fn([2, 2], |idx| (idx[0] + 2 * idx[1]) as f32);
+        assert_eq!(t.data(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn norm_matches_manual() {
+        let t = DenseTensor::from_vec([2, 2], vec![1.0f64, 2.0, 2.0, 4.0]);
+        assert!((t.norm() - 5.0).abs() < 1e-14);
+        assert!((t.squared_norm_f64() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leading_subtensor_extracts() {
+        let t = DenseTensor::from_fn([3, 3, 3], |idx| (idx[0] + 3 * idx[1] + 9 * idx[2]) as f64);
+        let s = t.leading_subtensor(&[2, 1, 2]);
+        assert_eq!(s.shape().dims(), &[2, 1, 2]);
+        for idx in s.shape().indices() {
+            assert_eq!(s.get(&idx), t.get(&idx));
+        }
+    }
+
+    #[test]
+    fn leading_subtensor_full_is_identity() {
+        let t = DenseTensor::from_fn([2, 3], |idx| (idx[0] * 5 + idx[1]) as f32);
+        let s = t.leading_subtensor(&[2, 3]);
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn leading_subtensor_rejects_overshoot() {
+        let t: DenseTensor<f64> = DenseTensor::zeros([2, 2]);
+        t.leading_subtensor(&[3, 1]);
+    }
+
+    #[test]
+    fn add_scaled_and_rel_error() {
+        let a = DenseTensor::from_vec([2], vec![1.0f64, 0.0]);
+        let mut b = a.clone();
+        let noise = DenseTensor::from_vec([2], vec![0.0f64, 1.0]);
+        b.add_scaled(0.5, &noise);
+        assert!((b.rel_error(&a) - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = DenseTensor::from_fn([2, 3], |idx| (idx[0] + 2 * idx[1]) as f64);
+        let data_before = t.data().to_vec();
+        let r = t.reshape([3, 2]);
+        assert_eq!(r.data(), &data_before[..]);
+    }
+
+    #[test]
+    fn into_matrix_roundtrip() {
+        let t = DenseTensor::from_fn([3, 2], |idx| (idx[0] + 3 * idx[1]) as f64);
+        let m = t.clone().into_matrix();
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(m[(i, j)], t.get(&[i, j]));
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Thread-local floating-point-operation accounting.
+//!
+//! The paper's Table 1 states leading-order flop costs for every kernel;
+//! to *validate* those formulas (rather than restate them) each kernel in
+//! this workspace reports the flops it performed. Counters are
+//! thread-local so that each simulated MPI rank (one thread per rank in
+//! `ratucker-mpi`) accumulates its own local count, mirroring the per-
+//! processor cost expressions of the paper.
+
+use std::cell::Cell;
+
+thread_local! {
+    static FLOPS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Adds `n` flops to the current thread's counter.
+#[inline]
+pub fn add(n: u64) {
+    FLOPS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// Returns the current thread's cumulative flop count.
+pub fn get() -> u64 {
+    FLOPS.with(|c| c.get())
+}
+
+/// Resets the current thread's counter to zero.
+pub fn reset() {
+    FLOPS.with(|c| c.set(0));
+}
+
+/// Runs `f` and returns `(result, flops performed by f on this thread)`.
+pub fn measure<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = get();
+    let out = f();
+    (out, get().wrapping_sub(before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_and_reset() {
+        reset();
+        add(10);
+        add(32);
+        assert_eq!(get(), 42);
+        reset();
+        assert_eq!(get(), 0);
+    }
+
+    #[test]
+    fn measure_is_differential() {
+        reset();
+        add(5);
+        let ((), inner) = measure(|| add(7));
+        assert_eq!(inner, 7);
+        assert_eq!(get(), 12);
+    }
+
+    #[test]
+    fn counters_are_per_thread() {
+        reset();
+        add(3);
+        let handle = std::thread::spawn(|| {
+            add(100);
+            get()
+        });
+        assert_eq!(handle.join().unwrap(), 100);
+        assert_eq!(get(), 3);
+    }
+}

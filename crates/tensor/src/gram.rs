@@ -1,0 +1,103 @@
+//! Gram matrices of tensor unfoldings.
+//!
+//! `G = X_(j) X_(j)ᵀ` is the `n_j × n_j` symmetric positive semidefinite
+//! matrix whose leading eigenvectors are the leading left singular vectors
+//! of the unfolding — the LLSV building block of STHOSVD (Alg. 1) and of
+//! the Gram+EVD variants of HOOI (Alg. 2). Computed slab-wise without
+//! materializing the unfolding.
+
+use crate::dense::DenseTensor;
+use crate::kernels;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Computes `X_(mode) · X_(mode)ᵀ`.
+pub fn gram<T: Scalar>(x: &DenseTensor<T>, mode: usize) -> Matrix<T> {
+    let n_j = x.dim(mode);
+    let mut g = Matrix::zeros(n_j, n_j);
+    gram_accumulate(x, mode, &mut g);
+    g
+}
+
+/// Accumulates `X_(mode) · X_(mode)ᵀ` into `g` (distributed callers sum
+/// local contributions into a shared output before an allreduce).
+pub fn gram_accumulate<T: Scalar>(x: &DenseTensor<T>, mode: usize, g: &mut Matrix<T>) {
+    let n_j = x.dim(mode);
+    assert_eq!(g.rows(), n_j, "Gram output must be n_mode x n_mode");
+    assert_eq!(g.cols(), n_j, "Gram output must be n_mode x n_mode");
+
+    if mode == 0 {
+        // X_(0) is the natural n_0 × rest view: one symmetric rank-k
+        // update G += X_(0) X_(0)ᵀ.
+        let rest = x.num_entries() / n_j;
+        kernels::syrk_nt(n_j, rest, x.data(), n_j, g.as_mut_slice(), n_j);
+        return;
+    }
+
+    let left = x.shape().left(mode);
+    let right = x.shape().right(mode);
+    let slab = left * n_j;
+    // Each slab A_r is left × n_j; G += A_rᵀ A_r.
+    for r in 0..right {
+        let a = &x.data()[r * slab..(r + 1) * slab];
+        kernels::syrk_tn(n_j, left, a, left, g.as_mut_slice(), n_j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unfold::unfold;
+
+    fn test_tensor(dims: &[usize]) -> DenseTensor<f64> {
+        DenseTensor::from_fn(crate::shape::Shape::new(dims), |idx| {
+            let mut v = 0.3;
+            for (k, &i) in idx.iter().enumerate() {
+                v += ((k + 1) * (i + 1)) as f64 * 0.07;
+            }
+            v.cos()
+        })
+    }
+
+    #[test]
+    fn gram_matches_unfold_reference() {
+        let x = test_tensor(&[4, 3, 5, 2]);
+        for mode in 0..4 {
+            let unf = unfold(&x, mode);
+            let want = unf.matmul(&unf.transpose());
+            let got = gram(&x, mode);
+            assert!(got.max_abs_diff(&want) < 1e-11, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_trace() {
+        let x = test_tensor(&[3, 6, 2]);
+        for mode in 0..3 {
+            let g = gram(&x, mode);
+            // Symmetry.
+            assert!(g.max_abs_diff(&g.transpose()) < 1e-12);
+            // trace(G) = ‖X‖².
+            let trace: f64 = (0..g.rows()).map(|i| g[(i, i)]).sum();
+            assert!((trace - x.squared_norm_f64()).abs() < 1e-10, "mode {mode}");
+            // Diagonal nonnegative.
+            for i in 0..g.rows() {
+                assert!(g[(i, i)] >= -1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_accumulate_sums_contributions() {
+        let x = test_tensor(&[3, 4]);
+        let mut g = gram(&x, 1);
+        let single = g.clone();
+        gram_accumulate(&x, 1, &mut g);
+        // Accumulating a second time doubles every entry.
+        for i in 0..g.rows() {
+            for j in 0..g.cols() {
+                assert!((g[(i, j)] - 2.0 * single[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+}

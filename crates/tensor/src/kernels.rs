@@ -1,0 +1,363 @@
+//! Low-level dense multiply kernels (the workspace's "BLAS").
+//!
+//! All kernels operate on column-major buffers with explicit leading
+//! dimensions so the tensor slab views in [`crate::ttm`] and
+//! [`crate::gram`] can be multiplied in place without copies. Every kernel
+//! *accumulates* into `C` (callers zero the output first when needed) and
+//! reports its flops to [`crate::flops`].
+//!
+//! The inner loops are written as contiguous column updates
+//! (`c[i] += a[i] * s`), the form rustc auto-vectorizes reliably; we avoid
+//! `mul_add` here because without `-C target-feature=+fma` it lowers to a
+//! libm call and destroys throughput.
+
+#![allow(clippy::too_many_arguments)] // BLAS-style (dims, buffers, leading dims) signatures
+
+use crate::flops;
+use crate::scalar::Scalar;
+
+/// Panic-with-context bounds check shared by the GEMM kernels.
+#[inline]
+fn check_dims(len: usize, ld: usize, inner: usize, outer: usize, name: &str) {
+    assert!(ld >= inner, "{name}: leading dimension {ld} < rows {inner}");
+    if outer > 0 {
+        assert!(
+            len >= ld * (outer - 1) + inner,
+            "{name}: buffer too small ({len} < {})",
+            ld * (outer - 1) + inner
+        );
+    }
+}
+
+/// `C += A · B` where `A` is `m×k`, `B` is `k×n`, `C` is `m×n`.
+pub fn gemm_nn<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &mut [T],
+    ldc: usize,
+) {
+    check_dims(a.len(), lda, m, k, "gemm_nn A");
+    check_dims(b.len(), ldb, k, n, "gemm_nn B");
+    check_dims(c.len(), ldc, m, n, "gemm_nn C");
+    flops::add(2 * (m as u64) * (n as u64) * (k as u64));
+    for j in 0..n {
+        let c_col = &mut c[j * ldc..j * ldc + m];
+        for l in 0..k {
+            let s = b[l + j * ldb];
+            if s == T::ZERO {
+                continue;
+            }
+            let a_col = &a[l * lda..l * lda + m];
+            for i in 0..m {
+                c_col[i] += a_col[i] * s;
+            }
+        }
+    }
+}
+
+/// `C += Aᵀ · B` where `A` is `k×m`, `B` is `k×n`, `C` is `m×n`.
+pub fn gemm_tn<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &mut [T],
+    ldc: usize,
+) {
+    check_dims(a.len(), lda, k, m, "gemm_tn A");
+    check_dims(b.len(), ldb, k, n, "gemm_tn B");
+    check_dims(c.len(), ldc, m, n, "gemm_tn C");
+    flops::add(2 * (m as u64) * (n as u64) * (k as u64));
+    for j in 0..n {
+        let b_col = &b[j * ldb..j * ldb + k];
+        for i in 0..m {
+            let a_col = &a[i * lda..i * lda + k];
+            let mut acc = T::ZERO;
+            for l in 0..k {
+                acc += a_col[l] * b_col[l];
+            }
+            c[i + j * ldc] += acc;
+        }
+    }
+}
+
+/// `C += A · Bᵀ` where `A` is `m×k`, `B` is `n×k`, `C` is `m×n`.
+pub fn gemm_nt<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &mut [T],
+    ldc: usize,
+) {
+    check_dims(a.len(), lda, m, k, "gemm_nt A");
+    check_dims(b.len(), ldb, n, k, "gemm_nt B");
+    check_dims(c.len(), ldc, m, n, "gemm_nt C");
+    flops::add(2 * (m as u64) * (n as u64) * (k as u64));
+    for l in 0..k {
+        let a_col = &a[l * lda..l * lda + m];
+        for j in 0..n {
+            let s = b[j + l * ldb];
+            if s == T::ZERO {
+                continue;
+            }
+            let c_col = &mut c[j * ldc..j * ldc + m];
+            for i in 0..m {
+                c_col[i] += a_col[i] * s;
+            }
+        }
+    }
+}
+
+/// Symmetric rank-k update: `C += Aᵀ · A` (`A` is `k×n`, `C` is `n×n`).
+///
+/// Only the lower triangle is computed, then mirrored; this is the Gram
+/// building block and costs `n(n+1)k` multiply-adds, counted as such.
+pub fn syrk_tn<T: Scalar>(n: usize, k: usize, a: &[T], lda: usize, c: &mut [T], ldc: usize) {
+    check_dims(a.len(), lda, k, n, "syrk_tn A");
+    check_dims(c.len(), ldc, n, n, "syrk_tn C");
+    flops::add((n as u64) * ((n as u64) + 1) * (k as u64));
+    for j in 0..n {
+        let a_j = &a[j * lda..j * lda + k];
+        for i in j..n {
+            let a_i = &a[i * lda..i * lda + k];
+            let mut acc = T::ZERO;
+            for l in 0..k {
+                acc += a_i[l] * a_j[l];
+            }
+            c[i + j * ldc] += acc;
+        }
+    }
+    // Mirror the strictly-lower triangle into the upper one.
+    for j in 0..n {
+        for i in j + 1..n {
+            c[j + i * ldc] = c[i + j * ldc];
+        }
+    }
+}
+
+/// Symmetric rank-k update from the left: `C += A · Aᵀ` (`A` is `m×k`,
+/// `C` is `m×m`). Lower triangle computed, then mirrored; costs
+/// `m(m+1)k` multiply-adds — half of the general `gemm_nt`, which is what
+/// the Gram-matrix cost rows of the paper's Table 1 assume.
+pub fn syrk_nt<T: Scalar>(m: usize, k: usize, a: &[T], lda: usize, c: &mut [T], ldc: usize) {
+    check_dims(a.len(), lda, m, k, "syrk_nt A");
+    check_dims(c.len(), ldc, m, m, "syrk_nt C");
+    flops::add((m as u64) * ((m as u64) + 1) * (k as u64));
+    for l in 0..k {
+        let col = &a[l * lda..l * lda + m];
+        for j in 0..m {
+            let s = col[j];
+            if s == T::ZERO {
+                continue;
+            }
+            let c_col = &mut c[j * ldc..j * ldc + m];
+            for i in j..m {
+                c_col[i] += col[i] * s;
+            }
+        }
+    }
+    for j in 0..m {
+        for i in j + 1..m {
+            c[j + i * ldc] = c[i + j * ldc];
+        }
+    }
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    flops::add(2 * x.len() as u64);
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dot product.
+#[inline]
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    debug_assert_eq!(x.len(), y.len());
+    flops::add(2 * x.len() as u64);
+    let mut acc = T::ZERO;
+    for (&xi, &yi) in x.iter().zip(y) {
+        acc += xi * yi;
+    }
+    acc
+}
+
+/// Scales a vector in place.
+#[inline]
+pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
+    flops::add(x.len() as u64);
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm with scaling to avoid overflow/underflow (LAPACK dnrm2).
+pub fn nrm2<T: Scalar>(x: &[T]) -> T {
+    flops::add(2 * x.len() as u64);
+    let mut scale = T::ZERO;
+    let mut ssq = T::ONE;
+    for &xi in x {
+        if xi != T::ZERO {
+            let absxi = xi.abs();
+            if scale < absxi {
+                let r = scale / absxi;
+                ssq = T::ONE + ssq * r * r;
+                scale = absxi;
+            } else {
+                let r = absxi / scale;
+                ssq += r * r;
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn naive_mm(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for l in 0..a.cols() {
+                    acc += a[(i, l)] * b[(l, j)];
+                }
+                c[(i, j)] = acc;
+            }
+        }
+        c
+    }
+
+    fn test_mats(m: usize, k: usize, n: usize) -> (Matrix<f64>, Matrix<f64>) {
+        let a = Matrix::from_fn(m, k, |i, j| ((3 * i + 7 * j + 1) as f64).sin());
+        let b = Matrix::from_fn(k, n, |i, j| ((5 * i + 2 * j + 2) as f64).cos());
+        (a, b)
+    }
+
+    #[test]
+    fn gemm_nn_matches_naive() {
+        let (a, b) = test_mats(7, 5, 6);
+        let want = naive_mm(&a, &b);
+        let mut c = Matrix::zeros(7, 6);
+        gemm_nn(7, 6, 5, a.as_slice(), 7, b.as_slice(), 5, c.as_mut_slice(), 7);
+        assert!(c.max_abs_diff(&want) < 1e-13);
+    }
+
+    #[test]
+    fn gemm_tn_matches_naive() {
+        // A is stored k×m; the kernel computes C = Aᵀ B.
+        let a_km = Matrix::from_fn(5, 7, |i, j| ((i * 7 + j) as f64).sin());
+        let b_kn = Matrix::from_fn(5, 6, |i, j| ((i + 2 * j) as f64).cos());
+        let want = naive_mm(&a_km.transpose(), &b_kn);
+        let mut c = Matrix::zeros(7, 6);
+        gemm_tn(
+            7,
+            6,
+            5,
+            a_km.as_slice(),
+            5,
+            b_kn.as_slice(),
+            5,
+            c.as_mut_slice(),
+            7,
+        );
+        assert!(c.max_abs_diff(&want) < 1e-13);
+    }
+
+    #[test]
+    fn gemm_nt_matches_naive() {
+        let a = Matrix::from_fn(4, 5, |i, j| ((i + 3 * j) as f64).sin());
+        let b = Matrix::from_fn(6, 5, |i, j| ((2 * i + j) as f64).cos());
+        let want = naive_mm(&a, &b.transpose());
+        let mut c = Matrix::zeros(4, 6);
+        gemm_nt(4, 6, 5, a.as_slice(), 4, b.as_slice(), 6, c.as_mut_slice(), 4);
+        assert!(c.max_abs_diff(&want) < 1e-13);
+    }
+
+    #[test]
+    fn gemm_accumulates() {
+        let a: Matrix<f64> = Matrix::identity(3);
+        let b = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let mut c = Matrix::identity(3);
+        gemm_nn(3, 3, 3, a.as_slice(), 3, b.as_slice(), 3, c.as_mut_slice(), 3);
+        // C = I + I*B
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = b[(i, j)] + if i == j { 1.0 } else { 0.0 };
+                assert_eq!(c[(i, j)], want);
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_matches_gemm_tn() {
+        let a = Matrix::from_fn(8, 5, |i, j| ((i * 5 + j) as f64).sin());
+        let want = a.t_matmul(&a);
+        let mut c = Matrix::zeros(5, 5);
+        syrk_tn(5, 8, a.as_slice(), 8, c.as_mut_slice(), 5);
+        assert!(c.max_abs_diff(&want) < 1e-13);
+    }
+
+    #[test]
+    fn gemm_with_submatrix_leading_dims() {
+        // Multiply the top-left 2x2 blocks of 4x4 matrices using lda=4.
+        let a = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let b = Matrix::from_fn(4, 4, |i, j| (i + j) as f64);
+        let mut c = vec![0.0f64; 4]; // 2x2, ldc=2
+        gemm_nn(2, 2, 2, a.as_slice(), 4, b.as_slice(), 4, &mut c, 2);
+        // Naive on the blocks:
+        for i in 0..2 {
+            for j in 0..2 {
+                let want: f64 = (0..2).map(|l| a[(i, l)] * b[(l, j)]).sum();
+                assert_eq!(c[i + 2 * j], want);
+            }
+        }
+    }
+
+    #[test]
+    fn nrm2_is_overflow_safe() {
+        let big = vec![1e300f64, 1e300];
+        let n = nrm2(&big);
+        assert!((n - 1e300 * 2.0f64.sqrt()).abs() / n < 1e-14);
+        assert_eq!(nrm2::<f64>(&[]), 0.0);
+        assert_eq!(nrm2(&[0.0f64, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_axpy_scal_basics() {
+        assert_eq!(dot(&[1.0f64, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0f64, 1.0];
+        axpy(2.0, &[10.0, 20.0], &mut y);
+        assert_eq!(y, vec![21.0, 41.0]);
+        scal(0.5, &mut y);
+        assert_eq!(y, vec![10.5, 20.5]);
+    }
+
+    #[test]
+    fn flop_counting_gemm() {
+        crate::flops::reset();
+        let a: Matrix<f32> = Matrix::zeros(4, 3);
+        let b: Matrix<f32> = Matrix::zeros(3, 5);
+        let mut c: Matrix<f32> = Matrix::zeros(4, 5);
+        gemm_nn(4, 5, 3, a.as_slice(), 4, b.as_slice(), 3, c.as_mut_slice(), 4);
+        assert_eq!(crate::flops::get(), 2 * 4 * 5 * 3);
+    }
+}

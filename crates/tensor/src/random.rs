@@ -1,0 +1,158 @@
+//! Random tensors, matrices, and normal variates.
+//!
+//! Normal sampling is a local Box–Muller transform over `rand`'s uniform
+//! generator — the single place it is needed does not justify an extra
+//! dependency (see DESIGN.md §3).
+
+use crate::dense::DenseTensor;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::shape::Shape;
+use rand::Rng;
+
+/// Draws one standard-normal variate via Box–Muller.
+pub fn standard_normal<T: Scalar, R: Rng + ?Sized>(rng: &mut R) -> T {
+    // u1 ∈ (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    T::from_f64(z)
+}
+
+/// A tensor with i.i.d. standard-normal entries.
+pub fn normal_tensor<T: Scalar, R: Rng + ?Sized>(shape: impl Into<Shape>, rng: &mut R) -> DenseTensor<T> {
+    let shape = shape.into();
+    let data = (0..shape.num_entries())
+        .map(|_| standard_normal::<T, R>(rng))
+        .collect();
+    DenseTensor::from_vec(shape, data)
+}
+
+/// A matrix with i.i.d. standard-normal entries.
+pub fn normal_matrix<T: Scalar, R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix<T> {
+    Matrix::from_fn(rows, cols, |_, _| standard_normal::<T, R>(rng))
+}
+
+/// A matrix with orthonormal columns, built by Gram–Schmidt on a Gaussian
+/// draw (`rows ≥ cols`). Used for random HOOI initialization (§2.2) and
+/// for expanding factor matrices when the rank-adaptive loop grows ranks.
+pub fn random_orthonormal<T: Scalar, R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    rng: &mut R,
+) -> Matrix<T> {
+    assert!(rows >= cols, "cannot build {cols} orthonormal columns in R^{rows}");
+    let mut q = normal_matrix::<T, R>(rows, cols, rng);
+    orthonormalize_columns(&mut q, 0);
+    q
+}
+
+/// Modified Gram–Schmidt with one reorthogonalization pass, orthonormalizing
+/// columns `start..` against *all* earlier columns (columns `0..start` are
+/// assumed orthonormal already — the rank-expansion case).
+///
+/// If a column is (numerically) dependent it is replaced by a fresh
+/// deterministic pivot vector and the pass retried, so the routine always
+/// returns a full set of orthonormal columns.
+pub fn orthonormalize_columns<T: Scalar>(m: &mut Matrix<T>, start: usize) {
+    let rows = m.rows();
+    let cols = m.cols();
+    assert!(rows >= cols, "more columns than rows cannot be orthonormal");
+    for j in start..cols {
+        let mut attempt = 0usize;
+        loop {
+            // Two MGS sweeps ("twice is enough").
+            for _ in 0..2 {
+                for k in 0..j {
+                    let proj = {
+                        let (ck, cj) = m.cols_mut_pair(k, j);
+                        crate::kernels::dot(ck, cj)
+                    };
+                    let (ck, cj) = m.cols_mut_pair(k, j);
+                    crate::kernels::axpy(-proj, ck, cj);
+                }
+            }
+            let norm = crate::kernels::nrm2(m.col(j));
+            if norm.to_f64() > 1e-10 {
+                let inv = T::ONE / norm;
+                crate::kernels::scal(inv, m.col_mut(j));
+                break;
+            }
+            // Degenerate draw: replace with a canonical basis vector offset
+            // by the attempt count, then re-orthogonalize.
+            attempt += 1;
+            assert!(attempt <= rows, "could not complete orthonormal basis");
+            let col = m.col_mut(j);
+            col.fill(T::ZERO);
+            col[(j + attempt) % rows] = T::ONE;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0f64;
+        let mut sq = 0.0f64;
+        for _ in 0..n {
+            let z: f64 = standard_normal(&mut rng);
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn random_orthonormal_is_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let q: Matrix<f64> = random_orthonormal(20, 7, &mut rng);
+        assert!(q.orthonormality_defect() < 1e-12);
+    }
+
+    #[test]
+    fn random_orthonormal_f32() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let q: Matrix<f32> = random_orthonormal(15, 5, &mut rng);
+        assert!(q.orthonormality_defect() < 1e-5);
+    }
+
+    #[test]
+    fn extend_preserves_existing_columns() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let q: Matrix<f64> = random_orthonormal(12, 3, &mut rng);
+        let extra = normal_matrix::<f64, _>(12, 2, &mut rng);
+        let mut ext = q.hcat(&extra);
+        orthonormalize_columns(&mut ext, 3);
+        assert!(ext.orthonormality_defect() < 1e-12);
+        // First three columns untouched.
+        for j in 0..3 {
+            assert_eq!(ext.col(j), q.col(j));
+        }
+    }
+
+    #[test]
+    fn orthonormalize_recovers_from_dependent_columns() {
+        // Columns 1 and 2 are identical — MGS must replace the duplicate.
+        let mut m = Matrix::from_fn(5, 3, |i, j| if j == 0 { (i + 1) as f64 } else { 1.0 });
+        orthonormalize_columns(&mut m, 0);
+        assert!(m.orthonormality_defect() < 1e-12);
+    }
+
+    #[test]
+    fn normal_tensor_has_right_shape() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t: DenseTensor<f32> = normal_tensor([3, 4, 5], &mut rng);
+        assert_eq!(t.num_entries(), 60);
+        assert!(t.norm() > 0.0);
+    }
+}

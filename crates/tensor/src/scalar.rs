@@ -1,0 +1,168 @@
+//! Floating-point scalar abstraction.
+//!
+//! All numerical code in the workspace is generic over [`Scalar`] so that
+//! the synthetic experiments can run in single precision (as in the paper's
+//! §4.1) while the HCCI/SP-like datasets run in double precision (§4.2.2).
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real floating-point scalar (`f32` or `f64`).
+///
+/// The trait deliberately exposes only the operations the kernels need;
+/// everything is a thin wrapper over the primitive method of the same name.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + 'static
+    + Debug
+    + Display
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Default
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon of the underlying type.
+    const EPSILON: Self;
+
+    /// Lossy conversion from `f64` (used for constants and tolerances).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (used for accumulation and reporting).
+    fn to_f64(self) -> f64;
+    /// Conversion from a `usize` count.
+    fn from_usize(v: usize) -> Self {
+        Self::from_f64(v as f64)
+    }
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Fused multiply-add `self * a + b` (maps to the hardware FMA when
+    /// available; the GEMM inner loops depend on this for throughput).
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// `max` that ignores NaN ordering subtleties (inputs are finite here).
+    fn max_s(self, other: Self) -> Self {
+        if self > other {
+            self
+        } else {
+            other
+        }
+    }
+    /// `min` counterpart of [`Scalar::max_s`].
+    fn min_s(self, other: Self) -> Self {
+        if self < other {
+            self
+        } else {
+            other
+        }
+    }
+    /// Euclidean hypotenuse, overflow-safe.
+    fn hypot(self, other: Self) -> Self;
+    /// Sign-transfer: |self| * sign(other), LAPACK's `SIGN`.
+    fn copysign_s(self, other: Self) -> Self;
+    /// True if the value is finite (not NaN/inf).
+    fn is_finite_s(self) -> bool;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const EPSILON: Self = <$t>::EPSILON;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                self.sqrt()
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                self.abs()
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                self.mul_add(a, b)
+            }
+            #[inline(always)]
+            fn hypot(self, other: Self) -> Self {
+                self.hypot(other)
+            }
+            #[inline(always)]
+            fn copysign_s(self, other: Self) -> Self {
+                self.copysign(other)
+            }
+            #[inline(always)]
+            fn is_finite_s(self) -> bool {
+                self.is_finite()
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_roundtrip<T: Scalar>() {
+        assert_eq!(T::ZERO.to_f64(), 0.0);
+        assert_eq!(T::ONE.to_f64(), 1.0);
+        let x = T::from_f64(2.25);
+        assert_eq!(x.to_f64(), 2.25);
+        assert_eq!(x.sqrt().to_f64(), 1.5);
+        assert_eq!((-x).abs().to_f64(), 2.25);
+        assert_eq!(T::from_usize(7).to_f64(), 7.0);
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        generic_roundtrip::<f32>();
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        generic_roundtrip::<f64>();
+    }
+
+    #[test]
+    fn mul_add_matches() {
+        let a = 1.5f64;
+        assert_eq!(a.mul_add(2.0, 3.0), Scalar::mul_add(a, 2.0, 3.0));
+    }
+
+    #[test]
+    fn minmax_ignore_order() {
+        assert_eq!(2.0f32.max_s(3.0), 3.0);
+        assert_eq!(2.0f32.min_s(3.0), 2.0);
+    }
+
+    #[test]
+    fn copysign_transfers_sign() {
+        assert_eq!(3.0f64.copysign_s(-1.0), -3.0);
+        assert_eq!((-3.0f64).copysign_s(1.0), 3.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Tensor-times-matrix (TTM) products.
+//!
+//! `Y = X ×_j M` is defined by `Y_(j) = M · X_(j)`. The kernel never forms
+//! the unfolding: with the mode-0-fastest layout, `X` viewed along mode `j`
+//! is a stack of `right` contiguous `left × n_j` slabs, and each output
+//! slab is one GEMM. Mode 0 collapses to a single large GEMM on the
+//! natural matrix view.
+//!
+//! In the Tucker algorithms the matrix is almost always a *factor matrix
+//! transposed* (`X ×_j U_jᵀ` with `U_j ∈ ℝ^{n_j×r_j}`), so the API takes
+//! the factor as stored plus a [`Transpose`] flag rather than forcing
+//! callers to materialize `Uᵀ`.
+
+use crate::dense::DenseTensor;
+use crate::kernels;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Whether the matrix operand of a TTM is applied as stored or transposed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transpose {
+    /// `Y_(j) = M · X_(j)` with `M : p × n_j`.
+    No,
+    /// `Y_(j) = Mᵀ · X_(j)` with `M : n_j × p` (the factor-matrix case).
+    Yes,
+}
+
+/// Computes `Y = X ×_mode op(M)`.
+///
+/// # Panics
+/// Panics if the inner dimension of `op(M)` does not match `n_mode`.
+pub fn ttm<T: Scalar>(x: &DenseTensor<T>, mode: usize, m: &Matrix<T>, trans: Transpose) -> DenseTensor<T> {
+    let n_j = x.dim(mode);
+    let (p, inner) = match trans {
+        Transpose::No => (m.rows(), m.cols()),
+        Transpose::Yes => (m.cols(), m.rows()),
+    };
+    assert_eq!(
+        inner, n_j,
+        "TTM inner dimension mismatch in mode {mode}: op(M) is ?x{inner}, n_mode={n_j}"
+    );
+    let out_shape = x.shape().with_dim(mode, p);
+    let mut y = DenseTensor::zeros(out_shape);
+
+    if mode == 0 {
+        // Single GEMM on the natural n_0 × (N/n_0) views.
+        let rest = x.num_entries() / n_j;
+        match trans {
+            Transpose::No => kernels::gemm_nn(
+                p,
+                rest,
+                n_j,
+                m.as_slice(),
+                p,
+                x.data(),
+                n_j,
+                y.data_mut(),
+                p,
+            ),
+            Transpose::Yes => kernels::gemm_tn(
+                p,
+                rest,
+                n_j,
+                m.as_slice(),
+                n_j,
+                x.data(),
+                n_j,
+                y.data_mut(),
+                p,
+            ),
+        }
+        return y;
+    }
+
+    let left = x.shape().left(mode);
+    let right = x.shape().right(mode);
+    let x_slab = left * n_j;
+    let y_slab = left * p;
+    for r in 0..right {
+        let a = &x.data()[r * x_slab..(r + 1) * x_slab];
+        let c = &mut y.data_mut()[r * y_slab..(r + 1) * y_slab];
+        match trans {
+            // C (left×p) = A (left×n_j) · Mᵀ with M : p × n_j.
+            Transpose::No => kernels::gemm_nt(left, p, n_j, a, left, m.as_slice(), p, c, left),
+            // C (left×p) = A (left×n_j) · M with M : n_j × p.
+            Transpose::Yes => kernels::gemm_nn(left, p, n_j, a, left, m.as_slice(), n_j, c, left),
+        }
+    }
+    y
+}
+
+/// Applies a sequence of TTMs in the given order.
+///
+/// Each element is `(mode, matrix, transpose)`. Order matters for cost but
+/// not for the result (TTMs in distinct modes commute); the Tucker
+/// algorithms choose orders deliberately (see the dimension-tree module).
+pub fn multi_ttm<T: Scalar>(
+    x: &DenseTensor<T>,
+    ops: &[(usize, &Matrix<T>, Transpose)],
+) -> DenseTensor<T> {
+    let mut cur: Option<DenseTensor<T>> = None;
+    for &(mode, m, trans) in ops {
+        let next = match &cur {
+            None => ttm(x, mode, m, trans),
+            Some(t) => ttm(t, mode, m, trans),
+        };
+        cur = Some(next);
+    }
+    cur.unwrap_or_else(|| x.clone())
+}
+
+/// Convenience: `X ×_1 U_1ᵀ ×_2 U_2ᵀ … ×_d U_dᵀ` skipping `skip_mode`
+/// (the all-but-one multi-TTM at the heart of each HOOI subiteration,
+/// Alg. 2 line 5). Modes are applied in increasing order except that the
+/// skipped mode is omitted; pass `skip_mode = usize::MAX` to apply all.
+pub fn multi_ttm_all_but<T: Scalar>(
+    x: &DenseTensor<T>,
+    factors: &[Matrix<T>],
+    skip_mode: usize,
+) -> DenseTensor<T> {
+    let ops: Vec<(usize, &Matrix<T>, Transpose)> = factors
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| k != skip_mode)
+        .map(|(k, u)| (k, u, Transpose::Yes))
+        .collect();
+    multi_ttm(x, &ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unfold::{fold, unfold};
+
+    fn reference_ttm(x: &DenseTensor<f64>, mode: usize, m: &Matrix<f64>, trans: Transpose) -> DenseTensor<f64> {
+        let unf = unfold(x, mode);
+        let prod = match trans {
+            Transpose::No => m.matmul(&unf),
+            Transpose::Yes => m.t_matmul(&unf),
+        };
+        let p = match trans {
+            Transpose::No => m.rows(),
+            Transpose::Yes => m.cols(),
+        };
+        fold(&prod, mode, &x.shape().with_dim(mode, p))
+    }
+
+    fn test_tensor(dims: &[usize]) -> DenseTensor<f64> {
+        DenseTensor::from_fn(crate::shape::Shape::new(dims), |idx| {
+            let mut v = 1.0;
+            for (k, &i) in idx.iter().enumerate() {
+                v += ((k + 2) * i) as f64 * 0.1;
+            }
+            v.sin()
+        })
+    }
+
+    #[test]
+    fn ttm_matches_unfold_reference_all_modes() {
+        let x = test_tensor(&[4, 3, 5, 2]);
+        for mode in 0..4 {
+            let n_j = x.dim(mode);
+            let m = Matrix::from_fn(2, n_j, |i, j| ((i * n_j + j) as f64).cos());
+            let fast = ttm(&x, mode, &m, Transpose::No);
+            let slow = reference_ttm(&x, mode, &m, Transpose::No);
+            assert!(fast.max_abs_diff(&slow) < 1e-12, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn ttm_transposed_matches_reference() {
+        let x = test_tensor(&[3, 4, 2]);
+        for mode in 0..3 {
+            let n_j = x.dim(mode);
+            let u = Matrix::from_fn(n_j, 2, |i, j| ((i + 3 * j) as f64).sin());
+            let fast = ttm(&x, mode, &u, Transpose::Yes);
+            let slow = reference_ttm(&x, mode, &u, Transpose::Yes);
+            assert!(fast.max_abs_diff(&slow) < 1e-12, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn ttm_identity_is_noop() {
+        let x = test_tensor(&[3, 4, 2]);
+        for mode in 0..3 {
+            let id = Matrix::identity(x.dim(mode));
+            let y = ttm(&x, mode, &id, Transpose::No);
+            assert_eq!(y.max_abs_diff(&x), 0.0);
+        }
+    }
+
+    #[test]
+    fn ttms_in_distinct_modes_commute() {
+        let x = test_tensor(&[4, 3, 5]);
+        let a = Matrix::from_fn(2, 4, |i, j| ((i + j) as f64).sin());
+        let b = Matrix::from_fn(2, 5, |i, j| ((i * 2 + j) as f64).cos());
+        let y1 = ttm(&ttm(&x, 0, &a, Transpose::No), 2, &b, Transpose::No);
+        let y2 = ttm(&ttm(&x, 2, &b, Transpose::No), 0, &a, Transpose::No);
+        assert!(y1.max_abs_diff(&y2) < 1e-12);
+    }
+
+    #[test]
+    fn ttm_is_linear_in_tensor() {
+        let x = test_tensor(&[3, 4]);
+        let mut x2 = x.clone();
+        x2.scale(2.0);
+        let m = Matrix::from_fn(2, 4, |i, j| (i + j) as f64);
+        let mut y = ttm(&x, 1, &m, Transpose::No);
+        y.scale(2.0);
+        let y2 = ttm(&x2, 1, &m, Transpose::No);
+        assert!(y.max_abs_diff(&y2) < 1e-12);
+    }
+
+    #[test]
+    fn multi_ttm_all_but_skips_mode() {
+        let x = test_tensor(&[4, 3, 5]);
+        let factors: Vec<Matrix<f64>> = (0..3)
+            .map(|k| Matrix::from_fn(x.dim(k), 2, |i, j| ((i + j + k) as f64).sin()))
+            .collect();
+        let y = multi_ttm_all_but(&x, &factors, 1);
+        assert_eq!(y.shape().dims(), &[2, 3, 2]);
+        let expect = ttm(
+            &ttm(&x, 0, &factors[0], Transpose::Yes),
+            2,
+            &factors[2],
+            Transpose::Yes,
+        );
+        assert!(y.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn multi_ttm_empty_is_copy() {
+        let x = test_tensor(&[2, 2]);
+        let y = multi_ttm(&x, &[]);
+        assert_eq!(y.max_abs_diff(&x), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn ttm_rejects_bad_dims() {
+        let x: DenseTensor<f64> = DenseTensor::zeros([3, 4]);
+        let m: Matrix<f64> = Matrix::zeros(2, 5);
+        ttm(&x, 0, &m, Transpose::No);
+    }
+
+    #[test]
+    fn norm_invariant_under_orthogonal_ttm() {
+        // ‖X ×_j Qᵀ‖ = ‖X‖ when Q is square orthogonal.
+        let x = test_tensor(&[3, 4, 2]);
+        // Householder-free orthogonal matrix: permutation + sign flips.
+        let q = {
+            let mut q = Matrix::zeros(4, 4);
+            q[(0, 2)] = 1.0;
+            q[(1, 0)] = -1.0;
+            q[(2, 3)] = 1.0;
+            q[(3, 1)] = -1.0;
+            q
+        };
+        let y = ttm(&x, 1, &q, Transpose::Yes);
+        assert!((y.norm() - x.norm()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,123 @@
+//! Explicit mode-`j` unfoldings.
+//!
+//! The production TTM/Gram kernels ([`crate::ttm`], [`crate::gram`]) never
+//! materialize unfoldings; these explicit copies exist as the reference
+//! implementation the fast paths are tested against, and for the rare
+//! places (QR panel of small matrices) where a compact copy is genuinely
+//! convenient.
+
+use crate::dense::DenseTensor;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::shape::Shape;
+
+/// Materializes the mode-`j` unfolding `X_(j)` as an
+/// `n_j × (N / n_j)` matrix (Kolda column ordering).
+pub fn unfold<T: Scalar>(x: &DenseTensor<T>, mode: usize) -> Matrix<T> {
+    let n_j = x.dim(mode);
+    let ncols = x.num_entries() / n_j;
+    let mut m = Matrix::zeros(n_j, ncols);
+    let shape = x.shape();
+    // Walk the tensor in layout order; for each entry compute its
+    // (row, col) in the unfolding. The mode-0 case is a straight memcpy.
+    if mode == 0 {
+        m.as_mut_slice().copy_from_slice(x.data());
+        return m;
+    }
+    let left = shape.left(mode);
+    let right = shape.right(mode);
+    // Layout order: linear = l + i*left + r*left*n_j.
+    // Unfold column (Kolda) = l + r*left (lower modes fastest).
+    let data = x.data();
+    for r in 0..right {
+        for i in 0..n_j {
+            let src = (r * n_j + i) * left;
+            for l in 0..left {
+                m[(i, l + r * left)] = data[src + l];
+            }
+        }
+    }
+    m
+}
+
+/// Inverse of [`unfold`]: folds an `n_j × (N / n_j)` matrix back into a
+/// tensor of the given shape along `mode`.
+pub fn fold<T: Scalar>(m: &Matrix<T>, mode: usize, shape: &Shape) -> DenseTensor<T> {
+    assert_eq!(m.rows(), shape.dim(mode), "row count must equal n_mode");
+    assert_eq!(
+        m.rows() * m.cols(),
+        shape.num_entries(),
+        "entry count mismatch in fold"
+    );
+    let mut t = DenseTensor::zeros(shape.clone());
+    if mode == 0 {
+        t.data_mut().copy_from_slice(m.as_slice());
+        return t;
+    }
+    let left = shape.left(mode);
+    let right = shape.right(mode);
+    let n_j = shape.dim(mode);
+    let data = t.data_mut();
+    for r in 0..right {
+        for i in 0..n_j {
+            let dst = (r * n_j + i) * left;
+            for l in 0..left {
+                data[dst + l] = m[(i, l + r * left)];
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unfold_fold_roundtrip_all_modes() {
+        let x = DenseTensor::from_fn([3, 4, 2, 5], |idx| {
+            (idx[0] + 3 * idx[1] + 12 * idx[2] + 24 * idx[3]) as f64
+        });
+        for mode in 0..4 {
+            let m = unfold(&x, mode);
+            let back = fold(&m, mode, x.shape());
+            assert_eq!(back.max_abs_diff(&x), 0.0, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn unfold_entries_match_definition() {
+        // X_(j)[i_j, col] must equal X[idx] with col from Shape::unfold_col.
+        let x = DenseTensor::from_fn([2, 3, 4], |idx| (idx[0] + 2 * idx[1] + 6 * idx[2]) as f32);
+        for mode in 0..3 {
+            let m = unfold(&x, mode);
+            for idx in x.shape().indices() {
+                let col = x.shape().unfold_col(mode, &idx);
+                assert_eq!(m[(idx[mode], col)], x.get(&idx), "mode {mode} idx {idx:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unfold_mode0_is_memcpy() {
+        let x = DenseTensor::from_fn([4, 6], |idx| (idx[0] * 10 + idx[1]) as f64);
+        let m = unfold(&x, 0);
+        assert_eq!(m.as_slice(), x.data());
+    }
+
+    #[test]
+    fn fold_rejects_wrong_shape() {
+        let m: Matrix<f64> = Matrix::zeros(3, 4);
+        let shape = Shape::new(&[3, 2, 2]);
+        let t = fold(&m, 0, &shape);
+        assert_eq!(t.num_entries(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry count mismatch")]
+    fn fold_panics_on_count_mismatch() {
+        let m: Matrix<f64> = Matrix::zeros(3, 5);
+        let shape = Shape::new(&[3, 2, 2]);
+        fold(&m, 0, &shape);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the tensor substrate invariants.
+
+use proptest::prelude::*;
+use ratucker_tensor::prelude::*;
+use ratucker_tensor::{contract_all_but, fold, gram, leading_norm_sq, prefix_squared_sums, unfold};
+
+/// Strategy: a small random shape (2–4 modes, dims 1–6).
+fn shape_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=6, 2..=4)
+}
+
+/// Strategy: a tensor with the given shape and entries in [-1, 1].
+fn tensor_strategy(dims: Vec<usize>) -> impl Strategy<Value = DenseTensor<f64>> {
+    let n: usize = dims.iter().product();
+    prop::collection::vec(-1.0f64..1.0, n)
+        .prop_map(move |data| DenseTensor::from_vec(Shape::new(&dims), data))
+}
+
+fn arb_tensor() -> impl Strategy<Value = DenseTensor<f64>> {
+    shape_strategy().prop_flat_map(tensor_strategy)
+}
+
+fn arb_tensor_with_mode() -> impl Strategy<Value = (DenseTensor<f64>, usize)> {
+    arb_tensor().prop_flat_map(|t| {
+        let d = t.order();
+        (Just(t), 0..d)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unfold_fold_roundtrip((x, mode) in arb_tensor_with_mode()) {
+        let m = unfold(&x, mode);
+        let back = fold(&m, mode, x.shape());
+        prop_assert_eq!(back.max_abs_diff(&x), 0.0);
+    }
+
+    #[test]
+    fn unfold_preserves_norm((x, mode) in arb_tensor_with_mode()) {
+        let m = unfold(&x, mode);
+        prop_assert!((m.fro_norm() - x.norm()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ttm_matches_unfolding_definition((x, mode) in arb_tensor_with_mode(), rows in 1usize..4) {
+        let n_j = x.dim(mode);
+        let m = Matrix::from_fn(rows, n_j, |i, j| ((i * n_j + j) as f64 * 0.37).sin());
+        let fast = ttm(&x, mode, &m, Transpose::No);
+        let slow = {
+            let unf = unfold(&x, mode);
+            let prod = m.matmul(&unf);
+            fold(&prod, mode, &x.shape().with_dim(mode, rows))
+        };
+        prop_assert!(fast.max_abs_diff(&slow) < 1e-11);
+    }
+
+    #[test]
+    fn ttm_is_linear((x, mode) in arb_tensor_with_mode(), alpha in -2.0f64..2.0) {
+        let n_j = x.dim(mode);
+        let m = Matrix::from_fn(2, n_j, |i, j| ((i + 2 * j) as f64 * 0.21).cos());
+        let mut xs = x.clone();
+        xs.scale(alpha);
+        let mut y_scaled = ttm(&x, mode, &m, Transpose::No);
+        y_scaled.scale(alpha);
+        let y2 = ttm(&xs, mode, &m, Transpose::No);
+        prop_assert!(y_scaled.max_abs_diff(&y2) < 1e-9);
+    }
+
+    #[test]
+    fn gram_is_psd_with_norm_trace((x, mode) in arb_tensor_with_mode()) {
+        let g = gram(&x, mode);
+        // Symmetric.
+        prop_assert!(g.max_abs_diff(&g.transpose()) < 1e-12);
+        // Trace = squared norm.
+        let trace: f64 = (0..g.rows()).map(|i| g[(i, i)]).sum();
+        prop_assert!((trace - x.squared_norm_f64()).abs() < 1e-9);
+        // Rayleigh quotients nonnegative on a probe vector.
+        let v: Vec<f64> = (0..g.rows()).map(|i| ((i * 3 + 1) as f64).sin()).collect();
+        let mut quad = 0.0;
+        for i in 0..g.rows() {
+            for j in 0..g.cols() {
+                quad += v[i] * g[(i, j)] * v[j];
+            }
+        }
+        prop_assert!(quad >= -1e-9);
+    }
+
+    #[test]
+    fn contraction_generalizes_gram((x, mode) in arb_tensor_with_mode()) {
+        let z = contract_all_but(&x, &x, mode);
+        let g = gram(&x, mode);
+        prop_assert!(z.max_abs_diff(&g) < 1e-11);
+    }
+
+    #[test]
+    fn prefix_sums_match_subtensor_norms(x in arb_tensor()) {
+        let p = prefix_squared_sums(&x);
+        // Check a few corners including the full tensor.
+        let dims = x.shape().dims().to_vec();
+        let full: Vec<usize> = dims.clone();
+        prop_assert!((leading_norm_sq(&p, &full) - x.squared_norm_f64()).abs() < 1e-9);
+        let ones = vec![1; dims.len()];
+        let first = x.get(&vec![0; dims.len()]);
+        prop_assert!((leading_norm_sq(&p, &ones) - first * first).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leading_subtensor_norm_agrees_with_prefix(x in arb_tensor()) {
+        let p = prefix_squared_sums(&x);
+        let ranks: Vec<usize> = x.shape().dims().iter().map(|&n| n.div_ceil(2)).collect();
+        let sub = x.leading_subtensor(&ranks);
+        prop_assert!((sub.squared_norm_f64() - leading_norm_sq(&p, &ranks)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_ttm_order_independent(x in tensor_strategy(vec![4, 3, 5])) {
+        let a = Matrix::from_fn(2, 4, |i, j| ((i + j) as f64).sin());
+        let c = Matrix::from_fn(2, 5, |i, j| ((i * 2 + j) as f64).cos());
+        let fwd = multi_ttm(&x, &[(0, &a, Transpose::No), (2, &c, Transpose::No)]);
+        let rev = multi_ttm(&x, &[(2, &c, Transpose::No), (0, &a, Transpose::No)]);
+        prop_assert!(fwd.max_abs_diff(&rev) < 1e-10);
+    }
+
+    #[test]
+    fn norm_invariant_under_orthonormal_ttm((x, mode) in arb_tensor_with_mode(), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let n_j = x.dim(mode);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let q: Matrix<f64> = ratucker_tensor::random::random_orthonormal(n_j, n_j, &mut rng);
+        let y = ttm(&x, mode, &q, Transpose::Yes);
+        prop_assert!((y.norm() - x.norm()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,259 @@
+//! Sequentially Truncated Higher-Order SVD (Alg. 1) — the baseline.
+
+use crate::llsv::{llsv_gram_evd, Truncation};
+use crate::timings::{Phase, Timings};
+use crate::tucker_tensor::TuckerTensor;
+use ratucker_tensor::dense::DenseTensor;
+use ratucker_tensor::scalar::Scalar;
+use ratucker_tensor::ttm::{ttm, Transpose};
+
+/// How STHOSVD truncates each mode.
+#[derive(Clone, Debug)]
+pub enum SthosvdTruncation {
+    /// Fixed per-mode ranks (rank-specified formulation, eq. 1).
+    Ranks(Vec<usize>),
+    /// Relative error tolerance ε (error-specified formulation, eq. 2):
+    /// each mode keeps the smallest rank with discarded mass ≤ ε²‖X‖²/d.
+    RelError(f64),
+}
+
+/// Result of an STHOSVD run.
+#[derive(Clone, Debug)]
+pub struct SthosvdResult<T: Scalar> {
+    /// The computed decomposition.
+    pub tucker: TuckerTensor<T>,
+    /// Per-phase time/flop breakdown.
+    pub timings: Timings,
+    /// Relative approximation error (from the core-norm identity).
+    pub rel_error: f64,
+}
+
+/// Runs STHOSVD, processing modes `0, 1, …, d−1` in order.
+pub fn sthosvd<T: Scalar>(x: &DenseTensor<T>, trunc: &SthosvdTruncation) -> SthosvdResult<T> {
+    let d = x.order();
+    let x_norm_sq = x.squared_norm_f64();
+    let mut timings = Timings::new();
+    let mut y = x.clone();
+    let mut factors = Vec::with_capacity(d);
+    for j in 0..d {
+        let mode_trunc = match trunc {
+            SthosvdTruncation::Ranks(r) => Truncation::Rank(r[j]),
+            SthosvdTruncation::RelError(eps) => {
+                Truncation::ErrorSq(eps * eps * x_norm_sq / d as f64)
+            }
+        };
+        let u = llsv_gram_evd(&y, j, mode_trunc, &mut timings);
+        y = timings.time(Phase::Ttm, || ttm(&y, j, &u, Transpose::Yes));
+        factors.push(u);
+    }
+    let tucker = TuckerTensor::new(y, factors);
+    let rel_error = tucker.rel_error_from_core(x_norm_sq);
+    SthosvdResult {
+        tucker,
+        timings,
+        rel_error,
+    }
+}
+
+/// Classic (non-sequentially-truncated) HOSVD: every factor matrix is
+/// computed from the *original* tensor's unfoldings, then a single
+/// multi-TTM forms the core. This is the direct method STHOSVD improves
+/// on (it does `d` full-size Grams instead of a shrinking sequence) —
+/// included as the natural extra baseline and for validating STHOSVD's
+/// quasi-optimality claims.
+pub fn hosvd<T: Scalar>(x: &DenseTensor<T>, trunc: &SthosvdTruncation) -> SthosvdResult<T> {
+    let d = x.order();
+    let x_norm_sq = x.squared_norm_f64();
+    let mut timings = Timings::new();
+    let mut factors = Vec::with_capacity(d);
+    for j in 0..d {
+        let mode_trunc = match trunc {
+            SthosvdTruncation::Ranks(r) => Truncation::Rank(r[j]),
+            SthosvdTruncation::RelError(eps) => {
+                Truncation::ErrorSq(eps * eps * x_norm_sq / d as f64)
+            }
+        };
+        factors.push(llsv_gram_evd(x, j, mode_trunc, &mut timings));
+    }
+    let mut y = x.clone();
+    for (j, u) in factors.iter().enumerate() {
+        y = timings.time(Phase::Ttm, || ttm(&y, j, u, Transpose::Yes));
+    }
+    let tucker = TuckerTensor::new(y, factors);
+    let rel_error = tucker.rel_error_from_core(x_norm_sq);
+    SthosvdResult {
+        tucker,
+        timings,
+        rel_error,
+    }
+}
+
+/// STHOSVD with the randomized range-finder LLSV (the [20, 21] option of
+/// Alg. 1 line 4). Rank-specified only: the sketch width must be chosen
+/// up front.
+pub fn sthosvd_randomized<T: Scalar>(
+    x: &DenseTensor<T>,
+    ranks: &[usize],
+    oversample: usize,
+    seed: u64,
+) -> SthosvdResult<T> {
+    use rand::SeedableRng;
+    let d = x.order();
+    assert_eq!(ranks.len(), d);
+    let x_norm_sq = x.squared_norm_f64();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut timings = Timings::new();
+    let mut y = x.clone();
+    let mut factors = Vec::with_capacity(d);
+    for j in 0..d {
+        let u = crate::llsv::llsv_randomized(&y, j, ranks[j], oversample, &mut rng, &mut timings);
+        y = timings.time(Phase::Ttm, || ttm(&y, j, &u, Transpose::Yes));
+        factors.push(u);
+    }
+    let tucker = TuckerTensor::new(y, factors);
+    let rel_error = tucker.rel_error_from_core(x_norm_sq);
+    SthosvdResult {
+        tucker,
+        timings,
+        rel_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticSpec;
+
+    #[test]
+    fn hosvd_recovers_noiseless_tucker() {
+        let spec = SyntheticSpec::new(&[10, 9, 8], &[3, 2, 4], 0.0, 507);
+        let x = spec.build::<f64>();
+        let res = hosvd(&x, &SthosvdTruncation::Ranks(vec![3, 2, 4]));
+        assert!(res.rel_error < 1e-6, "rel_error {}", res.rel_error);
+        assert!(res.tucker.orthonormality_defect() < 1e-10);
+    }
+
+    #[test]
+    fn hosvd_and_sthosvd_comparable_error_but_hosvd_costlier() {
+        let spec = SyntheticSpec::new(&[16, 14, 12], &[4, 3, 3], 0.05, 509);
+        let x = spec.build::<f64>();
+        let st = sthosvd(&x, &SthosvdTruncation::Ranks(vec![4, 3, 3]));
+        let ho = hosvd(&x, &SthosvdTruncation::Ranks(vec![4, 3, 3]));
+        // Both quasi-optimal.
+        assert!((ho.rel_error - st.rel_error).abs() < 0.01);
+        // HOSVD does all Grams at full size → strictly more Gram flops.
+        assert!(
+            ho.timings.flops(Phase::Gram) > st.timings.flops(Phase::Gram),
+            "HOSVD {} vs STHOSVD {}",
+            ho.timings.flops(Phase::Gram),
+            st.timings.flops(Phase::Gram)
+        );
+    }
+
+    #[test]
+    fn hosvd_error_specified_meets_tolerance() {
+        let spec = SyntheticSpec::new(&[12, 10, 8], &[3, 3, 2], 0.01, 511);
+        let x = spec.build::<f64>();
+        let res = hosvd(&x, &SthosvdTruncation::RelError(0.1));
+        assert!(res.rel_error <= 0.1, "rel_error {}", res.rel_error);
+    }
+
+    #[test]
+    fn randomized_sthosvd_recovers_noiseless_tucker() {
+        let spec = SyntheticSpec::new(&[14, 12, 10], &[3, 3, 2], 0.0, 501);
+        let x = spec.build::<f64>();
+        let res = sthosvd_randomized(&x, &[3, 3, 2], 5, 1);
+        assert!(res.rel_error < 1e-6, "rel_error {}", res.rel_error);
+        assert!(res.tucker.orthonormality_defect() < 1e-10);
+    }
+
+    #[test]
+    fn randomized_close_to_deterministic_on_noisy_input() {
+        let spec = SyntheticSpec::new(&[16, 14, 12], &[4, 3, 3], 0.05, 503);
+        let x = spec.build::<f64>();
+        let det = sthosvd(&x, &SthosvdTruncation::Ranks(vec![4, 3, 3]));
+        let rnd = sthosvd_randomized(&x, &[4, 3, 3], 8, 2);
+        assert!(
+            rnd.rel_error <= det.rel_error * 1.5 + 1e-12,
+            "randomized {} vs deterministic {}",
+            rnd.rel_error,
+            det.rel_error
+        );
+    }
+
+    #[test]
+    fn randomized_uses_no_evd() {
+        let spec = SyntheticSpec::new(&[10, 10, 10], &[2, 2, 2], 0.01, 505);
+        let x = spec.build::<f32>();
+        let res = sthosvd_randomized(&x, &[2, 2, 2], 4, 3);
+        assert_eq!(res.timings.flops(Phase::Evd), 0);
+        assert_eq!(res.timings.flops(Phase::Gram), 0);
+        assert!(res.timings.flops(Phase::Qr) > 0);
+    }
+
+    #[test]
+    fn exact_recovery_of_noiseless_tucker() {
+        let spec = SyntheticSpec::new(&[10, 9, 8], &[3, 2, 4], 0.0, 11);
+        let x = spec.build::<f64>();
+        let res = sthosvd(&x, &SthosvdTruncation::Ranks(vec![3, 2, 4]));
+        assert!(res.rel_error < 1e-6, "rel_error {}", res.rel_error);
+        // Reconstruction agrees with the identity-based error.
+        let rec_err = res.tucker.reconstruct().rel_error(&x);
+        assert!((rec_err - res.rel_error).abs() < 1e-6);
+    }
+
+    #[test]
+    fn error_specified_meets_tolerance_and_trims_ranks() {
+        let spec = SyntheticSpec::new(&[12, 11, 10], &[3, 3, 3], 0.01, 13);
+        let x = spec.build::<f64>();
+        let res = sthosvd(&x, &SthosvdTruncation::RelError(0.1));
+        assert!(res.rel_error <= 0.1, "rel_error {}", res.rel_error);
+        // With noise at 1% and ε = 10%, the true ranks suffice.
+        for (&r, &r_true) in res.tucker.ranks().iter().zip(&[3usize, 3, 3]) {
+            assert!(r <= r_true, "rank {r} > true {r_true}");
+        }
+    }
+
+    #[test]
+    fn tight_tolerance_keeps_more_rank_than_loose() {
+        let spec = SyntheticSpec::new(&[14, 12, 10], &[4, 4, 4], 0.05, 17);
+        let x = spec.build::<f64>();
+        let loose = sthosvd(&x, &SthosvdTruncation::RelError(0.3));
+        let tight = sthosvd(&x, &SthosvdTruncation::RelError(0.06));
+        let sl: usize = loose.tucker.storage_entries();
+        let st: usize = tight.tucker.storage_entries();
+        assert!(st >= sl, "tight {st} < loose {sl}");
+        assert!(tight.rel_error <= 0.06);
+    }
+
+    #[test]
+    fn factors_orthonormal_and_error_identity_consistent() {
+        let spec = SyntheticSpec::new(&[9, 8, 7, 6], &[2, 2, 2, 2], 0.02, 19);
+        let x = spec.build::<f64>();
+        let res = sthosvd(&x, &SthosvdTruncation::Ranks(vec![2, 2, 2, 2]));
+        assert!(res.tucker.orthonormality_defect() < 1e-10);
+        let direct = res.tucker.reconstruct().rel_error(&x);
+        assert!((direct - res.rel_error).abs() < 1e-8);
+    }
+
+    #[test]
+    fn timings_cover_expected_phases() {
+        let spec = SyntheticSpec::new(&[8, 8, 8], &[2, 2, 2], 0.0, 23);
+        let x = spec.build::<f32>();
+        let res = sthosvd(&x, &SthosvdTruncation::Ranks(vec![2, 2, 2]));
+        assert!(res.timings.flops(Phase::Gram) > 0);
+        assert!(res.timings.flops(Phase::Evd) > 0);
+        assert!(res.timings.flops(Phase::Ttm) > 0);
+        assert_eq!(res.timings.flops(Phase::Qr), 0);
+    }
+
+    #[test]
+    fn quasi_optimality_error_bounded_by_noise() {
+        // STHOSVD at the true ranks must achieve error ≈ the noise floor.
+        let spec = SyntheticSpec::new(&[12, 12, 12], &[3, 3, 3], 0.05, 29);
+        let x = spec.build::<f64>();
+        let res = sthosvd(&x, &SthosvdTruncation::Ranks(vec![3, 3, 3]));
+        assert!(res.rel_error < 0.06, "rel_error {}", res.rel_error);
+        assert!(res.rel_error > 0.01, "suspiciously low {}", res.rel_error);
+    }
+}

@@ -1,0 +1,161 @@
+//! Per-phase wall-clock and flop instrumentation.
+//!
+//! The paper's Figs. 3, 5, 7 and 9 are running-time *breakdowns* by
+//! algorithm phase (Gram, EVD, TTM, QR, core analysis, …). Every algorithm
+//! in this crate threads a [`Timings`] accumulator through its kernels so
+//! those breakdowns come from measurement, not estimation.
+
+use std::time::Instant;
+
+/// The phases distinguished in the paper's breakdown plots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Tensor-times-matrix products (including the multi-TTM tree).
+    Ttm,
+    /// Gram-matrix formation.
+    Gram,
+    /// Dense symmetric eigensolves.
+    Evd,
+    /// The subspace-iteration contraction `Y_(j) G_(j)ᵀ`.
+    Contract,
+    /// QR / QR-with-column-pivoting orthonormalizations.
+    Qr,
+    /// Rank-adaptive core analysis (prefix sums + truncation search).
+    CoreAnalysis,
+    /// Core gather / factor setup and everything else.
+    Other,
+}
+
+/// All phases, in display order.
+pub const ALL_PHASES: [Phase; 7] = [
+    Phase::Ttm,
+    Phase::Gram,
+    Phase::Evd,
+    Phase::Contract,
+    Phase::Qr,
+    Phase::CoreAnalysis,
+    Phase::Other,
+];
+
+impl Phase {
+    /// Short label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Ttm => "TTM",
+            Phase::Gram => "Gram",
+            Phase::Evd => "EVD",
+            Phase::Contract => "SI-Contract",
+            Phase::Qr => "QR",
+            Phase::CoreAnalysis => "CoreAnalysis",
+            Phase::Other => "Other",
+        }
+    }
+
+    fn index(self) -> usize {
+        ALL_PHASES.iter().position(|&p| p == self).unwrap()
+    }
+}
+
+/// Accumulated seconds and flops per phase.
+#[derive(Clone, Debug, Default)]
+pub struct Timings {
+    secs: [f64; 7],
+    flops: [u64; 7],
+}
+
+impl Timings {
+    /// A zeroed accumulator.
+    pub fn new() -> Timings {
+        Timings::default()
+    }
+
+    /// Runs `f`, charging its wall time and flops to `phase`.
+    pub fn time<R>(&mut self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let (out, fl) = ratucker_tensor::flops::measure(f);
+        self.secs[phase.index()] += t0.elapsed().as_secs_f64();
+        self.flops[phase.index()] += fl;
+        out
+    }
+
+    /// Seconds accumulated in `phase`.
+    pub fn secs(&self, phase: Phase) -> f64 {
+        self.secs[phase.index()]
+    }
+
+    /// Flops accumulated in `phase`.
+    pub fn flops(&self, phase: Phase) -> u64 {
+        self.flops[phase.index()]
+    }
+
+    /// Total seconds across phases.
+    pub fn total_secs(&self) -> f64 {
+        self.secs.iter().sum()
+    }
+
+    /// Total flops across phases.
+    pub fn total_flops(&self) -> u64 {
+        self.flops.iter().sum()
+    }
+
+    /// Adds another accumulator into this one.
+    pub fn merge(&mut self, other: &Timings) {
+        for i in 0..self.secs.len() {
+            self.secs[i] += other.secs[i];
+            self.flops[i] += other.flops[i];
+        }
+    }
+
+    /// One-line breakdown, e.g. for harness output.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        for &p in &ALL_PHASES {
+            let s = self.secs(p);
+            if s > 0.0 || self.flops(p) > 0 {
+                parts.push(format!("{}={:.4}s", p.label(), s));
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_accumulates_and_returns() {
+        let mut t = Timings::new();
+        let v = t.time(Phase::Ttm, || {
+            ratucker_tensor::flops::add(100);
+            7
+        });
+        assert_eq!(v, 7);
+        assert_eq!(t.flops(Phase::Ttm), 100);
+        assert!(t.secs(Phase::Ttm) >= 0.0);
+        t.time(Phase::Ttm, || ratucker_tensor::flops::add(1));
+        assert_eq!(t.flops(Phase::Ttm), 101);
+        assert_eq!(t.total_flops(), 101);
+    }
+
+    #[test]
+    fn merge_sums_phases() {
+        let mut a = Timings::new();
+        a.time(Phase::Gram, || ratucker_tensor::flops::add(5));
+        let mut b = Timings::new();
+        b.time(Phase::Gram, || ratucker_tensor::flops::add(6));
+        b.time(Phase::Qr, || ratucker_tensor::flops::add(1));
+        a.merge(&b);
+        assert_eq!(a.flops(Phase::Gram), 11);
+        assert_eq!(a.flops(Phase::Qr), 1);
+    }
+
+    #[test]
+    fn summary_mentions_active_phases() {
+        let mut t = Timings::new();
+        t.time(Phase::Evd, || ratucker_tensor::flops::add(2));
+        let s = t.summary();
+        assert!(s.contains("EVD"));
+        assert!(!s.contains("QR"));
+    }
+}

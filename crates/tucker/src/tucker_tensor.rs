@@ -1,0 +1,260 @@
+//! The Tucker-format tensor: a core plus one factor matrix per mode.
+
+use ratucker_tensor::dense::DenseTensor;
+use ratucker_tensor::matrix::Matrix;
+use ratucker_tensor::scalar::Scalar;
+use ratucker_tensor::ttm::{ttm, Transpose};
+
+/// A Tucker decomposition `X̂ = G ×_1 U_1 ×_2 … ×_d U_d`.
+#[derive(Clone, Debug)]
+pub struct TuckerTensor<T: Scalar> {
+    /// The core tensor `G ∈ ℝ^{r_1 × … × r_d}`.
+    pub core: DenseTensor<T>,
+    /// Factor matrices `U_j ∈ ℝ^{n_j × r_j}` with orthonormal columns.
+    pub factors: Vec<Matrix<T>>,
+}
+
+impl<T: Scalar> TuckerTensor<T> {
+    /// Creates a Tucker tensor, checking dimension consistency.
+    pub fn new(core: DenseTensor<T>, factors: Vec<Matrix<T>>) -> Self {
+        assert_eq!(core.order(), factors.len(), "one factor per mode required");
+        for (k, u) in factors.iter().enumerate() {
+            assert_eq!(
+                u.cols(),
+                core.dim(k),
+                "factor {k} has {} columns but core dim is {}",
+                u.cols(),
+                core.dim(k)
+            );
+        }
+        TuckerTensor { core, factors }
+    }
+
+    /// Number of modes.
+    pub fn order(&self) -> usize {
+        self.core.order()
+    }
+
+    /// The Tucker ranks `(r_1, …, r_d)`.
+    pub fn ranks(&self) -> Vec<usize> {
+        self.core.shape().dims().to_vec()
+    }
+
+    /// The dimensions of the tensor being approximated.
+    pub fn outer_dims(&self) -> Vec<usize> {
+        self.factors.iter().map(|u| u.rows()).collect()
+    }
+
+    /// Storage footprint in entries: `Π r_j + Σ n_j r_j` — the objective
+    /// of the error-specified formulation (paper eq. 2).
+    pub fn storage_entries(&self) -> usize {
+        self.core.num_entries()
+            + self
+                .factors
+                .iter()
+                .map(|u| u.rows() * u.cols())
+                .sum::<usize>()
+    }
+
+    /// Compression ratio: full entries / Tucker entries.
+    pub fn compression_ratio(&self) -> f64 {
+        let full: usize = self.outer_dims().iter().product();
+        full as f64 / self.storage_entries() as f64
+    }
+
+    /// Relative size: Tucker entries / full entries (the "relative size"
+    /// axis of the paper's Figs. 4/6/8).
+    pub fn relative_size(&self) -> f64 {
+        1.0 / self.compression_ratio()
+    }
+
+    /// Reconstructs the full tensor `G ×_1 U_1 … ×_d U_d`.
+    pub fn reconstruct(&self) -> DenseTensor<T> {
+        let mut cur = self.core.clone();
+        for (k, u) in self.factors.iter().enumerate() {
+            cur = ttm(&cur, k, u, Transpose::No);
+        }
+        cur
+    }
+
+    /// Decompresses only the hyper-rectangular region
+    /// `offsets[k]..offsets[k]+lens[k]` of the approximated tensor —
+    /// *without* reconstructing the full tensor. This is the Tucker-format
+    /// advantage the paper's introduction highlights ("subtensors can be
+    /// efficiently decompressed … which allows for fast visualization of
+    /// particular time steps, spatial regions, or quantities of
+    /// interest"): the cost is `O(Π lens · Σ r)` instead of `O(Π n · Σ r)`.
+    pub fn reconstruct_region(&self, offsets: &[usize], lens: &[usize]) -> DenseTensor<T> {
+        assert_eq!(offsets.len(), self.order());
+        assert_eq!(lens.len(), self.order());
+        // Apply the most-restrictive modes first: multiplying a length-1
+        // slice early collapses that mode of the intermediate, so the
+        // remaining TTMs run on a much smaller tensor. TTMs in distinct
+        // modes commute, so the result is unchanged.
+        let mut order: Vec<usize> = (0..self.order()).collect();
+        order.sort_by_key(|&k| lens[k] * self.core.dim(k));
+        let mut cur = self.core.clone();
+        for &k in &order {
+            let rows = self.factors[k].row_slice(offsets[k], lens[k]);
+            cur = ttm(&cur, k, &rows, Transpose::No);
+        }
+        cur
+    }
+
+    /// Decompresses a single mode-`mode` hyper-slice (e.g. one time step
+    /// or one variable of a simulation dataset).
+    pub fn reconstruct_slice(&self, mode: usize, index: usize) -> DenseTensor<T> {
+        let mut offsets = vec![0; self.order()];
+        let mut lens = self.outer_dims();
+        offsets[mode] = index;
+        lens[mode] = 1;
+        self.reconstruct_region(&offsets, &lens)
+    }
+
+    /// Relative approximation error computed *from the core norm* via the
+    /// identity `‖X − X̂‖² = ‖X‖² − ‖G‖²` (valid for orthonormal factors
+    /// with `G = X ×_1 U_1ᵀ … ×_d U_dᵀ`; §3.2). `x_norm_sq = ‖X‖²`.
+    pub fn rel_error_from_core(&self, x_norm_sq: f64) -> f64 {
+        let g = self.core.squared_norm_f64();
+        ((x_norm_sq - g).max(0.0) / x_norm_sq).sqrt()
+    }
+
+    /// Truncates to the leading sub-ranks: `G(0..r)` with the matching
+    /// leading factor columns (the §3.2 truncation step, Alg. 3 line 7).
+    pub fn truncate(&self, ranks: &[usize]) -> TuckerTensor<T> {
+        assert_eq!(ranks.len(), self.order());
+        let core = self.core.leading_subtensor(ranks);
+        let factors = self
+            .factors
+            .iter()
+            .zip(ranks)
+            .map(|(u, &r)| u.leading_cols(r))
+            .collect();
+        TuckerTensor { core, factors }
+    }
+
+    /// Largest factor-orthonormality defect across modes (test helper).
+    pub fn orthonormality_defect(&self) -> f64 {
+        self.factors
+            .iter()
+            .map(|u| u.orthonormality_defect())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ratucker_tensor::random::{normal_tensor, random_orthonormal};
+
+    fn random_tucker(dims: &[usize], ranks: &[usize], seed: u64) -> TuckerTensor<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let core = normal_tensor(ratucker_tensor::shape::Shape::new(ranks), &mut rng);
+        let factors = dims
+            .iter()
+            .zip(ranks)
+            .map(|(&n, &r)| random_orthonormal(n, r, &mut rng))
+            .collect();
+        TuckerTensor::new(core, factors)
+    }
+
+    #[test]
+    fn storage_and_compression() {
+        let t = random_tucker(&[10, 12, 8], &[2, 3, 2], 1);
+        assert_eq!(t.storage_entries(), 12 + 20 + 36 + 16);
+        let full = 10 * 12 * 8;
+        assert!((t.compression_ratio() - full as f64 / 84.0).abs() < 1e-12);
+        assert!((t.relative_size() * t.compression_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_identity_holds() {
+        // For X built exactly in Tucker form, the core-norm error of the
+        // exact decomposition is 0 and reconstruct() matches.
+        let t = random_tucker(&[6, 5, 4], &[2, 2, 3], 2);
+        let x = t.reconstruct();
+        let err = t.rel_error_from_core(x.squared_norm_f64());
+        assert!(err < 1e-7, "err {err}");
+    }
+
+    #[test]
+    fn error_identity_matches_reconstruction_error() {
+        // Truncate an exact decomposition; both error routes must agree.
+        let t = random_tucker(&[8, 7, 6], &[4, 3, 3], 3);
+        let x = t.reconstruct();
+        let x_norm_sq = x.squared_norm_f64();
+        let trunc = t.truncate(&[2, 3, 1]);
+        let direct = trunc.reconstruct().rel_error(&x);
+        let via_core = {
+            // For a *truncated* decomposition the identity needs the full
+            // core norm replaced by the kept mass: recompute from scratch.
+            let kept = trunc.core.squared_norm_f64();
+            ((x_norm_sq - kept).max(0.0) / x_norm_sq).sqrt()
+        };
+        assert!(
+            (direct - via_core).abs() < 1e-9,
+            "direct {direct} via_core {via_core}"
+        );
+    }
+
+    #[test]
+    fn truncate_shapes() {
+        let t = random_tucker(&[9, 9], &[4, 5], 4);
+        let s = t.truncate(&[2, 3]);
+        assert_eq!(s.ranks(), vec![2, 3]);
+        assert_eq!(s.factors[0].cols(), 2);
+        assert_eq!(s.factors[1].cols(), 3);
+        assert_eq!(s.outer_dims(), vec![9, 9]);
+    }
+
+    #[test]
+    fn orthonormality_defect_small_for_random() {
+        let t = random_tucker(&[12, 10], &[3, 3], 5);
+        assert!(t.orthonormality_defect() < 1e-12);
+    }
+
+    #[test]
+    fn region_reconstruction_matches_full() {
+        let t = random_tucker(&[7, 6, 5], &[3, 2, 2], 6);
+        let full = t.reconstruct();
+        let region = t.reconstruct_region(&[2, 1, 0], &[3, 4, 2]);
+        assert_eq!(region.shape().dims(), &[3, 4, 2]);
+        for idx in region.shape().indices() {
+            let gidx = [idx[0] + 2, idx[1] + 1, idx[2]];
+            assert!((region.get(&idx) - full.get(&gidx)).abs() < 1e-12, "{idx:?}");
+        }
+    }
+
+    #[test]
+    fn slice_reconstruction_matches_full() {
+        let t = random_tucker(&[6, 5, 4], &[2, 2, 2], 7);
+        let full = t.reconstruct();
+        for mode in 0..3 {
+            let idx_in_mode = t.outer_dims()[mode] - 1;
+            let slice = t.reconstruct_slice(mode, idx_in_mode);
+            assert_eq!(slice.dim(mode), 1);
+            for idx in slice.shape().indices() {
+                let mut gidx = idx.clone();
+                gidx[mode] = idx_in_mode;
+                assert!((slice.get(&idx) - full.get(&gidx)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row slice")]
+    fn region_out_of_bounds_panics() {
+        let t = random_tucker(&[4, 4], &[2, 2], 8);
+        t.reconstruct_region(&[3, 0], &[2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn rejects_mismatched_factor() {
+        let core: DenseTensor<f64> = DenseTensor::zeros([2, 2]);
+        let factors = vec![Matrix::zeros(5, 2), Matrix::zeros(5, 3)];
+        TuckerTensor::new(core, factors);
+    }
+}

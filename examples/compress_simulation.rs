@@ -1,0 +1,76 @@
+//! Compressing scientific-simulation data (the paper's §4.2 scenario).
+//!
+//! ```sh
+//! cargo run --release --example compress_simulation
+//! ```
+//!
+//! Generates the Miranda-like fluid-flow field, then compares STHOSVD and
+//! rank-adaptive HOSI-DT at the paper's three tolerances, reporting
+//! time-to-tolerance, achieved error, and compression ratio — the
+//! trade-off a simulation group would actually evaluate before adopting a
+//! compressor.
+
+use ra_hooi::datasets::{miranda_like, TOLERANCES, TOLERANCE_LABELS};
+use ra_hooi::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let spec = miranda_like(5); // 80^3 single-precision field
+    println!("generating {} …", spec.name);
+    let x = spec.build::<f32>();
+    let gb = (x.num_entries() * 4) as f64 / 1e9;
+    println!("tensor {:?} ({:.3} GB in f32)\n", x.shape().dims(), gb);
+
+    println!(
+        "{:<6} {:>10} {:>12} {:>10} {:>12} {:>10} {:>9}",
+        "eps", "algorithm", "time (s)", "error", "ranks", "compress", "speedup"
+    );
+
+    for (&eps, label) in TOLERANCES.iter().zip(TOLERANCE_LABELS) {
+        // Baseline: STHOSVD with the error-specified truncation rule.
+        let t0 = Instant::now();
+        let st = sthosvd(&x, &SthosvdTruncation::RelError(eps));
+        let st_time = t0.elapsed().as_secs_f64();
+        println!(
+            "{:<6} {:>10} {:>12.3} {:>10.4} {:>12} {:>9.0}x {:>9}",
+            format!("{eps}"),
+            "STHOSVD",
+            st_time,
+            st.rel_error,
+            format!("{:?}", st.tucker.ranks()),
+            st.tucker.compression_ratio(),
+            "1.0x"
+        );
+
+        // Rank-adaptive HOSI-DT, starting from a 25% overestimate of
+        // STHOSVD's ranks (the paper's fastest configuration).
+        let start: Vec<usize> = st
+            .tucker
+            .ranks()
+            .iter()
+            .zip(x.shape().dims())
+            .map(|(&r, &n)| ((r as f64 * 1.25).ceil() as usize).min(n))
+            .collect();
+        let cfg = RaConfig::ra_hosi_dt(eps, &start)
+            .with_seed(3)
+            .stopping_on_threshold();
+        let t0 = Instant::now();
+        let ra = ra_hooi(&x, &cfg);
+        let ra_time = t0.elapsed().as_secs_f64();
+        println!(
+            "{:<6} {:>10} {:>12.3} {:>10.4} {:>12} {:>9.0}x {:>8.1}x",
+            format!("({label})"),
+            "RA-HOSI-DT",
+            ra_time,
+            ra.rel_error,
+            format!("{:?}", ra.tucker.ranks()),
+            ra.tucker.compression_ratio(),
+            st_time / ra_time
+        );
+        assert!(ra.rel_error <= eps, "tolerance violated");
+    }
+
+    println!("\nThe high-compression rows are where the paper reports its 82x-156x");
+    println!("Miranda speedups; the advantage shrinks as eps tightens because the");
+    println!("ranks (and hence HOOI's r-dependent costs) grow.");
+}

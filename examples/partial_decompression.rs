@@ -1,0 +1,81 @@
+//! Partial decompression: the introduction's motivating use case.
+//!
+//! ```sh
+//! cargo run --release --example partial_decompression
+//! ```
+//!
+//! "The Tucker format has an advantage that subtensors can be efficiently
+//! decompressed without reconstructing the full tensor, which allows for
+//! fast visualization of particular time steps, spatial regions, or
+//! quantities of interest." This example compresses an HCCI-like
+//! combustion field once, then pulls out (a) a single time step, (b) one
+//! physical variable over all space/time, and (c) a small spatial window,
+//! comparing the flop cost of each against a full reconstruction.
+
+use ra_hooi::datasets::hcci_like;
+use ra_hooi::prelude::*;
+use ra_hooi::tensor::flops;
+
+fn main() {
+    let spec = hcci_like(3); // 36x36x33x24, double precision
+    println!("generating {} …", spec.name);
+    let x = spec.build::<f64>();
+    let dims = x.shape().dims().to_vec();
+    println!("field: {:?} = (x, y, variable, time)\n", dims);
+
+    // Compress once to 5% with rank-adaptive HOSI-DT.
+    let cfg = RaConfig::ra_hosi_dt(0.05, &[10, 10, 12, 8]).with_seed(1).stopping_on_threshold();
+    let ra = ra_hooi(&x, &cfg);
+    println!(
+        "compressed to ranks {:?} ({:.0}x, rel error {:.4})\n",
+        ra.tucker.ranks(),
+        ra.tucker.compression_ratio(),
+        ra.rel_error
+    );
+
+    let (_, full_flops) = flops::measure(|| ra.tucker.reconstruct());
+    println!("full reconstruction: {full_flops} flops (reference)");
+
+    // (a) one time step.
+    let ((), step_flops) = flops::measure(|| {
+        let _ = ra.tucker.reconstruct_slice(3, dims[3] / 2);
+    });
+    println!(
+        "one time step:       {step_flops} flops  ({:.1}x cheaper)",
+        full_flops as f64 / step_flops as f64
+    );
+
+    // (b) one physical variable across all space and time.
+    let ((), var_flops) = flops::measure(|| {
+        let _ = ra.tucker.reconstruct_slice(2, 0);
+    });
+    println!(
+        "one variable:        {var_flops} flops  ({:.1}x cheaper)",
+        full_flops as f64 / var_flops as f64
+    );
+
+    // (c) an 8x8 spatial window of one variable at one time step.
+    let ((), window_flops) = flops::measure(|| {
+        let _ = ra
+            .tucker
+            .reconstruct_region(&[10, 10, 0, dims[3] / 2], &[8, 8, 1, 1]);
+    });
+    println!(
+        "8x8 window:          {window_flops} flops  ({:.0}x cheaper)",
+        full_flops as f64 / window_flops as f64
+    );
+
+    // Accuracy spot check on the window.
+    let window = ra
+        .tucker
+        .reconstruct_region(&[10, 10, 0, dims[3] / 2], &[8, 8, 1, 1]);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for idx in window.shape().indices() {
+        let gidx = [idx[0] + 10, idx[1] + 10, 0, dims[3] / 2];
+        let d = window.get(&idx) - x.get(&gidx);
+        num += d * d;
+        den += x.get(&gidx) * x.get(&gidx);
+    }
+    println!("\nwindow relative error: {:.4}", (num / den).sqrt());
+}

@@ -1,0 +1,32 @@
+//! Facade crate for the RA-HOOI reproduction workspace.
+//!
+//! Re-exports the public APIs of every workspace crate so examples and
+//! downstream users can depend on a single crate:
+//!
+//! ```
+//! use ra_hooi::prelude::*;
+//! ```
+//!
+//! The individual crates are:
+//! - [`tensor`] — dense d-way tensors, unfoldings, TTM kernels.
+//! - [`linalg`] — GEMM, symmetric EVD, QR, QR with column pivoting, SVD.
+//! - [`mpi`] — the threaded message-passing runtime (MPI stand-in).
+//! - [`dist`] — block-distributed tensors and distributed kernels.
+//! - [`tucker`] — STHOSVD, HOOI variants, and rank-adaptive HOSI-DT.
+//! - [`datasets`] — scientific-simulation stand-in generators.
+//! - [`perfmodel`] — analytic cost model and scaling simulator.
+
+pub use ratucker as tucker;
+pub use ratucker_datasets as datasets;
+pub use ratucker_dist as dist;
+pub use ratucker_linalg as linalg;
+pub use ratucker_mpi as mpi;
+pub use ratucker_perfmodel as perfmodel;
+pub use ratucker_tensor as tensor;
+
+/// One-stop imports for examples and quick experiments.
+pub mod prelude {
+    pub use ratucker::prelude::*;
+    pub use ratucker_linalg::prelude::*;
+    pub use ratucker_tensor::prelude::*;
+}

@@ -1,0 +1,163 @@
+//! Integration tests spanning the algorithm crates: the paper's
+//! qualitative claims, checked end to end on synthetic data.
+
+use ra_hooi::prelude::*;
+
+fn synthetic(dims: &[usize], ranks: &[usize], noise: f64, seed: u64) -> ra_hooi::tensor::DenseTensor<f64> {
+    SyntheticSpec::new(dims, ranks, noise, seed).build()
+}
+
+/// Claim (§1, §3.1): randomly initialized HOOI converges to
+/// STHOSVD-comparable error in as few as 1–2 iterations, for every
+/// variant.
+#[test]
+fn hooi_matches_sthosvd_error_in_two_sweeps() {
+    let x = synthetic(&[20, 18, 16, 14], &[4, 4, 3, 3], 0.05, 301);
+    let st = sthosvd(&x, &SthosvdTruncation::Ranks(vec![4, 4, 3, 3]));
+    for cfg in [
+        HooiConfig::hooi(),
+        HooiConfig::hooi_dt(),
+        HooiConfig::hosi(),
+        HooiConfig::hosi_dt(),
+    ] {
+        let res = hooi(&x, &[4, 4, 3, 3], &cfg.with_max_iters(2).with_seed(3));
+        assert!(
+            res.rel_error() <= st.rel_error * 1.02 + 1e-12,
+            "{:?} err {} vs STHOSVD {}",
+            res.tucker.ranks(),
+            res.rel_error(),
+            st.rel_error
+        );
+    }
+}
+
+/// HOOI can *refine* STHOSVD: initializing HOOI from STHOSVD's factors
+/// never increases the error (block coordinate descent is monotone).
+#[test]
+fn hooi_refines_sthosvd_initialization() {
+    let x = synthetic(&[18, 16, 14], &[3, 3, 3], 0.1, 303);
+    let st = sthosvd(&x, &SthosvdTruncation::Ranks(vec![3, 3, 3]));
+    let res = ra_hooi::tucker::hooi_with_init(
+        &x,
+        &[3, 3, 3],
+        st.tucker.factors.clone(),
+        &HooiConfig::hooi().with_max_iters(2),
+    );
+    assert!(
+        res.rel_error() <= st.rel_error + 1e-12,
+        "refinement increased error: {} -> {}",
+        st.rel_error,
+        res.rel_error()
+    );
+}
+
+/// The error identity ‖X−X̂‖² = ‖X‖² − ‖G‖² must agree with explicit
+/// reconstruction for every algorithm's output.
+#[test]
+fn error_identity_consistent_across_algorithms() {
+    let x = synthetic(&[14, 12, 10], &[3, 3, 2], 0.05, 307);
+    let xns = x.squared_norm_f64();
+
+    let st = sthosvd(&x, &SthosvdTruncation::RelError(0.1));
+    let direct = st.tucker.reconstruct().rel_error(&x);
+    assert!((direct - st.tucker.rel_error_from_core(xns)).abs() < 1e-9);
+
+    let ho = hooi(&x, &[3, 3, 2], &HooiConfig::hosi_dt().with_max_iters(2));
+    let direct = ho.tucker.reconstruct().rel_error(&x);
+    assert!((direct - ho.tucker.rel_error_from_core(xns)).abs() < 1e-9);
+
+    let ra = ra_hooi(&x, &RaConfig::ra_hosi_dt(0.1, &[3, 3, 2]).with_max_iters(2));
+    let direct = ra.tucker.reconstruct().rel_error(&x);
+    assert!((direct - ra.rel_error).abs() < 1e-9);
+}
+
+/// Claim (§5): the rank-adaptive core analysis can shift rank across
+/// modes and find decompositions at least as small as STHOSVD's greedy
+/// per-mode choice, at equal tolerance.
+#[test]
+fn ra_storage_is_competitive_with_sthosvd() {
+    // A tensor with deliberately unbalanced mode spectra.
+    let x = {
+        let mut spec = ratucker_datasets::miranda_like(2);
+        spec.decay = vec![0.5, 0.25, 0.12];
+        spec.build::<f64>()
+    };
+    let eps = 0.05;
+    let st = sthosvd(&x, &SthosvdTruncation::RelError(eps));
+    let start = st.tucker.ranks();
+    let cfg = RaConfig::ra_hosi_dt(eps, &start).with_seed(5).with_max_iters(3);
+    let ra = ra_hooi(&x, &cfg);
+    assert!(ra.rel_error <= eps, "tolerance violated: {}", ra.rel_error);
+    let st_size = st.tucker.storage_entries() as f64;
+    let ra_size = ra.tucker.storage_entries() as f64;
+    assert!(
+        ra_size <= st_size * 1.1,
+        "RA storage {ra_size} much worse than STHOSVD {st_size}"
+    );
+}
+
+/// Error-specified STHOSVD satisfies its tolerance across a ladder of ε
+/// on every stand-in dataset (precision-matched, as in the paper).
+#[test]
+fn error_specified_tolerances_hold_on_datasets() {
+    let miranda = ratucker_datasets::miranda_like(2).build::<f32>();
+    let hcci = ratucker_datasets::hcci_like(2).build::<f64>();
+    for &eps in &[0.1, 0.05] {
+        let st = sthosvd(&miranda, &SthosvdTruncation::RelError(eps));
+        assert!(st.rel_error <= eps, "miranda ε={eps}: {}", st.rel_error);
+        let st = sthosvd(&hcci, &SthosvdTruncation::RelError(eps));
+        assert!(st.rel_error <= eps, "hcci ε={eps}: {}", st.rel_error);
+    }
+}
+
+/// RA from undershot ranks must grow monotonically until feasible, then
+/// truncate to a feasible decomposition (Alg. 3's two branches).
+#[test]
+fn ra_rank_trajectory_is_sane() {
+    let x = synthetic(&[16, 16, 16], &[4, 4, 4], 0.02, 311);
+    let cfg = RaConfig::ra_hosi_dt(0.05, &[2, 2, 2])
+        .with_alpha(1.5)
+        .with_seed(9)
+        .with_max_iters(4);
+    let res = ra_hooi(&x, &cfg);
+    let mut seen_met = false;
+    for it in &res.iterations {
+        if it.met_threshold {
+            seen_met = true;
+            // Truncation never grows ranks.
+            assert!(it.ranks_out.iter().zip(&it.ranks_in).all(|(o, i)| o <= i));
+        } else {
+            assert!(!it.truncated);
+            // Growth is monotone and capped by dims.
+            assert!(it.ranks_out.iter().zip(&it.ranks_in).all(|(o, i)| o >= i));
+            assert!(it.ranks_out.iter().all(|&r| r <= 16));
+        }
+    }
+    assert!(seen_met, "never met tolerance: {:?}", res.iterations.iter().map(|i| i.rel_error).collect::<Vec<_>>());
+    assert!(res.rel_error <= 0.05);
+}
+
+/// The perfmodel's crossover rule (§3.1: HOSI-DT wins when n/r > 8 for
+/// ℓ = 2) must be visible in *measured* flops too.
+#[test]
+fn measured_flop_crossover_matches_theory() {
+    // High reduction: n/r = 16 → HOSI-DT must use fewer flops.
+    let x = synthetic(&[32, 32, 32], &[2, 2, 2], 1e-3, 313);
+    let st = sthosvd(&x, &SthosvdTruncation::Ranks(vec![2, 2, 2]));
+    let hd = hooi(&x, &[2, 2, 2], &HooiConfig::hosi_dt().with_max_iters(2));
+    assert!(
+        hd.timings.total_flops() < st.timings.total_flops(),
+        "HOSI-DT {} vs STHOSVD {}",
+        hd.timings.total_flops(),
+        st.timings.total_flops()
+    );
+
+    // Low reduction: n/r = 2 → STHOSVD must use fewer flops.
+    let x = synthetic(&[16, 16, 16], &[8, 8, 8], 1e-3, 317);
+    let st = sthosvd(&x, &SthosvdTruncation::Ranks(vec![8, 8, 8]));
+    let hd = hooi(&x, &[8, 8, 8], &HooiConfig::hosi_dt().with_max_iters(2));
+    assert!(
+        hd.timings.total_flops() > st.timings.total_flops(),
+        "expected STHOSVD cheaper at low reduction"
+    );
+}

@@ -1,0 +1,117 @@
+//! Integration tests for the compression → storage → partial
+//! decompression workflow — the use case the paper's introduction
+//! motivates ("fast visualization of particular time steps, spatial
+//! regions, or quantities of interest").
+
+use ra_hooi::prelude::*;
+use ra_hooi::tensor::io;
+use ra_hooi::tensor::DenseTensor;
+
+#[test]
+fn single_time_step_decompression_matches_original_within_tolerance() {
+    // Compress an HCCI-like field to 5% error, then decompress one time
+    // step and compare against the same slice of the original.
+    let spec = ratucker_datasets::hcci_like(2);
+    let x = spec.build::<f64>();
+    let eps = 0.05;
+    let res = sthosvd(&x, &SthosvdTruncation::RelError(eps));
+    assert!(res.rel_error <= eps);
+
+    let time_mode = 3;
+    let step = x.dim(time_mode) / 2;
+    let slice_hat = res.tucker.reconstruct_slice(time_mode, step);
+
+    // Extract the true slice and compare norms of the difference.
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for idx in slice_hat.shape().indices() {
+        let mut gidx = idx.clone();
+        gidx[time_mode] = step;
+        let d = slice_hat.get(&idx) - x.get(&gidx);
+        num += d * d;
+        den += x.get(&gidx) * x.get(&gidx);
+    }
+    let slice_err = (num / den).sqrt();
+    // Per-slice error can exceed the global ε but must stay the same
+    // order of magnitude for a sane decomposition.
+    assert!(slice_err < 5.0 * eps, "slice error {slice_err}");
+}
+
+#[test]
+fn region_decompression_never_touches_full_reconstruction_cost() {
+    // Flop accounting: decompressing a small region must cost far fewer
+    // flops than a full reconstruction.
+    let spec = SyntheticSpec::new(&[40, 40, 40], &[5, 5, 5], 0.01, 71);
+    let x = spec.build::<f32>();
+    let res = sthosvd(&x, &SthosvdTruncation::Ranks(vec![5, 5, 5]));
+
+    let (_, full_flops) = ra_hooi::tensor::flops::measure(|| res.tucker.reconstruct());
+    let (_, region_flops) =
+        ra_hooi::tensor::flops::measure(|| res.tucker.reconstruct_region(&[0, 0, 0], &[4, 4, 4]));
+    assert!(
+        region_flops * 10 < full_flops,
+        "region {region_flops} vs full {full_flops}"
+    );
+}
+
+#[test]
+fn compressed_file_roundtrip_preserves_approximation() {
+    // Write the input and the decomposition to disk, reload both, verify
+    // the error is unchanged — the archival workflow.
+    let dir = std::env::temp_dir();
+    let tag = format!("{}", std::process::id());
+    let input_path = dir.join(format!("ratucker_decomp_in_{tag}.rtt"));
+
+    let spec = ratucker_datasets::miranda_like(2);
+    let x = spec.build::<f32>();
+    io::write_rtt(&input_path, &x).unwrap();
+
+    let res = ra_hooi(&x, &RaConfig::ra_hosi_dt(0.05, &[8, 8, 8]).with_seed(3));
+    let err_before = res.rel_error;
+
+    // Round-trip the core through the .rtt format.
+    let core_path = dir.join(format!("ratucker_decomp_core_{tag}.rtt"));
+    io::write_rtt(&core_path, &res.tucker.core).unwrap();
+    let core_back: DenseTensor<f32> = io::read_rtt(&core_path).unwrap();
+    let x_back: DenseTensor<f32> = io::read_rtt(&input_path).unwrap();
+
+    let rebuilt = TuckerTensor::new(core_back, res.tucker.factors.clone());
+    let err_after = rebuilt.reconstruct().rel_error(&x_back);
+    assert!(
+        (err_after - err_before).abs() < 1e-4,
+        "{err_after} vs {err_before}"
+    );
+
+    std::fs::remove_file(&input_path).unwrap();
+    std::fs::remove_file(&core_path).unwrap();
+}
+
+#[test]
+fn block_reads_reassemble_the_distributed_input() {
+    // Write a raw tensor, then read per-rank blocks exactly as a
+    // distributed loader would, and check they tile the original.
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("ratucker_blockread_{}.raw", std::process::id()));
+    let x = SyntheticSpec::new(&[12, 10, 8], &[2, 2, 2], 0.01, 73).build::<f64>();
+    io::write_raw(&path, &x).unwrap();
+
+    let grid = [2usize, 2, 1];
+    for c0 in 0..grid[0] {
+        for c1 in 0..grid[1] {
+            let r0 = ratucker_dist::block_range(12, grid[0], c0);
+            let r1 = ratucker_dist::block_range(10, grid[1], c1);
+            let block: DenseTensor<f64> = io::read_block_raw(
+                &path,
+                x.shape(),
+                &[r0.offset, r1.offset, 0],
+                &[r0.len, r1.len, 8],
+            )
+            .unwrap();
+            for idx in block.shape().indices() {
+                let gidx = [idx[0] + r0.offset, idx[1] + r1.offset, idx[2]];
+                assert_eq!(block.get(&idx), x.get(&gidx));
+            }
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}

@@ -1,0 +1,161 @@
+//! Integration tests of the full distributed pipeline: dataset → grid →
+//! distributed algorithm → gathered result, validated against the
+//! sequential implementations across processor grids.
+
+use ra_hooi::dist::DistTensor;
+use ra_hooi::mpi::{enumerate_grids, CartGrid, Universe};
+use ra_hooi::prelude::*;
+use ra_hooi::tucker::dist::{dist_hooi, dist_ra_hooi, dist_sthosvd};
+
+#[test]
+fn dist_sthosvd_agrees_on_every_grid_of_8() {
+    let spec = SyntheticSpec::new(&[12, 10, 8], &[3, 3, 2], 0.02, 401);
+    let x_full = spec.build::<f32>();
+    let seq = sthosvd(&x_full, &SthosvdTruncation::RelError(0.1));
+    for grid_dims in enumerate_grids(8, 3) {
+        // Skip grids that oversubscribe small truncated modes.
+        if grid_dims
+            .iter()
+            .zip(&seq.tucker.ranks())
+            .any(|(&g, &r)| g > r)
+        {
+            continue;
+        }
+        let gd = grid_dims.clone();
+        let s = spec.clone();
+        let out = Universe::launch(8, move |c| {
+            let grid = CartGrid::new(c, &gd);
+            let x = DistTensor::scatter_from_replicated(&grid, &s.build::<f32>());
+            let res = dist_sthosvd(&grid, &x, &SthosvdTruncation::RelError(0.1));
+            (res.rel_error, res.tucker.ranks())
+        });
+        for (err, ranks) in out {
+            assert!(
+                (err - seq.rel_error).abs() < 1e-4,
+                "grid {grid_dims:?}: {err} vs {}",
+                seq.rel_error
+            );
+            assert_eq!(ranks, seq.tucker.ranks(), "grid {grid_dims:?}");
+        }
+    }
+}
+
+#[test]
+fn dist_tucker_reconstruction_matches_sequential() {
+    // Gather the distributed result and reconstruct: the decompositions
+    // must approximate the input equally well.
+    let spec = SyntheticSpec::new(&[10, 10, 10], &[3, 3, 3], 0.05, 403);
+    let x_full = spec.build::<f64>();
+    let cfg = HooiConfig::hosi_dt().with_max_iters(2).with_seed(7);
+    let seq = hooi(&x_full, &[3, 3, 3], &cfg);
+    let s = spec.clone();
+    let cfg2 = cfg.clone();
+    let out = Universe::launch(4, move |c| {
+        let grid = CartGrid::new(c, &[2, 2, 1]);
+        let x = DistTensor::scatter_from_replicated(&grid, &s.build::<f64>());
+        let res = dist_hooi(&grid, &x, &[3, 3, 3], &cfg2);
+        res.tucker.gather(&grid).reconstruct()
+    });
+    for rec in out {
+        let err = rec.rel_error(&x_full);
+        assert!(
+            (err - seq.rel_error()).abs() < 1e-6,
+            "dist reconstruction err {err} vs seq {}",
+            seq.rel_error()
+        );
+    }
+}
+
+#[test]
+fn dist_ra_on_dataset_standin_meets_tolerance() {
+    // Laptop-scale Miranda stand-in through the distributed RA pipeline.
+    let spec = ratucker_datasets::miranda_like(2);
+    let eps = 0.1;
+    let s = spec.clone();
+    let out = Universe::launch(4, move |c| {
+        let grid = CartGrid::new(c, &[1, 2, 2]);
+        let x = DistTensor::scatter_from_replicated(&grid, &s.build::<f32>());
+        let start = vec![6, 6, 6];
+        let cfg = RaConfig::ra_hosi_dt(eps, &start).with_seed(5).with_max_iters(3);
+        let res = dist_ra_hooi(&grid, &x, &cfg);
+        (res.rel_error, res.tucker.ranks())
+    });
+    for (err, ranks) in out {
+        assert!(err <= eps, "tolerance violated: {err} at ranks {ranks:?}");
+    }
+}
+
+#[test]
+fn traffic_shrinks_with_better_grids_for_sthosvd() {
+    // §2.1: grids with P1 = 1 avoid the mode-1 redistribution, so they
+    // move fewer bytes for STHOSVD. Verify with measured traffic.
+    let spec = SyntheticSpec::new(&[16, 16, 16], &[4, 4, 4], 0.02, 405);
+    let measure = |grid_dims: Vec<usize>| -> u64 {
+        let u = Universe::new(4);
+        let s = spec.clone();
+        u.run(move |c| {
+            let grid = CartGrid::new(c, &grid_dims);
+            let x = DistTensor::scatter_from_replicated(&grid, &s.build::<f32>());
+            let _ = dist_sthosvd(&grid, &x, &SthosvdTruncation::Ranks(vec![4, 4, 4]));
+        });
+        u.traffic().snapshot().0
+    };
+    let p1_split = measure(vec![4, 1, 1]);
+    let p1_one = measure(vec![1, 1, 4]);
+    assert!(
+        p1_one < p1_split,
+        "P1=1 grid should move fewer bytes: {p1_one} vs {p1_split}"
+    );
+}
+
+#[test]
+fn dim_tree_moves_fewer_bytes_than_direct_hooi() {
+    // Table 2: direct HOOI pays (d−1)·(P1−1) on the first mode; the tree
+    // pays (P1−1) + (Pd−1). On a grid splitting only mode 0, the tree
+    // must communicate less.
+    let spec = SyntheticSpec::new(&[16, 16, 16, 16], &[4, 4, 4, 4], 0.02, 407);
+    let measure = |cfg: HooiConfig| -> u64 {
+        let u = Universe::new(4);
+        let s = spec.clone();
+        u.run(move |c| {
+            let grid = CartGrid::new(c, &[4, 1, 1, 1]);
+            let x = DistTensor::scatter_from_replicated(&grid, &s.build::<f32>());
+            let _ = dist_hooi(&grid, &x, &[4, 4, 4, 4], &cfg.clone().with_max_iters(1));
+        });
+        u.traffic().snapshot().0
+    };
+    let direct = measure(HooiConfig::hooi());
+    let tree = measure(HooiConfig::hooi_dt());
+    assert!(
+        tree < direct,
+        "dimension tree should move fewer bytes: {tree} vs {direct}"
+    );
+}
+
+#[test]
+fn universe_runs_all_five_algorithms_back_to_back() {
+    // One universe, all algorithms sequentially — exercises communicator
+    // reuse and fabric message isolation between algorithm runs.
+    let spec = SyntheticSpec::new(&[8, 8, 8], &[2, 2, 2], 0.01, 409);
+    let u = Universe::new(2);
+    let errs = u.run(|c| {
+        let grid = CartGrid::new(c, &[2, 1, 1]);
+        let x = DistTensor::scatter_from_replicated(&grid, &spec.build::<f32>());
+        let mut errs = Vec::new();
+        errs.push(dist_sthosvd(&grid, &x, &SthosvdTruncation::Ranks(vec![2, 2, 2])).rel_error);
+        for cfg in [
+            HooiConfig::hooi(),
+            HooiConfig::hooi_dt(),
+            HooiConfig::hosi(),
+            HooiConfig::hosi_dt(),
+        ] {
+            errs.push(dist_hooi(&grid, &x, &[2, 2, 2], &cfg.with_max_iters(2)).rel_error);
+        }
+        errs
+    });
+    for rank_errs in errs {
+        for e in rank_errs {
+            assert!(e < 0.05, "unexpectedly high error {e}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Workspace-level property tests: algorithm invariants that must hold
+//! for arbitrary (small) problems.
+
+use proptest::prelude::*;
+use ra_hooi::prelude::*;
+use ra_hooi::tucker::analyze_core;
+
+/// Strategy: (dims, true ranks, noise, seed) for a small synthetic
+/// problem with ranks strictly below the dims.
+fn arb_problem() -> impl Strategy<Value = (Vec<usize>, Vec<usize>, f64, u64)> {
+    (2usize..=4)
+        .prop_flat_map(|d| {
+            (
+                prop::collection::vec(6usize..=10, d..=d),
+                prop::collection::vec(2usize..=3, d..=d),
+            )
+        })
+        .prop_flat_map(|(dims, ranks)| {
+            (Just(dims), Just(ranks), 0.0f64..0.2, 0u64..10_000)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// STHOSVD at the true ranks always achieves error ≈ the noise floor
+    /// (quasi-optimality) and orthonormal factors.
+    #[test]
+    fn sthosvd_quasi_optimal((dims, ranks, noise, seed) in arb_problem()) {
+        let x = SyntheticSpec::new(&dims, &ranks, noise, seed).build::<f64>();
+        let res = sthosvd(&x, &SthosvdTruncation::Ranks(ranks.clone()));
+        prop_assert!(res.tucker.orthonormality_defect() < 1e-8);
+        // Error cannot beat the noise floor nor exceed it by much
+        // (noise has some component inside the kept subspace).
+        prop_assert!(res.rel_error <= noise + 1e-7, "err {} noise {noise}", res.rel_error);
+    }
+
+    /// HOOI's per-sweep error is monotone non-increasing (block
+    /// coordinate descent), for every variant.
+    #[test]
+    fn hooi_error_monotone((dims, ranks, noise, seed) in arb_problem()) {
+        let x = SyntheticSpec::new(&dims, &ranks, noise, seed).build::<f64>();
+        for cfg in [HooiConfig::hooi(), HooiConfig::hosi_dt()] {
+            let res = hooi(&x, &ranks, &cfg.with_max_iters(3).with_seed(seed));
+            for w in res.sweeps.windows(2) {
+                prop_assert!(
+                    w[1].rel_error <= w[0].rel_error + 1e-8,
+                    "{} -> {}",
+                    w[0].rel_error,
+                    w[1].rel_error
+                );
+            }
+        }
+    }
+
+    /// Rank-adaptive HOOI either meets the tolerance or runs out of
+    /// iterations with ranks strictly grown toward the dims; when it
+    /// meets, the result satisfies the tolerance.
+    #[test]
+    fn ra_meets_or_grows((dims, ranks, noise, seed) in arb_problem()) {
+        let x = SyntheticSpec::new(&dims, &ranks, noise, seed).build::<f64>();
+        let eps = (noise * 2.0).max(0.05);
+        let cfg = RaConfig {
+            eps,
+            alpha: 2.0,
+            initial_ranks: vec![1; dims.len()],
+            max_iters: 4,
+            stop_on_threshold: true,
+            inner: HooiConfig::hosi_dt().with_seed(seed),
+        };
+        let res = ra_hooi(&x, &cfg);
+        match res.met_at {
+            Some(_) => prop_assert!(res.rel_error <= eps + 1e-12),
+            None => {
+                let last = res.iterations.last().unwrap();
+                prop_assert!(
+                    last.ranks_out.iter().zip(&dims).all(|(&r, &n)| r <= n)
+                );
+                // Must have grown beyond the start.
+                prop_assert!(last.ranks_out.iter().any(|&r| r > 1));
+            }
+        }
+    }
+
+    /// The core-analysis result is always feasible and never larger than
+    /// the untruncated decomposition.
+    #[test]
+    fn core_analysis_feasible_and_no_worse(
+        dims in prop::collection::vec(2usize..=4, 2..=3),
+        seed in 0u64..1000,
+        eps in 0.05f64..0.5,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let core: ra_hooi::tensor::DenseTensor<f64> =
+            ra_hooi::tensor::random::normal_tensor(ra_hooi::tensor::Shape::new(&dims), &mut rng);
+        let xns = core.squared_norm_f64() * 1.0001;
+        let outer: Vec<usize> = dims.iter().map(|&r| r * 10).collect();
+        if let Some(a) = analyze_core(&core, &outer, xns, eps) {
+            let target = (1.0 - eps * eps) * xns;
+            prop_assert!(a.kept_norm_sq >= target);
+            let full_storage = ra_hooi::tucker::tucker_storage(&dims, &outer);
+            prop_assert!(a.storage <= full_storage);
+            prop_assert!(a.ranks.iter().zip(&dims).all(|(&r, &d)| r >= 1 && r <= d));
+        }
+    }
+
+    /// Reconstructing any algorithm's Tucker output and re-compressing it
+    /// at the same ranks is idempotent in error (the output is a fixed
+    /// point up to round-off).
+    #[test]
+    fn recompression_is_stable((dims, ranks, noise, seed) in arb_problem()) {
+        let x = SyntheticSpec::new(&dims, &ranks, noise, seed).build::<f64>();
+        let first = sthosvd(&x, &SthosvdTruncation::Ranks(ranks.clone()));
+        let x_hat = first.tucker.reconstruct();
+        let second = sthosvd(&x_hat, &SthosvdTruncation::Ranks(ranks.clone()));
+        prop_assert!(second.rel_error < 1e-7, "recompression error {}", second.rel_error);
+    }
+}
