@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, build, full test suite, chaos smoke.
+# Everything runs offline against the vendored dependency stubs.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test (workspace)"
+cargo test --workspace --offline -q
+
+echo "==> chaos smoke (single-threaded: fault scenarios share wall-clock budgets)"
+cargo test -q --offline --test chaos -- --test-threads=1
+
+echo "ci.sh: all green"

@@ -32,9 +32,7 @@ fn bench_reduce_scatter(c: &mut Criterion) {
             let u = Universe::new(p);
             let counts = vec![512usize; p];
             b.iter(|| {
-                let out = u.run(|comm| {
-                    comm.reduce_scatter(vec![1.0f32; 512 * p], &counts, sum_op)
-                });
+                let out = u.run(|comm| comm.reduce_scatter(vec![1.0f32; 512 * p], &counts, sum_op));
                 black_box(out[0][0])
             });
         });
@@ -60,5 +58,10 @@ fn bench_alltoallv(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_allreduce, bench_reduce_scatter, bench_alltoallv);
+criterion_group!(
+    benches,
+    bench_allreduce,
+    bench_reduce_scatter,
+    bench_alltoallv
+);
 criterion_main!(benches);

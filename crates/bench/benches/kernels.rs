@@ -66,8 +66,12 @@ fn bench_contract(c: &mut Criterion) {
     let n = 64;
     let r = 8;
     // Y has dims (n, r, r) — the all-but-one product shape for mode 0.
-    let y = DenseTensor::from_fn([n, r, r], |idx| ((idx[0] + idx[1] * 3 + idx[2]) as f32).sin());
-    let core = DenseTensor::from_fn([r, r, r], |idx| ((idx[0] * 2 + idx[1] + idx[2]) as f32).cos());
+    let y = DenseTensor::from_fn([n, r, r], |idx| {
+        ((idx[0] + idx[1] * 3 + idx[2]) as f32).sin()
+    });
+    let core = DenseTensor::from_fn([r, r, r], |idx| {
+        ((idx[0] * 2 + idx[1] + idx[2]) as f32).cos()
+    });
     g.bench_function("mode0_n64_r8", |bench| {
         bench.iter(|| black_box(contract_all_but(&y, &core, 0)));
     });

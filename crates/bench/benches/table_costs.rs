@@ -24,12 +24,7 @@ fn sweep_time(c: &mut Criterion, name: &str, x: &DenseTensor<f32>, r: usize, cfg
     let init = ratucker::hooi::random_init::<f32>(x.shape().dims(), &ranks, 9);
     c.bench_function(name, |b| {
         b.iter(|| {
-            let res = hooi_with_init(
-                x,
-                &ranks,
-                init.clone(),
-                &cfg.clone().with_max_iters(1),
-            );
+            let res = hooi_with_init(x, &ranks, init.clone(), &cfg.clone().with_max_iters(1));
             black_box(res.rel_error())
         })
     });

@@ -16,9 +16,7 @@ fn bench_rank_specified(c: &mut Criterion) {
     let mut g = c.benchmark_group("rank_specified_3way_64_r8");
     g.measurement_time(Duration::from_secs(4)).sample_size(10);
     g.bench_function("STHOSVD", |b| {
-        b.iter(|| {
-            black_box(sthosvd(&x, &SthosvdTruncation::Ranks(vec![r; 3])).rel_error)
-        })
+        b.iter(|| black_box(sthosvd(&x, &SthosvdTruncation::Ranks(vec![r; 3])).rel_error))
     });
     for cfg in [
         HooiConfig::hooi(),

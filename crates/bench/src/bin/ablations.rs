@@ -22,7 +22,14 @@ fn alpha_ablation() {
     let x = SyntheticSpec::new(&[48, 48, 48], &[8, 8, 8], 0.02, 601).build::<f32>();
     let mut t = Table::new(
         "alpha ablation: RA-HOSI-DT from ranks [2,2,2]",
-        &["alpha", "iters_to_eps", "seconds", "final_ranks", "rel_size", "rel_error"],
+        &[
+            "alpha",
+            "iters_to_eps",
+            "seconds",
+            "final_ranks",
+            "rel_size",
+            "rel_error",
+        ],
     );
     for alpha in [1.25, 1.5, 2.0, 3.0] {
         let cfg = RaConfig::ra_hosi_dt(0.05, &[2, 2, 2])
@@ -35,7 +42,9 @@ fn alpha_ablation() {
         let secs = t0.elapsed().as_secs_f64();
         t.row_strings(vec![
             format!("{alpha}"),
-            res.met_at.map(|k| (k + 1).to_string()).unwrap_or("never".into()),
+            res.met_at
+                .map(|k| (k + 1).to_string())
+                .unwrap_or("never".into()),
             format!("{secs:.3}"),
             format!("{:?}", res.tucker.ranks()),
             format!("{:.5}", res.tucker.relative_size()),
@@ -57,7 +66,11 @@ fn si_steps_ablation() {
     );
     // Reference: the Gram+EVD route (exact subiterations).
     let t0 = Instant::now();
-    let exact = hooi(&x, &[6, 6, 6], &HooiConfig::hooi_dt().with_seed(7).with_max_iters(2));
+    let exact = hooi(
+        &x,
+        &[6, 6, 6],
+        &HooiConfig::hooi_dt().with_seed(7).with_max_iters(2),
+    );
     let exact_secs = t0.elapsed().as_secs_f64();
     t.row_strings(vec![
         "exact (Gram+EVD)".into(),
@@ -105,13 +118,10 @@ fn qrcp_ordering_ablation() {
         // Control: reverse every mode (worst case for a "leading" search).
         let rev = {
             let dims = core.shape().dims().to_vec();
-            let flipped = ratucker_tensor::DenseTensor::from_fn(
-                core.shape().clone(),
-                |idx| {
-                    let src: Vec<usize> = idx.iter().zip(&dims).map(|(&i, &n)| n - 1 - i).collect();
-                    core.get(&src)
-                },
-            );
+            let flipped = ratucker_tensor::DenseTensor::from_fn(core.shape().clone(), |idx| {
+                let src: Vec<usize> = idx.iter().zip(&dims).map(|(&i, &n)| n - 1 - i).collect();
+                core.get(&src)
+            });
             flipped.leading_subtensor(&[keep; 3]).squared_norm_f64() / total
         };
         t.row_strings(vec![
@@ -144,7 +154,14 @@ fn core_analysis_ablation() {
 
     let mut t = Table::new(
         "core-analysis ablation: storage of the chosen truncation",
-        &["eps", "exhaustive_ranks", "exhaustive_storage", "greedy_ranks", "greedy_storage", "greedy_overhead"],
+        &[
+            "eps",
+            "exhaustive_ranks",
+            "exhaustive_storage",
+            "greedy_ranks",
+            "greedy_storage",
+            "greedy_overhead",
+        ],
     );
     for eps in [0.05, 0.1, 0.2] {
         let ex = ratucker::analyze_core(core, &dims, xns, eps);
@@ -157,11 +174,21 @@ fn core_analysis_ablation() {
                     e.storage.to_string(),
                     format!("{:?}", g.ranks),
                     g.storage.to_string(),
-                    format!("{:+.1}%", 100.0 * (g.storage as f64 / e.storage as f64 - 1.0)),
+                    format!(
+                        "{:+.1}%",
+                        100.0 * (g.storage as f64 / e.storage as f64 - 1.0)
+                    ),
                 ]);
             }
             _ => {
-                t.row_strings(vec![format!("{eps}"), "infeasible".into(), "-".into(), "infeasible".into(), "-".into(), "-".into()]);
+                t.row_strings(vec![
+                    format!("{eps}"),
+                    "infeasible".into(),
+                    "-".into(),
+                    "infeasible".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
             }
         }
     }

@@ -34,7 +34,10 @@ fn main() {
                 );
                 depth = d - remaining.len();
             }
-            DimTreeEvent::Leaf { mode, computes_core } => {
+            DimTreeEvent::Leaf {
+                mode,
+                computes_core,
+            } => {
                 println!(
                     "{:indent$}LEAF: update U_{}{}",
                     "",

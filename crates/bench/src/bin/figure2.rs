@@ -102,7 +102,10 @@ fn main() {
 
     for (name, spec, ranks) in &specs {
         let mut t = Table::new(
-            &format!("Figure 2 functional runs: {name} {:?} ranks {ranks:?}", spec.dims),
+            &format!(
+                "Figure 2 functional runs: {name} {:?} ranks {ranks:?}",
+                spec.dims
+            ),
             &["algorithm", "P", "best_grid", "seconds", "comm_bytes"],
         );
         for alg in AlgKind::ALL {
@@ -169,7 +172,15 @@ fn main() {
                     .collect(),
             })
             .collect();
-        println!("{}", loglog_chart(&format!("Figure 2: {name}, seconds vs cores"), &chart_series, 64, 18));
+        println!(
+            "{}",
+            loglog_chart(
+                &format!("Figure 2: {name}, seconds vs cores"),
+                &chart_series,
+                64,
+                18
+            )
+        );
 
         // Headline shape checks, printed for EXPERIMENTS.md.
         let idx = |p: usize| core_counts.iter().position(|&q| q == p).unwrap();
@@ -180,16 +191,28 @@ fn main() {
             let st4096 = series[0][idx(4096)];
             let hooidt4096 = series[2][idx(4096)];
             println!("3-way shape checks:");
-            println!("  STHOSVD 64->2048 speedup:   {:.2}x (paper: 1.3x)", st64 / st2048);
-            println!("  HOSI-DT vs STHOSVD @4096:   {:.0}x (paper: 259x)", st4096 / hosi4096);
-            println!("  HOSI-DT vs HOOI-DT @4096:   {:.0}x (paper: 515x)", hooidt4096 / hosi4096);
+            println!(
+                "  STHOSVD 64->2048 speedup:   {:.2}x (paper: 1.3x)",
+                st64 / st2048
+            );
+            println!(
+                "  HOSI-DT vs STHOSVD @4096:   {:.0}x (paper: 259x)",
+                st4096 / hosi4096
+            );
+            println!(
+                "  HOSI-DT vs HOOI-DT @4096:   {:.0}x (paper: 515x)",
+                hooidt4096 / hosi4096
+            );
             println!();
         } else {
             let st1 = series[0][idx(1)];
             let st8192 = series[0][idx(8192)];
             let best = |s: &Vec<f64>| s.iter().cloned().fold(f64::INFINITY, f64::min);
             println!("4-way shape checks:");
-            println!("  STHOSVD 1->8192 speedup:    {:.0}x (paper: 937x)", st1 / st8192);
+            println!(
+                "  STHOSVD 1->8192 speedup:    {:.0}x (paper: 937x)",
+                st1 / st8192
+            );
             println!(
                 "  best HOSI-DT vs best STHOSVD: {:.2}x (paper: 1.5x)",
                 best(&series[0]) / best(&series[4])

@@ -39,8 +39,15 @@ fn main() {
         );
 
         let st = sthosvd(&x, &SthosvdTruncation::Ranks(vec![r; d]));
-        let mut row = vec!["STHOSVD".to_string(), format!("{:.3}", st.timings.total_secs())];
-        row.extend(ALL_PHASES.iter().map(|&p| format!("{:.3}", st.timings.secs(p))));
+        let mut row = vec![
+            "STHOSVD".to_string(),
+            format!("{:.3}", st.timings.total_secs()),
+        ];
+        row.extend(
+            ALL_PHASES
+                .iter()
+                .map(|&p| format!("{:.3}", st.timings.secs(p))),
+        );
         t.row_strings(row);
 
         for cfg in [
@@ -55,7 +62,11 @@ fn main() {
                 cfg.variant_name().to_string(),
                 format!("{:.3}", res.timings.total_secs()),
             ];
-            row.extend(ALL_PHASES.iter().map(|&p| format!("{:.3}", res.timings.secs(p))));
+            row.extend(
+                ALL_PHASES
+                    .iter()
+                    .map(|&p| format!("{:.3}", res.timings.secs(p))),
+            );
             t.row_strings(row);
         }
         t.print();

@@ -18,7 +18,9 @@ fn main() {
     let report = run_dataset_experiment::<f32>(&spec);
     println!();
     report.progression_table().print();
-    report.progression_table().save_csv("figure4_miranda_progression");
+    report
+        .progression_table()
+        .save_csv("figure4_miranda_progression");
     report.speedup_table().print();
     report.speedup_table().save_csv("figure4_miranda_speedup");
 
@@ -31,10 +33,25 @@ fn main() {
         "Figure 4 companion: model at paper scale (Miranda 3072^3, r=10, P=1024)",
         &["algorithm", "iterations", "seconds", "speedup_vs_sthosvd"],
     );
-    let st = best_grid_time(&machine, AlgKind::Sthosvd, &Problem::new(3072, 10, 3, 1), 1024);
-    t.row_strings(vec!["STHOSVD".into(), "-".into(), format!("{:.2}", st.seconds), "1.0x".into()]);
+    let st = best_grid_time(
+        &machine,
+        AlgKind::Sthosvd,
+        &Problem::new(3072, 10, 3, 1),
+        1024,
+    );
+    t.row_strings(vec![
+        "STHOSVD".into(),
+        "-".into(),
+        format!("{:.2}", st.seconds),
+        "1.0x".into(),
+    ]);
     for iters in 1..=3usize {
-        let ra = best_grid_time(&machine, AlgKind::HosiDt, &Problem::new(3072, 10, 3, iters), 1024);
+        let ra = best_grid_time(
+            &machine,
+            AlgKind::HosiDt,
+            &Problem::new(3072, 10, 3, iters),
+            1024,
+        );
         t.row_strings(vec![
             "RA-HOSI-DT".into(),
             iters.to_string(),

@@ -13,7 +13,9 @@ fn main() {
     let report = run_dataset_experiment::<f32>(&spec);
     println!();
     report.breakdown_table().print();
-    report.breakdown_table().save_csv("figure5_miranda_breakdown");
+    report
+        .breakdown_table()
+        .save_csv("figure5_miranda_breakdown");
     println!("Paper observation: STHOSVD is Gram/EVD-dominated; HOSI-DT spends its");
     println!("time in TTM + SI; the core-analysis cost only becomes visible at the");
     println!("low-compression tolerance (eps = 0.01), where ranks - and r^d - are");

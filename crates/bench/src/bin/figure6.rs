@@ -13,7 +13,9 @@ fn main() {
     let report = run_dataset_experiment::<f64>(&spec);
     println!();
     report.progression_table().print();
-    report.progression_table().save_csv("figure6_hcci_progression");
+    report
+        .progression_table()
+        .save_csv("figure6_hcci_progression");
     report.speedup_table().print();
     report.speedup_table().save_csv("figure6_hcci_speedup");
     println!("Paper headline (§4.2.2): TTM-dominated regime, so wins are modest -");

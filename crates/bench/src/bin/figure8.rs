@@ -14,7 +14,9 @@ fn main() {
     let report = run_dataset_experiment::<f64>(&spec);
     println!();
     report.progression_table().print();
-    report.progression_table().save_csv("figure8_sp_progression");
+    report
+        .progression_table()
+        .save_csv("figure8_sp_progression");
     report.speedup_table().print();
     report.speedup_table().save_csv("figure8_sp_speedup");
     println!("Paper headline: 3 iterations usually yield better compression than");

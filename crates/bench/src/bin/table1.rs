@@ -28,7 +28,14 @@ fn main() {
 
     let mut table = Table::new(
         "Table 1: analytic vs measured flops (one HOOI sweep / one STHOSVD)",
-        &["problem", "algorithm", "phase", "analytic", "measured", "ratio"],
+        &[
+            "problem",
+            "algorithm",
+            "phase",
+            "analytic",
+            "measured",
+            "ratio",
+        ],
     );
 
     for (dims, r) in [(vec![64usize, 64, 64], 8usize), (vec![24, 24, 24, 24], 4)] {
@@ -43,7 +50,11 @@ fn main() {
         // STHOSVD.
         let st = sthosvd(&x, &SthosvdTruncation::Ranks(vec![r; d]));
         let model = algorithm_cost(AlgKind::Sthosvd, &prob, &grid);
-        for (phase, mlabel) in [(Phase::Gram, "Gram"), (Phase::Evd, "EVD"), (Phase::Ttm, "TTM")] {
+        for (phase, mlabel) in [
+            (Phase::Gram, "Gram"),
+            (Phase::Evd, "EVD"),
+            (Phase::Ttm, "TTM"),
+        ] {
             let analytic = model
                 .phases
                 .iter()
@@ -71,9 +82,17 @@ fn main() {
             let t = measured_phases(&x, &vec![r; d], &cfg);
             let model = algorithm_cost(alg, &Problem::new(n, r, d, 1), &grid);
             let pairs: Vec<(Phase, &str)> = if alg.uses_subspace_iter() {
-                vec![(Phase::Ttm, "TTM"), (Phase::Contract, "SI"), (Phase::Qr, "QR")]
+                vec![
+                    (Phase::Ttm, "TTM"),
+                    (Phase::Contract, "SI"),
+                    (Phase::Qr, "QR"),
+                ]
             } else {
-                vec![(Phase::Ttm, "TTM"), (Phase::Gram, "Gram"), (Phase::Evd, "EVD")]
+                vec![
+                    (Phase::Ttm, "TTM"),
+                    (Phase::Gram, "Gram"),
+                    (Phase::Evd, "EVD"),
+                ]
             };
             for (phase, mlabel) in pairs {
                 let analytic = model
@@ -102,7 +121,9 @@ fn main() {
         }
 
         // Core analysis flops (RA overhead): measured vs d·r^d.
-        let ra_cfg = RaConfig::ra_hosi_dt(0.1, &vec![r; d]).with_max_iters(1).with_seed(1);
+        let ra_cfg = RaConfig::ra_hosi_dt(0.1, &vec![r; d])
+            .with_max_iters(1)
+            .with_seed(1);
         let ra = ra_hooi(&x, &ra_cfg);
         let analytic = (d as f64 + 2.0) * (ra.tucker.ranks().iter().product::<usize>() as f64);
         table.row_strings(vec![

@@ -47,7 +47,13 @@ fn main() {
 
     let mut table = Table::new(
         "Table 2: analytic vs measured communication volume (bytes)",
-        &["grid", "algorithm", "analytic_bytes", "measured_bytes", "ratio"],
+        &[
+            "grid",
+            "algorithm",
+            "analytic_bytes",
+            "measured_bytes",
+            "ratio",
+        ],
     );
 
     for grid_dims in [vec![1usize, 2, 2], vec![2, 2, 2], vec![1, 1, 4]] {

@@ -201,8 +201,19 @@ impl DatasetReport {
     /// The progression table (Figs. 4/6/8).
     pub fn progression_table(&self) -> Table {
         let mut t = Table::new(
-            &format!("{}: error/time/size progression (RA-HOSI-DT vs STHOSVD)", self.name),
-            &["eps", "series", "iter", "cum_seconds", "rel_error", "rel_size", "met"],
+            &format!(
+                "{}: error/time/size progression (RA-HOSI-DT vs STHOSVD)",
+                self.name
+            ),
+            &[
+                "eps",
+                "series",
+                "iter",
+                "cum_seconds",
+                "rel_error",
+                "rel_size",
+                "met",
+            ],
         );
         for st in &self.sthosvd {
             t.row_strings(vec![
@@ -235,7 +246,15 @@ impl DatasetReport {
     pub fn speedup_table(&self) -> Table {
         let mut t = Table::new(
             &format!("{}: time-to-tolerance speedup over STHOSVD", self.name),
-            &["eps", "start", "iters_needed", "ra_seconds", "sthosvd_seconds", "speedup", "size_vs_sthosvd"],
+            &[
+                "eps",
+                "start",
+                "iters_needed",
+                "ra_seconds",
+                "sthosvd_seconds",
+                "speedup",
+                "size_vs_sthosvd",
+            ],
         );
         for ra in &self.ra {
             let st = self

@@ -99,11 +99,15 @@ mod tests {
         vec![
             Series {
                 label: "ideal".into(),
-                points: (0..8).map(|k| (2f64.powi(k), 100.0 / 2f64.powi(k))).collect(),
+                points: (0..8)
+                    .map(|k| (2f64.powi(k), 100.0 / 2f64.powi(k)))
+                    .collect(),
             },
             Series {
                 label: "plateau".into(),
-                points: (0..8).map(|k| (2f64.powi(k), (100.0 / 2f64.powi(k)).max(10.0))).collect(),
+                points: (0..8)
+                    .map(|k| (2f64.powi(k), (100.0 / 2f64.powi(k)).max(10.0)))
+                    .collect(),
             },
         ]
     }
@@ -132,7 +136,10 @@ mod tests {
     fn empty_and_degenerate_input_are_safe() {
         let s = loglog_chart("empty", &[], 20, 6);
         assert!(s.contains("no positive data"));
-        let one = vec![Series { label: "pt".into(), points: vec![(1.0, 1.0)] }];
+        let one = vec![Series {
+            label: "pt".into(),
+            points: vec![(1.0, 1.0)],
+        }];
         let s = loglog_chart("one", &one, 20, 6);
         assert!(s.contains('*'));
     }

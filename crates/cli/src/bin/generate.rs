@@ -56,8 +56,15 @@ fn run<T: IoScalar>(params: &Params) -> Result<(), Box<dyn std::error::Error>> {
         x.num_entries(),
         x.num_entries() * std::mem::size_of::<T>() / 1_000_000
     );
-    println!("hint: set `Input file = {output}` and `Global dims = {}` in an",
-        x.shape().dims().iter().map(|n| n.to_string()).collect::<Vec<_>>().join(" "));
+    println!(
+        "hint: set `Input file = {output}` and `Global dims = {}` in an",
+        x.shape()
+            .dims()
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
     println!("STHOSVD/HOOI parameter file to compress it.");
     Ok(())
 }

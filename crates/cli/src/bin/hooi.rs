@@ -16,8 +16,8 @@
 //! `HOOI-Adapt Threshold > 0` switches to the rank-adaptive formulation.
 
 use ratucker_cli::{
-    maybe_print_options, maybe_print_timings, parameter_file_from_args, precision,
-    run_hooi_driver, Precision,
+    maybe_print_options, maybe_print_timings, parameter_file_from_args, precision, run_hooi_driver,
+    Precision,
 };
 
 fn main() {

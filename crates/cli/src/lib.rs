@@ -26,6 +26,9 @@
 //! | `HOOI max iters` | sweep cap | `2` |
 //! | `HOOI Adapt core tensor gather type` | accepted for compatibility (allgather is always used) | `false` |
 //! | `Rank Growth Factor` + | RA α | `1.5` |
+//! | `Checkpoint dir` + | write RA sweep checkpoints here (also `--checkpoint-dir`) | none |
+//! | `Checkpoint every` + | save every n-th sweep | `1` |
+//! | `Resume` + | resume from the latest checkpoint (also `--resume`) | `false` |
 //! | `Seed` + | RNG seed | `0` |
 //! | `Precision` + | `single` / `double` | `single` |
 //! | `Input file` + | raw tensor to load instead of synthetic | none |
@@ -38,7 +41,10 @@ pub mod params;
 
 pub use params::{ParamError, Params};
 
-use ratucker::dist::{dist_hooi, dist_ra_hooi, dist_sthosvd, DistRunResult};
+use ratucker::checkpoint::CheckpointPolicy;
+use ratucker::dist::{
+    dist_hooi, dist_ra_hooi, dist_ra_hooi_checkpointed, dist_sthosvd, DistRunResult,
+};
 use ratucker::prelude::*;
 use ratucker::{Timings, ALL_PHASES};
 use ratucker_dist::DistTensor;
@@ -58,7 +64,12 @@ pub enum Precision {
 
 /// Parses the `Precision` key.
 pub fn precision(params: &Params) -> Result<Precision, ParamError> {
-    match params.get("Precision").unwrap_or("single").to_ascii_lowercase().as_str() {
+    match params
+        .get("Precision")
+        .unwrap_or("single")
+        .to_ascii_lowercase()
+        .as_str()
+    {
         "single" | "f32" => Ok(Precision::Single),
         "double" | "f64" => Ok(Precision::Double),
         other => Err(ParamError::Invalid {
@@ -101,7 +112,9 @@ pub fn maybe_print_timings(params: &Params, timings: &Timings) {
 }
 
 /// Loads the input tensor (`Input file`) or generates the synthetic one.
-pub fn input_tensor<T: IoScalar>(params: &Params) -> Result<DenseTensor<T>, Box<dyn std::error::Error>> {
+pub fn input_tensor<T: IoScalar>(
+    params: &Params,
+) -> Result<DenseTensor<T>, Box<dyn std::error::Error>> {
     let dims = params.usize_list("Global dims")?;
     if let Some(path) = params.get("Input file") {
         let x = if path.ends_with(".rtt") {
@@ -128,6 +141,19 @@ pub fn input_tensor<T: IoScalar>(params: &Params) -> Result<DenseTensor<T>, Box<
     Ok(SyntheticSpec::new(&dims, &construction, noise, seed).build())
 }
 
+/// Parses the checkpoint keys (`Checkpoint dir` / `Checkpoint every` /
+/// `Resume`) into a policy, if checkpointing is requested.
+pub fn checkpoint_policy(params: &Params) -> Result<Option<CheckpointPolicy>, ParamError> {
+    let Some(dir) = params.get("Checkpoint dir") else {
+        return Ok(None);
+    };
+    let mut policy = CheckpointPolicy::new(dir).every(params.usize_or("Checkpoint every", 1)?);
+    if params.bool_or("Resume", false)? {
+        policy = policy.resuming();
+    }
+    Ok(Some(policy))
+}
+
 /// The grid dims (default: all ones over the tensor order).
 pub fn grid_dims(params: &Params) -> Result<Vec<usize>, ParamError> {
     let dims = params.usize_list("Global dims")?;
@@ -137,16 +163,10 @@ pub fn grid_dims(params: &Params) -> Result<Vec<usize>, ParamError> {
 }
 
 /// Writes a Tucker decomposition as `.rtt` files under a prefix.
-pub fn write_tucker<T: IoScalar>(
-    prefix: &str,
-    tucker: &TuckerTensor<T>,
-) -> std::io::Result<()> {
+pub fn write_tucker<T: IoScalar>(prefix: &str, tucker: &TuckerTensor<T>) -> std::io::Result<()> {
     ratucker_tensor::io::write_rtt(format!("{prefix}_core.rtt"), &tucker.core)?;
     for (k, u) in tucker.factors.iter().enumerate() {
-        let t = DenseTensor::from_vec(
-            Shape::new(&[u.rows(), u.cols()]),
-            u.as_slice().to_vec(),
-        );
+        let t = DenseTensor::from_vec(Shape::new(&[u.rows(), u.cols()]), u.as_slice().to_vec());
         ratucker_tensor::io::write_rtt(format!("{prefix}_factor_{k}.rtt"), &t)?;
     }
     Ok(())
@@ -229,6 +249,12 @@ pub fn run_hooi_driver<T: IoScalar>(
     let _ = params.bool_or("HOOI Adapt core tensor gather type", false)?;
 
     let adapt_eps = params.f64_or("HOOI-Adapt Threshold", 0.0)?;
+    let ckpt = checkpoint_policy(params)?;
+    if ckpt.is_some() && adapt_eps <= 0.0 {
+        return Err(
+            "`Checkpoint dir` requires a rank-adaptive run (`HOOI-Adapt Threshold` > 0)".into(),
+        );
+    }
     let p: usize = grid.iter().product();
     let outcome = if adapt_eps > 0.0 {
         let ra = RaConfig {
@@ -239,7 +265,12 @@ pub fn run_hooi_driver<T: IoScalar>(
             stop_on_threshold: params.bool_or("Stop On Threshold", false)?,
             inner: cfg,
         };
-        run_collective(p, &grid, &x, move |g, xd| dist_ra_hooi(g, xd, &ra))
+        ra.validate(x.shape().dims())
+            .map_err(|msg| format!("infeasible rank-adaptive configuration: {msg}"))?;
+        run_collective(p, &grid, &x, move |g, xd| match &ckpt {
+            Some(policy) => dist_ra_hooi_checkpointed(g, xd, &ra, policy),
+            None => dist_ra_hooi(g, xd, &ra),
+        })
     } else {
         run_collective(p, &grid, &x, move |g, xd| dist_hooi(g, xd, &ranks, &cfg))
     };
@@ -278,17 +309,34 @@ fn run_collective<T: IoScalar>(
     )
 }
 
-/// Parses `--parameter-file <path>` from argv (the artifact's interface).
+/// Parses `--parameter-file <path>` from argv (the artifact's interface),
+/// then layers the checkpoint flags (`--checkpoint-dir <dir>`, `--resume`)
+/// over the file as the `Checkpoint dir` / `Resume` keys.
 pub fn parameter_file_from_args() -> Result<Params, Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
+    params_from_argv(&args)
+}
+
+/// Testable core of [`parameter_file_from_args`].
+pub fn params_from_argv(args: &[String]) -> Result<Params, Box<dyn std::error::Error>> {
     let pos = args
         .iter()
         .position(|a| a == "--parameter-file")
-        .ok_or("usage: <driver> --parameter-file <file.cfg>")?;
+        .ok_or("usage: <driver> --parameter-file <file.cfg> [--checkpoint-dir <dir>] [--resume]")?;
     let path = args
         .get(pos + 1)
         .ok_or("--parameter-file requires a path argument")?;
-    Params::load(path)
+    let mut params = Params::load(path)?;
+    if let Some(pos) = args.iter().position(|a| a == "--checkpoint-dir") {
+        let dir = args
+            .get(pos + 1)
+            .ok_or("--checkpoint-dir requires a path argument")?;
+        params.set("Checkpoint dir", dir);
+    }
+    if args.iter().any(|a| a == "--resume") {
+        params.set("Resume", "true");
+    }
+    Ok(params)
 }
 
 #[cfg(test)]
@@ -354,11 +402,26 @@ mod tests {
     }
 
     #[test]
-    fn hooi_driver_rejects_unknown_svd_method() {
+    fn hooi_driver_rejects_infeasible_ra_config_cleanly() {
+        // α = 1 can never grow ranks; the driver must return a typed
+        // error instead of launching ranks that panic mid-sweep.
         let p = Params::parse(
-            "Global dims = 8 8\nRanks = 2 2\nSVD Method = 7\n",
+            "Global dims = 12 10 8\nConstruction Ranks = 3 3 2\nDecomposition Ranks = 4 4 3\n\
+             Noise = 0.01\nProcessor grid dims = 1 1 2\n\
+             HOOI-Adapt Threshold = 0.1\nRank Growth Factor = 1.0\n",
         )
         .unwrap();
+        let err = run_hooi_driver::<f32>(&p).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("infeasible rank-adaptive configuration"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn hooi_driver_rejects_unknown_svd_method() {
+        let p = Params::parse("Global dims = 8 8\nRanks = 2 2\nSVD Method = 7\n").unwrap();
         assert!(run_hooi_driver::<f32>(&p).is_err());
     }
 
@@ -390,6 +453,78 @@ mod tests {
             std::fs::remove_file(format!("{prefix}_factor_{k}.rtt")).unwrap();
         }
         std::fs::remove_file(format!("{prefix}_core.rtt")).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_keys_build_a_policy() {
+        let p = Params::parse("Checkpoint dir = /tmp/ck\nCheckpoint every = 2\nResume = true\n")
+            .unwrap();
+        let pol = checkpoint_policy(&p).unwrap().unwrap();
+        assert_eq!(pol.dir, std::path::PathBuf::from("/tmp/ck"));
+        assert_eq!(pol.every, 2);
+        assert!(pol.resume);
+        assert!(checkpoint_policy(&Params::parse("").unwrap())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn checkpointing_requires_rank_adaptive_run() {
+        let p = Params::parse(
+            "Global dims = 8 8\nRanks = 2 2\nNoise = 0.01\nCheckpoint dir = /tmp/ck\n",
+        )
+        .unwrap();
+        let err = run_hooi_driver::<f32>(&p).unwrap_err().to_string();
+        assert!(err.contains("rank-adaptive"), "{err}");
+    }
+
+    #[test]
+    fn argv_flags_layer_over_the_parameter_file() {
+        let dir = std::env::temp_dir();
+        let cfg = dir.join(format!("ratucker_cli_argv_{}.cfg", std::process::id()));
+        std::fs::write(&cfg, "Global dims = 8 8\nRanks = 2 2\n").unwrap();
+        let args: Vec<String> = [
+            "driver",
+            "--parameter-file",
+            cfg.to_str().unwrap(),
+            "--checkpoint-dir",
+            "/tmp/ckdir",
+            "--resume",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let p = params_from_argv(&args).unwrap();
+        assert_eq!(p.get("Checkpoint dir"), Some("/tmp/ckdir"));
+        assert!(p.bool_or("Resume", false).unwrap());
+        assert_eq!(p.usize_list("Global dims").unwrap(), vec![8, 8]);
+        std::fs::remove_file(&cfg).unwrap();
+    }
+
+    #[test]
+    fn hooi_driver_rank_adaptive_with_checkpoints() {
+        let mut ckdir = std::env::temp_dir();
+        ckdir.push(format!("ratucker_cli_ck_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&ckdir);
+        let p = Params::parse(&format!(
+            "Global dims = 12 10 8\nConstruction Ranks = 3 3 2\nDecomposition Ranks = 2 2 2\n\
+             Noise = 0.01\nProcessor grid dims = 1 1 2\nDimension Tree Memoization = true\n\
+             SVD Method = 2\nHOOI-Adapt Threshold = 0.05\nHOOI max iters = 3\n\
+             Rank Growth Factor = 2.0\nPrecision = double\nCheckpoint dir = {}\n",
+            ckdir.display()
+        ))
+        .unwrap();
+        let out = run_hooi_driver::<f64>(&p).unwrap();
+        assert!(out.rel_error <= 0.05);
+        let saved = std::fs::read_dir(&ckdir).unwrap().count();
+        assert!(saved >= 1, "no checkpoints written");
+        // Resuming from the final checkpoint reproduces the outcome.
+        let mut p2 = p.clone();
+        p2.set("Resume", "true");
+        let out2 = run_hooi_driver::<f64>(&p2).unwrap();
+        assert_eq!(out2.rel_error, out.rel_error);
+        assert_eq!(out2.ranks, out.ranks);
+        std::fs::remove_dir_all(&ckdir).unwrap();
     }
 
     #[test]

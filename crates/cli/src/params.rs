@@ -55,7 +55,11 @@ impl fmt::Display for ParamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParamError::Missing(k) => write!(f, "missing required parameter `{k}`"),
-            ParamError::Invalid { key, value, expected } => {
+            ParamError::Invalid {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "parameter `{key}` = `{value}` is not a valid {expected}")
             }
             ParamError::Syntax { line, text } => {
@@ -109,6 +113,12 @@ impl Params {
         self.entries.get(key).map(|s| s.as_str())
     }
 
+    /// Sets (or overrides) a key — how command-line flags such as
+    /// `--checkpoint-dir` and `--resume` are layered over the file.
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.entries.insert(key.to_string(), value.to_string());
+    }
+
     /// All keys, for `Print options = true` echoes.
     pub fn keys(&self) -> impl Iterator<Item = (&str, &str)> {
         self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
@@ -156,7 +166,9 @@ impl Params {
 
     /// Required whitespace-separated integer list (e.g. `Global dims`).
     pub fn usize_list(&self, key: &str) -> Result<Vec<usize>, ParamError> {
-        let v = self.get(key).ok_or_else(|| ParamError::Missing(key.to_string()))?;
+        let v = self
+            .get(key)
+            .ok_or_else(|| ParamError::Missing(key.to_string()))?;
         v.split_whitespace()
             .map(|tok| {
                 tok.parse().map_err(|_| ParamError::Invalid {
@@ -199,7 +211,10 @@ Ranks = 10 10 10 10
         assert!(p.bool_or("Print options", false).unwrap());
         assert_eq!(p.f64_or("Noise", 0.0).unwrap(), 0.0001);
         assert_eq!(p.f64_or("SV Threshold", 1.0).unwrap(), 0.0);
-        assert_eq!(p.usize_list("Processor grid dims").unwrap(), vec![1, 2, 2, 2]);
+        assert_eq!(
+            p.usize_list("Processor grid dims").unwrap(),
+            vec![1, 2, 2, 2]
+        );
         assert_eq!(p.usize_list("Global dims").unwrap(), vec![100; 4]);
         assert_eq!(p.usize_list("Ranks").unwrap(), vec![10; 4]);
     }
@@ -221,7 +236,10 @@ Ranks = 10 10 10 10
     #[test]
     fn missing_required_list_is_error() {
         let p = Params::parse("").unwrap();
-        assert!(matches!(p.usize_list("Global dims"), Err(ParamError::Missing(_))));
+        assert!(matches!(
+            p.usize_list("Global dims"),
+            Err(ParamError::Missing(_))
+        ));
     }
 
     #[test]

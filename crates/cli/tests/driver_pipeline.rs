@@ -74,7 +74,11 @@ fn hooi_driver_stores_a_valid_decomposition() {
     // Error of the reloaded decomposition against the regenerated input.
     let x = SyntheticSpec::new(&[12, 12, 12], &[3, 3, 3], 0.01, 7).build::<f32>();
     let err = tucker.reconstruct().rel_error(&x);
-    assert!((err - out.rel_error).abs() < 1e-4, "{err} vs {}", out.rel_error);
+    assert!(
+        (err - out.rel_error).abs() < 1e-4,
+        "{err} vs {}",
+        out.rel_error
+    );
     cleanup(&prefix, 3);
 }
 

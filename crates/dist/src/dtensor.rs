@@ -6,7 +6,7 @@
 //! [`CartGrid`] explicitly; every rank of the grid must call them together.
 
 use crate::distribution::TensorDist;
-use ratucker_mpi::CartGrid;
+use ratucker_mpi::{CartGrid, CommError};
 use ratucker_tensor::dense::DenseTensor;
 use ratucker_tensor::scalar::Scalar;
 use ratucker_tensor::shape::Shape;
@@ -27,16 +27,16 @@ impl<T: Scalar> DistTensor<T> {
             *local.shape(),
             "local block shape does not match the distribution"
         );
-        DistTensor { dist, coords, local }
+        DistTensor {
+            dist,
+            coords,
+            local,
+        }
     }
 
     /// Builds the distributed tensor from a global index function; each
     /// rank evaluates only its own block. Collective.
-    pub fn from_fn(
-        grid: &CartGrid,
-        global: Shape,
-        mut f: impl FnMut(&[usize]) -> T,
-    ) -> Self {
+    pub fn from_fn(grid: &CartGrid, global: Shape, mut f: impl FnMut(&[usize]) -> T) -> Self {
         let dist = TensorDist::new(global, grid.dims());
         let coords = grid.coords().to_vec();
         let ranges: Vec<_> = (0..dist.global().order())
@@ -50,7 +50,11 @@ impl<T: Scalar> DistTensor<T> {
             }
             f(&gidx)
         });
-        DistTensor { dist, coords, local }
+        DistTensor {
+            dist,
+            coords,
+            local,
+        }
     }
 
     /// Extracts this rank's block from a replicated global tensor.
@@ -93,17 +97,29 @@ impl<T: Scalar> DistTensor<T> {
     /// Global squared norm: sum of local squared norms, allreduced.
     /// Collective.
     pub fn squared_norm(&self, grid: &CartGrid) -> f64 {
+        self.try_squared_norm(grid)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`DistTensor::squared_norm`].
+    pub fn try_squared_norm(&self, grid: &CartGrid) -> Result<f64, CommError> {
         let local = self.local.squared_norm_f64();
-        let summed = grid.comm.allreduce(vec![local], ratucker_mpi::sum_op);
-        summed[0]
+        let summed = grid.comm.try_allreduce(vec![local], ratucker_mpi::sum_op)?;
+        Ok(summed[0])
     }
 
     /// Assembles the full tensor on every rank (allgather of all blocks).
     /// Collective; cost `O(N)` words per rank — used for the (small) core
     /// tensor in the rank-adaptive core analysis and in tests.
     pub fn gather_replicated(&self, grid: &CartGrid) -> DenseTensor<T> {
+        self.try_gather_replicated(grid)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`DistTensor::gather_replicated`].
+    pub fn try_gather_replicated(&self, grid: &CartGrid) -> Result<DenseTensor<T>, CommError> {
         let payload = self.local.data().to_vec();
-        let blocks = grid.comm.allgatherv(payload);
+        let blocks = grid.comm.try_allgatherv(payload)?;
         let mut out = DenseTensor::zeros(self.dist.global().clone());
         let d = self.dist.global().order();
         for (rank, block) in blocks.into_iter().enumerate() {
@@ -120,7 +136,7 @@ impl<T: Scalar> DistTensor<T> {
                 out.set(&gidx, block[off]);
             }
         }
-        out
+        Ok(out)
     }
 }
 

@@ -22,4 +22,7 @@ pub mod ops;
 
 pub use distribution::{block_len, block_offset, block_range, owner_of, BlockRange, TensorDist};
 pub use dtensor::DistTensor;
-pub use ops::{dist_contract, dist_gram, dist_multi_ttm_all_but, dist_ttm};
+pub use ops::{
+    dist_contract, dist_gram, dist_multi_ttm_all_but, dist_ttm, try_dist_contract, try_dist_gram,
+    try_dist_multi_ttm_all_but, try_dist_ttm,
+};

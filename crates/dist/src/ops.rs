@@ -19,24 +19,38 @@
 
 use crate::distribution::block_range;
 use crate::dtensor::DistTensor;
-use ratucker_mpi::{sum_op, CartGrid};
+use ratucker_mpi::{sum_op, CartGrid, CommError};
 use ratucker_tensor::dense::DenseTensor;
 use ratucker_tensor::matrix::Matrix;
 use ratucker_tensor::scalar::Scalar;
 use ratucker_tensor::ttm::{ttm, Transpose};
 
-/// Distributed TTM: `Y = X ×_mode op(M)` with `M` replicated on every rank.
+/// Fallible distributed TTM: `Y = X ×_mode op(M)` with `M` replicated on
+/// every rank.
 ///
 /// The output mode extent (`M`'s rows, or columns under [`Transpose::Yes`])
 /// must be at least `P_mode` so every rank keeps a nonempty block.
-/// Collective over `grid`.
-pub fn dist_ttm<T: Scalar>(
+/// Collective over `grid`. Communication failures (lost messages,
+/// crashed peers) surface as [`CommError`].
+pub fn try_dist_ttm<T: Scalar>(
     grid: &CartGrid,
     x: &DistTensor<T>,
     mode: usize,
     m: &Matrix<T>,
     trans: Transpose,
-) -> DistTensor<T> {
+) -> Result<DistTensor<T>, CommError> {
+    if !x.local().all_finite() {
+        return Err(CommError::Corrupted {
+            rank: grid.comm.rank(),
+            what: format!("non-finite entry in local tensor block entering TTM (mode {mode})"),
+        });
+    }
+    if !m.all_finite() {
+        return Err(CommError::Corrupted {
+            rank: grid.comm.rank(),
+            what: format!("non-finite entry in TTM operand matrix (mode {mode})"),
+        });
+    }
     let n_j = x.global_shape().dim(mode);
     let out_dim = match trans {
         Transpose::No => m.rows(),
@@ -47,13 +61,11 @@ pub fn dist_ttm<T: Scalar>(
     // Restrict the operand to this rank's slice of the contracted mode.
     let m_sub = match trans {
         // M : out_dim × n_j, keep columns my_range.
-        Transpose::No => Matrix::from_fn(out_dim, my_range.len, |i, j| {
-            m[(i, my_range.offset + j)]
-        }),
+        Transpose::No => Matrix::from_fn(out_dim, my_range.len, |i, j| m[(i, my_range.offset + j)]),
         // M : n_j × out_dim, keep rows my_range.
-        Transpose::Yes => Matrix::from_fn(my_range.len, out_dim, |i, j| {
-            m[(my_range.offset + i, j)]
-        }),
+        Transpose::Yes => {
+            Matrix::from_fn(my_range.len, out_dim, |i, j| m[(my_range.offset + i, j)])
+        }
     };
     debug_assert_eq!(
         match trans {
@@ -72,7 +84,7 @@ pub fn dist_ttm<T: Scalar>(
     let fiber = grid.mode_comm(mode);
     let p_j = fiber.size();
     if p_j == 1 {
-        return DistTensor::from_parts(out_dist, coords, partial);
+        return Ok(DistTensor::from_parts(out_dist, coords, partial));
     }
 
     // Pack the partial into P_j contiguous chunks along the output mode
@@ -92,37 +104,57 @@ pub fn dist_ttm<T: Scalar>(
             }
         }
     }
-    let my_block = fiber.reduce_scatter(packed, &counts, sum_op);
+    let my_block = fiber.try_reduce_scatter(packed, &counts, sum_op)?;
+    if my_block.iter().any(|v| !v.is_finite_s()) {
+        return Err(CommError::Corrupted {
+            rank: grid.comm.rank(),
+            what: format!(
+                "non-finite entry in TTM reduce-scatter result (mode {mode}); \
+                 a peer contributed a corrupted partial product"
+            ),
+        });
+    }
     let local_shape = out_dist.local_shape(&coords);
     let local = DenseTensor::from_vec(local_shape, my_block);
-    DistTensor::from_parts(out_dist, coords, local)
+    Ok(DistTensor::from_parts(out_dist, coords, local))
 }
 
-/// Distributed multi-TTM with every factor transposed, skipping
+/// Fallible distributed multi-TTM with every factor transposed, skipping
 /// `skip_mode` (Alg. 2 line 5), applying modes in increasing order.
-pub fn dist_multi_ttm_all_but<T: Scalar>(
+pub fn try_dist_multi_ttm_all_but<T: Scalar>(
     grid: &CartGrid,
     x: &DistTensor<T>,
     factors: &[Matrix<T>],
     skip_mode: usize,
-) -> DistTensor<T> {
+) -> Result<DistTensor<T>, CommError> {
     let mut cur: Option<DistTensor<T>> = None;
     for (k, u) in factors.iter().enumerate() {
         if k == skip_mode {
             continue;
         }
         let next = match &cur {
-            None => dist_ttm(grid, x, k, u, Transpose::Yes),
-            Some(t) => dist_ttm(grid, t, k, u, Transpose::Yes),
+            None => try_dist_ttm(grid, x, k, u, Transpose::Yes)?,
+            Some(t) => try_dist_ttm(grid, t, k, u, Transpose::Yes)?,
         };
         cur = Some(next);
     }
-    cur.unwrap_or_else(|| x.clone())
+    Ok(cur.unwrap_or_else(|| x.clone()))
 }
 
-/// Distributed Gram of the mode-`mode` unfolding: returns the replicated
-/// `n_mode × n_mode` matrix `X_(mode) X_(mode)ᵀ` on every rank. Collective.
-pub fn dist_gram<T: Scalar>(grid: &CartGrid, x: &DistTensor<T>, mode: usize) -> Matrix<T> {
+/// Fallible distributed Gram of the mode-`mode` unfolding: returns the
+/// replicated `n_mode × n_mode` matrix `X_(mode) X_(mode)ᵀ` on every rank.
+/// Collective.
+pub fn try_dist_gram<T: Scalar>(
+    grid: &CartGrid,
+    x: &DistTensor<T>,
+    mode: usize,
+) -> Result<Matrix<T>, CommError> {
+    if !x.local().all_finite() {
+        return Err(CommError::Corrupted {
+            rank: grid.comm.rank(),
+            what: format!("non-finite entry in local tensor block entering Gram (mode {mode})"),
+        });
+    }
     let n_j = x.global_shape().dim(mode);
     let fiber = grid.mode_comm(mode);
     let p_j = fiber.size();
@@ -157,7 +189,7 @@ pub fn dist_gram<T: Scalar>(grid: &CartGrid, x: &DistTensor<T>, mode: usize) -> 
             }
             blocks.push(buf);
         }
-        let received = fiber.alltoallv(blocks);
+        let received = fiber.try_alltoallv(blocks)?;
 
         // Assemble my column share with full rows: A is n_j × my_cols.
         let my_cols = block_range(total_cols, p_j, fiber.rank()).len;
@@ -183,19 +215,28 @@ pub fn dist_gram<T: Scalar>(grid: &CartGrid, x: &DistTensor<T>, mode: usize) -> 
     }
 
     // Sum contributions across the whole grid; result replicated.
-    let summed = grid.comm.allreduce(g_partial.into_vec(), sum_op);
-    Matrix::from_vec(n_j, n_j, summed)
+    let summed = grid.comm.try_allreduce(g_partial.into_vec(), sum_op)?;
+    if summed.iter().any(|v| !v.is_finite_s()) {
+        return Err(CommError::Corrupted {
+            rank: grid.comm.rank(),
+            what: format!(
+                "non-finite entry in allreduced Gram matrix (mode {mode}); \
+                 a peer contributed a corrupted partial sum"
+            ),
+        });
+    }
+    Ok(Matrix::from_vec(n_j, n_j, summed))
 }
 
-/// Distributed all-but-one contraction (the new §3.4 kernel):
+/// Fallible distributed all-but-one contraction (the new §3.4 kernel):
 /// `Z = Y_(mode) G_(mode)ᵀ` with `core` the *replicated* current core
 /// tensor. Returns the replicated `n_mode × r_mode` iterate. Collective.
-pub fn dist_contract<T: Scalar>(
+pub fn try_dist_contract<T: Scalar>(
     grid: &CartGrid,
     y: &DistTensor<T>,
     core: &DenseTensor<T>,
     mode: usize,
-) -> Matrix<T> {
+) -> Result<Matrix<T>, CommError> {
     let d = y.global_shape().order();
     assert_eq!(core.order(), d);
     let n_j = y.global_shape().dim(mode);
@@ -214,7 +255,10 @@ pub fn dist_contract<T: Scalar>(
     let ranges: Vec<_> = (0..d)
         .map(|k| {
             if k == mode {
-                crate::distribution::BlockRange { offset: 0, len: r_j }
+                crate::distribution::BlockRange {
+                    offset: 0,
+                    len: r_j,
+                }
             } else {
                 y.dist().range(k, y.coords()[k])
             }
@@ -239,8 +283,56 @@ pub fn dist_contract<T: Scalar>(
         z_full.col_mut(c)[my_rows.offset..my_rows.offset + my_rows.len]
             .copy_from_slice(z_local.col(c));
     }
-    let summed = grid.comm.allreduce(z_full.into_vec(), sum_op);
-    Matrix::from_vec(n_j, r_j, summed)
+    let summed = grid.comm.try_allreduce(z_full.into_vec(), sum_op)?;
+    Ok(Matrix::from_vec(n_j, r_j, summed))
+}
+
+// -------------------------------------------------------------------
+// Legacy panicking wrappers
+// -------------------------------------------------------------------
+
+/// Distributed TTM: `Y = X ×_mode op(M)` with `M` replicated on every rank.
+/// Panicking wrapper over [`try_dist_ttm`].
+pub fn dist_ttm<T: Scalar>(
+    grid: &CartGrid,
+    x: &DistTensor<T>,
+    mode: usize,
+    m: &Matrix<T>,
+    trans: Transpose,
+) -> DistTensor<T> {
+    try_dist_ttm(grid, x, mode, m, trans).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Distributed multi-TTM with every factor transposed, skipping
+/// `skip_mode` (Alg. 2 line 5), applying modes in increasing order.
+/// Panicking wrapper over [`try_dist_multi_ttm_all_but`].
+pub fn dist_multi_ttm_all_but<T: Scalar>(
+    grid: &CartGrid,
+    x: &DistTensor<T>,
+    factors: &[Matrix<T>],
+    skip_mode: usize,
+) -> DistTensor<T> {
+    try_dist_multi_ttm_all_but(grid, x, factors, skip_mode).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Distributed Gram of the mode-`mode` unfolding: returns the replicated
+/// `n_mode × n_mode` matrix `X_(mode) X_(mode)ᵀ` on every rank. Collective.
+/// Panicking wrapper over [`try_dist_gram`].
+pub fn dist_gram<T: Scalar>(grid: &CartGrid, x: &DistTensor<T>, mode: usize) -> Matrix<T> {
+    try_dist_gram(grid, x, mode).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Distributed all-but-one contraction (the new §3.4 kernel):
+/// `Z = Y_(mode) G_(mode)ᵀ` with `core` the *replicated* current core
+/// tensor. Returns the replicated `n_mode × r_mode` iterate. Collective.
+/// Panicking wrapper over [`try_dist_contract`].
+pub fn dist_contract<T: Scalar>(
+    grid: &CartGrid,
+    y: &DistTensor<T>,
+    core: &DenseTensor<T>,
+    mode: usize,
+) -> Matrix<T> {
+    try_dist_contract(grid, y, core, mode).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -258,14 +350,22 @@ mod tests {
     }
 
     fn factor(n: usize, r: usize, seed: usize) -> Matrix<f64> {
-        Matrix::from_fn(n, r, |i, j| (((seed + 1) * (i + 2 * j + 1)) as f64 * 0.17).cos())
+        Matrix::from_fn(n, r, |i, j| {
+            (((seed + 1) * (i + 2 * j + 1)) as f64 * 0.17).cos()
+        })
     }
 
     #[test]
     fn dist_ttm_matches_sequential_all_modes_and_grids() {
         let dims = [6, 5, 4];
         let x_ref = DenseTensor::from_fn(dims, global_value);
-        for grid_dims in [vec![1, 1, 1], vec![2, 1, 1], vec![1, 1, 2], vec![2, 1, 2], vec![3, 1, 2]] {
+        for grid_dims in [
+            vec![1, 1, 1],
+            vec![2, 1, 1],
+            vec![1, 1, 2],
+            vec![2, 1, 2],
+            vec![3, 1, 2],
+        ] {
             let p: usize = grid_dims.iter().product();
             for mode in 0..3 {
                 let u = factor(dims[mode], 3, mode);
@@ -297,7 +397,10 @@ mod tests {
             let x = DistTensor::from_fn(&grid, Shape::new(&dims), global_value);
             let u = factor(6, 4, 9);
             let y = dist_ttm(&grid, &x, 0, &u, Transpose::Yes);
-            (y.local().shape().dims().to_vec(), y.gather_replicated(&grid))
+            (
+                y.local().shape().dims().to_vec(),
+                y.gather_replicated(&grid),
+            )
         });
         let x_ref = DenseTensor::from_fn(dims, global_value);
         let want = ttm(&x_ref, 0, &factor(6, 4, 9), Transpose::Yes);
@@ -347,7 +450,13 @@ mod tests {
     fn dist_gram_matches_sequential_all_modes_and_grids() {
         let dims = [6, 5, 4];
         let x_ref = DenseTensor::from_fn(dims, global_value);
-        for grid_dims in [vec![1, 1, 1], vec![2, 1, 1], vec![1, 2, 2], vec![2, 1, 2], vec![2, 2, 2]] {
+        for grid_dims in [
+            vec![1, 1, 1],
+            vec![2, 1, 1],
+            vec![1, 2, 2],
+            vec![2, 1, 2],
+            vec![2, 2, 2],
+        ] {
             let p: usize = grid_dims.iter().product();
             for mode in 0..3 {
                 let want = ratucker_tensor::gram::gram(&x_ref, mode);
@@ -364,6 +473,72 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn nan_input_block_is_a_corrupted_error() {
+        // Single rank: the screen fires before any communication.
+        let dims = [4, 3];
+        let results = Universe::launch(1, move |c| {
+            let grid = CartGrid::new(c, &[1, 1]);
+            let x = DistTensor::from_fn(&grid, Shape::new(&dims), |idx| {
+                if idx == [1, 2] {
+                    f64::NAN
+                } else {
+                    global_value(idx)
+                }
+            });
+            let u = factor(4, 2, 0);
+            let ttm_err = try_dist_ttm(&grid, &x, 0, &u, Transpose::Yes).unwrap_err();
+            let gram_err = try_dist_gram(&grid, &x, 0).unwrap_err();
+            (ttm_err, gram_err)
+        });
+        for (ttm_err, gram_err) in results {
+            assert!(matches!(ttm_err, CommError::Corrupted { .. }), "{ttm_err}");
+            assert!(ttm_err.to_string().contains("detected corrupted data"));
+            assert!(
+                matches!(gram_err, CommError::Corrupted { .. }),
+                "{gram_err}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_operand_matrix_is_a_corrupted_error_on_every_rank() {
+        // Replicated operand: every rank screens it out before the
+        // collective starts, so no rank is left hanging in a reduce.
+        let dims = [6, 4];
+        let results = Universe::launch(2, move |c| {
+            let grid = CartGrid::new(c, &[2, 1]);
+            let x = DistTensor::from_fn(&grid, Shape::new(&dims), global_value);
+            let mut u = factor(6, 3, 1);
+            u[(2, 1)] = f64::INFINITY;
+            try_dist_ttm(&grid, &x, 0, &u, Transpose::Yes).unwrap_err()
+        });
+        for err in results {
+            assert!(matches!(err, CommError::Corrupted { .. }), "{err}");
+            assert!(err.to_string().contains("operand matrix"));
+        }
+    }
+
+    #[test]
+    fn corrupted_collective_payload_is_detected() {
+        // A fault plan NaN-injects every message; the post-allreduce
+        // screen in the Gram kernel must catch the poisoned sum.
+        use ratucker_mpi::{CorruptMode, FaultPlan};
+        let dims = [6, 4];
+        let plan = FaultPlan::quiet(11).with_corruption(1.0, CorruptMode::NanInject);
+        let results = Universe::try_launch(2, plan, move |c| {
+            let grid = CartGrid::new(c, &[2, 1]);
+            let x = DistTensor::from_fn(&grid, Shape::new(&dims), global_value);
+            try_dist_gram(&grid, &x, 0)
+        });
+        for r in results {
+            let err = r
+                .expect("screen returns an error, not a panic")
+                .unwrap_err();
+            assert!(matches!(err, CommError::Corrupted { .. }), "{err}");
         }
     }
 

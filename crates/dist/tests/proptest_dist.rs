@@ -20,8 +20,7 @@ fn arb_dims_grid() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
             )
         })
         .prop_filter("grid fits dims", |(dims, grid)| {
-            grid.iter().zip(dims).all(|(&g, &n)| g <= n)
-                && grid.iter().product::<usize>() <= 8
+            grid.iter().zip(dims).all(|(&g, &n)| g <= n) && grid.iter().product::<usize>() <= 8
         })
 }
 

@@ -21,19 +21,66 @@ pub struct SymEvd<T: Scalar> {
     pub vectors: Matrix<T>,
 }
 
+/// Typed failure of the symmetric eigensolver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvdError {
+    /// The input matrix contains NaN or ±∞ entries (e.g. a corrupted
+    /// collective payload) — iterating on it would never converge.
+    NonFinite,
+    /// The QL iteration exhausted its sweep budget on one eigenvalue.
+    NoConvergence {
+        /// Index of the eigenvalue being isolated when the budget ran out.
+        eigenvalue: usize,
+        /// Sweeps attempted.
+        iters: usize,
+    },
+}
+
+impl std::fmt::Display for EvdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvdError::NonFinite => {
+                write!(f, "sym_evd: input matrix contains non-finite entries")
+            }
+            EvdError::NoConvergence { eigenvalue, iters } => write!(
+                f,
+                "tql2: no convergence for eigenvalue {eigenvalue} after {iters} iterations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvdError {}
+
 /// Computes the full eigendecomposition of a symmetric matrix.
 ///
 /// Only the lower triangle of `a` is read. Panics if `a` is not square or
-/// if the QL iteration fails to converge (more than 50 sweeps per
-/// eigenvalue — in practice this indicates NaN input).
+/// on an [`EvdError`] (non-finite input, QL non-convergence); see
+/// [`try_sym_evd`] for the fallible variant.
 pub fn sym_evd<T: Scalar>(a: &Matrix<T>) -> SymEvd<T> {
+    try_sym_evd(a).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`sym_evd`]: non-finite input and QL
+/// non-convergence surface as a typed [`EvdError`] instead of a panic
+/// (callers such as `llsv` use this to fall back to the Jacobi SVD).
+///
+/// # Panics
+/// Still panics if `a` is not square — that is a shape bug, not a
+/// numerical fault.
+pub fn try_sym_evd<T: Scalar>(a: &Matrix<T>) -> Result<SymEvd<T>, EvdError> {
     let n = a.rows();
     assert_eq!(n, a.cols(), "sym_evd requires a square matrix");
     if n == 0 {
-        return SymEvd {
+        return Ok(SymEvd {
             values: Vec::new(),
             vectors: Matrix::zeros(0, 0),
-        };
+        });
+    }
+    // Screen for NaN/±∞ up front: QL on garbage spins through its whole
+    // sweep budget before failing, and the error would be less precise.
+    if a.as_slice().iter().any(|x| !x.is_finite_s()) {
+        return Err(EvdError::NonFinite);
     }
     // Symmetrize defensively (distributed reductions can leave the two
     // triangles differing in the last ulp, which QL then amplifies).
@@ -44,7 +91,7 @@ pub fn sym_evd<T: Scalar>(a: &Matrix<T>) -> SymEvd<T> {
     let mut d = vec![T::ZERO; n];
     let mut e = vec![T::ZERO; n];
     tred2(&mut z, &mut d, &mut e);
-    tql2(&mut z, &mut d, &mut e);
+    tql2(&mut z, &mut d, &mut e)?;
     // Leading-order cost of tridiagonalization + accumulation ≈ (4/3 + 3)n³;
     // we log 4n³ as a round leading-order figure.
     flops::add(4 * (n as u64).pow(3));
@@ -57,7 +104,7 @@ pub fn sym_evd<T: Scalar>(a: &Matrix<T>) -> SymEvd<T> {
     for (new_col, &old_col) in order.iter().enumerate() {
         vectors.col_mut(new_col).copy_from_slice(z.col(old_col));
     }
-    SymEvd { values, vectors }
+    Ok(SymEvd { values, vectors })
 }
 
 /// Householder reduction of a real symmetric matrix to tridiagonal form,
@@ -141,10 +188,10 @@ fn tred2<T: Scalar>(z: &mut Matrix<T>, d: &mut [T], e: &mut [T]) {
 
 /// Implicit-shift QL iteration on a symmetric tridiagonal matrix with
 /// eigenvector accumulation (EISPACK tql2).
-fn tql2<T: Scalar>(z: &mut Matrix<T>, d: &mut [T], e: &mut [T]) {
+fn tql2<T: Scalar>(z: &mut Matrix<T>, d: &mut [T], e: &mut [T]) -> Result<(), EvdError> {
     let n = z.rows();
     if n == 1 {
-        return;
+        return Ok(());
     }
     for i in 1..n {
         e[i - 1] = e[i];
@@ -166,7 +213,12 @@ fn tql2<T: Scalar>(z: &mut Matrix<T>, d: &mut [T], e: &mut [T]) {
                 break;
             }
             iter += 1;
-            assert!(iter <= 50, "tql2: no convergence after 50 iterations (NaN input?)");
+            if iter > 50 {
+                return Err(EvdError::NoConvergence {
+                    eigenvalue: l,
+                    iters: iter - 1,
+                });
+            }
             // Form the implicit Wilkinson shift.
             let two = T::from_f64(2.0);
             let mut g = (d[l + 1] - d[l]) / (two * e[l]);
@@ -212,6 +264,7 @@ fn tql2<T: Scalar>(z: &mut Matrix<T>, d: &mut [T], e: &mut [T]) {
             e[m] = T::ZERO;
         }
     }
+    Ok(())
 }
 
 /// Smallest rank `r` such that the *discarded* eigenvalue mass
@@ -257,17 +310,21 @@ mod tests {
         let n = a.rows();
         let SymEvd { values, vectors } = sym_evd(a);
         // Orthonormal eigenvectors.
-        assert!(vectors.orthonormality_defect() < tol, "defect {}", vectors.orthonormality_defect());
+        assert!(
+            vectors.orthonormality_defect() < tol,
+            "defect {}",
+            vectors.orthonormality_defect()
+        );
         // A·v = λ·v for each pair.
-        for j in 0..n {
+        for (j, &lambda) in values.iter().enumerate() {
             let v = vectors.col(j);
             for i in 0..n {
                 let av: f64 = (0..n).map(|k| a[(i, k)] * v[k]).sum();
                 assert!(
-                    (av - values[j] * v[i]).abs() < tol * (1.0 + values[j].abs()),
+                    (av - lambda * v[i]).abs() < tol * (1.0 + lambda.abs()),
                     "residual at ({i},{j}): {} vs {}",
                     av,
-                    values[j] * v[i]
+                    lambda * v[i]
                 );
             }
         }
@@ -357,6 +414,45 @@ mod tests {
         let evd = sym_evd(&a);
         assert!(evd.vectors.orthonormality_defect() < 1e-5);
         assert!(evd.values[0] > evd.values[1]);
+    }
+
+    #[test]
+    fn non_finite_input_is_a_typed_error() {
+        let mut a = random_symmetric(5, 31);
+        a[(2, 3)] = f64::NAN;
+        a[(3, 2)] = f64::NAN;
+        assert_eq!(try_sym_evd(&a).unwrap_err(), EvdError::NonFinite);
+        a[(2, 3)] = f64::INFINITY;
+        a[(3, 2)] = f64::INFINITY;
+        assert_eq!(try_sym_evd(&a).unwrap_err(), EvdError::NonFinite);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn panicking_wrapper_reports_non_finite_input() {
+        let mut a = random_symmetric(4, 32);
+        a[(0, 0)] = f64::NAN;
+        let _ = sym_evd(&a);
+    }
+
+    #[test]
+    fn try_sym_evd_matches_panicking_wrapper() {
+        let a = random_symmetric(7, 33);
+        let fallible = try_sym_evd(&a).unwrap();
+        let plain = sym_evd(&a);
+        assert_eq!(fallible.values, plain.values);
+        assert_eq!(fallible.vectors.max_abs_diff(&plain.vectors), 0.0);
+    }
+
+    #[test]
+    fn evd_error_messages_are_descriptive() {
+        assert!(EvdError::NonFinite.to_string().contains("non-finite"));
+        let e = EvdError::NoConvergence {
+            eigenvalue: 3,
+            iters: 50,
+        };
+        assert!(e.to_string().contains("eigenvalue 3"), "{e}");
+        assert!(e.to_string().contains("50"), "{e}");
     }
 
     #[test]

@@ -22,13 +22,13 @@ pub mod evd;
 pub mod qr;
 pub mod svd;
 
-pub use evd::{rank_for_error, sym_evd, SymEvd};
+pub use evd::{rank_for_error, sym_evd, try_sym_evd, EvdError, SymEvd};
 pub use qr::{qr, qrcp, QrFactors};
 pub use svd::{svd_jacobi, Svd};
 
 /// Common imports.
 pub mod prelude {
-    pub use crate::evd::{rank_for_error, sym_evd, SymEvd};
+    pub use crate::evd::{rank_for_error, sym_evd, try_sym_evd, EvdError, SymEvd};
     pub use crate::qr::{qr, qrcp, QrFactors};
     pub use crate::svd::{svd_jacobi, Svd};
 }

@@ -53,16 +53,16 @@ fn householder_qr<T: Scalar>(mut a: Matrix<T>, pivot: bool) -> QrFactors<T> {
     for step in 0..k {
         if pivot {
             // Select the remaining column with the largest residual norm.
-            let (best, _) = col_norms[step..]
-                .iter()
-                .enumerate()
-                .fold((0usize, T::ZERO), |(bi, bv), (i, &v)| {
+            let (best, _) = col_norms[step..].iter().enumerate().fold(
+                (0usize, T::ZERO),
+                |(bi, bv), (i, &v)| {
                     if v > bv {
                         (i, v)
                     } else {
                         (bi, bv)
                     }
-                });
+                },
+            );
             let best = step + best;
             if best != step {
                 perm.swap(step, best);
@@ -150,7 +150,11 @@ fn householder_qr<T: Scalar>(mut a: Matrix<T>, pivot: bool) -> QrFactors<T> {
             }
             let scale = tau * dot;
             q[(step, j)] -= scale;
-            kernels::axpy(-scale, &a.col(step)[step + 1..], &mut q.col_mut(j)[step + 1..]);
+            kernels::axpy(
+                -scale,
+                &a.col(step)[step + 1..],
+                &mut q.col_mut(j)[step + 1..],
+            );
         }
     }
 

@@ -93,7 +93,11 @@ pub fn svd_jacobi<T: Scalar>(a: &Matrix<T>) -> Svd<T> {
     let mut sigma: Vec<T> = (0..n).map(|j| kernels::nrm2(u.col(j))).collect();
     // Sort descending with columns.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| {
+        sigma[j]
+            .partial_cmp(&sigma[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut u_sorted = Matrix::zeros(m, n);
     let mut v_sorted = Matrix::zeros(n, n);
     let mut s_sorted = vec![T::ZERO; n];
@@ -128,14 +132,17 @@ mod tests {
         let k = sigma.len();
         // Reconstruct A = U Σ Vᵀ.
         let mut us = u.clone();
-        for j in 0..k {
-            let s = sigma[j];
+        for (j, &s) in sigma.iter().enumerate() {
             for x in us.col_mut(j) {
                 *x *= s;
             }
         }
         let rec = us.matmul(&v.transpose());
-        assert!(rec.max_abs_diff(a) < tol, "reconstruction {}", rec.max_abs_diff(a));
+        assert!(
+            rec.max_abs_diff(a) < tol,
+            "reconstruction {}",
+            rec.max_abs_diff(a)
+        );
         // Descending.
         for j in 1..k {
             assert!(sigma[j - 1] >= sigma[j] - 1e-12);
@@ -160,15 +167,15 @@ mod tests {
         let v: Matrix<f64> = random_orthonormal(4, 3, &mut rng);
         let mut us = u.clone();
         let s_true = [5.0, 3.0, 1.0];
-        for j in 0..3 {
+        for (j, &s) in s_true.iter().enumerate() {
             for x in us.col_mut(j) {
-                *x *= s_true[j];
+                *x *= s;
             }
         }
         let a = us.matmul(&v.transpose());
         let svd = svd_jacobi(&a);
-        for j in 0..3 {
-            assert!((svd.sigma[j] - s_true[j]).abs() < 1e-12, "{}", svd.sigma[j]);
+        for (j, &s) in s_true.iter().enumerate() {
+            assert!((svd.sigma[j] - s).abs() < 1e-12, "{}", svd.sigma[j]);
         }
         assert!(svd.sigma[3].abs() < 1e-12);
     }

@@ -16,8 +16,14 @@
 //!
 //! Every collective assumes all ranks of the communicator call it in the
 //! same program order — the usual MPI contract.
+//!
+//! Each collective comes in two flavors: the fallible `try_*` form
+//! returning `Result<_, CommError>` (lost messages, crashed peers, and
+//! type mismatches surface as typed errors), and the legacy panicking
+//! form, a thin wrapper that panics with the error's display text.
 
 use crate::fabric::Fabric;
+use crate::fault::CommError;
 use std::sync::Arc;
 
 /// Element types that can travel through the fabric.
@@ -69,36 +75,46 @@ impl Comm {
         self.fabric.stats()
     }
 
-    /// Point-to-point send to communicator rank `dst`.
-    pub fn send<T: Elem>(&self, dst: usize, data: Vec<T>) {
+    /// The fabric this communicator runs over.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    // ---------------------------------------------------------------
+    // Fallible API
+    // ---------------------------------------------------------------
+
+    /// Fallible point-to-point send to communicator rank `dst`.
+    pub fn try_send<T: Elem>(&self, dst: usize, data: Vec<T>) -> Result<(), CommError> {
         self.fabric
-            .send(self.group[self.rank], self.group[dst], data);
+            .try_send(self.group[self.rank], self.group[dst], data)
     }
 
-    /// Point-to-point receive from communicator rank `src`.
-    pub fn recv<T: Elem>(&self, src: usize) -> Vec<T> {
-        self.fabric.recv(self.group[src], self.group[self.rank])
+    /// Fallible point-to-point receive from communicator rank `src`.
+    pub fn try_recv<T: Elem>(&self, src: usize) -> Result<Vec<T>, CommError> {
+        self.fabric.try_recv(self.group[src], self.group[self.rank])
     }
 
-    /// Dissemination barrier.
-    pub fn barrier(&self) {
+    /// Fallible dissemination barrier.
+    pub fn try_barrier(&self) -> Result<(), CommError> {
         let p = self.size();
         let mut k = 1;
         while k < p {
             let dst = (self.rank + k) % p;
             let src = (self.rank + p - k) % p;
-            self.send::<u8>(dst, Vec::new());
-            let _ = self.recv::<u8>(src);
+            self.try_send::<u8>(dst, Vec::new())?;
+            let _ = self.try_recv::<u8>(src)?;
             k <<= 1;
         }
+        Ok(())
     }
 
-    /// Binomial-tree broadcast. The root passes the payload; other ranks'
-    /// argument is ignored (pass `Vec::new()`).
-    pub fn bcast<T: Elem>(&self, root: usize, data: Vec<T>) -> Vec<T> {
+    /// Fallible binomial-tree broadcast. The root passes the payload;
+    /// other ranks' argument is ignored (pass `Vec::new()`).
+    pub fn try_bcast<T: Elem>(&self, root: usize, data: Vec<T>) -> Result<Vec<T>, CommError> {
         let p = self.size();
         if p == 1 {
-            return data;
+            return Ok(data);
         }
         let vrank = (self.rank + p - root) % p; // virtual rank, root = 0
         let mut have: Option<Vec<T>> = if vrank == 0 { Some(data) } else { None };
@@ -109,7 +125,7 @@ impl Comm {
                 if vrank & mask != 0 {
                     let vsrc = vrank & !mask;
                     let src = (vsrc + root) % p;
-                    have = Some(self.recv(src));
+                    have = Some(self.try_recv(src)?);
                     break;
                 }
                 mask <<= 1;
@@ -117,30 +133,34 @@ impl Comm {
         }
         let buf = have.expect("bcast tree logic error");
         // Forward to children: all set bits above my lowest set bit.
-        let lowest = if vrank == 0 { p.next_power_of_two() } else { vrank & vrank.wrapping_neg() };
+        let lowest = if vrank == 0 {
+            p.next_power_of_two()
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
         let mut mask = lowest >> 1;
         while mask > 0 {
             let vdst = vrank | mask;
             if vdst < p && vdst != vrank {
                 let dst = (vdst + root) % p;
-                self.send(dst, buf.clone());
+                self.try_send(dst, buf.clone())?;
             }
             mask >>= 1;
         }
-        buf
+        Ok(buf)
     }
 
-    /// Binomial-tree reduce with an elementwise combiner
+    /// Fallible binomial-tree reduce with an elementwise combiner
     /// `op(acc, incoming)`. Returns `Some(result)` on the root.
-    pub fn reduce<T: Elem>(
+    pub fn try_reduce<T: Elem>(
         &self,
         root: usize,
         data: Vec<T>,
         op: impl Fn(&mut [T], &[T]) + Copy,
-    ) -> Option<Vec<T>> {
+    ) -> Result<Option<Vec<T>>, CommError> {
         let p = self.size();
         if p == 1 {
-            return Some(data);
+            return Ok(Some(data));
         }
         let vrank = (self.rank + p - root) % p;
         let mut acc = data;
@@ -150,30 +170,34 @@ impl Comm {
                 let vsrc = vrank | mask;
                 if vsrc < p {
                     let src = (vsrc + root) % p;
-                    let incoming: Vec<T> = self.recv(src);
+                    let incoming: Vec<T> = self.try_recv(src)?;
                     assert_eq!(incoming.len(), acc.len(), "reduce length mismatch");
                     op(&mut acc, &incoming);
                 }
             } else {
                 let vdst = vrank & !mask;
                 let dst = (vdst + root) % p;
-                self.send(dst, acc);
-                return None;
+                self.try_send(dst, acc)?;
+                return Ok(None);
             }
             mask <<= 1;
         }
-        Some(acc)
+        Ok(Some(acc))
     }
 
-    /// Allreduce = reduce to rank 0 + broadcast.
-    pub fn allreduce<T: Elem>(&self, data: Vec<T>, op: impl Fn(&mut [T], &[T]) + Copy) -> Vec<T> {
-        let reduced = self.reduce(0, data, op);
-        self.bcast(0, reduced.unwrap_or_default())
+    /// Fallible allreduce = reduce to rank 0 + broadcast.
+    pub fn try_allreduce<T: Elem>(
+        &self,
+        data: Vec<T>,
+        op: impl Fn(&mut [T], &[T]) + Copy,
+    ) -> Result<Vec<T>, CommError> {
+        let reduced = self.try_reduce(0, data, op)?;
+        self.try_bcast(0, reduced.unwrap_or_default())
     }
 
-    /// Ring allgather of variable-size blocks: returns every rank's block,
-    /// indexed by communicator rank.
-    pub fn allgatherv<T: Elem>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+    /// Fallible ring allgather of variable-size blocks: returns every
+    /// rank's block, indexed by communicator rank.
+    pub fn try_allgatherv<T: Elem>(&self, data: Vec<T>) -> Result<Vec<Vec<T>>, CommError> {
         let p = self.size();
         let mut blocks: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
         blocks[self.rank] = Some(data);
@@ -183,29 +207,36 @@ impl Comm {
             // Send the block that arrived `step` hops ago (own block first).
             let send_idx = (self.rank + p - step) % p;
             let block = blocks[send_idx].clone().expect("ring allgather gap");
-            self.send(right, block);
+            self.try_send(right, block)?;
             let recv_idx = (self.rank + p - step - 1) % p;
-            blocks[recv_idx] = Some(self.recv(left));
+            blocks[recv_idx] = Some(self.try_recv(left)?);
         }
-        blocks.into_iter().map(|b| b.expect("missing block")).collect()
+        Ok(blocks
+            .into_iter()
+            .map(|b| b.expect("missing block"))
+            .collect())
     }
 
-    /// Ring reduce-scatter: the input is partitioned into `p` contiguous
-    /// blocks of the given lengths (`counts.len() == p`,
-    /// `Σ counts == data.len()`); on return each rank holds the elementwise
-    /// reduction of its own block across all ranks.
-    pub fn reduce_scatter<T: Elem>(
+    /// Fallible ring reduce-scatter: the input is partitioned into `p`
+    /// contiguous blocks of the given lengths (`counts.len() == p`,
+    /// `Σ counts == data.len()`); on return each rank holds the
+    /// elementwise reduction of its own block across all ranks.
+    pub fn try_reduce_scatter<T: Elem>(
         &self,
         data: Vec<T>,
         counts: &[usize],
         op: impl Fn(&mut [T], &[T]) + Copy,
-    ) -> Vec<T> {
+    ) -> Result<Vec<T>, CommError> {
         let p = self.size();
         assert_eq!(counts.len(), p, "reduce_scatter needs one count per rank");
         let total: usize = counts.iter().sum();
-        assert_eq!(total, data.len(), "reduce_scatter counts must cover the buffer");
+        assert_eq!(
+            total,
+            data.len(),
+            "reduce_scatter counts must cover the buffer"
+        );
         if p == 1 {
-            return data;
+            return Ok(data);
         }
         let offsets: Vec<usize> = counts
             .iter()
@@ -223,8 +254,8 @@ impl Comm {
         // after p-1 steps the fully-reduced own block remains.
         let mut carry = block(&data, (self.rank + 1) % p);
         for step in 0..p - 1 {
-            self.send(left, carry);
-            let incoming: Vec<T> = self.recv(right);
+            self.try_send(left, carry)?;
+            let incoming: Vec<T> = self.try_recv(right)?;
             // The incoming partial sum corresponds to block
             // (rank + step + 2) mod p … except on the final step, where it
             // is my own block: accumulate my contribution and continue.
@@ -235,12 +266,12 @@ impl Comm {
             op(&mut acc, &mine);
             carry = acc;
         }
-        carry
+        Ok(carry)
     }
 
-    /// Direct all-to-all of variable blocks: `blocks[r]` goes to rank `r`;
-    /// returns the blocks received, indexed by source rank.
-    pub fn alltoallv<T: Elem>(&self, blocks: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    /// Fallible direct all-to-all of variable blocks: `blocks[r]` goes to
+    /// rank `r`; returns the blocks received, indexed by source rank.
+    pub fn try_alltoallv<T: Elem>(&self, blocks: Vec<Vec<T>>) -> Result<Vec<Vec<T>>, CommError> {
         let p = self.size();
         assert_eq!(blocks.len(), p, "alltoallv needs one block per rank");
         let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
@@ -248,39 +279,44 @@ impl Comm {
             if dst == self.rank {
                 out[self.rank] = block;
             } else {
-                self.send(dst, block);
+                self.try_send(dst, block)?;
             }
         }
         for (src, slot) in out.iter_mut().enumerate() {
             if src != self.rank {
-                *slot = self.recv(src);
+                *slot = self.try_recv(src)?;
             }
         }
-        out
+        Ok(out)
     }
 
-    /// Gather of variable blocks to `root`; returns `Some(blocks)` there.
-    pub fn gatherv<T: Elem>(&self, root: usize, data: Vec<T>) -> Option<Vec<Vec<T>>> {
+    /// Fallible gather of variable blocks to `root`; returns
+    /// `Some(blocks)` there.
+    pub fn try_gatherv<T: Elem>(
+        &self,
+        root: usize,
+        data: Vec<T>,
+    ) -> Result<Option<Vec<Vec<T>>>, CommError> {
         if self.rank == root {
             let mut out: Vec<Vec<T>> = (0..self.size()).map(|_| Vec::new()).collect();
             out[root] = data;
             for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    *slot = self.recv(src);
+                    *slot = self.try_recv(src)?;
                 }
             }
-            Some(out)
+            Ok(Some(out))
         } else {
-            self.send(root, data);
-            None
+            self.try_send(root, data)?;
+            Ok(None)
         }
     }
 
-    /// Splits the communicator: ranks sharing `color` form a new
+    /// Fallible communicator split: ranks sharing `color` form a new
     /// communicator, ordered by `(key, old rank)` — `MPI_Comm_split`.
-    pub fn split(&self, color: usize, key: usize) -> Comm {
+    pub fn try_split(&self, color: usize, key: usize) -> Result<Comm, CommError> {
         let triple = vec![color, key, self.rank];
-        let all = self.allgatherv(triple);
+        let all = self.try_allgatherv(triple)?;
         let mut members: Vec<(usize, usize)> = all
             .iter()
             .filter(|t| t[0] == color)
@@ -292,11 +328,92 @@ impl Comm {
             .iter()
             .position(|&(_, r)| r == self.rank)
             .expect("split: caller missing from its own color group");
-        Comm {
+        Ok(Comm {
             fabric: Arc::clone(&self.fabric),
             group: Arc::new(group),
             rank,
-        }
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // Legacy panicking wrappers
+    // ---------------------------------------------------------------
+
+    /// Point-to-point send to communicator rank `dst`.
+    pub fn send<T: Elem>(&self, dst: usize, data: Vec<T>) {
+        self.try_send(dst, data).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Point-to-point receive from communicator rank `src`.
+    pub fn recv<T: Elem>(&self, src: usize) -> Vec<T> {
+        self.try_recv(src).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Dissemination barrier.
+    pub fn barrier(&self) {
+        self.try_barrier().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Binomial-tree broadcast. The root passes the payload; other ranks'
+    /// argument is ignored (pass `Vec::new()`).
+    pub fn bcast<T: Elem>(&self, root: usize, data: Vec<T>) -> Vec<T> {
+        self.try_bcast(root, data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Binomial-tree reduce with an elementwise combiner
+    /// `op(acc, incoming)`. Returns `Some(result)` on the root.
+    pub fn reduce<T: Elem>(
+        &self,
+        root: usize,
+        data: Vec<T>,
+        op: impl Fn(&mut [T], &[T]) + Copy,
+    ) -> Option<Vec<T>> {
+        self.try_reduce(root, data, op)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Allreduce = reduce to rank 0 + broadcast.
+    pub fn allreduce<T: Elem>(&self, data: Vec<T>, op: impl Fn(&mut [T], &[T]) + Copy) -> Vec<T> {
+        self.try_allreduce(data, op)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Ring allgather of variable-size blocks: returns every rank's block,
+    /// indexed by communicator rank.
+    pub fn allgatherv<T: Elem>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+        self.try_allgatherv(data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Ring reduce-scatter: the input is partitioned into `p` contiguous
+    /// blocks of the given lengths (`counts.len() == p`,
+    /// `Σ counts == data.len()`); on return each rank holds the elementwise
+    /// reduction of its own block across all ranks.
+    pub fn reduce_scatter<T: Elem>(
+        &self,
+        data: Vec<T>,
+        counts: &[usize],
+        op: impl Fn(&mut [T], &[T]) + Copy,
+    ) -> Vec<T> {
+        self.try_reduce_scatter(data, counts, op)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Direct all-to-all of variable blocks: `blocks[r]` goes to rank `r`;
+    /// returns the blocks received, indexed by source rank.
+    pub fn alltoallv<T: Elem>(&self, blocks: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        self.try_alltoallv(blocks).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Gather of variable blocks to `root`; returns `Some(blocks)` there.
+    pub fn gatherv<T: Elem>(&self, root: usize, data: Vec<T>) -> Option<Vec<Vec<T>>> {
+        self.try_gatherv(root, data)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Splits the communicator: ranks sharing `color` form a new
+    /// communicator, ordered by `(key, old rank)` — `MPI_Comm_split`.
+    pub fn split(&self, color: usize, key: usize) -> Comm {
+        self.try_split(color, key).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 

@@ -1,22 +1,49 @@
-//! The in-memory interconnect: one unbounded channel per ordered rank
-//! pair, plus traffic accounting.
+//! The in-memory interconnect: one unbounded FIFO link per ordered rank
+//! pair, plus traffic accounting, liveness tracking, and fault hooks.
 //!
 //! Messages are type-erased (`Box<dyn Any + Send>`) so a single fabric can
 //! carry `f32`, `f64`, `usize`, … payloads; the typed [`crate::comm::Comm`]
-//! API downcasts on receipt and panics with a clear message on a type
-//! mismatch (which indicates mismatched collective calls — the moral
-//! equivalent of an MPI datatype error).
+//! API downcasts on receipt and surfaces a [`CommError::TypeMismatch`]
+//! (which indicates mismatched collective calls — the moral equivalent of
+//! an MPI datatype error).
+//!
+//! The fallible API is [`Fabric::try_send`] / [`Fabric::try_recv`]; the
+//! legacy [`Fabric::send`] / [`Fabric::recv`] wrappers panic with the
+//! error's `Display` text, preserving the original messages.
+//!
+//! Links are hand-rolled `Mutex<VecDeque> + Condvar` queues rather than a
+//! channel crate: the build environment is offline, and owning the queue
+//! lets the fabric wake blocked receivers when a peer rank retires
+//! (crashes), turning would-be 120 s hangs into immediate
+//! [`CommError::PeerClosed`] results.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::fault::{CommError, CorruptMode, FaultPlan};
 use std::any::Any;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
-/// How long a blocked receive waits before declaring deadlock. Generous
-/// enough for debug-mode collective trees; short enough that a mismatched
-/// collective fails a test instead of hanging it.
+/// Default bound on how long a blocked receive waits before declaring
+/// deadlock. Generous enough for debug-mode collective trees; short
+/// enough that a mismatched collective fails a test instead of hanging
+/// it. Overridable per fabric ([`Fabric::set_recv_timeout`]) or globally
+/// via the `MPISIM_RECV_TIMEOUT_SECS` environment variable.
 pub const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Environment variable overriding the default receive timeout (seconds,
+/// fractional values allowed).
+pub const RECV_TIMEOUT_ENV: &str = "MPISIM_RECV_TIMEOUT_SECS";
+
+fn default_recv_timeout() -> Duration {
+    match std::env::var(RECV_TIMEOUT_ENV) {
+        Ok(v) => match v.trim().parse::<f64>() {
+            Ok(secs) if secs > 0.0 && secs.is_finite() => Duration::from_secs_f64(secs),
+            _ => RECV_TIMEOUT,
+        },
+        Err(_) => RECV_TIMEOUT,
+    }
+}
 
 type Payload = Box<dyn Any + Send>;
 
@@ -60,38 +87,86 @@ impl TrafficStats {
     }
 }
 
-/// The channel matrix connecting `p` ranks.
+/// One ordered-pair FIFO queue.
+struct Link {
+    queue: Mutex<VecDeque<Payload>>,
+    ready: Condvar,
+}
+
+impl Link {
+    fn new() -> Link {
+        Link {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, VecDeque<Payload>> {
+        // A panicking rank never holds a link lock (all fault panics
+        // happen outside the critical section), but be robust anyway.
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Runtime state of an attached [`FaultPlan`]: the plan plus the
+/// per-link and per-rank operation counters its decisions key on.
+struct FaultState {
+    plan: FaultPlan,
+    /// Message index per ordered link (`dst * p + src`).
+    link_ops: Vec<AtomicU64>,
+    /// Fabric-operation count per rank (sends + receives).
+    rank_ops: Vec<AtomicU64>,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan, p: usize) -> FaultState {
+        FaultState {
+            plan,
+            link_ops: (0..p * p).map(|_| AtomicU64::new(0)).collect(),
+            rank_ops: (0..p).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Counts one fabric operation for `rank`; panics if the plan says
+    /// this is the operation at which the rank crashes. The panic models
+    /// process death: it is deliberately not a `CommError`, because a
+    /// crashed rank cannot handle errors — [`crate::Universe::try_run`]
+    /// catches it as a [`crate::RankFailure`].
+    fn step_rank(&self, rank: usize) {
+        let op = self.rank_ops[rank].fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(at) = self.plan.crash_op(rank) {
+            if op == at {
+                panic!("injected crash: rank {rank} died at fabric operation {op}");
+            }
+        }
+    }
+}
+
+/// The link matrix connecting `p` ranks.
 pub struct Fabric {
     p: usize,
-    /// `txs[dst][src]`: sender used by `src` to reach `dst`.
-    txs: Vec<Vec<Sender<Payload>>>,
-    /// `rxs[dst][src]`: receiver drained by `dst` for messages from `src`.
-    rxs: Vec<Vec<Receiver<Payload>>>,
+    /// `links[dst * p + src]`: FIFO from `src` to `dst`.
+    links: Vec<Link>,
+    /// Liveness flags; a retired (crashed) rank wakes its blocked peers.
+    alive: Vec<AtomicBool>,
     stats: TrafficStats,
+    /// Receive timeout in microseconds (atomic so tests can tighten it).
+    recv_timeout_us: AtomicU64,
+    /// Optional fault-injection state.
+    fault: Mutex<Option<Arc<FaultState>>>,
 }
 
 impl Fabric {
     /// Builds a fully-connected fabric for `p` ranks.
     pub fn new(p: usize) -> Arc<Fabric> {
         assert!(p > 0, "fabric needs at least one rank");
-        let mut txs = Vec::with_capacity(p);
-        let mut rxs = Vec::with_capacity(p);
-        for _dst in 0..p {
-            let mut tx_row = Vec::with_capacity(p);
-            let mut rx_row = Vec::with_capacity(p);
-            for _src in 0..p {
-                let (tx, rx) = unbounded();
-                tx_row.push(tx);
-                rx_row.push(rx);
-            }
-            txs.push(tx_row);
-            rxs.push(rx_row);
-        }
         Arc::new(Fabric {
             p,
-            txs,
-            rxs,
+            links: (0..p * p).map(|_| Link::new()).collect(),
+            alive: (0..p).map(|_| AtomicBool::new(true)).collect(),
             stats: TrafficStats::new(p),
+            recv_timeout_us: AtomicU64::new(default_recv_timeout().as_micros() as u64),
+            fault: Mutex::new(None),
         })
     }
 
@@ -105,35 +180,210 @@ impl Fabric {
         &self.stats
     }
 
-    /// Sends a typed vector from `src` to `dst`, recording traffic.
-    pub fn send<T: Send + 'static>(&self, src: usize, dst: usize, data: Vec<T>) {
+    /// The current receive timeout.
+    pub fn recv_timeout(&self) -> Duration {
+        Duration::from_micros(self.recv_timeout_us.load(Ordering::Relaxed))
+    }
+
+    /// Overrides the receive timeout for this fabric.
+    pub fn set_recv_timeout(&self, timeout: Duration) {
+        self.recv_timeout_us
+            .store(timeout.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Attaches a fault-injection plan (replacing any previous one) and
+    /// resets its operation counters.
+    pub fn attach_fault_plan(&self, plan: FaultPlan) {
+        let state = Arc::new(FaultState::new(plan, self.p));
+        *self.fault.lock().unwrap_or_else(|e| e.into_inner()) = Some(state);
+    }
+
+    /// Removes the attached fault plan.
+    pub fn clear_fault_plan(&self) {
+        *self.fault.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    fn fault_state(&self) -> Option<Arc<FaultState>> {
+        self.fault.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Is `rank` still alive (not retired)?
+    pub fn is_alive(&self, rank: usize) -> bool {
+        self.alive[rank].load(Ordering::SeqCst)
+    }
+
+    /// Marks `rank` as dead and wakes every receiver blocked on a
+    /// message from it, so peers observe [`CommError::PeerClosed`]
+    /// instead of waiting out the timeout.
+    pub fn retire(&self, rank: usize) {
+        self.alive[rank].store(false, Ordering::SeqCst);
+        for dst in 0..self.p {
+            let link = &self.links[dst * self.p + rank];
+            let _guard = link.lock();
+            link.ready.notify_all();
+        }
+    }
+
+    /// Restores all ranks to alive, clears stale in-flight messages, and
+    /// resets fault-plan counters. Called at the start of each
+    /// [`crate::Universe`] run so a universe remains usable after a
+    /// failed run.
+    pub fn reset_for_run(&self) {
+        for a in &self.alive {
+            a.store(true, Ordering::SeqCst);
+        }
+        for link in &self.links {
+            link.lock().clear();
+        }
+        if let Some(state) = self.fault_state() {
+            for c in state.link_ops.iter().chain(state.rank_ops.iter()) {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    #[inline]
+    fn link(&self, src: usize, dst: usize) -> &Link {
+        &self.links[dst * self.p + src]
+    }
+
+    /// Fallible send of a typed vector from `src` to `dst`, recording
+    /// traffic and applying any injected faults.
+    pub fn try_send<T: Send + 'static>(
+        &self,
+        src: usize,
+        dst: usize,
+        mut data: Vec<T>,
+    ) -> Result<(), CommError> {
+        let fault = self.fault_state();
+        if let Some(state) = &fault {
+            state.step_rank(src);
+        }
+        if !self.is_alive(dst) {
+            return Err(CommError::PeerClosed { peer: dst, me: src });
+        }
+
         let bytes = std::mem::size_of_val(data.as_slice()) as u64;
         self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_by_rank[src].fetch_add(bytes, Ordering::Relaxed);
-        self.txs[dst][src]
-            .send(Box::new(data))
-            .expect("fabric channel closed: a rank panicked");
+
+        if let Some(state) = &fault {
+            let idx = state.link_ops[dst * self.p + src].fetch_add(1, Ordering::Relaxed);
+            if let Some(delay) = state.plan.delay_for(src, dst, idx) {
+                std::thread::sleep(delay);
+            }
+            if let Some((mode, h)) = state.plan.corrupt_for(src, dst, idx) {
+                corrupt_payload(&mut data, mode, h);
+            }
+            if state.plan.drop_for(src, dst, idx) {
+                // The message vanishes on the wire; the receiver will
+                // surface this as a Timeout.
+                return Ok(());
+            }
+        }
+
+        let link = self.link(src, dst);
+        link.lock().push_back(Box::new(data));
+        link.ready.notify_all();
+        Ok(())
+    }
+
+    /// Fallible receive of the next message sent from `src` to `dst`,
+    /// downcasting to the expected element type.
+    pub fn try_recv<T: Send + 'static>(&self, src: usize, dst: usize) -> Result<Vec<T>, CommError> {
+        if let Some(state) = self.fault_state() {
+            state.step_rank(dst);
+        }
+        let timeout = self.recv_timeout();
+        let deadline = Instant::now() + timeout;
+        let link = self.link(src, dst);
+        let mut queue = link.lock();
+        let payload = loop {
+            if let Some(payload) = queue.pop_front() {
+                break payload;
+            }
+            if !self.is_alive(src) {
+                return Err(CommError::PeerClosed { peer: src, me: dst });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout {
+                    src,
+                    dst,
+                    waited: timeout,
+                });
+            }
+            let (guard, _res) = link
+                .ready
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            queue = guard;
+        };
+        drop(queue);
+        payload
+            .downcast::<Vec<T>>()
+            .map(|b| *b)
+            .map_err(|_| CommError::TypeMismatch {
+                src,
+                dst,
+                expected: std::any::type_name::<T>(),
+            })
+    }
+
+    /// Sends a typed vector from `src` to `dst`, recording traffic.
+    ///
+    /// # Panics
+    /// Panics (with the [`CommError`] display text) if the destination
+    /// rank has retired.
+    pub fn send<T: Send + 'static>(&self, src: usize, dst: usize, data: Vec<T>) {
+        self.try_send(src, dst, data)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Receives the next message sent from `src` to `dst`, downcasting to
     /// the expected element type.
     ///
     /// # Panics
-    /// Panics on element-type mismatch or after [`RECV_TIMEOUT`] (deadlock:
-    /// mismatched send/recv pattern).
+    /// Panics on element-type mismatch, retired peer, or after the
+    /// receive timeout (deadlock: mismatched send/recv pattern).
     pub fn recv<T: Send + 'static>(&self, src: usize, dst: usize) -> Vec<T> {
-        let payload = self.rxs[dst][src]
-            .recv_timeout(RECV_TIMEOUT)
-            .unwrap_or_else(|_| {
-                panic!("rank {dst} timed out waiting for a message from rank {src} (mismatched collective?)")
-            });
-        *payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
-            panic!(
-                "rank {dst} received a message from rank {src} with unexpected element type {}",
-                std::any::type_name::<T>()
-            )
-        })
+        self.try_recv(src, dst).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// Applies an injected corruption to an `f64` or `f32` payload in place.
+/// Non-float payloads (control traffic, index exchanges) are left alone:
+/// the model is silent data corruption in bulk numeric transfers.
+// `&mut Vec<T>` (not `&mut [T]`) is required: the `Any` downcast must see
+// the concrete `Vec<f64>` / `Vec<f32>` type to identify float payloads.
+#[allow(clippy::ptr_arg)]
+fn corrupt_payload<T: Send + 'static>(data: &mut Vec<T>, mode: CorruptMode, h: u64) {
+    let any: &mut dyn Any = data;
+    if let Some(v) = any.downcast_mut::<Vec<f64>>() {
+        if v.is_empty() {
+            return;
+        }
+        let i = (h as usize) % v.len();
+        match mode {
+            CorruptMode::NanInject => v[i] = f64::NAN,
+            CorruptMode::BitFlip => {
+                let bit = (h >> 32) % 52; // mantissa bits: silent, plausible
+                v[i] = f64::from_bits(v[i].to_bits() ^ (1u64 << bit));
+            }
+        }
+    } else if let Some(v) = any.downcast_mut::<Vec<f32>>() {
+        if v.is_empty() {
+            return;
+        }
+        let i = (h as usize) % v.len();
+        match mode {
+            CorruptMode::NanInject => v[i] = f32::NAN,
+            CorruptMode::BitFlip => {
+                let bit = ((h >> 32) % 23) as u32;
+                v[i] = f32::from_bits(v[i].to_bits() ^ (1u32 << bit));
+            }
+        }
     }
 }
 
@@ -178,9 +428,131 @@ mod tests {
     }
 
     #[test]
+    fn type_mismatch_is_a_typed_error() {
+        let f = Fabric::new(2);
+        f.send(0, 1, vec![1.0f32]);
+        match f.try_recv::<f64>(0, 1) {
+            Err(CommError::TypeMismatch {
+                src: 0,
+                dst: 1,
+                expected,
+            }) => {
+                assert!(expected.contains("f64"));
+            }
+            other => panic!("expected TypeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn self_send_works() {
         let f = Fabric::new(1);
         f.send(0, 0, vec![7u8]);
         assert_eq!(f.recv::<u8>(0, 0), vec![7]);
+    }
+
+    #[test]
+    fn recv_times_out_with_typed_error() {
+        let f = Fabric::new(2);
+        f.set_recv_timeout(Duration::from_millis(20));
+        let start = Instant::now();
+        match f.try_recv::<f64>(0, 1) {
+            Err(CommError::Timeout { src: 0, dst: 1, .. }) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn retired_peer_surfaces_peer_closed() {
+        let f = Fabric::new(2);
+        f.retire(0);
+        match f.try_recv::<f64>(0, 1) {
+            Err(CommError::PeerClosed { peer: 0, me: 1 }) => {}
+            other => panic!("expected PeerClosed, got {other:?}"),
+        }
+        match f.try_send(1, 0, vec![1.0f64]) {
+            Err(CommError::PeerClosed { peer: 0, me: 1 }) => {}
+            other => panic!("expected PeerClosed, got {other:?}"),
+        }
+        f.reset_for_run();
+        assert!(f.is_alive(0));
+    }
+
+    #[test]
+    fn retire_wakes_blocked_receiver() {
+        let f = Fabric::new(2);
+        f.set_recv_timeout(Duration::from_secs(30));
+        let f2 = Arc::clone(&f);
+        let start = Instant::now();
+        let h = std::thread::spawn(move || f2.try_recv::<f64>(0, 1));
+        std::thread::sleep(Duration::from_millis(30));
+        f.retire(0);
+        let res = h.join().unwrap();
+        assert!(matches!(res, Err(CommError::PeerClosed { peer: 0, me: 1 })));
+        assert!(start.elapsed() < Duration::from_secs(5), "receiver hung");
+    }
+
+    #[test]
+    fn dropped_message_times_out() {
+        let f = Fabric::new(2);
+        f.set_recv_timeout(Duration::from_millis(20));
+        f.attach_fault_plan(FaultPlan::quiet(0).with_drops(1.0));
+        f.send(0, 1, vec![1.0f64]);
+        assert!(matches!(
+            f.try_recv::<f64>(0, 1),
+            Err(CommError::Timeout { .. })
+        ));
+        f.clear_fault_plan();
+    }
+
+    #[test]
+    fn nan_corruption_hits_f64_payloads() {
+        let f = Fabric::new(2);
+        f.attach_fault_plan(FaultPlan::quiet(0).with_corruption(1.0, CorruptMode::NanInject));
+        f.send(0, 1, vec![1.0f64, 2.0, 3.0]);
+        let got: Vec<f64> = f.recv(0, 1);
+        assert_eq!(got.iter().filter(|x| x.is_nan()).count(), 1);
+        // Non-float payloads pass through untouched.
+        f.send(0, 1, vec![5usize, 6]);
+        assert_eq!(f.recv::<usize>(0, 1), vec![5, 6]);
+    }
+
+    #[test]
+    fn bitflip_corruption_changes_one_value() {
+        let f = Fabric::new(2);
+        f.attach_fault_plan(FaultPlan::quiet(9).with_corruption(1.0, CorruptMode::BitFlip));
+        let orig = vec![1.0f64, 2.0, 3.0, 4.0];
+        f.send(0, 1, orig.clone());
+        let got: Vec<f64> = f.recv(0, 1);
+        let changed = got.iter().zip(&orig).filter(|(a, b)| a != b).count();
+        assert_eq!(changed, 1);
+        assert!(
+            got.iter().all(|x| x.is_finite()),
+            "mantissa flips stay finite"
+        );
+    }
+
+    #[test]
+    fn injected_crash_panics_at_op_n() {
+        let f = Fabric::new(2);
+        f.attach_fault_plan(FaultPlan::quiet(0).with_crash(0, 3));
+        f.send(0, 1, vec![1u8]); // op 1
+        f.send(0, 1, vec![2u8]); // op 2
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f.send(0, 1, vec![3u8]); // op 3 → crash
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("injected crash"), "got: {msg}");
+    }
+
+    #[test]
+    fn env_var_overrides_default_timeout() {
+        // Can't mutate the environment of already-built fabrics, but the
+        // parser itself must accept fractional seconds and reject junk.
+        assert_eq!(RECV_TIMEOUT, Duration::from_secs(120));
+        let f = Fabric::new(1);
+        f.set_recv_timeout(Duration::from_millis(1500));
+        assert_eq!(f.recv_timeout(), Duration::from_millis(1500));
     }
 }

@@ -1,0 +1,331 @@
+//! Typed communication errors and deterministic fault injection.
+//!
+//! The paper's algorithms target thousands of ranks, where message loss,
+//! stragglers, and node failure are routine. This module gives the
+//! simulated fabric the same failure surface:
+//!
+//! - [`CommError`] — the typed error every fallible fabric / collective
+//!   operation returns instead of panicking;
+//! - [`FaultPlan`] — a seeded, fully deterministic description of the
+//!   faults to inject (per-link delay, message drop, payload corruption,
+//!   rank crash at operation *N*). Every decision is a pure function of
+//!   `(seed, src, dst, per-link message index)` or `(seed, rank, op
+//!   index)`, so any failing chaos scenario replays bit-identically from
+//!   its plan;
+//! - [`RankFailure`] — the per-rank outcome captured by
+//!   [`crate::Universe::try_run`] when a rank panics instead of
+//!   returning.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Error type for fallible fabric and collective operations.
+///
+/// The `Display` text of each variant is the exact message the legacy
+/// panicking API raises, so `should_panic(expected = ...)` tests keep
+/// working against the thin wrappers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// A blocked receive exceeded the fabric's receive timeout — the
+    /// moral equivalent of a deadlock or a lost message.
+    Timeout {
+        /// World rank of the expected sender.
+        src: usize,
+        /// World rank of the receiver that timed out.
+        dst: usize,
+        /// How long the receiver waited.
+        waited: Duration,
+    },
+    /// The peer rank retired (panicked / crashed) while this rank was
+    /// sending to or receiving from it.
+    PeerClosed {
+        /// World rank of the retired peer.
+        peer: usize,
+        /// World rank of the surviving side.
+        me: usize,
+    },
+    /// The received payload's element type did not match the expected
+    /// one — mismatched collective calls, MPI's datatype error.
+    TypeMismatch {
+        /// World rank of the sender.
+        src: usize,
+        /// World rank of the receiver.
+        dst: usize,
+        /// The element type the receiver asked for.
+        expected: &'static str,
+    },
+    /// A fault injected by the attached [`FaultPlan`].
+    Injected {
+        /// Rank at which the fault fired.
+        rank: usize,
+        /// Human-readable description of the injected fault.
+        what: String,
+    },
+    /// Numerical corruption (NaN/Inf) detected by a kernel-boundary
+    /// screen — either in this rank's local input block or in a
+    /// collective's result (a corrupted payload from another rank).
+    Corrupted {
+        /// World rank that detected the corruption.
+        rank: usize,
+        /// Where the corruption was found.
+        what: String,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Timeout { src, dst, waited } => write!(
+                f,
+                "rank {dst} timed out waiting for a message from rank {src} \
+                 (mismatched collective?) after {:.1}s",
+                waited.as_secs_f64()
+            ),
+            CommError::PeerClosed { peer, me } => write!(
+                f,
+                "fabric channel closed: a rank panicked \
+                 (rank {peer} retired; observed by rank {me})"
+            ),
+            CommError::TypeMismatch { src, dst, expected } => write!(
+                f,
+                "rank {dst} received a message from rank {src} \
+                 with unexpected element type {expected}"
+            ),
+            CommError::Injected { rank, what } => {
+                write!(f, "injected fault at rank {rank}: {what}")
+            }
+            CommError::Corrupted { rank, what } => {
+                write!(f, "rank {rank} detected corrupted data: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Outcome of a rank that panicked under [`crate::Universe::try_run`].
+#[derive(Clone, Debug)]
+pub struct RankFailure {
+    /// The rank that failed.
+    pub rank: usize,
+    /// The panic payload, stringified (`&str` / `String` payloads are
+    /// preserved verbatim).
+    pub message: String,
+}
+
+impl fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank {} panicked: {}", self.rank, self.message)
+    }
+}
+
+impl std::error::Error for RankFailure {}
+
+/// How an injected corruption mangles an `f64`/`f32` payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptMode {
+    /// Flip one mantissa/exponent bit of one element (silent data
+    /// corruption — the value stays "plausible").
+    BitFlip,
+    /// Overwrite one element with NaN (detectable by the numerical
+    /// guards at kernel boundaries).
+    NanInject,
+}
+
+/// Deterministic, seeded fault-injection plan attachable to a fabric.
+///
+/// All probabilities are evaluated with a counter-based hash, never an
+/// RNG stream shared across threads, so injection decisions are
+/// independent of thread scheduling: message *k* on link `src→dst` is
+/// delayed/dropped/corrupted iff `hash(seed, src, dst, k)` says so,
+/// regardless of when it is sent.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed from which every injection decision is derived.
+    pub seed: u64,
+    /// Probability that a message is delayed, and the maximum delay.
+    pub delay: Option<(f64, Duration)>,
+    /// Probability that a message is silently dropped (the receiver
+    /// surfaces this as [`CommError::Timeout`]).
+    pub drop: Option<f64>,
+    /// Probability that an `f64`/`f32` payload is corrupted, and how.
+    pub corrupt: Option<(f64, CorruptMode)>,
+    /// `(rank, op)` pairs: rank `rank` panics ("crashes") when it issues
+    /// its `op`-th fabric operation (sends + receives, 1-based).
+    pub crashes: Vec<(usize, u64)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a baseline).
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            delay: None,
+            drop: None,
+            corrupt: None,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Adds random per-message delays: each message is delayed with
+    /// probability `prob` by a deterministic duration in `[0, max]`.
+    pub fn with_delays(mut self, prob: f64, max: Duration) -> FaultPlan {
+        self.delay = Some((prob, max));
+        self
+    }
+
+    /// Adds random message drops with probability `prob`.
+    pub fn with_drops(mut self, prob: f64) -> FaultPlan {
+        self.drop = Some(prob);
+        self
+    }
+
+    /// Adds random payload corruption with probability `prob`.
+    pub fn with_corruption(mut self, prob: f64, mode: CorruptMode) -> FaultPlan {
+        self.corrupt = Some((prob, mode));
+        self
+    }
+
+    /// Schedules rank `rank` to crash at its `op`-th fabric operation
+    /// (1-based across sends and receives).
+    pub fn with_crash(mut self, rank: usize, op: u64) -> FaultPlan {
+        self.crashes.push((rank, op));
+        self
+    }
+
+    /// True if the plan can only reorder timing (delays), never lose or
+    /// alter data — such a plan must be semantics-preserving.
+    pub fn is_semantics_preserving(&self) -> bool {
+        self.drop.is_none() && self.corrupt.is_none() && self.crashes.is_empty()
+    }
+
+    /// The scheduled crash op for `rank`, if any (first match wins).
+    pub fn crash_op(&self, rank: usize) -> Option<u64> {
+        self.crashes
+            .iter()
+            .find(|&&(r, _)| r == rank)
+            .map(|&(_, op)| op)
+    }
+
+    /// Deterministic 64-bit hash for the `idx`-th message on `src→dst`.
+    pub fn link_hash(&self, src: usize, dst: usize, idx: u64) -> u64 {
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((src as u64) << 32 | dst as u64)
+            .wrapping_add(idx.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        // SplitMix64 finalizer.
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Converts a hash to a uniform probability in `[0, 1)`.
+    pub fn unit(h: u64) -> f64 {
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Should message `idx` on `src→dst` be delayed, and by how much?
+    pub fn delay_for(&self, src: usize, dst: usize, idx: u64) -> Option<Duration> {
+        let (prob, max) = self.delay?;
+        let h = self.link_hash(src, dst, idx ^ 0x00DE_1A4D);
+        if Self::unit(h) < prob {
+            let frac = Self::unit(self.link_hash(src, dst, idx ^ 0x5EED_0001));
+            Some(Duration::from_nanos((max.as_nanos() as f64 * frac) as u64))
+        } else {
+            None
+        }
+    }
+
+    /// Should message `idx` on `src→dst` be dropped?
+    pub fn drop_for(&self, src: usize, dst: usize, idx: u64) -> bool {
+        match self.drop {
+            Some(prob) => {
+                let h = self.link_hash(src, dst, idx ^ 0x0000_D401);
+                Self::unit(h) < prob
+            }
+            None => false,
+        }
+    }
+
+    /// Should message `idx` on `src→dst` be corrupted? Returns the mode
+    /// and a hash to derive element/bit choice from.
+    pub fn corrupt_for(&self, src: usize, dst: usize, idx: u64) -> Option<(CorruptMode, u64)> {
+        let (prob, mode) = self.corrupt?;
+        let h = self.link_hash(src, dst, idx ^ 0x00C0_44D7);
+        if Self::unit(h) < prob {
+            Some((mode, self.link_hash(src, dst, idx ^ 0x00C0_44D8)))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultPlan::quiet(42)
+            .with_delays(0.5, Duration::from_micros(500))
+            .with_drops(0.1)
+            .with_corruption(0.2, CorruptMode::NanInject);
+        let b = a.clone();
+        for idx in 0..200 {
+            assert_eq!(a.delay_for(0, 1, idx), b.delay_for(0, 1, idx));
+            assert_eq!(a.drop_for(1, 0, idx), b.drop_for(1, 0, idx));
+            assert_eq!(
+                a.corrupt_for(2, 3, idx).map(|(m, h)| (m as u8, h)),
+                b.corrupt_for(2, 3, idx).map(|(m, h)| (m as u8, h))
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_roughly_hold() {
+        let plan = FaultPlan::quiet(7).with_drops(0.25);
+        let n = 10_000;
+        let dropped = (0..n).filter(|&i| plan.drop_for(0, 1, i)).count();
+        let frac = dropped as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.03, "drop fraction {frac}");
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let plan = FaultPlan::quiet(3);
+        assert!(plan.is_semantics_preserving());
+        for idx in 0..100 {
+            assert!(plan.delay_for(0, 1, idx).is_none());
+            assert!(!plan.drop_for(0, 1, idx));
+            assert!(plan.corrupt_for(0, 1, idx).is_none());
+        }
+        assert_eq!(plan.crash_op(0), None);
+    }
+
+    #[test]
+    fn delay_only_plan_is_semantics_preserving() {
+        let plan = FaultPlan::quiet(1).with_delays(0.9, Duration::from_micros(100));
+        assert!(plan.is_semantics_preserving());
+        assert!(!plan.clone().with_drops(0.1).is_semantics_preserving());
+        assert!(!plan.with_crash(0, 5).is_semantics_preserving());
+    }
+
+    #[test]
+    fn comm_error_display_is_stable() {
+        let t = CommError::Timeout {
+            src: 1,
+            dst: 0,
+            waited: Duration::from_secs(2),
+        };
+        assert!(t.to_string().contains("timed out waiting for a message"));
+        let m = CommError::TypeMismatch {
+            src: 0,
+            dst: 1,
+            expected: "f64",
+        };
+        assert!(m.to_string().contains("unexpected element type"));
+        let p = CommError::PeerClosed { peer: 2, me: 0 };
+        assert!(p.to_string().starts_with("fabric channel closed"));
+    }
+}

@@ -11,6 +11,7 @@
 //! tensor entries.
 
 use crate::comm::Comm;
+use crate::fault::CommError;
 
 /// A Cartesian view of a communicator.
 pub struct CartGrid {
@@ -27,8 +28,21 @@ impl CartGrid {
     /// Builds a grid of the given dimensions over `comm`.
     ///
     /// # Panics
-    /// Panics if `Π dims != comm.size()`.
+    /// Panics if `Π dims != comm.size()` or on a communication error
+    /// while building the fiber communicators (see [`CartGrid::try_new`]
+    /// for the fallible variant).
     pub fn new(comm: Comm, dims: &[usize]) -> CartGrid {
+        Self::try_new(comm, dims).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`CartGrid::new`]: communication failures
+    /// while splitting into fiber communicators surface as a typed
+    /// [`CommError`] instead of a panic.
+    ///
+    /// # Panics
+    /// Still panics if `Π dims != comm.size()` — that is a configuration
+    /// bug, not a runtime fault.
+    pub fn try_new(comm: Comm, dims: &[usize]) -> Result<CartGrid, CommError> {
         let p: usize = dims.iter().product();
         assert_eq!(
             p,
@@ -51,14 +65,14 @@ impl CartGrid {
                 color += c * stride;
                 stride *= d;
             }
-            mode_comms.push(comm.split(color, coords[k]));
+            mode_comms.push(comm.try_split(color, coords[k])?);
         }
-        CartGrid {
+        Ok(CartGrid {
             comm,
             dims: dims.to_vec(),
             coords,
             mode_comms,
-        }
+        })
     }
 
     /// Grid dimensions.

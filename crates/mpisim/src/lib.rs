@@ -33,11 +33,13 @@
 
 pub mod comm;
 pub mod fabric;
+pub mod fault;
 pub mod grid;
 pub mod universe;
 
 pub use comm::{max_op, sum_op, Comm};
-pub use fabric::{Fabric, TrafficStats};
+pub use fabric::{Fabric, TrafficStats, RECV_TIMEOUT, RECV_TIMEOUT_ENV};
+pub use fault::{CommError, CorruptMode, FaultPlan, RankFailure};
 pub use grid::{enumerate_grids, CartGrid};
 pub use universe::Universe;
 
@@ -124,7 +126,9 @@ mod collective_tests {
     fn allgatherv_variable_blocks() {
         for p in [1, 2, 3, 5] {
             let out = Universe::launch(p, |c| {
-                let data: Vec<u64> = (0..c.rank() + 1).map(|i| (c.rank() * 10 + i) as u64).collect();
+                let data: Vec<u64> = (0..c.rank() + 1)
+                    .map(|i| (c.rank() * 10 + i) as u64)
+                    .collect();
                 c.allgatherv(data)
             });
             for blocks in out {
@@ -148,9 +152,7 @@ mod collective_tests {
                 c.reduce_scatter(data, &counts, sum_op)
             });
             for (r, block) in out.into_iter().enumerate() {
-                let want: Vec<u64> = (0..2u64)
-                    .map(|i| (2 * r as u64 + i) * p as u64)
-                    .collect();
+                let want: Vec<u64> = (0..2u64).map(|i| (2 * r as u64 + i) * p as u64).collect();
                 assert_eq!(block, want, "p={p} rank {r}");
             }
         }
@@ -168,7 +170,9 @@ mod collective_tests {
         // Sum of scales = 1+2+3 = 6.
         let offsets = [0usize, 1, 4];
         for (r, block) in out.into_iter().enumerate() {
-            let want: Vec<f64> = (0..counts[r]).map(|i| 6.0 * (offsets[r] + i) as f64).collect();
+            let want: Vec<f64> = (0..counts[r])
+                .map(|i| 6.0 * (offsets[r] + i) as f64)
+                .collect();
             assert_eq!(block, want, "rank {r}");
         }
     }

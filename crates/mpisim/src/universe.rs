@@ -2,12 +2,50 @@
 //!
 //! [`Universe::run`] plays the role of `mpirun`: it spawns one OS thread
 //! per rank, hands each a world [`Comm`], and collects the per-rank return
-//! values. A rank panic propagates (all other ranks then fail their next
-//! receive with a closed-channel error instead of hanging).
+//! values. [`Universe::try_run`] is the fault-tolerant variant: a rank
+//! panic (including injected crashes from a [`FaultPlan`]) is caught and
+//! returned as a [`RankFailure`] carrying the original panic payload,
+//! while the crashed rank is retired on the fabric so surviving ranks
+//! observe [`crate::CommError::PeerClosed`] instead of hanging.
 
 use crate::comm::Comm;
 use crate::fabric::{Fabric, TrafficStats};
+use crate::fault::{FaultPlan, RankFailure};
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
+use std::time::Duration;
+
+std::thread_local! {
+    /// Set while a rank thread runs under a universe: the process-wide
+    /// panic hook stays quiet for these threads because the panic is
+    /// captured (and re-raised or reported) by the launcher.
+    static RANK_THREAD: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs (once) a panic hook that suppresses the default "thread
+/// panicked" stderr noise for rank threads, whose panics are captured.
+fn install_quiet_hook() {
+    static HOOK: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    HOOK.get_or_init(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !RANK_THREAD.with(|f| f.get()) {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Stringifies a panic payload, preserving `&str` / `String` payloads.
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// A set of `p` ranks over a shared fabric.
 pub struct Universe {
@@ -22,6 +60,14 @@ impl Universe {
         }
     }
 
+    /// Creates a universe with `p` ranks and a fault-injection plan
+    /// attached to its fabric.
+    pub fn with_fault_plan(p: usize, plan: FaultPlan) -> Universe {
+        let u = Universe::new(p);
+        u.fabric.attach_fault_plan(plan);
+        u
+    }
+
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.fabric.size()
@@ -32,32 +78,98 @@ impl Universe {
         self.fabric.stats()
     }
 
-    /// Runs `f` on every rank concurrently and returns the per-rank
-    /// results in rank order. May be called repeatedly; traffic counters
-    /// accumulate across calls.
-    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    /// The underlying fabric (for timeout / fault-plan configuration).
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// Overrides the blocked-receive timeout for all ranks. The default
+    /// is 120 s, or the value of `MPISIM_RECV_TIMEOUT_SECS` if set.
+    pub fn set_recv_timeout(&self, timeout: Duration) -> &Universe {
+        self.fabric.set_recv_timeout(timeout);
+        self
+    }
+
+    /// Attaches (or replaces) a fault-injection plan.
+    pub fn set_fault_plan(&self, plan: FaultPlan) -> &Universe {
+        self.fabric.attach_fault_plan(plan);
+        self
+    }
+
+    /// Runs `f` on every rank concurrently, catching per-rank panics.
+    ///
+    /// Returns one entry per rank, in rank order: `Ok(result)` for ranks
+    /// that returned, `Err(RankFailure)` — with the original panic
+    /// payload preserved — for ranks that panicked (organically or via
+    /// an injected crash). A panicking rank is retired on the fabric
+    /// immediately, so surviving ranks blocked on it fail fast with
+    /// [`crate::CommError::PeerClosed`] rather than waiting out the
+    /// receive timeout. Never aborts the process; never hangs longer
+    /// than the receive timeout.
+    pub fn try_run<R, F>(&self, f: F) -> Vec<Result<R, RankFailure>>
     where
         R: Send,
         F: Fn(Comm) -> R + Sync,
     {
+        install_quiet_hook();
+        self.fabric.reset_for_run();
         let p = self.fabric.size();
         let f = &f;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..p)
                 .map(|rank| {
-                    let comm = Comm::world(Arc::clone(&self.fabric), rank);
-                    scope.spawn(move || f(comm))
+                    let fabric = Arc::clone(&self.fabric);
+                    scope.spawn(move || {
+                        RANK_THREAD.with(|flag| flag.set(true));
+                        let comm = Comm::world(Arc::clone(&fabric), rank);
+                        let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(comm)));
+                        if result.is_err() {
+                            // Wake peers blocked on this rank.
+                            fabric.retire(rank);
+                        }
+                        result
+                    })
                 })
                 .collect();
             handles
                 .into_iter()
                 .enumerate()
-                .map(|(rank, h)| {
-                    h.join()
-                        .unwrap_or_else(|_| panic!("rank {rank} panicked"))
+                .map(|(rank, h)| match h.join() {
+                    Ok(Ok(value)) => Ok(value),
+                    Ok(Err(payload)) => Err(RankFailure {
+                        rank,
+                        message: payload_to_string(payload.as_ref()),
+                    }),
+                    // The catch_unwind above makes this unreachable, but
+                    // translate rather than abort if it ever happens.
+                    Err(payload) => Err(RankFailure {
+                        rank,
+                        message: payload_to_string(payload.as_ref()),
+                    }),
                 })
                 .collect()
         })
+    }
+
+    /// Runs `f` on every rank concurrently and returns the per-rank
+    /// results in rank order. May be called repeatedly; traffic counters
+    /// accumulate across calls.
+    ///
+    /// # Panics
+    /// If any rank panics, re-raises with the rank id *and the rank's
+    /// original panic message* attached.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
+        self.try_run(f)
+            .into_iter()
+            .map(|res| match res {
+                Ok(v) => v,
+                Err(failure) => panic!("rank {} panicked: {}", failure.rank, failure.message),
+            })
+            .collect()
     }
 
     /// Convenience one-shot: build a universe, run, return results.
@@ -67,6 +179,17 @@ impl Universe {
         F: Fn(Comm) -> R + Sync,
     {
         Universe::new(p).run(f)
+    }
+
+    /// Convenience one-shot for the fault-tolerant path: build a
+    /// universe with `plan` attached, `try_run`, return per-rank
+    /// outcomes.
+    pub fn try_launch<R, F>(p: usize, plan: FaultPlan, f: F) -> Vec<Result<R, RankFailure>>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
+        Universe::with_fault_plan(p, plan).try_run(f)
     }
 }
 
@@ -99,5 +222,94 @@ mod tests {
             c.rank()
         });
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn try_run_captures_panic_payload() {
+        let u = Universe::new(2);
+        let out = u.try_run(|c| {
+            if c.rank() == 1 {
+                panic!("deliberate failure on rank {}", c.rank());
+            }
+            c.rank()
+        });
+        assert_eq!(out[0].as_ref().unwrap(), &0);
+        let failure = out[1].as_ref().unwrap_err();
+        assert_eq!(failure.rank, 1);
+        assert_eq!(failure.message, "deliberate failure on rank 1");
+    }
+
+    #[test]
+    fn run_reraises_with_original_message() {
+        let err = std::panic::catch_unwind(|| {
+            Universe::launch(2, |c| {
+                if c.rank() == 0 {
+                    panic!("the real reason");
+                }
+                c.rank()
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("rank 0 panicked") && msg.contains("the real reason"),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
+    fn crashed_peer_fails_fast_not_timeout() {
+        use std::time::Instant;
+        let u = Universe::new(2);
+        u.set_recv_timeout(Duration::from_secs(30));
+        let start = Instant::now();
+        let out = u.try_run(|c| {
+            if c.rank() == 0 {
+                panic!("rank 0 dies before sending");
+            }
+            // Rank 1 blocks on rank 0; must fail fast via PeerClosed.
+            c.recv::<f64>(0).len()
+        });
+        assert!(out[0].is_err());
+        assert!(out[1].is_err());
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "survivor should fail fast, took {:?}",
+            start.elapsed()
+        );
+        let msg = &out[1].as_ref().unwrap_err().message;
+        assert!(msg.contains("fabric channel closed"), "got: {msg}");
+    }
+
+    #[test]
+    fn universe_usable_after_failed_try_run() {
+        let u = Universe::new(2);
+        let bad = u.try_run(|c| {
+            if c.rank() == 0 {
+                panic!("boom");
+            }
+            c.rank()
+        });
+        assert!(bad[0].is_err());
+        let good = u.try_run(|c| {
+            c.barrier();
+            c.rank() + 100
+        });
+        assert_eq!(
+            good.into_iter().map(Result::unwrap).collect::<Vec<_>>(),
+            vec![100, 101]
+        );
+    }
+
+    #[test]
+    fn injected_crash_is_reported_per_rank() {
+        use crate::fault::FaultPlan;
+        let out = Universe::try_launch(2, FaultPlan::quiet(0).with_crash(1, 1), |c| {
+            c.barrier();
+            c.rank()
+        });
+        assert!(out[0].is_err() || out[0].is_ok()); // rank 0: PeerClosed panic or completed
+        let f = out[1].as_ref().unwrap_err();
+        assert!(f.message.contains("injected crash"), "got: {}", f.message);
     }
 }

@@ -102,6 +102,75 @@ proptest! {
     }
 
     #[test]
+    fn delay_only_fault_plans_preserve_collective_semantics(
+        p in 2usize..=6,
+        len in 1usize..8,
+        seed in 0u64..1000,
+        plan_seed in 0u64..1000,
+        prob_pct in 0u32..=100,
+    ) {
+        // A plan that can only reorder timing must be invisible to the
+        // collectives: same sums, same blocks, bit for bit.
+        let plan = ratucker_mpi::FaultPlan::quiet(plan_seed)
+            .with_delays(prob_pct as f64 / 100.0, std::time::Duration::from_micros(400));
+        prop_assert!(plan.is_semantics_preserving());
+
+        let payload = move |rank: usize| -> Vec<f64> {
+            (0..len)
+                .map(|i| ((seed as usize + rank * 29 + i * 11) % 83) as f64 * 0.5)
+                .collect()
+        };
+        let expected: Vec<f64> = (0..len)
+            .map(|i| (0..p).map(|r| payload(r)[i]).sum())
+            .collect();
+
+        let u = Universe::with_fault_plan(p, plan);
+        let out = u.run(move |c| {
+            let summed = c.allreduce(payload(c.rank()), sum_op);
+            let gathered = c.allgatherv(payload(c.rank()));
+            (summed, gathered)
+        });
+        for (summed, gathered) in out {
+            prop_assert_eq!(&summed, &expected);
+            for (r, b) in gathered.iter().enumerate() {
+                prop_assert_eq!(b, &payload(r));
+            }
+        }
+    }
+
+    #[test]
+    fn type_mismatch_is_reported_not_panicked(p in 2usize..=4) {
+        // Regression (ISSUE satellite): mismatched element types across a
+        // send/recv pair must surface as a typed error through try_run —
+        // no should_panic involved.
+        let out = Universe::new(p).try_run(move |c| {
+            if c.rank() == 0 {
+                c.send(1, vec![1.0f64, 2.0]);
+                Ok(())
+            } else if c.rank() == 1 {
+                match c.try_recv::<u64>(0) {
+                    Err(e) => Err(e),
+                    Ok(_) => Ok(()),
+                }
+            } else {
+                Ok(())
+            }
+        });
+        for (rank, r) in out.into_iter().enumerate() {
+            let inner = r.expect("no rank panics in this scenario");
+            if rank == 1 {
+                let err = inner.expect_err("rank 1 must observe the type mismatch");
+                prop_assert!(
+                    err.to_string().contains("unexpected element type"),
+                    "got: {err}"
+                );
+            } else {
+                prop_assert!(inner.is_ok());
+            }
+        }
+    }
+
+    #[test]
     fn split_partitions_and_preserves_ranks(p in 1usize..=8, ncolors in 1usize..4) {
         let out = Universe::launch(p, move |c| {
             let color = c.rank() % ncolors;

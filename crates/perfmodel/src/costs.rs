@@ -206,8 +206,7 @@ pub fn algorithm_cost(alg: AlgKind, prob: &Problem, grid: &[usize]) -> CostBreak
                     one += 2.0 * r.powi(i as i32) * n.powi((d - i + 1) as i32) / p;
                 }
                 let f = df * one;
-                let words = (df - 1.0) * r * nd / n / p * (p1 - 1.0)
-                    + r * nd / n / p * (p2 - 1.0);
+                let words = (df - 1.0) * r * nd / n / p * (p1 - 1.0) + r * nd / n / p * (p2 - 1.0);
                 (f, words, 2.0 * df * nd)
             };
             phases.push(PhaseCost {
@@ -309,8 +308,18 @@ mod tests {
         let prob = Problem::new(500, 10, 4, 1);
         let direct = algorithm_cost(AlgKind::Hooi, &prob, &[1, 1, 1, 1]);
         let tree = algorithm_cost(AlgKind::HooiDt, &prob, &[1, 1, 1, 1]);
-        let fd = direct.phases.iter().find(|p| p.label == "TTM").unwrap().parallel_flops;
-        let ft = tree.phases.iter().find(|p| p.label == "TTM").unwrap().parallel_flops;
+        let fd = direct
+            .phases
+            .iter()
+            .find(|p| p.label == "TTM")
+            .unwrap()
+            .parallel_flops;
+        let ft = tree
+            .phases
+            .iter()
+            .find(|p| p.label == "TTM")
+            .unwrap()
+            .parallel_flops;
         let ratio = fd / ft;
         // Theory: d/2 = 2 to leading order.
         assert!((ratio - 2.0).abs() < 0.3, "ratio {ratio}");
@@ -344,7 +353,10 @@ mod tests {
         let prob = Problem::new(1000, 10, 3, 1);
         let bad = algorithm_cost(AlgKind::Sthosvd, &prob, &[8, 1, 1]).words();
         let good = algorithm_cost(AlgKind::Sthosvd, &prob, &[1, 1, 8]).words();
-        assert!(good < bad, "P1=1 grid should communicate less: {good} vs {bad}");
+        assert!(
+            good < bad,
+            "P1=1 grid should communicate less: {good} vs {bad}"
+        );
     }
 
     #[test]

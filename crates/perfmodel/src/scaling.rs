@@ -47,12 +47,7 @@ fn grids(p: usize, d: usize) -> Vec<Vec<usize>> {
 }
 
 /// Best-over-grids predicted time for one algorithm at one core count.
-pub fn best_grid_time(
-    machine: &Machine,
-    alg: AlgKind,
-    prob: &Problem,
-    p: usize,
-) -> ScalingPoint {
+pub fn best_grid_time(machine: &Machine, alg: AlgKind, prob: &Problem, p: usize) -> ScalingPoint {
     let mut best: Option<ScalingPoint> = None;
     for grid in grids(p, prob.d) {
         let costs = algorithm_cost(alg, prob, &grid);
@@ -133,7 +128,10 @@ mod tests {
         let hooi_dt = best_grid_time(&m, AlgKind::HooiDt, &prob, p).seconds;
         let hosi_dt = best_grid_time(&m, AlgKind::HosiDt, &prob, p).seconds;
         assert!(hosi_dt * 20.0 < st, "HOSI-DT {hosi_dt} vs STHOSVD {st}");
-        assert!(hosi_dt * 20.0 < hooi_dt, "HOSI-DT {hosi_dt} vs HOOI-DT {hooi_dt}");
+        assert!(
+            hosi_dt * 20.0 < hooi_dt,
+            "HOSI-DT {hosi_dt} vs HOOI-DT {hooi_dt}"
+        );
     }
 
     #[test]
@@ -192,7 +190,11 @@ mod tests {
         let m = machine();
         let prob = three_way();
         let pt = best_grid_time(&m, AlgKind::Sthosvd, &prob, 64);
-        assert_eq!(pt.grid[0], 1, "best STHOSVD grid should have P1=1: {:?}", pt.grid);
+        assert_eq!(
+            pt.grid[0], 1,
+            "best STHOSVD grid should have P1=1: {:?}",
+            pt.grid
+        );
     }
 
     #[test]

@@ -68,6 +68,12 @@ impl<T: Scalar> DenseTensor<T> {
         self.data.len()
     }
 
+    /// `true` when every entry is finite (no NaN/Inf) — the screening
+    /// predicate applied at distributed kernel boundaries.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite_s())
+    }
+
     /// Underlying buffer in layout order.
     #[inline]
     pub fn data(&self) -> &[T] {
@@ -232,7 +238,9 @@ mod tests {
 
     #[test]
     fn from_fn_and_get_agree() {
-        let t = DenseTensor::from_fn([2, 3, 4], |idx| (idx[0] + 10 * idx[1] + 100 * idx[2]) as f64);
+        let t = DenseTensor::from_fn([2, 3, 4], |idx| {
+            (idx[0] + 10 * idx[1] + 100 * idx[2]) as f64
+        });
         assert_eq!(t.get(&[1, 2, 3]), 321.0);
         assert_eq!(t.get(&[0, 0, 0]), 0.0);
     }
@@ -281,6 +289,16 @@ mod tests {
         let noise = DenseTensor::from_vec([2], vec![0.0f64, 1.0]);
         b.add_scaled(0.5, &noise);
         assert!((b.rel_error(&a) - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn all_finite_screens_nan_and_inf() {
+        let mut t = DenseTensor::from_fn([2, 3], |idx| (idx[0] + idx[1]) as f64);
+        assert!(t.all_finite());
+        t.data_mut()[3] = f64::NAN;
+        assert!(!t.all_finite());
+        t.data_mut()[3] = f64::NEG_INFINITY;
+        assert!(!t.all_finite());
     }
 
     #[test]

@@ -113,7 +113,10 @@ pub fn write_raw<T: IoScalar>(path: impl AsRef<Path>, x: &DenseTensor<T>) -> io:
 
 /// Reads a headerless raw array; the shape must be supplied (as the
 /// paper's drivers do via the parameter file's `Global dims`).
-pub fn read_raw<T: IoScalar>(path: impl AsRef<Path>, shape: impl Into<Shape>) -> io::Result<DenseTensor<T>> {
+pub fn read_raw<T: IoScalar>(
+    path: impl AsRef<Path>,
+    shape: impl Into<Shape>,
+) -> io::Result<DenseTensor<T>> {
     let shape = shape.into();
     let mut bytes = Vec::new();
     BufReader::new(File::open(path)?).read_to_end(&mut bytes)?;
@@ -154,14 +157,20 @@ fn read_header<R: Read>(r: &mut R) -> io::Result<(ElemType, Shape)> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an RTT1 file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an RTT1 file",
+        ));
     }
     let mut meta = [0u8; 2];
     r.read_exact(&mut meta)?;
     let elem = ElemType::from_code(meta[0])?;
     let order = meta[1] as usize;
     if order == 0 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "zero-order tensor"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "zero-order tensor",
+        ));
     }
     let mut dims = Vec::with_capacity(order);
     for _ in 0..order {
@@ -186,7 +195,10 @@ pub fn read_rtt<T: IoScalar>(path: impl AsRef<Path>) -> io::Result<DenseTensor<T
     r.read_to_end(&mut bytes)?;
     let data: Vec<T> = decode_elems(&bytes)?;
     if data.len() != shape.num_entries() {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated payload"));
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "truncated payload",
+        ));
     }
     Ok(DenseTensor::from_vec(shape, data))
 }
@@ -243,7 +255,9 @@ mod tests {
     }
 
     fn sample() -> DenseTensor<f64> {
-        DenseTensor::from_fn([3, 4, 2], |idx| (idx[0] + 10 * idx[1] + 100 * idx[2]) as f64)
+        DenseTensor::from_fn([3, 4, 2], |idx| {
+            (idx[0] + 10 * idx[1] + 100 * idx[2]) as f64
+        })
     }
 
     #[test]
@@ -318,8 +332,7 @@ mod tests {
             assert_eq!(block.get(&idx), x.get(&gidx), "{idx:?}");
         }
         // Full-tensor "block".
-        let full: DenseTensor<f64> =
-            read_block_raw(&p, x.shape(), &[0, 0, 0], &[3, 4, 2]).unwrap();
+        let full: DenseTensor<f64> = read_block_raw(&p, x.shape(), &[0, 0, 0], &[3, 4, 2]).unwrap();
         assert_eq!(full.max_abs_diff(&x), 0.0);
         std::fs::remove_file(p).unwrap();
     }

@@ -257,7 +257,17 @@ mod tests {
         let (a, b) = test_mats(7, 5, 6);
         let want = naive_mm(&a, &b);
         let mut c = Matrix::zeros(7, 6);
-        gemm_nn(7, 6, 5, a.as_slice(), 7, b.as_slice(), 5, c.as_mut_slice(), 7);
+        gemm_nn(
+            7,
+            6,
+            5,
+            a.as_slice(),
+            7,
+            b.as_slice(),
+            5,
+            c.as_mut_slice(),
+            7,
+        );
         assert!(c.max_abs_diff(&want) < 1e-13);
     }
 
@@ -288,7 +298,17 @@ mod tests {
         let b = Matrix::from_fn(6, 5, |i, j| ((2 * i + j) as f64).cos());
         let want = naive_mm(&a, &b.transpose());
         let mut c = Matrix::zeros(4, 6);
-        gemm_nt(4, 6, 5, a.as_slice(), 4, b.as_slice(), 6, c.as_mut_slice(), 4);
+        gemm_nt(
+            4,
+            6,
+            5,
+            a.as_slice(),
+            4,
+            b.as_slice(),
+            6,
+            c.as_mut_slice(),
+            4,
+        );
         assert!(c.max_abs_diff(&want) < 1e-13);
     }
 
@@ -297,7 +317,17 @@ mod tests {
         let a: Matrix<f64> = Matrix::identity(3);
         let b = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
         let mut c = Matrix::identity(3);
-        gemm_nn(3, 3, 3, a.as_slice(), 3, b.as_slice(), 3, c.as_mut_slice(), 3);
+        gemm_nn(
+            3,
+            3,
+            3,
+            a.as_slice(),
+            3,
+            b.as_slice(),
+            3,
+            c.as_mut_slice(),
+            3,
+        );
         // C = I + I*B
         for i in 0..3 {
             for j in 0..3 {
@@ -357,7 +387,17 @@ mod tests {
         let a: Matrix<f32> = Matrix::zeros(4, 3);
         let b: Matrix<f32> = Matrix::zeros(3, 5);
         let mut c: Matrix<f32> = Matrix::zeros(4, 5);
-        gemm_nn(4, 5, 3, a.as_slice(), 4, b.as_slice(), 3, c.as_mut_slice(), 4);
+        gemm_nn(
+            4,
+            5,
+            3,
+            a.as_slice(),
+            4,
+            b.as_slice(),
+            3,
+            c.as_mut_slice(),
+            4,
+        );
         assert_eq!(crate::flops::get(), 2 * 4 * 5 * 3);
     }
 }

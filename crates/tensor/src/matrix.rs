@@ -90,6 +90,12 @@ impl<T: Scalar> Matrix<T> {
         self.data
     }
 
+    /// `true` when every entry is finite (no NaN/Inf) — the screening
+    /// predicate applied at distributed kernel boundaries.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite_s())
+    }
+
     /// Column `j` as a contiguous slice.
     #[inline]
     pub fn col(&self, j: usize) -> &[T] {
@@ -279,6 +285,16 @@ mod tests {
         let m = Matrix::from_fn(3, 2, |i, j| (i + 10 * j) as f64);
         assert_eq!(m[(2, 1)], 12.0);
         assert_eq!(m.col(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn all_finite_screens_nan_and_inf() {
+        let mut m = Matrix::from_fn(3, 2, |i, j| (i + j) as f32);
+        assert!(m.all_finite());
+        m[(1, 1)] = f32::NAN;
+        assert!(!m.all_finite());
+        m[(1, 1)] = f32::INFINITY;
+        assert!(!m.all_finite());
     }
 
     #[test]

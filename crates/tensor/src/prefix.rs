@@ -19,10 +19,13 @@ pub fn prefix_squared_sums<T: Scalar>(g: &DenseTensor<T>) -> DenseTensor<f64> {
     let shape = g.shape().clone();
     let mut p = DenseTensor::from_vec(
         shape.clone(),
-        g.data().iter().map(|&x| {
-            let v = x.to_f64();
-            v * v
-        }).collect(),
+        g.data()
+            .iter()
+            .map(|&x| {
+                let v = x.to_f64();
+                v * v
+            })
+            .collect(),
     );
     crate::flops::add((shape.order() as u64 + 2) * g.num_entries() as u64);
     // One running-sum pass per mode turns elementwise squares into the
@@ -37,7 +40,8 @@ pub fn prefix_squared_sums<T: Scalar>(g: &DenseTensor<T>) -> DenseTensor<f64> {
         for r in 0..right {
             let base = r * slab;
             for i in 1..n_j {
-                let (prev, cur) = data[base + (i - 1) * left..base + (i + 1) * left].split_at_mut(left);
+                let (prev, cur) =
+                    data[base + (i - 1) * left..base + (i + 1) * left].split_at_mut(left);
                 for l in 0..left {
                     cur[l] += prev[l];
                 }
@@ -100,7 +104,9 @@ mod tests {
         let p = prefix_squared_sums(&g);
         for i in 1..4 {
             for j in 1..4 {
-                assert!(leading_norm_sq(&p, &[i + 1, j + 1]) >= leading_norm_sq(&p, &[i, j]) - 1e-15);
+                assert!(
+                    leading_norm_sq(&p, &[i + 1, j + 1]) >= leading_norm_sq(&p, &[i, j]) - 1e-15
+                );
             }
         }
     }

@@ -20,7 +20,10 @@ pub fn standard_normal<T: Scalar, R: Rng + ?Sized>(rng: &mut R) -> T {
 }
 
 /// A tensor with i.i.d. standard-normal entries.
-pub fn normal_tensor<T: Scalar, R: Rng + ?Sized>(shape: impl Into<Shape>, rng: &mut R) -> DenseTensor<T> {
+pub fn normal_tensor<T: Scalar, R: Rng + ?Sized>(
+    shape: impl Into<Shape>,
+    rng: &mut R,
+) -> DenseTensor<T> {
     let shape = shape.into();
     let data = (0..shape.num_entries())
         .map(|_| standard_normal::<T, R>(rng))
@@ -29,7 +32,11 @@ pub fn normal_tensor<T: Scalar, R: Rng + ?Sized>(shape: impl Into<Shape>, rng: &
 }
 
 /// A matrix with i.i.d. standard-normal entries.
-pub fn normal_matrix<T: Scalar, R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix<T> {
+pub fn normal_matrix<T: Scalar, R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    rng: &mut R,
+) -> Matrix<T> {
     Matrix::from_fn(rows, cols, |_, _| standard_normal::<T, R>(rng))
 }
 
@@ -41,7 +48,10 @@ pub fn random_orthonormal<T: Scalar, R: Rng + ?Sized>(
     cols: usize,
     rng: &mut R,
 ) -> Matrix<T> {
-    assert!(rows >= cols, "cannot build {cols} orthonormal columns in R^{rows}");
+    assert!(
+        rows >= cols,
+        "cannot build {cols} orthonormal columns in R^{rows}"
+    );
     let mut q = normal_matrix::<T, R>(rows, cols, rng);
     orthonormalize_columns(&mut q, 0);
     q

@@ -29,7 +29,12 @@ pub enum Transpose {
 ///
 /// # Panics
 /// Panics if the inner dimension of `op(M)` does not match `n_mode`.
-pub fn ttm<T: Scalar>(x: &DenseTensor<T>, mode: usize, m: &Matrix<T>, trans: Transpose) -> DenseTensor<T> {
+pub fn ttm<T: Scalar>(
+    x: &DenseTensor<T>,
+    mode: usize,
+    m: &Matrix<T>,
+    trans: Transpose,
+) -> DenseTensor<T> {
     let n_j = x.dim(mode);
     let (p, inner) = match trans {
         Transpose::No => (m.rows(), m.cols()),
@@ -132,7 +137,12 @@ mod tests {
     use super::*;
     use crate::unfold::{fold, unfold};
 
-    fn reference_ttm(x: &DenseTensor<f64>, mode: usize, m: &Matrix<f64>, trans: Transpose) -> DenseTensor<f64> {
+    fn reference_ttm(
+        x: &DenseTensor<f64>,
+        mode: usize,
+        m: &Matrix<f64>,
+        trans: Transpose,
+    ) -> DenseTensor<f64> {
         let unf = unfold(x, mode);
         let prod = match trans {
             Transpose::No => m.matmul(&unf),

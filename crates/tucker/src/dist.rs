@@ -8,19 +8,22 @@
 //! EVD plateau of STHOSVD vs. HOSI's thin QR) depends on reproducing that
 //! design decision.
 
+use crate::checkpoint::{
+    expansion_rng, Checkpoint, CheckpointPolicy, FileCheckpointer, NoCheckpoint, RaCheckpointer,
+};
 use crate::core_analysis::analyze_core;
 use crate::hooi::{HooiConfig, LlsvStrategy, TtmStrategy};
+use crate::llsv::robust_sym_evd;
 use crate::llsv::Truncation;
 use crate::ra::RaConfig;
 use crate::sthosvd::SthosvdTruncation;
 use crate::timings::{Phase, Timings};
 use crate::tucker_tensor::TuckerTensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use ratucker_dist::{dist_contract, dist_gram, dist_multi_ttm_all_but, dist_ttm, DistTensor};
-use ratucker_linalg::evd::{rank_for_error, sym_evd};
+use ratucker_linalg::evd::rank_for_error;
 use ratucker_linalg::qr::qrcp;
 use ratucker_mpi::CartGrid;
+use ratucker_tensor::io::IoScalar;
 use ratucker_tensor::matrix::Matrix;
 use ratucker_tensor::random::{normal_matrix, orthonormalize_columns};
 use ratucker_tensor::scalar::Scalar;
@@ -74,7 +77,7 @@ fn dist_llsv_gram<T: Scalar>(
     timings: &mut Timings,
 ) -> Matrix<T> {
     let g = timings.time(Phase::Gram, || dist_gram(grid, y, mode));
-    let evd = timings.time(Phase::Evd, || sym_evd(&g));
+    let evd = timings.time(Phase::Evd, || robust_sym_evd(&g));
     let r = match trunc {
         Truncation::Rank(r) => r.min(evd.values.len()),
         Truncation::ErrorSq(t) => rank_for_error(&evd.values, t),
@@ -121,9 +124,7 @@ fn dist_update_factor<T: Scalar>(
     timings: &mut Timings,
 ) {
     factors[mode] = match config.llsv {
-        LlsvStrategy::GramEvd => {
-            dist_llsv_gram(grid, y, mode, Truncation::Rank(rank), timings)
-        }
+        LlsvStrategy::GramEvd => dist_llsv_gram(grid, y, mode, Truncation::Rank(rank), timings),
         LlsvStrategy::SubspaceIter => {
             dist_llsv_subspace(grid, y, mode, &factors[mode], config.si_steps, timings)
         }
@@ -177,9 +178,7 @@ fn dist_sweep<T: Scalar>(
             let d = x.global_shape().order();
             let mut core = None;
             for j in 0..d {
-                let y = timings.time(Phase::Ttm, || {
-                    dist_multi_ttm_all_but(grid, x, factors, j)
-                });
+                let y = timings.time(Phase::Ttm, || dist_multi_ttm_all_but(grid, x, factors, j));
                 dist_update_factor(grid, &y, j, ranks[j], config, factors, timings);
                 if j == d - 1 {
                     core = Some(timings.time(Phase::Ttm, || {
@@ -305,9 +304,45 @@ pub fn dist_ra_hooi<T: Scalar>(
     x: &DistTensor<T>,
     config: &RaConfig,
 ) -> DistRunResult<T> {
+    dist_ra_hooi_impl(grid, x, config, &mut NoCheckpoint)
+}
+
+/// Distributed rank-adaptive HOOI with checkpoint/restart. Collective.
+///
+/// Factors and ranks are replicated, so a single checkpoint file serves
+/// the whole grid: grid rank 0 writes it (atomically), and with
+/// `policy.resume` every rank reads the latest checkpoint itself before
+/// the first sweep. The growth RNG is derived per sweep, so the resumed
+/// run reproduces the uninterrupted decomposition bit for bit on every
+/// rank. `policy.dir` must name a filesystem location shared by all
+/// ranks (trivially true in the threaded runtime).
+///
+/// # Panics
+/// Panics if a checkpoint exists but cannot be read or does not match
+/// this run's seed/ε/tensor (see [`Checkpoint::validate`]).
+pub fn dist_ra_hooi_checkpointed<T: IoScalar>(
+    grid: &CartGrid,
+    x: &DistTensor<T>,
+    config: &RaConfig,
+    policy: &CheckpointPolicy,
+) -> DistRunResult<T> {
+    let mut ckpt = FileCheckpointer {
+        policy,
+        write: grid.comm.rank() == 0,
+    };
+    dist_ra_hooi_impl(grid, x, config, &mut ckpt)
+}
+
+fn dist_ra_hooi_impl<T: Scalar>(
+    grid: &CartGrid,
+    x: &DistTensor<T>,
+    config: &RaConfig,
+    ckpt: &mut impl RaCheckpointer<T>,
+) -> DistRunResult<T> {
     let dims: Vec<usize> = x.global_shape().dims().to_vec();
-    let d = dims.len();
-    assert_eq!(config.initial_ranks.len(), d);
+    if let Err(msg) = config.validate(&dims) {
+        panic!("infeasible rank-adaptive configuration: {msg}");
+    }
     let x_norm_sq = x.squared_norm(grid);
     let threshold = (1.0 - config.eps * config.eps) * x_norm_sq;
 
@@ -318,7 +353,18 @@ pub fn dist_ra_hooi<T: Scalar>(
         .map(|(&r, &n)| r.min(n).max(1))
         .collect();
     let mut factors = crate::hooi::random_init::<T>(&dims, &ranks, config.inner.seed);
-    let mut rng = StdRng::seed_from_u64(config.inner.seed ^ 0x5151_5151);
+    let mut start_sweep = 0;
+    if let Some(ck) = ckpt.resume(config.inner.seed, config.eps, &dims, x_norm_sq) {
+        assert!(
+            ck.sweep < config.max_iters,
+            "checkpoint is at sweep {} but this run caps at {} sweeps",
+            ck.sweep,
+            config.max_iters
+        );
+        start_sweep = ck.sweep;
+        ranks = ck.ranks;
+        factors = ck.factors;
+    }
 
     let mut timings = Timings::new();
     let mut sweep_errors = Vec::new();
@@ -326,7 +372,16 @@ pub fn dist_ra_hooi<T: Scalar>(
     let mut result_core: Option<DistTensor<T>> = None;
     let mut met = false;
 
-    for _ in 0..config.max_iters {
+    for it in start_sweep..config.max_iters {
+        ckpt.save(&Checkpoint {
+            sweep: it,
+            seed: config.inner.seed,
+            eps: config.eps,
+            x_norm_sq,
+            dims: dims.clone(),
+            ranks: ranks.clone(),
+            factors: factors.clone(),
+        });
         let core = dist_sweep(grid, x, &mut factors, &ranks, &config.inner, &mut timings);
         let core_norm_sq = core.squared_norm(grid);
         let met_now = core_norm_sq >= threshold;
@@ -372,6 +427,10 @@ pub fn dist_ra_hooi<T: Scalar>(
                 .map(|(&r, &n)| (((r as f64) * config.alpha).ceil() as usize).min(n))
                 .collect();
             if grown != ranks {
+                // Same per-sweep RNG derivation as the sequential path:
+                // pure in (seed, sweep), so all ranks and any resumed run
+                // append identical columns.
+                let mut rng = expansion_rng(config.inner.seed, it);
                 for (k, u) in factors.iter_mut().enumerate() {
                     if grown[k] > u.cols() {
                         let extra = normal_matrix::<T, _>(u.rows(), grown[k] - u.cols(), &mut rng);
@@ -515,7 +574,9 @@ mod tests {
     #[test]
     fn dist_ra_matches_sequential_behaviour() {
         let spec = SyntheticSpec::new(&[12, 10, 8], &[3, 3, 2], 0.02, 209);
-        let cfg = RaConfig::ra_hosi_dt(0.1, &[4, 4, 3]).with_seed(13).with_max_iters(2);
+        let cfg = RaConfig::ra_hosi_dt(0.1, &[4, 4, 3])
+            .with_seed(13)
+            .with_max_iters(2);
         let x_full = spec.build::<f64>();
         let seq = crate::ra::ra_hooi(&x_full, &cfg);
         let s = spec.clone();
@@ -532,6 +593,55 @@ mod tests {
             // modulo the grid-dims floor which is inactive here).
             assert_eq!(ranks, seq.tucker.ranks());
         }
+    }
+
+    #[test]
+    fn dist_checkpoint_resume_matches_uninterrupted_run() {
+        let spec = SyntheticSpec::new(&[12, 10, 8], &[3, 3, 2], 0.01, 213);
+        let cfg = RaConfig::ra_hosi_dt(0.05, &[2, 2, 2])
+            .with_seed(19)
+            .with_alpha(2.0)
+            .with_max_iters(3);
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("ratucker_dist_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Fault-free run, writing checkpoints as it goes.
+        let policy = CheckpointPolicy::new(&dir);
+        let (s, c2, p2) = (spec.clone(), cfg.clone(), policy.clone());
+        let reference = Universe::launch(4, move |c| {
+            let grid = CartGrid::new(c, &[2, 2, 1]);
+            let (x, _) = build_dist::<f64>(&grid, &s);
+            let res = dist_ra_hooi_checkpointed(&grid, &x, &c2, &p2);
+            (res.rel_error, res.tucker.gather(&grid))
+        });
+        let sweeps = std::fs::read_dir(&dir).unwrap().count();
+        assert!(
+            sweeps >= 2,
+            "need a multi-sweep run, saw {sweeps} checkpoints"
+        );
+
+        // Simulate a crash after sweep 1: drop later checkpoints, resume.
+        for sweep in 2..cfg.max_iters {
+            let _ = std::fs::remove_file(policy.path_for(sweep));
+        }
+        let (s, c2) = (spec.clone(), cfg.clone());
+        let p2 = policy.clone().resuming();
+        let resumed = Universe::launch(4, move |c| {
+            let grid = CartGrid::new(c, &[2, 2, 1]);
+            let (x, _) = build_dist::<f64>(&grid, &s);
+            let res = dist_ra_hooi_checkpointed(&grid, &x, &c2, &p2);
+            (res.rel_error, res.tucker.gather(&grid))
+        });
+        for ((err_a, tk_a), (err_b, tk_b)) in resumed.iter().zip(&reference) {
+            assert_eq!(err_a, err_b);
+            assert_eq!(tk_a.ranks(), tk_b.ranks());
+            assert_eq!(tk_a.core.max_abs_diff(&tk_b.core), 0.0);
+            for (ua, ub) in tk_a.factors.iter().zip(&tk_b.factors) {
+                assert_eq!(ua.max_abs_diff(ub), 0.0);
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -193,7 +193,10 @@ pub fn hooi_with_init<T: Scalar>(
         };
         core = Some(c);
         total.merge(&t);
-        sweeps.push(SweepInfo { rel_error, timings: t });
+        sweeps.push(SweepInfo {
+            rel_error,
+            timings: t,
+        });
         if let Some(tol) = config.tol {
             if (prev_err - rel_error).abs() <= tol * rel_error.max(f64::EPSILON) {
                 break;
@@ -412,7 +415,15 @@ mod tests {
             // Exactly one leaf computes the core: the last one.
             let core_leaves: Vec<&DimTreeEvent> = sched
                 .iter()
-                .filter(|e| matches!(e, DimTreeEvent::Leaf { computes_core: true, .. }))
+                .filter(|e| {
+                    matches!(
+                        e,
+                        DimTreeEvent::Leaf {
+                            computes_core: true,
+                            ..
+                        }
+                    )
+                })
                 .collect();
             assert_eq!(core_leaves.len(), 1);
             assert!(matches!(
@@ -480,8 +491,16 @@ mod tests {
         // DT reorders subiterations but must land at equivalent quality.
         let spec = SyntheticSpec::new(&[12, 10, 9, 8], &[2, 3, 2, 2], 0.02, 37);
         let x = spec.build::<f64>();
-        let direct = hooi(&x, &[2, 3, 2, 2], &HooiConfig::hooi().with_seed(7).with_max_iters(2));
-        let tree = hooi(&x, &[2, 3, 2, 2], &HooiConfig::hooi_dt().with_seed(7).with_max_iters(2));
+        let direct = hooi(
+            &x,
+            &[2, 3, 2, 2],
+            &HooiConfig::hooi().with_seed(7).with_max_iters(2),
+        );
+        let tree = hooi(
+            &x,
+            &[2, 3, 2, 2],
+            &HooiConfig::hooi_dt().with_seed(7).with_max_iters(2),
+        );
         assert!(
             (direct.rel_error() - tree.rel_error()).abs() < 1e-3,
             "direct {} tree {}",
@@ -523,10 +542,8 @@ mod tests {
         // 1-2 iterations.
         let spec = SyntheticSpec::new(&[16, 14, 12], &[4, 3, 3], 0.05, 47);
         let x = spec.build::<f64>();
-        let st = crate::sthosvd::sthosvd(
-            &x,
-            &crate::sthosvd::SthosvdTruncation::Ranks(vec![4, 3, 3]),
-        );
+        let st =
+            crate::sthosvd::sthosvd(&x, &crate::sthosvd::SthosvdTruncation::Ranks(vec![4, 3, 3]));
         for cfg in all_variants() {
             let res = hooi(&x, &[4, 3, 3], &cfg.with_seed(3).with_max_iters(2));
             assert!(
@@ -581,7 +598,11 @@ mod tests {
     fn five_way_dimension_tree() {
         let spec = SyntheticSpec::new(&[6, 6, 6, 6, 6], &[2, 2, 2, 2, 2], 0.0, 67);
         let x = spec.build::<f64>();
-        let res = hooi(&x, &[2, 2, 2, 2, 2], &HooiConfig::hosi_dt().with_max_iters(2));
+        let res = hooi(
+            &x,
+            &[2, 2, 2, 2, 2],
+            &HooiConfig::hosi_dt().with_max_iters(2),
+        );
         assert!(res.rel_error() < 1e-5, "{}", res.rel_error());
     }
 

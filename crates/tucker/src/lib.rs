@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod core_analysis;
 pub mod dist;
 pub mod hooi;
@@ -62,9 +63,13 @@ pub mod synthetic;
 pub mod timings;
 pub mod tucker_tensor;
 
+pub use checkpoint::{Checkpoint, CheckpointPolicy};
 pub use core_analysis::{analyze_core, analyze_core_greedy, tucker_storage, CoreAnalysis};
-pub use hooi::{dimtree_schedule, hooi, hooi_with_init, DimTreeEvent, HooiConfig, HooiResult, LlsvStrategy, TtmStrategy};
-pub use ra::{ra_hooi, RaConfig, RaResult};
+pub use hooi::{
+    dimtree_schedule, hooi, hooi_with_init, DimTreeEvent, HooiConfig, HooiResult, LlsvStrategy,
+    TtmStrategy,
+};
+pub use ra::{ra_hooi, ra_hooi_checkpointed, RaConfig, RaResult};
 pub use sthosvd::{hosvd, sthosvd, sthosvd_randomized, SthosvdResult, SthosvdTruncation};
 pub use synthetic::SyntheticSpec;
 pub use timings::{Phase, Timings, ALL_PHASES};
@@ -72,8 +77,9 @@ pub use tucker_tensor::TuckerTensor;
 
 /// Common imports.
 pub mod prelude {
+    pub use crate::checkpoint::CheckpointPolicy;
     pub use crate::hooi::{hooi, HooiConfig, LlsvStrategy, TtmStrategy};
-    pub use crate::ra::{ra_hooi, RaConfig};
+    pub use crate::ra::{ra_hooi, ra_hooi_checkpointed, RaConfig};
     pub use crate::sthosvd::{sthosvd, SthosvdTruncation};
     pub use crate::synthetic::SyntheticSpec;
     pub use crate::timings::{Phase, Timings};

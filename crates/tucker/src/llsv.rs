@@ -10,7 +10,7 @@
 //!   the columns.
 
 use crate::timings::{Phase, Timings};
-use ratucker_linalg::evd::{rank_for_error, sym_evd};
+use ratucker_linalg::evd::{rank_for_error, try_sym_evd, EvdError, SymEvd};
 use ratucker_linalg::qr::qrcp;
 use ratucker_tensor::contract::contract_all_but;
 use ratucker_tensor::dense::DenseTensor;
@@ -30,6 +30,33 @@ pub enum Truncation {
     ErrorSq(f64),
 }
 
+/// Symmetric EVD with a Jacobi-SVD fallback, for Gram matrices.
+///
+/// The QL iteration can stall on pathological spectra; for a symmetric
+/// positive semidefinite Gram matrix the one-sided Jacobi SVD computes
+/// the same decomposition (singular values = eigenvalues, left singular
+/// vectors = eigenvectors), slower but unconditionally convergent — so
+/// [`EvdError::NoConvergence`] downgrades to a fallback instead of
+/// failing the sweep.
+///
+/// # Panics
+/// Panics on [`EvdError::NonFinite`]: no factorization can repair NaN/∞
+/// input, which indicates corrupted data upstream (see the screening in
+/// the distributed kernels).
+pub fn robust_sym_evd<T: Scalar>(g: &Matrix<T>) -> SymEvd<T> {
+    match try_sym_evd(g) {
+        Ok(evd) => evd,
+        Err(e @ EvdError::NonFinite) => panic!("{e}"),
+        Err(EvdError::NoConvergence { .. }) => {
+            let svd = ratucker_linalg::svd_jacobi(g);
+            SymEvd {
+                values: svd.sigma,
+                vectors: svd.u,
+            }
+        }
+    }
+}
+
 /// LLSV via Gram + EVD. Returns `(U, kept_rank)`.
 pub fn llsv_gram_evd<T: Scalar>(
     y: &DenseTensor<T>,
@@ -38,7 +65,7 @@ pub fn llsv_gram_evd<T: Scalar>(
     timings: &mut Timings,
 ) -> Matrix<T> {
     let g = timings.time(Phase::Gram, || gram(y, mode));
-    let evd = timings.time(Phase::Evd, || sym_evd(&g));
+    let evd = timings.time(Phase::Evd, || robust_sym_evd(&g));
     let r = match trunc {
         Truncation::Rank(r) => r.min(evd.values.len()),
         Truncation::ErrorSq(t) => rank_for_error(&evd.values, t),
@@ -128,10 +155,8 @@ pub fn llsv_randomized<T: Scalar, R: rand::Rng + ?Sized>(
     let l = (rank + oversample).min(y.dim(mode));
     // The sketch is a Gaussian tensor with mode-`mode` extent l; the
     // product Y_(j) Ωᵀ is exactly the all-but-one contraction kernel.
-    let omega: DenseTensor<T> = ratucker_tensor::random::normal_tensor(
-        y.shape().with_dim(mode, l),
-        rng,
-    );
+    let omega: DenseTensor<T> =
+        ratucker_tensor::random::normal_tensor(y.shape().with_dim(mode, l), rng);
     let z = timings.time(Phase::Contract, || contract_all_but(y, &omega, mode));
     let f = timings.time(Phase::Qr, || qrcp(&z));
     f.q.leading_cols(rank.min(f.q.cols()))
@@ -148,8 +173,7 @@ mod tests {
     fn structured_tensor(seed: u64) -> (DenseTensor<f64>, Matrix<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let u: Matrix<f64> = random_orthonormal(8, 2, &mut rng);
-        let core: DenseTensor<f64> =
-            ratucker_tensor::random::normal_tensor([2, 5, 4], &mut rng);
+        let core: DenseTensor<f64> = ratucker_tensor::random::normal_tensor([2, 5, 4], &mut rng);
         let x = ttm(&core, 0, &u, Transpose::No);
         (x, u)
     }
@@ -159,6 +183,50 @@ mod tests {
         let pa = a.matmul(&a.transpose());
         let pb = b.matmul(&b.transpose());
         pa.max_abs_diff(&pb)
+    }
+
+    #[test]
+    fn robust_evd_agrees_with_plain_evd() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let b: Matrix<f64> = ratucker_tensor::random::normal_matrix(7, 7, &mut rng);
+        let g = b.matmul(&b.transpose()); // symmetric PSD
+        let plain = ratucker_linalg::sym_evd(&g);
+        let robust = robust_sym_evd(&g);
+        assert_eq!(robust.values, plain.values);
+        assert_eq!(robust.vectors.max_abs_diff(&plain.vectors), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn robust_evd_rejects_non_finite_gram() {
+        let mut g = Matrix::<f64>::identity(3);
+        g[(1, 1)] = f64::NAN;
+        let _ = robust_sym_evd(&g);
+    }
+
+    #[test]
+    fn jacobi_fallback_matches_ql_on_gram_matrices() {
+        // Exercise the fallback arm directly: for PSD Gram matrices the
+        // Jacobi SVD must reproduce the QL eigendecomposition.
+        let mut rng = StdRng::seed_from_u64(41);
+        let b: Matrix<f64> = ratucker_tensor::random::normal_matrix(6, 4, &mut rng);
+        let g = b.transpose().matmul(&b);
+        let ql = ratucker_linalg::sym_evd(&g);
+        let svd = ratucker_linalg::svd_jacobi(&g);
+        for (a, b) in svd.sigma.iter().zip(&ql.values) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+        // Same subspace per eigenvector (sign may flip).
+        for j in 0..4 {
+            let dot: f64 = svd
+                .u
+                .col(j)
+                .iter()
+                .zip(ql.vectors.col(j))
+                .map(|(x, y)| x * y)
+                .sum();
+            assert!(dot.abs() > 1.0 - 1e-8, "column {j}: |dot| = {}", dot.abs());
+        }
     }
 
     #[test]
@@ -222,8 +290,7 @@ mod tests {
     fn works_on_middle_and_last_modes() {
         let mut rng = StdRng::seed_from_u64(3);
         let u1: Matrix<f64> = random_orthonormal(6, 2, &mut rng);
-        let core: DenseTensor<f64> =
-            ratucker_tensor::random::normal_tensor([4, 2, 5], &mut rng);
+        let core: DenseTensor<f64> = ratucker_tensor::random::normal_tensor([4, 2, 5], &mut rng);
         let x = ttm(&core, 1, &u1, Transpose::No);
         let mut t = Timings::new();
         let got = llsv_gram_evd(&x, 1, Truncation::Rank(2), &mut t);

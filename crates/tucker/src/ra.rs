@@ -8,13 +8,16 @@
 //! back the sweep; the paper's flagship is the dimension-tree + subspace-
 //! iteration combination (RA-HOSI-DT).
 
+use crate::checkpoint::{
+    expansion_rng, Checkpoint, CheckpointPolicy, FileCheckpointer, NoCheckpoint, RaCheckpointer,
+};
 use crate::core_analysis::analyze_core;
 use crate::hooi::{run_sweep, HooiConfig};
 use crate::timings::{Phase, Timings};
 use crate::tucker_tensor::TuckerTensor;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use ratucker_tensor::dense::DenseTensor;
+use ratucker_tensor::io::IoScalar;
 use ratucker_tensor::matrix::Matrix;
 use ratucker_tensor::random::{normal_matrix, orthonormalize_columns};
 use ratucker_tensor::scalar::Scalar;
@@ -73,6 +76,47 @@ impl RaConfig {
         self.inner.seed = seed;
         self
     }
+
+    /// Checks the configuration against the tensor dimensions, returning
+    /// a description of the first infeasible state found.
+    ///
+    /// The solvers call this before touching any data so that a bad
+    /// configuration surfaces as one clear message at entry instead of an
+    /// obscure mid-sweep panic or an infinite growth stall (e.g. a
+    /// non-finite α would never enlarge the ranks).
+    pub fn validate(&self, dims: &[usize]) -> Result<(), String> {
+        if !self.eps.is_finite() || self.eps <= 0.0 || self.eps >= 1.0 {
+            return Err(format!(
+                "tolerance eps = {} must be a finite value in (0, 1)",
+                self.eps
+            ));
+        }
+        if !self.alpha.is_finite() || self.alpha <= 1.0 {
+            return Err(format!(
+                "growth factor alpha = {} must be finite and > 1",
+                self.alpha
+            ));
+        }
+        if self.max_iters == 0 {
+            return Err("max_iters = 0: at least one sweep is required".to_string());
+        }
+        if self.initial_ranks.len() != dims.len() {
+            return Err(format!(
+                "initial ranks have {} entries but the tensor has {} modes",
+                self.initial_ranks.len(),
+                dims.len()
+            ));
+        }
+        if let Some(k) = self.initial_ranks.iter().position(|&r| r == 0) {
+            return Err(format!(
+                "initial rank for mode {k} is 0; ranks must be >= 1"
+            ));
+        }
+        if let Some(k) = dims.iter().position(|&n| n == 0) {
+            return Err(format!("tensor dimension for mode {k} is 0"));
+        }
+        Ok(())
+    }
 }
 
 /// One sweep of the rank-adaptive loop.
@@ -122,9 +166,45 @@ fn expand_factor<T: Scalar>(u: &Matrix<T>, r_new: usize, rng: &mut StdRng) -> Ma
 
 /// Runs rank-adaptive HOOI (Alg. 3).
 pub fn ra_hooi<T: Scalar>(x: &DenseTensor<T>, config: &RaConfig) -> RaResult<T> {
-    let d = x.order();
-    assert_eq!(config.initial_ranks.len(), d);
+    ra_hooi_impl(x, config, &mut NoCheckpoint)
+}
+
+/// Runs rank-adaptive HOOI with checkpoint/restart.
+///
+/// The state entering each sweep (per `policy.every`) is written to
+/// `policy.dir`; with `policy.resume` the run starts from the latest
+/// checkpoint instead of sweep 0 and — because the growth RNG is derived
+/// per sweep — produces the same decomposition bit for bit as an
+/// uninterrupted run. `RaResult::iterations` covers only the sweeps the
+/// resumed run actually executed (sweep indices stay absolute).
+///
+/// # Panics
+/// Panics if a checkpoint exists but cannot be read, or does not match
+/// this run's seed/ε/tensor (see [`Checkpoint::validate`]).
+pub fn ra_hooi_checkpointed<T: IoScalar>(
+    x: &DenseTensor<T>,
+    config: &RaConfig,
+    policy: &CheckpointPolicy,
+) -> RaResult<T> {
+    ra_hooi_impl(
+        x,
+        config,
+        &mut FileCheckpointer {
+            policy,
+            write: true,
+        },
+    )
+}
+
+fn ra_hooi_impl<T: Scalar>(
+    x: &DenseTensor<T>,
+    config: &RaConfig,
+    ckpt: &mut impl RaCheckpointer<T>,
+) -> RaResult<T> {
     let dims: Vec<usize> = x.shape().dims().to_vec();
+    if let Err(msg) = config.validate(&dims) {
+        panic!("infeasible rank-adaptive configuration: {msg}");
+    }
     let x_norm_sq = x.squared_norm_f64();
     let threshold = (1.0 - config.eps * config.eps) * x_norm_sq;
 
@@ -135,14 +215,34 @@ pub fn ra_hooi<T: Scalar>(x: &DenseTensor<T>, config: &RaConfig) -> RaResult<T> 
         .map(|(&r, &n)| r.min(n).max(1))
         .collect();
     let mut factors = crate::hooi::random_init::<T>(&dims, &ranks, config.inner.seed);
-    let mut rng = StdRng::seed_from_u64(config.inner.seed ^ 0x5151_5151);
+    let mut start_sweep = 0;
+    if let Some(ck) = ckpt.resume(config.inner.seed, config.eps, &dims, x_norm_sq) {
+        assert!(
+            ck.sweep < config.max_iters,
+            "checkpoint is at sweep {} but this run caps at {} sweeps",
+            ck.sweep,
+            config.max_iters
+        );
+        start_sweep = ck.sweep;
+        ranks = ck.ranks;
+        factors = ck.factors;
+    }
 
     let mut iterations: Vec<RaIterInfo> = Vec::new();
     let mut met_at = None;
     let mut total = Timings::new();
     let mut tucker: Option<TuckerTensor<T>> = None;
 
-    for it in 0..config.max_iters {
+    for it in start_sweep..config.max_iters {
+        ckpt.save(&Checkpoint {
+            sweep: it,
+            seed: config.inner.seed,
+            eps: config.eps,
+            x_norm_sq,
+            dims: dims.clone(),
+            ranks: ranks.clone(),
+            factors: factors.clone(),
+        });
         let mut t = Timings::new();
         let core = run_sweep(x, &mut factors, &ranks, &config.inner, &mut t);
         let core_norm_sq = core.squared_norm_f64();
@@ -182,6 +282,9 @@ pub fn ra_hooi<T: Scalar>(x: &DenseTensor<T>, config: &RaConfig) -> RaResult<T> 
                 .map(|(&r, &n)| (((r as f64) * config.alpha).ceil() as usize).min(n))
                 .collect();
             if grown != ranks {
+                // The growth RNG is a pure function of (seed, sweep) so a
+                // checkpoint-resumed run draws the same columns.
+                let mut rng = expansion_rng(config.inner.seed, it);
                 for (k, u) in factors.iter_mut().enumerate() {
                     if grown[k] > u.cols() {
                         *u = expand_factor(u, grown[k], &mut rng);
@@ -230,11 +333,60 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_infeasible_configs() {
+        let dims = [14usize, 12, 10];
+        let good = RaConfig::ra_hosi_dt(0.1, &[4, 3, 3]);
+        assert!(good.validate(&dims).is_ok());
+
+        let bad_eps = RaConfig {
+            eps: 0.0,
+            ..good.clone()
+        };
+        assert!(bad_eps.validate(&dims).unwrap_err().contains("eps"));
+        let nan_eps = RaConfig {
+            eps: f64::NAN,
+            ..good.clone()
+        };
+        assert!(nan_eps.validate(&dims).unwrap_err().contains("eps"));
+
+        let bad_alpha = good.clone().with_alpha(1.0);
+        assert!(bad_alpha.validate(&dims).unwrap_err().contains("alpha"));
+        let inf_alpha = good.clone().with_alpha(f64::INFINITY);
+        assert!(inf_alpha.validate(&dims).unwrap_err().contains("alpha"));
+
+        let no_sweeps = good.clone().with_max_iters(0);
+        assert!(no_sweeps.validate(&dims).unwrap_err().contains("max_iters"));
+
+        let wrong_order = RaConfig::ra_hosi_dt(0.1, &[4, 3]);
+        assert!(wrong_order.validate(&dims).unwrap_err().contains("modes"));
+
+        let zero_rank = RaConfig::ra_hosi_dt(0.1, &[4, 0, 3]);
+        assert!(zero_rank.validate(&dims).unwrap_err().contains("mode 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible rank-adaptive configuration")]
+    fn infeasible_config_is_rejected_at_entry() {
+        let x = noisy_tensor(71);
+        // α = 1 would stall rank growth forever; reject before sweeping.
+        let cfg = RaConfig::ra_hosi_dt(0.1, &[4, 3, 3]).with_alpha(1.0);
+        let _ = ra_hooi(&x, &cfg);
+    }
+
+    #[test]
     fn perfect_start_meets_tolerance_in_one_sweep() {
         let x = noisy_tensor(71);
         let cfg = RaConfig::ra_hosi_dt(0.1, &[4, 3, 3]).with_seed(1);
         let res = ra_hooi(&x, &cfg);
-        assert_eq!(res.met_at, Some(0), "history: {:?}", res.iterations.iter().map(|i| i.rel_error).collect::<Vec<_>>());
+        assert_eq!(
+            res.met_at,
+            Some(0),
+            "history: {:?}",
+            res.iterations
+                .iter()
+                .map(|i| i.rel_error)
+                .collect::<Vec<_>>()
+        );
         assert!(res.rel_error <= 0.1, "rel_error {}", res.rel_error);
     }
 
@@ -242,7 +394,9 @@ mod tests {
     fn overshoot_truncates_below_start() {
         let x = noisy_tensor(73);
         // 25% overshoot, as in §4.2.
-        let cfg = RaConfig::ra_hosi_dt(0.1, &[5, 4, 4]).with_seed(2).with_max_iters(1);
+        let cfg = RaConfig::ra_hosi_dt(0.1, &[5, 4, 4])
+            .with_seed(2)
+            .with_max_iters(1);
         let res = ra_hooi(&x, &cfg);
         assert_eq!(res.met_at, Some(0));
         let r = res.tucker.ranks();
@@ -264,7 +418,14 @@ mod tests {
             .with_max_iters(4);
         let res = ra_hooi(&x, &cfg);
         assert!(res.iterations[0].ranks_out > res.iterations[0].ranks_in);
-        assert!(res.met_at.is_some(), "never met: {:?}", res.iterations.iter().map(|i| (i.ranks_in.clone(), i.rel_error)).collect::<Vec<_>>());
+        assert!(
+            res.met_at.is_some(),
+            "never met: {:?}",
+            res.iterations
+                .iter()
+                .map(|i| (i.ranks_in.clone(), i.rel_error))
+                .collect::<Vec<_>>()
+        );
         assert!(res.rel_error <= 0.03);
     }
 
@@ -284,7 +445,9 @@ mod tests {
     #[test]
     fn relative_size_decreases_when_truncating_overshoot() {
         let x = noisy_tensor(89);
-        let cfg = RaConfig::ra_hosi_dt(0.1, &[6, 5, 5]).with_seed(5).with_max_iters(2);
+        let cfg = RaConfig::ra_hosi_dt(0.1, &[6, 5, 5])
+            .with_seed(5)
+            .with_max_iters(2);
         let res = ra_hooi(&x, &cfg);
         let full_size = crate::core_analysis::tucker_storage(&[6, 5, 5], &[14, 12, 10]) as f64
             / (14.0 * 12.0 * 10.0);
@@ -326,17 +489,106 @@ mod tests {
                 inner: inner.with_seed(7),
             };
             let res = ra_hooi(&x, &cfg);
-            assert!(res.rel_error <= 0.1, "{} failed: {}", cfg.inner.variant_name(), res.rel_error);
+            assert!(
+                res.rel_error <= 0.1,
+                "{} failed: {}",
+                cfg.inner.variant_name(),
+                res.rel_error
+            );
         }
     }
 
     #[test]
     fn core_analysis_time_is_recorded_when_truncating() {
         let x = noisy_tensor(103);
-        let cfg = RaConfig::ra_hosi_dt(0.15, &[5, 4, 4]).with_seed(8).with_max_iters(1);
+        let cfg = RaConfig::ra_hosi_dt(0.15, &[5, 4, 4])
+            .with_seed(8)
+            .with_max_iters(1);
         let res = ra_hooi(&x, &cfg);
         assert!(res.iterations[0].truncated);
         assert!(res.timings.flops(Phase::CoreAnalysis) > 0);
+    }
+
+    fn ckpt_dir(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ratucker_ra_ckpt_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn checkpointed_run_equals_plain_run() {
+        let x = noisy_tensor(113);
+        let cfg = RaConfig::ra_hosi_dt(0.03, &[1, 1, 1])
+            .with_seed(21)
+            .with_alpha(2.0)
+            .with_max_iters(4);
+        let reference = ra_hooi(&x, &cfg);
+        let dir = ckpt_dir("plain");
+        let policy = CheckpointPolicy::new(&dir);
+        let checked = ra_hooi_checkpointed(&x, &cfg, &policy);
+        assert_eq!(checked.rel_error, reference.rel_error);
+        for (a, b) in checked.tucker.factors.iter().zip(&reference.tucker.factors) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+        // One checkpoint per executed sweep.
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            reference.iterations.len()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_resume_reproduces_uninterrupted_run_bit_for_bit() {
+        let x = noisy_tensor(113);
+        let cfg = RaConfig::ra_hosi_dt(0.03, &[1, 1, 1])
+            .with_seed(21)
+            .with_alpha(2.0)
+            .with_max_iters(4);
+        let reference = ra_hooi(&x, &cfg);
+        assert!(
+            reference.iterations.len() >= 3,
+            "test needs a multi-sweep run, got {}",
+            reference.iterations.len()
+        );
+        let dir = ckpt_dir("resume");
+        let policy = CheckpointPolicy::new(&dir);
+        let _ = ra_hooi_checkpointed(&x, &cfg, &policy);
+        // Simulate a crash during sweep 2: throw away everything the run
+        // wrote after the state entering sweep 1.
+        for sweep in 2..cfg.max_iters {
+            let _ = std::fs::remove_file(policy.path_for(sweep));
+        }
+        let resumed = ra_hooi_checkpointed(&x, &cfg, &policy.clone().resuming());
+        // Only sweeps 1.. re-ran, yet the result is identical.
+        assert_eq!(resumed.iterations.len(), reference.iterations.len() - 1);
+        assert_eq!(resumed.rel_error, reference.rel_error);
+        assert_eq!(resumed.tucker.ranks(), reference.tucker.ranks());
+        assert_eq!(
+            resumed.tucker.core.max_abs_diff(&reference.tucker.core),
+            0.0
+        );
+        for (a, b) in resumed.tucker.factors.iter().zip(&reference.tucker.factors) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to resume")]
+    fn resume_rejects_mismatched_seed() {
+        let x = noisy_tensor(127);
+        let cfg = RaConfig::ra_hosi_dt(0.1, &[4, 3, 3])
+            .with_seed(30)
+            .with_max_iters(1);
+        let dir = ckpt_dir("mismatch");
+        let policy = CheckpointPolicy::new(&dir);
+        let _ = ra_hooi_checkpointed(&x, &cfg, &policy);
+        let other = cfg.clone().with_seed(31);
+        // Leak the dir on purpose: the panic unwinds before cleanup, and
+        // the unique name keeps reruns isolated.
+        let _ = ra_hooi_checkpointed(&x, &other, &policy.resuming());
     }
 
     #[test]

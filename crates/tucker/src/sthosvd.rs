@@ -105,8 +105,8 @@ pub fn sthosvd_randomized<T: Scalar>(
     let mut timings = Timings::new();
     let mut y = x.clone();
     let mut factors = Vec::with_capacity(d);
-    for j in 0..d {
-        let u = crate::llsv::llsv_randomized(&y, j, ranks[j], oversample, &mut rng, &mut timings);
+    for (j, &r) in ranks.iter().enumerate() {
+        let u = crate::llsv::llsv_randomized(&y, j, r, oversample, &mut rng, &mut timings);
         y = timings.time(Phase::Ttm, || ttm(&y, j, &u, Transpose::Yes));
         factors.push(u);
     }

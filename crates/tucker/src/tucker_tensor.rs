@@ -223,7 +223,10 @@ mod tests {
         assert_eq!(region.shape().dims(), &[3, 4, 2]);
         for idx in region.shape().indices() {
             let gidx = [idx[0] + 2, idx[1] + 1, idx[2]];
-            assert!((region.get(&idx) - full.get(&gidx)).abs() < 1e-12, "{idx:?}");
+            assert!(
+                (region.get(&idx) - full.get(&gidx)).abs() < 1e-12,
+                "{idx:?}"
+            );
         }
     }
 

@@ -43,7 +43,9 @@ fn main() {
     // --- distributed rank-adaptive HOSI-DT ---
     let u = Universe::new(8);
     let s = spec.clone();
-    let cfg = RaConfig::ra_hosi_dt(eps, &[6, 6, 6, 5]).with_seed(2).stopping_on_threshold();
+    let cfg = RaConfig::ra_hosi_dt(eps, &[6, 6, 6, 5])
+        .with_seed(2)
+        .stopping_on_threshold();
     let cfg2 = cfg.clone();
     let results = u.run(move |c| {
         let grid = CartGrid::new(c, &grid_dims);
@@ -63,8 +65,14 @@ fn main() {
     let x = spec.build::<f32>();
     let st_seq = sthosvd(&x, &SthosvdTruncation::RelError(eps));
     let ra_seq = ra_hooi(&x, &cfg);
-    println!("\nsequential STHOSVD error {:.4} (dist {:.4})", st_seq.rel_error, st_err);
-    println!("sequential RA error      {:.4} (dist {:.4})", ra_seq.rel_error, ra_err);
+    println!(
+        "\nsequential STHOSVD error {:.4} (dist {:.4})",
+        st_seq.rel_error, st_err
+    );
+    println!(
+        "sequential RA error      {:.4} (dist {:.4})",
+        ra_seq.rel_error, ra_err
+    );
     assert!((st_seq.rel_error - st_err).abs() < 1e-5);
     assert!(ra_err <= &eps);
     println!("\ndistributed and sequential agree; both meet eps = {eps}.");

@@ -24,7 +24,9 @@ fn main() {
     println!("field: {:?} = (x, y, variable, time)\n", dims);
 
     // Compress once to 5% with rank-adaptive HOSI-DT.
-    let cfg = RaConfig::ra_hosi_dt(0.05, &[10, 10, 12, 8]).with_seed(1).stopping_on_threshold();
+    let cfg = RaConfig::ra_hosi_dt(0.05, &[10, 10, 12, 8])
+        .with_seed(1)
+        .stopping_on_threshold();
     let ra = ra_hooi(&x, &cfg);
     println!(
         "compressed to ranks {:?} ({:.0}x, rel error {:.4})\n",

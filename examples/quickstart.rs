@@ -15,7 +15,11 @@ fn main() {
     // A 64x64x64 tensor that is (ranks 6,6,6) + 1% noise.
     let spec = SyntheticSpec::new(&[64, 64, 64], &[6, 6, 6], 0.01, 42);
     let x = spec.build::<f32>();
-    println!("input: {:?} ({} entries)", x.shape().dims(), x.num_entries());
+    println!(
+        "input: {:?} ({} entries)",
+        x.shape().dims(),
+        x.num_entries()
+    );
 
     // --- 1. fixed-rank HOOI with dimension trees + subspace iteration ---
     let cfg = HooiConfig::hosi_dt().with_max_iters(2).with_seed(1);
@@ -62,6 +66,9 @@ fn main() {
 
     // Verify against an explicit reconstruction.
     let direct = ra.tucker.reconstruct().rel_error(&x);
-    println!("\nreconstruction check: direct error {direct:.4} (reported {:.4})", ra.rel_error);
+    println!(
+        "\nreconstruction check: direct error {direct:.4} (reported {:.4})",
+        ra.rel_error
+    );
     assert!(ra.rel_error <= 0.05);
 }

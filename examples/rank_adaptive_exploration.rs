@@ -51,7 +51,9 @@ fn main() {
 
     for (label, start) in starts {
         println!("--- start = {label}: {start:?} ---");
-        let cfg = RaConfig::ra_hosi_dt(eps, &start).with_seed(11).with_max_iters(3);
+        let cfg = RaConfig::ra_hosi_dt(eps, &start)
+            .with_seed(11)
+            .with_max_iters(3);
         let res = ra_hooi(&x, &cfg);
         for (k, it) in res.iterations.iter().enumerate() {
             println!(
@@ -61,7 +63,13 @@ fn main() {
                 it.ranks_out,
                 it.rel_error,
                 it.relative_size,
-                if it.truncated { "TRUNCATED" } else if it.met_threshold { "met" } else { "grow" },
+                if it.truncated {
+                    "TRUNCATED"
+                } else if it.met_threshold {
+                    "met"
+                } else {
+                    "grow"
+                },
             );
         }
         println!(

@@ -3,7 +3,12 @@
 
 use ra_hooi::prelude::*;
 
-fn synthetic(dims: &[usize], ranks: &[usize], noise: f64, seed: u64) -> ra_hooi::tensor::DenseTensor<f64> {
+fn synthetic(
+    dims: &[usize],
+    ranks: &[usize],
+    noise: f64,
+    seed: u64,
+) -> ra_hooi::tensor::DenseTensor<f64> {
     SyntheticSpec::new(dims, ranks, noise, seed).build()
 }
 
@@ -85,7 +90,9 @@ fn ra_storage_is_competitive_with_sthosvd() {
     let eps = 0.05;
     let st = sthosvd(&x, &SthosvdTruncation::RelError(eps));
     let start = st.tucker.ranks();
-    let cfg = RaConfig::ra_hosi_dt(eps, &start).with_seed(5).with_max_iters(3);
+    let cfg = RaConfig::ra_hosi_dt(eps, &start)
+        .with_seed(5)
+        .with_max_iters(3);
     let ra = ra_hooi(&x, &cfg);
     assert!(ra.rel_error <= eps, "tolerance violated: {}", ra.rel_error);
     let st_size = st.tucker.storage_entries() as f64;
@@ -133,7 +140,14 @@ fn ra_rank_trajectory_is_sane() {
             assert!(it.ranks_out.iter().all(|&r| r <= 16));
         }
     }
-    assert!(seen_met, "never met tolerance: {:?}", res.iterations.iter().map(|i| i.rel_error).collect::<Vec<_>>());
+    assert!(
+        seen_met,
+        "never met tolerance: {:?}",
+        res.iterations
+            .iter()
+            .map(|i| i.rel_error)
+            .collect::<Vec<_>>()
+    );
     assert!(res.rel_error <= 0.05);
 }
 

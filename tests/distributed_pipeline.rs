@@ -76,7 +76,9 @@ fn dist_ra_on_dataset_standin_meets_tolerance() {
         let grid = CartGrid::new(c, &[1, 2, 2]);
         let x = DistTensor::scatter_from_replicated(&grid, &s.build::<f32>());
         let start = vec![6, 6, 6];
-        let cfg = RaConfig::ra_hosi_dt(eps, &start).with_seed(5).with_max_iters(3);
+        let cfg = RaConfig::ra_hosi_dt(eps, &start)
+            .with_seed(5)
+            .with_max_iters(3);
         let res = dist_ra_hooi(&grid, &x, &cfg);
         (res.rel_error, res.tucker.ranks())
     });

@@ -15,9 +15,7 @@ fn arb_problem() -> impl Strategy<Value = (Vec<usize>, Vec<usize>, f64, u64)> {
                 prop::collection::vec(2usize..=3, d..=d),
             )
         })
-        .prop_flat_map(|(dims, ranks)| {
-            (Just(dims), Just(ranks), 0.0f64..0.2, 0u64..10_000)
-        })
+        .prop_flat_map(|(dims, ranks)| (Just(dims), Just(ranks), 0.0f64..0.2, 0u64..10_000))
 }
 
 proptest! {

@@ -1,0 +1,273 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion's API its bench targets use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros (both positional and `name = ..; config = ..; targets = ..`
+//! forms).
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up
+//! once, then timed over a fixed iteration budget derived from
+//! `sample_size`, reporting mean wall-clock time per iteration. The
+//! point is honest relative numbers and compiling bench targets without
+//! the real crate, not criterion's statistical machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `label/parameter` id.
+    pub fn new<P: Display>(label: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{label}/{parameter}"),
+        }
+    }
+
+    /// Id carrying only the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the configured iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (also primes caches / lazy statics).
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    #[allow(dead_code)]
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+fn run_one(name: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) {
+    // Iteration budget: a handful of timed iterations per sample-size
+    // unit keeps `cargo bench` runs bounded offline.
+    let iters = settings.sample_size.max(1) as u64;
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = if b.elapsed.is_zero() {
+        Duration::ZERO
+    } else {
+        b.elapsed / (iters as u32)
+    };
+    println!(
+        "bench: {name:<48} {:>12}/iter  ({iters} iters)",
+        human(per_iter)
+    );
+}
+
+/// Top-level benchmark driver (subset of the real `Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the target measurement time (recorded; the offline stub uses
+    /// the iteration budget from `sample_size` instead).
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Criterion {
+        run_one(&name.to_string(), self.settings, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            settings,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's target measurement time.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Sets the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.settings, &mut f);
+        self
+    }
+
+    /// Runs a parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.settings, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, fn, ...)`
+/// or the struct form with `name = ..; config = ..; targets = ..`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_square(c: &mut Criterion) {
+        c.bench_function("square", |b| b.iter(|| black_box(3u64).pow(2)));
+        let mut g = c.benchmark_group("grouped");
+        g.measurement_time(Duration::from_millis(10)).sample_size(5);
+        for n in [4usize, 8] {
+            g.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<usize>())
+            });
+        }
+        g.bench_function(format!("named_{}", 1), |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    criterion_group!(positional, bench_square);
+    criterion_group! {
+        name = structured;
+        config = Criterion::default().measurement_time(Duration::from_millis(5)).sample_size(3);
+        targets = bench_square, bench_square
+    }
+
+    #[test]
+    fn both_group_forms_run() {
+        positional();
+        structured();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("ranks", 4).to_string(), "ranks/4");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}
