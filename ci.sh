@@ -19,4 +19,10 @@ cargo test --workspace --offline -q
 echo "==> chaos smoke (single-threaded: fault scenarios share wall-clock budgets)"
 cargo test -q --offline --test chaos -- --test-threads=1
 
+echo "==> recovery chaos smoke (online shrink-and-continue + checkpoint fallback)"
+cargo test -q --offline --test chaos -- --test-threads=1 \
+  kill_one_of_eight_mid_sweep_recovers_online_within_1e10 \
+  killing_rank_and_buddy_falls_back_to_checkpoint_cleanly \
+  sampled_fault_plans_through_the_resilient_solver
+
 echo "ci.sh: all green"

@@ -29,6 +29,8 @@
 //! | `Checkpoint dir` + | write RA sweep checkpoints here (also `--checkpoint-dir`) | none |
 //! | `Checkpoint every` + | save every n-th sweep | `1` |
 //! | `Resume` + | resume from the latest checkpoint (also `--resume`) | `false` |
+//! | `Buddy replication` + | diskless replication degree k (also `--buddy-replication <k>`) | none |
+//! | `ABFT` + | `off` / `detect` / `recover` checksums (also `--abft <mode>`) | none |
 //! | `Seed` + | RNG seed | `0` |
 //! | `Precision` + | `single` / `double` | `single` |
 //! | `Input file` + | raw tensor to load instead of synthetic | none |
@@ -46,8 +48,9 @@ use ratucker::dist::{
     dist_hooi, dist_ra_hooi, dist_ra_hooi_checkpointed, dist_sthosvd, DistRunResult,
 };
 use ratucker::prelude::*;
+use ratucker::{dist_ra_hooi_resilient, ResilienceConfig, ResilientOutcome};
 use ratucker::{Timings, ALL_PHASES};
-use ratucker_dist::DistTensor;
+use ratucker_dist::{AbftMode, DistTensor};
 use ratucker_mpi::{CartGrid, Universe};
 use ratucker_tensor::dense::DenseTensor;
 use ratucker_tensor::io::IoScalar;
@@ -154,6 +157,34 @@ pub fn checkpoint_policy(params: &Params) -> Result<Option<CheckpointPolicy>, Pa
     Ok(Some(policy))
 }
 
+/// Parses the resilience keys (`Buddy replication` / `ABFT`) into a
+/// [`ResilienceConfig`], if either is present. The checkpoint policy, if
+/// any, rides along as the RTCK disk fallback.
+pub fn resilience_config(
+    params: &Params,
+    checkpoint: Option<CheckpointPolicy>,
+) -> Result<Option<ResilienceConfig>, ParamError> {
+    let buddy = params.get("Buddy replication");
+    let abft = params.get("ABFT");
+    if buddy.is_none() && abft.is_none() {
+        return Ok(None);
+    }
+    let mut cfg = ResilienceConfig::default()
+        .with_buddy_degree(params.usize_or("Buddy replication", 1)?)
+        .with_abft(match abft {
+            None => AbftMode::Off,
+            Some(s) => AbftMode::parse(s).ok_or_else(|| ParamError::Invalid {
+                key: "ABFT".into(),
+                value: s.into(),
+                expected: "off, detect, or recover",
+            })?,
+        });
+    if let Some(policy) = checkpoint {
+        cfg = cfg.with_checkpoint(policy);
+    }
+    Ok(Some(cfg))
+}
+
 /// The grid dims (default: all ones over the tensor order).
 pub fn grid_dims(params: &Params) -> Result<Vec<usize>, ParamError> {
     let dims = params.usize_list("Global dims")?;
@@ -255,6 +286,12 @@ pub fn run_hooi_driver<T: IoScalar>(
             "`Checkpoint dir` requires a rank-adaptive run (`HOOI-Adapt Threshold` > 0)".into(),
         );
     }
+    let resilience = resilience_config(params, ckpt.clone())?;
+    if resilience.is_some() && adapt_eps <= 0.0 {
+        return Err("`Buddy replication` / `ABFT` require a rank-adaptive run \
+                    (`HOOI-Adapt Threshold` > 0)"
+            .into());
+    }
     let p: usize = grid.iter().product();
     let outcome = if adapt_eps > 0.0 {
         let ra = RaConfig {
@@ -267,9 +304,19 @@ pub fn run_hooi_driver<T: IoScalar>(
         };
         ra.validate(x.shape().dims())
             .map_err(|msg| format!("infeasible rank-adaptive configuration: {msg}"))?;
-        run_collective(p, &grid, &x, move |g, xd| match &ckpt {
-            Some(policy) => dist_ra_hooi_checkpointed(g, xd, &ra, policy),
-            None => dist_ra_hooi(g, xd, &ra),
+        run_collective(p, &grid, &x, move |g, xd| match (&resilience, &ckpt) {
+            (Some(res), _) => {
+                let out = dist_ra_hooi_resilient(g, xd, &ra, res).unwrap_or_else(|e| panic!("{e}"));
+                match out {
+                    ResilientOutcome::Completed { result, .. } => *result,
+                    other => panic!(
+                        "driver run without fault injection did not complete: the \
+                                     resilient solver returned {other:?}"
+                    ),
+                }
+            }
+            (None, Some(policy)) => dist_ra_hooi_checkpointed(g, xd, &ra, policy),
+            (None, None) => dist_ra_hooi(g, xd, &ra),
         })
     } else {
         run_collective(p, &grid, &x, move |g, xd| dist_hooi(g, xd, &ranks, &cfg))
@@ -319,10 +366,10 @@ pub fn parameter_file_from_args() -> Result<Params, Box<dyn std::error::Error>> 
 
 /// Testable core of [`parameter_file_from_args`].
 pub fn params_from_argv(args: &[String]) -> Result<Params, Box<dyn std::error::Error>> {
-    let pos = args
-        .iter()
-        .position(|a| a == "--parameter-file")
-        .ok_or("usage: <driver> --parameter-file <file.cfg> [--checkpoint-dir <dir>] [--resume]")?;
+    let pos = args.iter().position(|a| a == "--parameter-file").ok_or(
+        "usage: <driver> --parameter-file <file.cfg> [--checkpoint-dir <dir>] [--resume] \
+             [--buddy-replication <k>] [--abft off|detect|recover]",
+    )?;
     let path = args
         .get(pos + 1)
         .ok_or("--parameter-file requires a path argument")?;
@@ -335,6 +382,18 @@ pub fn params_from_argv(args: &[String]) -> Result<Params, Box<dyn std::error::E
     }
     if args.iter().any(|a| a == "--resume") {
         params.set("Resume", "true");
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--buddy-replication") {
+        let k = args
+            .get(pos + 1)
+            .ok_or("--buddy-replication requires a degree argument")?;
+        params.set("Buddy replication", k);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--abft") {
+        let mode = args
+            .get(pos + 1)
+            .ok_or("--abft requires a mode argument (off, detect, recover)")?;
+        params.set("ABFT", mode);
     }
     Ok(params)
 }
@@ -525,6 +584,77 @@ mod tests {
         assert_eq!(out2.rel_error, out.rel_error);
         assert_eq!(out2.ranks, out.ranks);
         std::fs::remove_dir_all(&ckdir).unwrap();
+    }
+
+    #[test]
+    fn resilience_keys_build_a_config() {
+        let p = Params::parse("Buddy replication = 2\nABFT = recover\n").unwrap();
+        let cfg = resilience_config(&p, None).unwrap().unwrap();
+        assert_eq!(cfg.buddy_degree, 2);
+        assert_eq!(cfg.abft, AbftMode::Recover);
+        assert!(cfg.checkpoint.is_none());
+
+        // Either key alone is enough; the other takes its default.
+        let p = Params::parse("ABFT = detect\n").unwrap();
+        let cfg = resilience_config(&p, Some(CheckpointPolicy::new("/tmp/ck")))
+            .unwrap()
+            .unwrap();
+        assert_eq!(cfg.buddy_degree, 1);
+        assert_eq!(cfg.abft, AbftMode::Detect);
+        assert!(cfg.checkpoint.is_some());
+
+        assert!(resilience_config(&Params::parse("").unwrap(), None)
+            .unwrap()
+            .is_none());
+        let bad = Params::parse("ABFT = sometimes\n").unwrap();
+        assert!(resilience_config(&bad, None).is_err());
+    }
+
+    #[test]
+    fn resilience_flags_layer_over_the_parameter_file() {
+        let dir = std::env::temp_dir();
+        let cfg = dir.join(format!("ratucker_cli_res_argv_{}.cfg", std::process::id()));
+        std::fs::write(&cfg, "Global dims = 8 8\nRanks = 2 2\n").unwrap();
+        let args: Vec<String> = [
+            "driver",
+            "--parameter-file",
+            cfg.to_str().unwrap(),
+            "--buddy-replication",
+            "2",
+            "--abft",
+            "detect",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let p = params_from_argv(&args).unwrap();
+        assert_eq!(p.get("Buddy replication"), Some("2"));
+        assert_eq!(p.get("ABFT"), Some("detect"));
+        std::fs::remove_file(&cfg).unwrap();
+    }
+
+    #[test]
+    fn resilience_requires_rank_adaptive_run() {
+        let p =
+            Params::parse("Global dims = 8 8\nRanks = 2 2\nNoise = 0.01\nBuddy replication = 1\n")
+                .unwrap();
+        let err = run_hooi_driver::<f32>(&p).unwrap_err().to_string();
+        assert!(err.contains("rank-adaptive"), "{err}");
+    }
+
+    #[test]
+    fn hooi_driver_rank_adaptive_resilient_matches_plain() {
+        let base = "Global dims = 12 10 8\nConstruction Ranks = 3 3 2\n\
+                    Decomposition Ranks = 2 2 2\nNoise = 0.01\nProcessor grid dims = 1 2 2\n\
+                    Dimension Tree Memoization = true\nSVD Method = 2\n\
+                    HOOI-Adapt Threshold = 0.05\nHOOI max iters = 3\n\
+                    Rank Growth Factor = 2.0\nPrecision = double\n";
+        let plain = run_hooi_driver::<f64>(&Params::parse(base).unwrap()).unwrap();
+        let p = Params::parse(&format!("{base}Buddy replication = 1\nABFT = recover\n")).unwrap();
+        let resilient = run_hooi_driver::<f64>(&p).unwrap();
+        // No faults are injected: the resilient path is bit-identical.
+        assert_eq!(resilient.rel_error, plain.rel_error);
+        assert_eq!(resilient.ranks, plain.ranks);
     }
 
     #[test]

@@ -127,7 +127,16 @@ impl<T: Scalar> DistTensor<T> {
             let ranges: Vec<_> = (0..d).map(|k| self.dist.range(k, coords[k])).collect();
             let local_dims: Vec<usize> = ranges.iter().map(|r| r.len).collect();
             let local_shape = Shape::new(&local_dims);
-            debug_assert_eq!(block.len(), local_shape.num_entries());
+            if block.len() != local_shape.num_entries() {
+                // Channel desync from a dropped message: typed and
+                // failure-class rather than an untyped panic.
+                return Err(CommError::SizeMismatch {
+                    src: grid.comm.world_rank_of(rank),
+                    dst: grid.comm.world_rank_of(grid.comm.rank()),
+                    expected: local_shape.num_entries(),
+                    got: block.len(),
+                });
+            }
             let mut gidx = vec![0usize; d];
             for (off, lidx) in local_shape.indices().enumerate() {
                 for k in 0..d {

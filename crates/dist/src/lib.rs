@@ -19,10 +19,15 @@
 pub mod distribution;
 pub mod dtensor;
 pub mod ops;
+pub mod redistribute;
+pub mod replica;
 
 pub use distribution::{block_len, block_offset, block_range, owner_of, BlockRange, TensorDist};
 pub use dtensor::DistTensor;
 pub use ops::{
     dist_contract, dist_gram, dist_multi_ttm_all_but, dist_ttm, try_dist_contract, try_dist_gram,
-    try_dist_multi_ttm_all_but, try_dist_ttm,
+    try_dist_gram_checked, try_dist_multi_ttm_all_but, try_dist_ttm, try_dist_ttm_checked,
+    AbftMode,
 };
+pub use redistribute::{try_redistribute, BlockPiece};
+pub use replica::{restorer_for, try_refresh_buddies, BuddyStore, Replica};

@@ -19,11 +19,121 @@
 
 use crate::distribution::block_range;
 use crate::dtensor::DistTensor;
-use ratucker_mpi::{sum_op, CartGrid, CommError};
+use ratucker_mpi::{sum_op, CartGrid, Comm, CommError};
 use ratucker_tensor::dense::DenseTensor;
 use ratucker_tensor::matrix::Matrix;
 use ratucker_tensor::scalar::Scalar;
 use ratucker_tensor::ttm::{ttm, Transpose};
+
+/// Algorithm-based fault tolerance (ABFT) policy for the checked
+/// kernels ([`try_dist_gram_checked`], [`try_dist_ttm_checked`]).
+///
+/// The checksums are *linear*, so they commute with the sum-combining
+/// collectives: a column-sum row rides through the Gram allreduce and a
+/// per-chunk total rides through the TTM reduce-scatter, and any finite
+/// corruption of the numeric traffic breaks the linear relation at the
+/// receiver — the class of silent error the NaN/Inf screens provably
+/// cannot see.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AbftMode {
+    /// No checksums (the unchecked kernels).
+    #[default]
+    Off,
+    /// Verify checksums; surface mismatches as
+    /// [`CommError::SilentCorruption`] and let the caller abort.
+    Detect,
+    /// Verify checksums; the solver responds to a mismatch by
+    /// recomputing the poisoned contraction (kernel behavior is the
+    /// same as [`AbftMode::Detect`] — the distinction lives in the
+    /// caller's recovery policy).
+    Recover,
+}
+
+impl AbftMode {
+    /// Are checksums being computed and verified?
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, AbftMode::Off)
+    }
+
+    /// Parses `off` / `detect` / `recover` (the CLI flag values).
+    pub fn parse(s: &str) -> Option<AbftMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" => Some(AbftMode::Off),
+            "detect" => Some(AbftMode::Detect),
+            "recover" => Some(AbftMode::Recover),
+            _ => None,
+        }
+    }
+}
+
+/// Relative tolerance separating accumulation roundoff from injected
+/// corruption: `sqrt(eps)` of the element type (≈1.5e-8 for `f64`) —
+/// orders of magnitude above roundoff for the problem sizes here, and
+/// orders of magnitude below the ≥2× magnitude change of an
+/// exponent-bit flip.
+fn abft_tol<T: Scalar>() -> f64 {
+    T::EPSILON.to_f64().sqrt()
+}
+
+fn sum_f64<T: Scalar>(v: &[T]) -> f64 {
+    v.iter().map(|x| x.to_f64()).sum()
+}
+
+fn abs_sum_f64<T: Scalar>(v: &[T]) -> f64 {
+    v.iter().map(|x| x.to_f64().abs()).sum()
+}
+
+/// All-to-all with a per-block scalar checksum appended to every
+/// message; the receiver re-sums each block and records the worst
+/// relative mismatch. Covers the Gram redistribution leg, whose
+/// corruption would otherwise be *absorbed* into the local rank-k
+/// update before the allreduce checksums are formed. Returns the
+/// received blocks plus the local maximum relative checksum error
+/// (`f64::INFINITY` for a non-finite mismatch), which the caller folds
+/// into the kernel's single collective verdict.
+fn try_alltoallv_checked<T: Scalar>(
+    comm: &Comm,
+    blocks: Vec<Vec<T>>,
+) -> Result<(Vec<Vec<T>>, f64), CommError> {
+    let stamped: Vec<Vec<T>> = blocks
+        .into_iter()
+        .map(|mut b| {
+            let cs = T::from_f64(sum_f64(&b));
+            b.push(cs);
+            b
+        })
+        .collect();
+    let received = comm.try_alltoallv(stamped)?;
+    let mut rel_err = 0.0f64;
+    let mut out = Vec::with_capacity(received.len());
+    for mut b in received {
+        let cs = b.pop().expect("checked block carries a checksum").to_f64();
+        let s = sum_f64(&b);
+        let e = (s - cs).abs() / (abs_sum_f64(&b) + cs.abs() + f64::MIN_POSITIVE);
+        rel_err = rel_err.max(if e.is_finite() { e } else { f64::INFINITY });
+        out.push(b);
+    }
+    Ok((out, rel_err))
+}
+
+/// Turns the kernel-local checksum error into a grid-wide collective
+/// verdict over the control plane: every rank learns the worst relative
+/// error anyone observed and all ranks reach the same accept /
+/// [`CommError::SilentCorruption`] decision — without this, only the
+/// ranks whose inbound traffic was corrupted would abort, and a solver
+/// retrying the contraction in [`AbftMode::Recover`] would deadlock the
+/// collective.
+fn abft_verdict<T: Scalar>(grid: &CartGrid, mode: usize, local_rel: f64) -> Result<(), CommError> {
+    let rel_err = grid.comm.try_verdict_max(if local_rel.is_finite() {
+        local_rel
+    } else {
+        f64::INFINITY
+    })?;
+    if !rel_err.is_finite() || rel_err > abft_tol::<T>() {
+        return Err(CommError::SilentCorruption { mode, rel_err });
+    }
+    Ok(())
+}
 
 /// Fallible distributed TTM: `Y = X ×_mode op(M)` with `M` replicated on
 /// every rank.
@@ -38,6 +148,33 @@ pub fn try_dist_ttm<T: Scalar>(
     mode: usize,
     m: &Matrix<T>,
     trans: Transpose,
+) -> Result<DistTensor<T>, CommError> {
+    ttm_impl(grid, x, mode, m, trans, AbftMode::Off)
+}
+
+/// Checksum-augmented variant of [`try_dist_ttm`]: when `abft` is
+/// enabled, each reduce-scatter chunk carries a linear total that is
+/// summed along with the data; a mismatch at the receiver surfaces as
+/// [`CommError::SilentCorruption`] so the solver can recompute the
+/// contraction instead of silently converging to a wrong core.
+pub fn try_dist_ttm_checked<T: Scalar>(
+    grid: &CartGrid,
+    x: &DistTensor<T>,
+    mode: usize,
+    m: &Matrix<T>,
+    trans: Transpose,
+    abft: AbftMode,
+) -> Result<DistTensor<T>, CommError> {
+    ttm_impl(grid, x, mode, m, trans, abft)
+}
+
+fn ttm_impl<T: Scalar>(
+    grid: &CartGrid,
+    x: &DistTensor<T>,
+    mode: usize,
+    m: &Matrix<T>,
+    trans: Transpose,
+    abft: AbftMode,
 ) -> Result<DistTensor<T>, CommError> {
     if !x.local().all_finite() {
         return Err(CommError::Corrupted {
@@ -92,20 +229,43 @@ pub fn try_dist_ttm<T: Scalar>(
     // in standard [left, block, right] layout, then reduce-scatter.
     let left: usize = partial.shape().left(mode);
     let right: usize = partial.shape().right(mode);
-    let mut packed = Vec::with_capacity(partial.num_entries());
+    let mut packed = Vec::with_capacity(partial.num_entries() + p_j);
     let mut counts = Vec::with_capacity(p_j);
     for q in 0..p_j {
         let r_q = block_range(out_dim, p_j, q);
-        counts.push(left * r_q.len * right);
+        let chunk_start = packed.len();
         for r in 0..right {
             for i in 0..r_q.len {
                 let src = (r * out_dim + r_q.offset + i) * left;
                 packed.extend_from_slice(&partial.data()[src..src + left]);
             }
         }
+        if abft.is_enabled() {
+            // Linear chunk total: summed elementwise across the fiber
+            // along with the data, so at the destination the last slot
+            // holds the expected total of the reduced block.
+            let cs = T::from_f64(sum_f64(&packed[chunk_start..]));
+            packed.push(cs);
+        }
+        counts.push(left * r_q.len * right + usize::from(abft.is_enabled()));
     }
-    let my_block = fiber.try_reduce_scatter(packed, &counts, sum_op)?;
-    if my_block.iter().any(|v| !v.is_finite_s()) {
+    let mut my_block = fiber.try_reduce_scatter(packed, &counts, sum_op)?;
+    if abft.is_enabled() {
+        let cs = my_block
+            .pop()
+            .expect("checked reduce-scatter block carries a checksum")
+            .to_f64();
+        // Fold the non-finite screen into the checksum error (NaN/Inf ⇒
+        // infinite relative error) and agree on a grid-wide verdict so
+        // every rank aborts — or retries — together.
+        let local_rel = if my_block.iter().any(|v| !v.is_finite_s()) {
+            f64::INFINITY
+        } else {
+            let s = sum_f64(&my_block);
+            (s - cs).abs() / (abs_sum_f64(&my_block) + cs.abs() + f64::MIN_POSITIVE)
+        };
+        abft_verdict::<T>(grid, mode, local_rel)?;
+    } else if my_block.iter().any(|v| !v.is_finite_s()) {
         return Err(CommError::Corrupted {
             rank: grid.comm.rank(),
             what: format!(
@@ -149,6 +309,31 @@ pub fn try_dist_gram<T: Scalar>(
     x: &DistTensor<T>,
     mode: usize,
 ) -> Result<Matrix<T>, CommError> {
+    gram_impl(grid, x, mode, AbftMode::Off)
+}
+
+/// Checksum-augmented variant of [`try_dist_gram`]: when `abft` is
+/// enabled, (a) every redistribution message carries a scalar total
+/// verified on receipt, and (b) a column-sum checksum row is appended
+/// to the local Gram contribution and rides through the allreduce —
+/// linearity means the reduced checksum row must equal the column sums
+/// of the reduced matrix. Mismatch surfaces as
+/// [`CommError::SilentCorruption`] with the observed relative error.
+pub fn try_dist_gram_checked<T: Scalar>(
+    grid: &CartGrid,
+    x: &DistTensor<T>,
+    mode: usize,
+    abft: AbftMode,
+) -> Result<Matrix<T>, CommError> {
+    gram_impl(grid, x, mode, abft)
+}
+
+fn gram_impl<T: Scalar>(
+    grid: &CartGrid,
+    x: &DistTensor<T>,
+    mode: usize,
+    abft: AbftMode,
+) -> Result<Matrix<T>, CommError> {
     if !x.local().all_finite() {
         return Err(CommError::Corrupted {
             rank: grid.comm.rank(),
@@ -159,6 +344,9 @@ pub fn try_dist_gram<T: Scalar>(
     let fiber = grid.mode_comm(mode);
     let p_j = fiber.size();
 
+    // Worst relative checksum error seen on the redistribution leg;
+    // folded into the kernel's single end-of-kernel verdict.
+    let mut a2a_rel = 0.0f64;
     let mut g_partial = Matrix::zeros(n_j, n_j);
     if p_j == 1 {
         // Mode fully local: straight local Gram.
@@ -189,14 +377,29 @@ pub fn try_dist_gram<T: Scalar>(
             }
             blocks.push(buf);
         }
-        let received = fiber.try_alltoallv(blocks)?;
+        let received = if abft.is_enabled() {
+            let (received, rel) = try_alltoallv_checked(fiber, blocks)?;
+            a2a_rel = rel;
+            received
+        } else {
+            fiber.try_alltoallv(blocks)?
+        };
 
         // Assemble my column share with full rows: A is n_j × my_cols.
         let my_cols = block_range(total_cols, p_j, fiber.rank()).len;
         let mut a = Matrix::zeros(n_j, my_cols);
         for (s, block) in received.into_iter().enumerate() {
             let rows_s = x.dist().range(mode, s);
-            debug_assert_eq!(block.len(), rows_s.len * my_cols);
+            if block.len() != rows_s.len * my_cols {
+                // Channel desync from a dropped message: typed and
+                // failure-class rather than an untyped panic.
+                return Err(CommError::SizeMismatch {
+                    src: fiber.world_rank_of(s),
+                    dst: fiber.world_rank_of(fiber.rank()),
+                    expected: rows_s.len * my_cols,
+                    got: block.len(),
+                });
+            }
             for c in 0..my_cols {
                 let col = a.col_mut(c);
                 col[rows_s.offset..rows_s.offset + rows_s.len]
@@ -214,9 +417,37 @@ pub fn try_dist_gram<T: Scalar>(
         );
     }
 
-    // Sum contributions across the whole grid; result replicated.
-    let summed = grid.comm.try_allreduce(g_partial.into_vec(), sum_op)?;
-    if summed.iter().any(|v| !v.is_finite_s()) {
+    // Sum contributions across the whole grid; result replicated. Under
+    // ABFT, append a column-sum checksum row: it is a linear function of
+    // the payload, so summing it across ranks yields the column sums of
+    // the summed matrix — any finite corruption of the allreduce traffic
+    // breaks the equality.
+    let mut payload = g_partial.into_vec();
+    if abft.is_enabled() {
+        for j in 0..n_j {
+            let col = &payload[j * n_j..(j + 1) * n_j];
+            payload.push(T::from_f64(sum_f64(col)));
+        }
+    }
+    let summed = grid.comm.try_allreduce(payload, sum_op)?;
+    if abft.is_enabled() {
+        // Fold the non-finite screen and the redistribution-leg error
+        // into one relative error, then agree on a grid-wide verdict so
+        // every rank aborts — or retries — together.
+        let mut rel_err = a2a_rel;
+        if summed.iter().any(|v| !v.is_finite_s()) {
+            rel_err = f64::INFINITY;
+        } else {
+            for j in 0..n_j {
+                let col = &summed[j * n_j..(j + 1) * n_j];
+                let cs = summed[n_j * n_j + j].to_f64();
+                let s = sum_f64(col);
+                let e = (s - cs).abs() / (abs_sum_f64(col) + cs.abs() + f64::MIN_POSITIVE);
+                rel_err = rel_err.max(e);
+            }
+        }
+        abft_verdict::<T>(grid, mode, rel_err)?;
+    } else if summed.iter().any(|v| !v.is_finite_s()) {
         return Err(CommError::Corrupted {
             rank: grid.comm.rank(),
             what: format!(
@@ -225,7 +456,7 @@ pub fn try_dist_gram<T: Scalar>(
             ),
         });
     }
-    Ok(Matrix::from_vec(n_j, n_j, summed))
+    Ok(Matrix::from_vec(n_j, n_j, summed[..n_j * n_j].to_vec()))
 }
 
 /// Fallible distributed all-but-one contraction (the new §3.4 kernel):
@@ -540,6 +771,110 @@ mod tests {
                 .unwrap_err();
             assert!(matches!(err, CommError::Corrupted { .. }), "{err}");
         }
+    }
+
+    #[test]
+    fn checked_kernels_match_unchecked_when_clean() {
+        // With no faults, ABFT must be invisible: identical results,
+        // no spurious SilentCorruption from accumulation roundoff.
+        let dims = [6, 5, 4];
+        for mode in 0..3 {
+            let results = Universe::launch(8, move |c| {
+                let grid = CartGrid::new(c, &[2, 2, 2]);
+                let x = DistTensor::from_fn(&grid, Shape::new(&dims), global_value);
+                let g0 = try_dist_gram(&grid, &x, mode).unwrap();
+                let g1 = try_dist_gram_checked(&grid, &x, mode, AbftMode::Detect).unwrap();
+                let u = factor(dims[mode], 3, mode);
+                let y0 = try_dist_ttm(&grid, &x, mode, &u, Transpose::Yes).unwrap();
+                let y1 =
+                    try_dist_ttm_checked(&grid, &x, mode, &u, Transpose::Yes, AbftMode::Detect)
+                        .unwrap();
+                (g0.max_abs_diff(&g1), y0.local().max_abs_diff(y1.local()))
+            });
+            for (dg, dy) in results {
+                assert_eq!(dg, 0.0, "mode {mode}: gram checksum must not alter result");
+                assert_eq!(dy, 0.0, "mode {mode}: ttm checksum must not alter result");
+            }
+        }
+    }
+
+    #[test]
+    fn finite_corruption_is_invisible_to_unchecked_gram() {
+        // The satellite claim: an exponent flip is FINITE, so the NaN
+        // screens pass it through and the unchecked kernel silently
+        // returns a wrong matrix.
+        use ratucker_mpi::{CorruptMode, FaultPlan};
+        let dims = [6, 4];
+        let plan = FaultPlan::quiet(23).with_corruption(1.0, CorruptMode::ExponentFlip);
+        let clean = Universe::launch(2, move |c| {
+            let grid = CartGrid::new(c, &[2, 1]);
+            let x = DistTensor::from_fn(&grid, Shape::new(&dims), global_value);
+            try_dist_gram(&grid, &x, 0).unwrap()
+        });
+        let poisoned = Universe::try_launch(2, plan, move |c| {
+            let grid = CartGrid::new(c, &[2, 1]);
+            let x = DistTensor::from_fn(&grid, Shape::new(&dims), global_value);
+            try_dist_gram(&grid, &x, 0)
+        });
+        for (r, want) in poisoned.into_iter().zip(clean) {
+            let got = r.unwrap().expect("NaN screens miss finite corruption");
+            assert!(
+                got.max_abs_diff(&want) > 0.0,
+                "corruption must actually have changed the result"
+            );
+        }
+    }
+
+    #[test]
+    fn finite_corruption_is_flagged_by_checked_gram() {
+        use ratucker_mpi::{CorruptMode, FaultPlan};
+        let dims = [6, 4];
+        let plan = FaultPlan::quiet(23).with_corruption(1.0, CorruptMode::ExponentFlip);
+        let results = Universe::try_launch(2, plan, move |c| {
+            let grid = CartGrid::new(c, &[2, 1]);
+            let x = DistTensor::from_fn(&grid, Shape::new(&dims), global_value);
+            try_dist_gram_checked(&grid, &x, 0, AbftMode::Detect)
+        });
+        for r in results {
+            let err = r.unwrap().unwrap_err();
+            match err {
+                CommError::SilentCorruption { mode: 0, rel_err } => {
+                    assert!(rel_err > abft_tol::<f64>(), "rel_err {rel_err}");
+                }
+                other => panic!("expected SilentCorruption, got {other}"),
+            }
+            assert!(err.to_string().contains("silent data corruption"));
+        }
+    }
+
+    #[test]
+    fn finite_corruption_is_flagged_by_checked_ttm() {
+        use ratucker_mpi::{CorruptMode, FaultPlan};
+        let dims = [6, 4];
+        // Grid splits mode 0 so the TTM runs a real reduce-scatter.
+        let plan = FaultPlan::quiet(31).with_corruption(1.0, CorruptMode::ExponentFlip);
+        let results = Universe::try_launch(2, plan, move |c| {
+            let grid = CartGrid::new(c, &[2, 1]);
+            let x = DistTensor::from_fn(&grid, Shape::new(&dims), global_value);
+            let u = factor(6, 3, 5);
+            try_dist_ttm_checked(&grid, &x, 0, &u, Transpose::Yes, AbftMode::Detect)
+        });
+        for r in results {
+            match r.unwrap().unwrap_err() {
+                CommError::SilentCorruption { mode: 0, .. } => {}
+                other => panic!("expected SilentCorruption, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn abft_mode_parses_cli_values() {
+        assert_eq!(AbftMode::parse("off"), Some(AbftMode::Off));
+        assert_eq!(AbftMode::parse("Detect"), Some(AbftMode::Detect));
+        assert_eq!(AbftMode::parse(" recover "), Some(AbftMode::Recover));
+        assert_eq!(AbftMode::parse("on"), None);
+        assert!(!AbftMode::Off.is_enabled());
+        assert!(AbftMode::Recover.is_enabled());
     }
 
     #[test]

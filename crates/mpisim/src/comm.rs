@@ -171,7 +171,16 @@ impl Comm {
                 if vsrc < p {
                     let src = (vsrc + root) % p;
                     let incoming: Vec<T> = self.try_recv(src)?;
-                    assert_eq!(incoming.len(), acc.len(), "reduce length mismatch");
+                    if incoming.len() != acc.len() {
+                        // A dropped message desynchronized the channel;
+                        // typed and failure-class (see `SizeMismatch`).
+                        return Err(CommError::SizeMismatch {
+                            src: self.group[src],
+                            dst: self.group[self.rank],
+                            expected: acc.len(),
+                            got: incoming.len(),
+                        });
+                    }
                     op(&mut acc, &incoming);
                 }
             } else {
@@ -262,7 +271,14 @@ impl Comm {
             let idx = (self.rank + step + 2) % p;
             let mut acc = incoming;
             let mine = block(&data, idx);
-            assert_eq!(acc.len(), mine.len(), "reduce_scatter length mismatch");
+            if acc.len() != mine.len() {
+                return Err(CommError::SizeMismatch {
+                    src: self.group[right],
+                    dst: self.group[self.rank],
+                    expected: mine.len(),
+                    got: acc.len(),
+                });
+            }
             op(&mut acc, &mine);
             carry = acc;
         }
@@ -329,6 +345,159 @@ impl Comm {
             .position(|&(_, r)| r == self.rank)
             .expect("split: caller missing from its own color group");
         Ok(Comm {
+            fabric: Arc::clone(&self.fabric),
+            group: Arc::new(group),
+            rank,
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // Resilience primitives (ULFM-style revoke / agree / shrink)
+    // ---------------------------------------------------------------
+
+    /// World ranks of this communicator's members that the failure
+    /// detector currently believes alive, in communicator order.
+    pub fn live_members(&self) -> Vec<usize> {
+        self.group
+            .iter()
+            .copied()
+            .filter(|&r| self.fabric.is_alive(r))
+            .collect()
+    }
+
+    /// Revokes the fabric's data plane (`MPI_Comm_revoke`): every rank
+    /// blocked in — or about to enter — a data-plane operation fails
+    /// fast with [`CommError::Revoked`], flushing all survivors out of
+    /// whatever collective they were in so they can join
+    /// [`Comm::try_agree`]. Idempotent; typically called by the first
+    /// rank that observes a `PeerClosed`/`Timeout`.
+    pub fn revoke(&self) {
+        self.fabric.revoke();
+    }
+
+    /// Has the fabric been revoked?
+    pub fn is_revoked(&self) -> bool {
+        self.fabric.is_revoked()
+    }
+
+    /// Fault-tolerant agreement (`MPIX_Comm_agree`): returns the sorted
+    /// **world ranks** of this communicator's surviving members,
+    /// consistently on every live rank.
+    ///
+    /// Leader-based protocol over the reliable control plane:
+    /// the lowest live member acts as leader, collects one vote from
+    /// every other live member, intersects voters with the detector's
+    /// live set, then (a) advances the fabric epoch so stale in-flight
+    /// data from the aborted collective is discarded, (b) clears the
+    /// revocation, and (c) distributes the survivor list. If the leader
+    /// itself dies mid-protocol, voters observe `PeerClosed` on the
+    /// control plane, re-elect the next-lowest live rank, and retry —
+    /// so agreement tolerates failures *during* agreement.
+    ///
+    /// Contract: every surviving member must call `try_agree` after a
+    /// failure is detected (the usual collective contract); ranks that
+    /// die before voting are excluded from the result.
+    pub fn try_agree(&self) -> Result<Vec<usize>, CommError> {
+        let me = self.group[self.rank];
+        loop {
+            let live = self.live_members();
+            let leader = *live.iter().min().expect("caller is alive, group nonempty");
+            if leader == me {
+                // Collect one vote from every member currently live.
+                let mut voted = vec![me];
+                for &r in live.iter().filter(|&&r| r != me) {
+                    match self.fabric.ctrl_recv::<u64>(r, me) {
+                        Ok(v) => voted.push(v[0] as usize),
+                        // Died before voting: excluded from survivors.
+                        Err(CommError::PeerClosed { .. }) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                let mut survivors: Vec<usize> = voted
+                    .into_iter()
+                    .filter(|&r| self.fabric.is_alive(r))
+                    .collect();
+                survivors.sort_unstable();
+                // Quarantine stale traffic, then re-open the data plane,
+                // strictly in this order: once a survivor learns the
+                // outcome it may immediately resume data-plane sends,
+                // which must land in the new epoch on an open fabric.
+                self.fabric.bump_epoch();
+                self.fabric.clear_revocation();
+                let payload: Vec<u64> = survivors.iter().map(|&r| r as u64).collect();
+                for &r in &survivors {
+                    if r != me {
+                        // A rank dying between the decision and this send
+                        // stays in the agreed list (matching ULFM: agree
+                        // guarantees consistency, not freshness); the next
+                        // data-plane error triggers a fresh agreement.
+                        let _ = self.fabric.ctrl_send(me, r, payload.clone());
+                    }
+                }
+                return Ok(survivors);
+            } else {
+                // Vote, then wait for the leader's verdict.
+                if self.fabric.ctrl_send(me, leader, vec![me as u64]).is_err() {
+                    continue; // leader already dead: re-elect
+                }
+                match self.fabric.ctrl_recv::<u64>(leader, me) {
+                    Ok(payload) => {
+                        return Ok(payload.into_iter().map(|r| r as usize).collect());
+                    }
+                    Err(CommError::PeerClosed { .. }) => continue, // leader died: retry
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    /// Collective max-agreement of a scalar verdict over the reliable
+    /// *control plane* (star through the lowest rank): every member
+    /// learns the maximum of all members' values. The ABFT layer uses
+    /// this so the corruption verdict itself cannot be corrupted by the
+    /// faulty data plane — all ranks of a checked kernel reach the same
+    /// accept/reject decision and stay collectively aligned when the
+    /// solver retries a poisoned contraction. A member dying
+    /// mid-verdict surfaces as [`CommError::PeerClosed`], handing
+    /// control to the failure-recovery path.
+    pub fn try_verdict_max(&self, value: f64) -> Result<f64, CommError> {
+        if self.size() == 1 {
+            return Ok(value);
+        }
+        let me = self.group[self.rank];
+        let root = self.group[0];
+        if me == root {
+            let mut acc = value;
+            for &r in self.group.iter().skip(1) {
+                let v = self.fabric.ctrl_recv::<f64>(r, me)?;
+                acc = acc.max(v[0]);
+            }
+            for &r in self.group.iter().skip(1) {
+                self.fabric.ctrl_send(me, r, vec![acc])?;
+            }
+            Ok(acc)
+        } else {
+            self.fabric.ctrl_send(me, root, vec![value])?;
+            Ok(self.fabric.ctrl_recv::<f64>(root, me)?[0])
+        }
+    }
+
+    /// Shrinks the communicator to the agreed survivor set
+    /// (`MPIX_Comm_shrink`): builds a dense communicator whose group is
+    /// this communicator's members restricted to `survivors` (world
+    /// ranks, any order), preserving relative order. Communication-free —
+    /// every rank derives the same group from the same agreed list.
+    /// Returns `None` if the calling rank is not among the survivors.
+    pub fn shrink(&self, survivors: &[usize]) -> Option<Comm> {
+        let me = self.group[self.rank];
+        let group: Vec<usize> = self
+            .group
+            .iter()
+            .copied()
+            .filter(|r| survivors.contains(r))
+            .collect();
+        let rank = group.iter().position(|&r| r == me)?;
+        Some(Comm {
             fabric: Arc::clone(&self.fabric),
             group: Arc::new(group),
             rank,

@@ -49,12 +49,25 @@ type Payload = Box<dyn Any + Send>;
 
 /// Per-universe traffic counters (shared by every communicator derived
 /// from the universe).
+///
+/// Counter semantics (the *accounting invariant*, enforced by a
+/// regression test): a `try_send` that passes the liveness check counts
+/// as one **attempted** message; it then counts as exactly one of
+/// **delivered** (`messages`/`bytes`, payload enqueued on the link) or
+/// **dropped** (a fault plan consumed it on the wire). Therefore
+/// `attempted == messages + dropped` holds at every instant, even while
+/// a collective is aborting mid-fanout — nothing is double-counted and
+/// nothing leaks.
 #[derive(Debug, Default)]
 pub struct TrafficStats {
-    /// Total bytes moved through point-to-point sends.
+    /// Total bytes moved through point-to-point sends (delivered only).
     pub bytes: AtomicU64,
-    /// Total messages sent.
+    /// Total messages delivered to a link queue.
     pub messages: AtomicU64,
+    /// Total messages put on the wire (delivered + dropped).
+    pub attempted: AtomicU64,
+    /// Messages consumed by an injected drop fault.
+    pub dropped: AtomicU64,
     /// Per-source-rank byte counts (load-imbalance analysis).
     pub bytes_by_rank: Vec<AtomicU64>,
 }
@@ -64,6 +77,8 @@ impl TrafficStats {
         TrafficStats {
             bytes: AtomicU64::new(0),
             messages: AtomicU64::new(0),
+            attempted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
             bytes_by_rank: (0..p).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -74,6 +89,19 @@ impl TrafficStats {
             self.bytes.load(Ordering::Relaxed),
             self.messages.load(Ordering::Relaxed),
         )
+    }
+
+    /// Checks the accounting invariant `attempted == delivered + dropped`;
+    /// returns the three counters on violation.
+    pub fn check_invariant(&self) -> Result<(), (u64, u64, u64)> {
+        let attempted = self.attempted.load(Ordering::Relaxed);
+        let delivered = self.messages.load(Ordering::Relaxed);
+        let dropped = self.dropped.load(Ordering::Relaxed);
+        if attempted == delivered + dropped {
+            Ok(())
+        } else {
+            Err((attempted, delivered, dropped))
+        }
     }
 
     /// Largest per-rank byte count (the paper's cost model charges the
@@ -87,9 +115,12 @@ impl TrafficStats {
     }
 }
 
-/// One ordered-pair FIFO queue.
+/// One ordered-pair FIFO queue. Each entry carries the fabric *epoch* at
+/// which it was sent; receivers discard entries from earlier epochs, so
+/// in-flight data from before a fault recovery cannot poison the retried
+/// collective (see [`Fabric::bump_epoch`]).
 struct Link {
-    queue: Mutex<VecDeque<Payload>>,
+    queue: Mutex<VecDeque<(u64, Payload)>>,
     ready: Condvar,
 }
 
@@ -101,7 +132,7 @@ impl Link {
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, VecDeque<Payload>> {
+    fn lock(&self) -> MutexGuard<'_, VecDeque<(u64, Payload)>> {
         // A panicking rank never holds a link lock (all fault panics
         // happen outside the critical section), but be robust anyway.
         self.queue.lock().unwrap_or_else(|e| e.into_inner())
@@ -145,10 +176,24 @@ impl FaultState {
 /// The link matrix connecting `p` ranks.
 pub struct Fabric {
     p: usize,
-    /// `links[dst * p + src]`: FIFO from `src` to `dst`.
+    /// `links[dst * p + src]`: FIFO from `src` to `dst` (data plane).
     links: Vec<Link>,
+    /// Control-plane links (`ctrl[dst * p + src]`). These model ULFM's
+    /// reliable out-of-band failure-detector network: they bypass fault
+    /// injection, revocation, epoch filtering, and traffic accounting,
+    /// but still honor liveness and timeouts. Agreement/recovery traffic
+    /// rides here so the recovery protocol itself cannot be poisoned by
+    /// the faults it is recovering from.
+    ctrl: Vec<Link>,
     /// Liveness flags; a retired (crashed) rank wakes its blocked peers.
     alive: Vec<AtomicBool>,
+    /// Revocation flag: once any rank revokes the fabric, pending and
+    /// future data-plane operations fail fast with
+    /// [`CommError::Revoked`] until the recovery protocol clears it.
+    revoked: AtomicBool,
+    /// Message epoch; bumped on recovery so stale in-flight data from an
+    /// aborted collective is discarded at the receiver.
+    epoch: AtomicU64,
     stats: TrafficStats,
     /// Receive timeout in microseconds (atomic so tests can tighten it).
     recv_timeout_us: AtomicU64,
@@ -163,7 +208,10 @@ impl Fabric {
         Arc::new(Fabric {
             p,
             links: (0..p * p).map(|_| Link::new()).collect(),
+            ctrl: (0..p * p).map(|_| Link::new()).collect(),
             alive: (0..p).map(|_| AtomicBool::new(true)).collect(),
+            revoked: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
             stats: TrafficStats::new(p),
             recv_timeout_us: AtomicU64::new(default_recv_timeout().as_micros() as u64),
             fault: Mutex::new(None),
@@ -218,23 +266,73 @@ impl Fabric {
     pub fn retire(&self, rank: usize) {
         self.alive[rank].store(false, Ordering::SeqCst);
         for dst in 0..self.p {
-            let link = &self.links[dst * self.p + rank];
+            for lane in [&self.links, &self.ctrl] {
+                let link = &lane[dst * self.p + rank];
+                let _guard = link.lock();
+                link.ready.notify_all();
+            }
+        }
+    }
+
+    /// The world ranks currently alive, ascending. This is the failure
+    /// detector's view: in the simulator liveness is ground truth (a
+    /// retired thread really is gone), which models a perfect detector —
+    /// the paper's target systems approximate this with heartbeats.
+    pub fn alive_ranks(&self) -> Vec<usize> {
+        (0..self.p).filter(|&r| self.is_alive(r)).collect()
+    }
+
+    /// Has the fabric been revoked (a rank observed a failure and called
+    /// [`Fabric::revoke`])?
+    pub fn is_revoked(&self) -> bool {
+        self.revoked.load(Ordering::SeqCst)
+    }
+
+    /// Revokes the data plane: every pending and future data-plane send
+    /// or receive fails fast with [`CommError::Revoked`], flushing all
+    /// live ranks out of whatever collective they were blocked in so
+    /// they can enter the agreement protocol. Control-plane traffic is
+    /// unaffected. Idempotent.
+    pub fn revoke(&self) {
+        self.revoked.store(true, Ordering::SeqCst);
+        for link in &self.links {
             let _guard = link.lock();
             link.ready.notify_all();
         }
     }
 
+    /// Clears the revocation flag after recovery completes. Call only
+    /// from the agreement protocol, after [`Fabric::bump_epoch`].
+    pub fn clear_revocation(&self) {
+        self.revoked.store(false, Ordering::SeqCst);
+    }
+
+    /// The current message epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Advances the message epoch. Data messages already in flight (sent
+    /// under an older epoch) are silently discarded at the receiver, so
+    /// a collective retried after recovery cannot consume stale payloads
+    /// from its aborted predecessor.
+    pub fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
     /// Restores all ranks to alive, clears stale in-flight messages, and
-    /// resets fault-plan counters. Called at the start of each
-    /// [`crate::Universe`] run so a universe remains usable after a
-    /// failed run.
+    /// resets fault-plan counters, revocation, and the message epoch.
+    /// Called at the start of each [`crate::Universe`] run so a universe
+    /// remains usable after a failed run.
     pub fn reset_for_run(&self) {
         for a in &self.alive {
             a.store(true, Ordering::SeqCst);
         }
-        for link in &self.links {
+        for link in self.links.iter().chain(self.ctrl.iter()) {
             link.lock().clear();
         }
+        self.revoked.store(false, Ordering::SeqCst);
+        self.epoch.store(0, Ordering::SeqCst);
         if let Some(state) = self.fault_state() {
             for c in state.link_ops.iter().chain(state.rank_ops.iter()) {
                 c.store(0, Ordering::Relaxed);
@@ -249,6 +347,11 @@ impl Fabric {
 
     /// Fallible send of a typed vector from `src` to `dst`, recording
     /// traffic and applying any injected faults.
+    ///
+    /// Accounting order matters (see [`TrafficStats`]): the message
+    /// counts as *attempted* once it passes the liveness check, and then
+    /// as exactly one of *delivered* or *dropped* — a collective that
+    /// aborts mid-fanout neither double-counts nor leaks.
     pub fn try_send<T: Send + 'static>(
         &self,
         src: usize,
@@ -259,14 +362,15 @@ impl Fabric {
         if let Some(state) = &fault {
             state.step_rank(src);
         }
+        if self.is_revoked() {
+            return Err(CommError::Revoked { rank: src });
+        }
         if !self.is_alive(dst) {
             return Err(CommError::PeerClosed { peer: dst, me: src });
         }
 
         let bytes = std::mem::size_of_val(data.as_slice()) as u64;
-        self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.stats.messages.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_by_rank[src].fetch_add(bytes, Ordering::Relaxed);
+        self.stats.attempted.fetch_add(1, Ordering::Relaxed);
 
         if let Some(state) = &fault {
             let idx = state.link_ops[dst * self.p + src].fetch_add(1, Ordering::Relaxed);
@@ -278,19 +382,28 @@ impl Fabric {
             }
             if state.plan.drop_for(src, dst, idx) {
                 // The message vanishes on the wire; the receiver will
-                // surface this as a Timeout.
+                // surface this as a Timeout. It was attempted but not
+                // delivered, so only the `dropped` counter moves.
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
                 return Ok(());
             }
         }
 
+        self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_by_rank[src].fetch_add(bytes, Ordering::Relaxed);
+
+        let epoch = self.current_epoch();
         let link = self.link(src, dst);
-        link.lock().push_back(Box::new(data));
+        link.lock().push_back((epoch, Box::new(data)));
         link.ready.notify_all();
         Ok(())
     }
 
     /// Fallible receive of the next message sent from `src` to `dst`,
-    /// downcasting to the expected element type.
+    /// downcasting to the expected element type. Messages sent under an
+    /// earlier fabric epoch are silently discarded (stale traffic from a
+    /// collective aborted by fault recovery).
     pub fn try_recv<T: Send + 'static>(&self, src: usize, dst: usize) -> Result<Vec<T>, CommError> {
         if let Some(state) = self.fault_state() {
             state.step_rank(dst);
@@ -300,7 +413,77 @@ impl Fabric {
         let link = self.link(src, dst);
         let mut queue = link.lock();
         let payload = loop {
-            if let Some(payload) = queue.pop_front() {
+            if self.is_revoked() {
+                return Err(CommError::Revoked { rank: dst });
+            }
+            let current = self.current_epoch();
+            match queue.pop_front() {
+                Some((epoch, payload)) if epoch >= current => break payload,
+                Some(_) => continue, // stale epoch: discard, keep looking
+                None => {}
+            }
+            if !self.is_alive(src) {
+                return Err(CommError::PeerClosed { peer: src, me: dst });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout {
+                    src,
+                    dst,
+                    waited: timeout,
+                });
+            }
+            let (guard, _res) = link
+                .ready
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            queue = guard;
+        };
+        drop(queue);
+        payload
+            .downcast::<Vec<T>>()
+            .map(|b| *b)
+            .map_err(|_| CommError::TypeMismatch {
+                src,
+                dst,
+                expected: std::any::type_name::<T>(),
+            })
+    }
+
+    /// Control-plane send (failure detection / agreement traffic).
+    ///
+    /// Bypasses fault injection, revocation, epoch filtering, and the
+    /// traffic counters — modeling ULFM's assumption of a reliable
+    /// out-of-band detector network — but still refuses to target a dead
+    /// rank.
+    pub fn ctrl_send<T: Send + 'static>(
+        &self,
+        src: usize,
+        dst: usize,
+        data: Vec<T>,
+    ) -> Result<(), CommError> {
+        if !self.is_alive(dst) {
+            return Err(CommError::PeerClosed { peer: dst, me: src });
+        }
+        let link = &self.ctrl[dst * self.p + src];
+        link.lock().push_back((0, Box::new(data)));
+        link.ready.notify_all();
+        Ok(())
+    }
+
+    /// Control-plane receive (see [`Fabric::ctrl_send`]). Honors
+    /// liveness and the receive timeout; ignores revocation and epochs.
+    pub fn ctrl_recv<T: Send + 'static>(
+        &self,
+        src: usize,
+        dst: usize,
+    ) -> Result<Vec<T>, CommError> {
+        let timeout = self.recv_timeout();
+        let deadline = Instant::now() + timeout;
+        let link = &self.ctrl[dst * self.p + src];
+        let mut queue = link.lock();
+        let payload = loop {
+            if let Some((_, payload)) = queue.pop_front() {
                 break payload;
             }
             if !self.is_alive(src) {
@@ -371,6 +554,7 @@ fn corrupt_payload<T: Send + 'static>(data: &mut Vec<T>, mode: CorruptMode, h: u
                 let bit = (h >> 32) % 52; // mantissa bits: silent, plausible
                 v[i] = f64::from_bits(v[i].to_bits() ^ (1u64 << bit));
             }
+            CorruptMode::ExponentFlip => v[i] = exponent_flip_f64(v[i], h),
         }
     } else if let Some(v) = any.downcast_mut::<Vec<f32>>() {
         if v.is_empty() {
@@ -383,8 +567,40 @@ fn corrupt_payload<T: Send + 'static>(data: &mut Vec<T>, mode: CorruptMode, h: u
                 let bit = ((h >> 32) % 23) as u32;
                 v[i] = f32::from_bits(v[i].to_bits() ^ (1u32 << bit));
             }
+            CorruptMode::ExponentFlip => v[i] = exponent_flip_f32(v[i], h),
         }
     }
+}
+
+/// Flips one exponent bit of `x`, choosing the first candidate (in a
+/// hash-derived order) whose result is still finite. For any finite
+/// input at least one of the 11 exponent bits yields a finite value, so
+/// the corruption is *guaranteed finite*: a large-magnitude but
+/// perfectly plausible number that NaN/Inf screens provably cannot
+/// catch — exactly the class of silent error ABFT checksums exist for.
+fn exponent_flip_f64(x: f64, h: u64) -> f64 {
+    let start = ((h >> 32) % 11) as usize;
+    for t in 0..11u64 {
+        let bit = 52 + ((start as u64 + t) % 11);
+        let cand = f64::from_bits(x.to_bits() ^ (1u64 << bit));
+        if cand.is_finite() && cand != x {
+            return cand;
+        }
+    }
+    x
+}
+
+/// `f32` analog of [`exponent_flip_f64`] (8 exponent bits, 23..=30).
+fn exponent_flip_f32(x: f32, h: u64) -> f32 {
+    let start = ((h >> 32) % 8) as u32;
+    for t in 0..8u32 {
+        let bit = 23 + ((start + t) % 8);
+        let cand = f32::from_bits(x.to_bits() ^ (1u32 << bit));
+        if cand.is_finite() && cand != x {
+            return cand;
+        }
+    }
+    x
 }
 
 #[cfg(test)]
@@ -530,6 +746,107 @@ mod tests {
             got.iter().all(|x| x.is_finite()),
             "mantissa flips stay finite"
         );
+    }
+
+    #[test]
+    fn exponent_flip_is_finite_and_changes_one_value() {
+        let f = Fabric::new(2);
+        f.attach_fault_plan(FaultPlan::quiet(41).with_corruption(1.0, CorruptMode::ExponentFlip));
+        let orig = vec![1.5f64, -2.25, 3.75, 4.125];
+        f.send(0, 1, orig.clone());
+        let got: Vec<f64> = f.recv(0, 1);
+        let changed = got.iter().zip(&orig).filter(|(a, b)| a != b).count();
+        assert_eq!(changed, 1, "exactly one element corrupted");
+        assert!(
+            got.iter().all(|x| x.is_finite()),
+            "exponent flips must stay finite (so NaN screens miss them): {got:?}"
+        );
+        f.clear_fault_plan();
+    }
+
+    #[test]
+    fn exponent_flip_helper_is_total() {
+        // Every finite input (including zero and subnormals) must have a
+        // finite, different flip result.
+        for &x in &[0.0f64, -0.0, 1.0, -1.0, f64::MIN_POSITIVE, 1e308, -1e-300] {
+            for h in 0..11u64 {
+                let y = exponent_flip_f64(x, h << 32);
+                assert!(y.is_finite(), "x={x}, h={h} -> {y}");
+                assert!(y != x, "x={x}, h={h} did not change");
+            }
+        }
+        for &x in &[0.0f32, 1.0, -3.5, f32::MIN_POSITIVE, 1e38] {
+            for h in 0..8u64 {
+                let y = exponent_flip_f32(x, h << 32);
+                assert!(y.is_finite(), "x={x}, h={h} -> {y}");
+                assert!(y != x, "x={x}, h={h} did not change");
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_messages_keep_counters_consistent() {
+        let f = Fabric::new(2);
+        f.attach_fault_plan(FaultPlan::quiet(3).with_drops(1.0));
+        for _ in 0..5 {
+            f.send(0, 1, vec![1.0f64; 8]);
+        }
+        let stats = f.stats();
+        assert_eq!(stats.attempted.load(Ordering::Relaxed), 5);
+        assert_eq!(stats.dropped.load(Ordering::Relaxed), 5);
+        let (bytes, msgs) = stats.snapshot();
+        assert_eq!(msgs, 0, "dropped messages are not 'delivered'");
+        assert_eq!(bytes, 0, "dropped bytes are not counted as moved");
+        stats.check_invariant().expect("invariant under total drop");
+        f.clear_fault_plan();
+        f.send(0, 1, vec![1.0f64; 8]);
+        assert_eq!(stats.attempted.load(Ordering::Relaxed), 6);
+        assert_eq!(stats.messages.load(Ordering::Relaxed), 1);
+        stats
+            .check_invariant()
+            .expect("invariant after mixed traffic");
+    }
+
+    #[test]
+    fn revoke_fails_pending_and_future_data_ops() {
+        let f = Fabric::new(2);
+        f.set_recv_timeout(Duration::from_secs(30));
+        let f2 = Arc::clone(&f);
+        let start = Instant::now();
+        let h = std::thread::spawn(move || f2.try_recv::<f64>(0, 1));
+        std::thread::sleep(Duration::from_millis(30));
+        f.revoke();
+        let res = h.join().unwrap();
+        assert!(
+            matches!(res, Err(CommError::Revoked { rank: 1 })),
+            "{res:?}"
+        );
+        assert!(start.elapsed() < Duration::from_secs(5), "receiver hung");
+        assert!(matches!(
+            f.try_send(0, 1, vec![1.0f64]),
+            Err(CommError::Revoked { rank: 0 })
+        ));
+        // Control plane keeps working while revoked.
+        f.ctrl_send(0, 1, vec![7u64]).unwrap();
+        assert_eq!(f.ctrl_recv::<u64>(0, 1).unwrap(), vec![7]);
+        f.clear_revocation();
+        f.send(0, 1, vec![2.0f64]);
+        assert_eq!(f.recv::<f64>(0, 1), vec![2.0]);
+    }
+
+    #[test]
+    fn epoch_bump_discards_stale_messages() {
+        let f = Fabric::new(2);
+        f.set_recv_timeout(Duration::from_millis(20));
+        f.send(0, 1, vec![1.0f64]); // epoch 0
+        f.bump_epoch();
+        // The stale epoch-0 message must not satisfy this receive.
+        assert!(matches!(
+            f.try_recv::<f64>(0, 1),
+            Err(CommError::Timeout { .. })
+        ));
+        f.send(0, 1, vec![2.0f64]); // epoch 1
+        assert_eq!(f.recv::<f64>(0, 1), vec![2.0]);
     }
 
     #[test]

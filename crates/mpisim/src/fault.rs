@@ -24,7 +24,7 @@ use std::time::Duration;
 /// The `Display` text of each variant is the exact message the legacy
 /// panicking API raises, so `should_panic(expected = ...)` tests keep
 /// working against the thin wrappers.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum CommError {
     /// A blocked receive exceeded the fabric's receive timeout — the
     /// moral equivalent of a deadlock or a lost message.
@@ -70,6 +70,39 @@ pub enum CommError {
         /// Where the corruption was found.
         what: String,
     },
+    /// *Finite* silent data corruption caught by an ABFT checksum: the
+    /// post-allreduce verification of a checksum-augmented kernel found a
+    /// mismatch larger than the numerical tolerance, even though every
+    /// value is finite (so the NaN/Inf screens could not have fired).
+    SilentCorruption {
+        /// Tensor mode of the contraction whose checksum failed.
+        mode: usize,
+        /// Relative checksum mismatch observed.
+        rel_err: f64,
+    },
+    /// The communicator was revoked by a peer that observed a failure
+    /// (the ULFM `MPI_Comm_revoke` notice): every pending and future
+    /// operation on it aborts so all survivors reach the agreement
+    /// collective promptly instead of waiting out timeouts.
+    Revoked {
+        /// World rank observing the revocation.
+        rank: usize,
+    },
+    /// A payload arrived with the right element type but the wrong
+    /// element count — the signature of a dropped or misrouted message
+    /// desynchronizing a point-to-point channel (the *next* payload on
+    /// the channel was consumed in the lost one's place). Failure-class:
+    /// the recovery path's epoch bump quarantines the stale traffic.
+    SizeMismatch {
+        /// World rank of the sender.
+        src: usize,
+        /// World rank of the receiver.
+        dst: usize,
+        /// Element count the receiver expected.
+        expected: usize,
+        /// Element count actually received.
+        got: usize,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -97,6 +130,25 @@ impl fmt::Display for CommError {
             CommError::Corrupted { rank, what } => {
                 write!(f, "rank {rank} detected corrupted data: {what}")
             }
+            CommError::SilentCorruption { mode, rel_err } => write!(
+                f,
+                "ABFT checksum mismatch in mode {mode} \
+                 (silent data corruption, relative error {rel_err:.3e})"
+            ),
+            CommError::Revoked { rank } => write!(
+                f,
+                "communicator revoked for fault recovery (observed by rank {rank})"
+            ),
+            CommError::SizeMismatch {
+                src,
+                dst,
+                expected,
+                got,
+            } => write!(
+                f,
+                "rank {dst} received a wrong-sized payload from rank {src} \
+                 (lost or misrouted message?): got {got} elements, expected {expected}"
+            ),
         }
     }
 }
@@ -130,6 +182,11 @@ pub enum CorruptMode {
     /// Overwrite one element with NaN (detectable by the numerical
     /// guards at kernel boundaries).
     NanInject,
+    /// Flip one *exponent* bit of one element, with a guaranteed-finite
+    /// result: the value changes by a large power-of-two factor but stays
+    /// an ordinary float, so NaN/Inf screens provably cannot catch it —
+    /// only the ABFT checksums can.
+    ExponentFlip,
 }
 
 /// Deterministic, seeded fault-injection plan attachable to a fabric.

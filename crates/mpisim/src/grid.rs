@@ -13,7 +13,18 @@
 use crate::comm::Comm;
 use crate::fault::CommError;
 
+impl std::fmt::Debug for CartGrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CartGrid")
+            .field("dims", &self.dims)
+            .field("coords", &self.coords)
+            .field("rank", &self.comm.rank())
+            .finish_non_exhaustive()
+    }
+}
+
 /// A Cartesian view of a communicator.
+#[derive(Clone)]
 pub struct CartGrid {
     /// The full-grid communicator.
     pub comm: Comm,
@@ -124,6 +135,97 @@ impl CartGrid {
     }
 }
 
+/// Result of rebuilding a Cartesian grid over a shrunken communicator
+/// (see [`try_rebuild_grid`]). When the survivor count does not factor
+/// into a grid elementwise ≤ the original one, the excess survivors
+/// become **spares**: they hold no tensor block and sit out the
+/// computation, but keep their replicas warm for future failures.
+pub enum ShrinkOutcome {
+    /// This rank is part of the shrunken grid.
+    Active(Box<CartGrid>),
+    /// This rank is a spare; the communicator groups all spares.
+    Spare(Comm),
+}
+
+/// Chooses the dimensions of the shrunken grid: the elementwise-largest
+/// grid with `dims[k] <= orig[k]` for every mode and `Π dims <=
+/// survivors`, maximizing the rank count used; ties prefer shrinking
+/// the *last* modes first (lexicographically largest dims vector), so
+/// mode-0 data layout is disturbed least.
+///
+/// The elementwise bound is what lets recovery match the fault-free
+/// run: truncation ranks are floored at the *original* grid dimensions,
+/// and any grid ≤ the original keeps those floors valid, so the
+/// rank-adaptation trajectory is unchanged by the shrink.
+pub fn choose_shrunk_dims(orig: &[usize], survivors: usize) -> Vec<usize> {
+    assert!(survivors > 0, "no survivors to build a grid from");
+    let mut best: Vec<usize> = vec![1; orig.len()];
+    let mut best_product = 1usize;
+    let mut cur = vec![1usize; orig.len()];
+    fn rec(
+        orig: &[usize],
+        survivors: usize,
+        mode: usize,
+        product: usize,
+        cur: &mut Vec<usize>,
+        best: &mut Vec<usize>,
+        best_product: &mut usize,
+    ) {
+        if mode == orig.len() {
+            if product > *best_product || (product == *best_product && cur[..] > best[..]) {
+                *best_product = product;
+                best.copy_from_slice(cur);
+            }
+            return;
+        }
+        for d in 1..=orig[mode] {
+            if product * d > survivors {
+                break;
+            }
+            cur[mode] = d;
+            rec(
+                orig,
+                survivors,
+                mode + 1,
+                product * d,
+                cur,
+                best,
+                best_product,
+            );
+        }
+        cur[mode] = 1;
+    }
+    rec(
+        orig,
+        survivors,
+        0,
+        1,
+        &mut cur,
+        &mut best,
+        &mut best_product,
+    );
+    best
+}
+
+/// Rebuilds the Cartesian grid over a shrunken communicator: picks the
+/// shrunken dimensions via [`choose_shrunk_dims`], splits `comm` into an
+/// active part (the first `Π dims` ranks, which form the new grid with
+/// remapped per-mode sub-communicators) and a spare part (the rest).
+/// Collective over `comm` — every survivor must call it.
+pub fn try_rebuild_grid(comm: Comm, orig_dims: &[usize]) -> Result<ShrinkOutcome, CommError> {
+    let dims = choose_shrunk_dims(orig_dims, comm.size());
+    let q: usize = dims.iter().product();
+    let active = comm.rank() < q;
+    let part = comm.try_split(usize::from(!active), comm.rank())?;
+    if active {
+        Ok(ShrinkOutcome::Active(Box::new(CartGrid::try_new(
+            part, &dims,
+        )?)))
+    } else {
+        Ok(ShrinkOutcome::Spare(part))
+    }
+}
+
 /// Enumerates every factorization of `p` into `d` grid dimensions
 /// (used by the experiment harness to search over grids, as the paper
 /// "test[s] all algorithms on a variety of grids … and report[s] the
@@ -203,6 +305,51 @@ mod tests {
             assert_eq!(g.iter().product::<usize>(), 8);
         }
         assert!(grids.contains(&vec![2, 2, 2]));
+    }
+
+    #[test]
+    fn shrunk_dims_prefer_late_modes_and_respect_bounds() {
+        // 7 survivors of [2,2,2]: best product ≤ 7 with dims ≤ [2,2,2]
+        // is 4; ties resolved toward keeping early modes intact.
+        assert_eq!(choose_shrunk_dims(&[2, 2, 2], 7), vec![2, 2, 1]);
+        assert_eq!(choose_shrunk_dims(&[2, 2, 2], 8), vec![2, 2, 2]);
+        assert_eq!(choose_shrunk_dims(&[2, 2, 2], 6), vec![2, 2, 1]);
+        assert_eq!(choose_shrunk_dims(&[2, 2, 2], 3), vec![2, 1, 1]);
+        assert_eq!(choose_shrunk_dims(&[4, 2], 6), vec![3, 2]);
+        assert_eq!(choose_shrunk_dims(&[4, 2], 7), vec![3, 2]);
+        assert_eq!(choose_shrunk_dims(&[3], 2), vec![2]);
+        assert_eq!(choose_shrunk_dims(&[2, 2], 1), vec![1, 1]);
+        // Survivors beyond the original grid never grow a mode.
+        assert_eq!(choose_shrunk_dims(&[2, 2], 100), vec![2, 2]);
+    }
+
+    #[test]
+    fn rebuild_grid_splits_active_and_spares() {
+        // 7 ranks rebuilding an original [2,2,2] grid: 4 active on
+        // [2,2,1], 3 spares.
+        let out = Universe::launch(7, |c| {
+            match crate::grid::try_rebuild_grid(c, &[2, 2, 2]).unwrap() {
+                ShrinkOutcome::Active(g) => {
+                    // The active grid must be fully functional: fiber
+                    // communicators remapped, collectives working.
+                    let s = g.mode_comm(0).allreduce(vec![1u64], crate::comm::sum_op)[0];
+                    (true, g.dims().to_vec(), g.comm.size(), s)
+                }
+                ShrinkOutcome::Spare(s) => (false, Vec::new(), s.size(), 0),
+            }
+        });
+        let active: Vec<_> = out.iter().filter(|t| t.0).collect();
+        let spares: Vec<_> = out.iter().filter(|t| !t.0).collect();
+        assert_eq!(active.len(), 4);
+        assert_eq!(spares.len(), 3);
+        for t in &active {
+            assert_eq!(t.1, vec![2, 2, 1]);
+            assert_eq!(t.2, 4);
+            assert_eq!(t.3, 2, "mode-0 fiber has 2 ranks");
+        }
+        for t in &spares {
+            assert_eq!(t.2, 3, "spares share a communicator");
+        }
     }
 
     #[test]

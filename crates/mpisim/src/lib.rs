@@ -40,7 +40,7 @@ pub mod universe;
 pub use comm::{max_op, sum_op, Comm};
 pub use fabric::{Fabric, TrafficStats, RECV_TIMEOUT, RECV_TIMEOUT_ENV};
 pub use fault::{CommError, CorruptMode, FaultPlan, RankFailure};
-pub use grid::{enumerate_grids, CartGrid};
+pub use grid::{choose_shrunk_dims, enumerate_grids, try_rebuild_grid, CartGrid, ShrinkOutcome};
 pub use universe::Universe;
 
 #[cfg(test)]
@@ -257,6 +257,70 @@ mod collective_tests {
         });
         assert_eq!(out[0], vec![6.5]);
         assert_eq!(out[1], vec![3.25]);
+    }
+
+    #[test]
+    fn agree_and_shrink_survive_a_crash() {
+        use std::time::Duration;
+        // 8 ranks; rank 2 dies early. Survivors revoke, agree on the
+        // surviving set, shrink, and keep computing on 7 ranks — no
+        // restart, no hang.
+        let u = Universe::with_fault_plan(8, FaultPlan::quiet(11).with_crash(2, 4));
+        u.set_recv_timeout(Duration::from_secs(10));
+        let out = u.try_run(|c| {
+            // Phase 1: collectives until the failure surfaces.
+            loop {
+                if c.try_allreduce(vec![1u64], sum_op).is_err() {
+                    break;
+                }
+            }
+            c.revoke();
+            let survivors = c.try_agree().expect("agreement must succeed");
+            let comm = c.shrink(&survivors).expect("caller is a survivor");
+            // Phase 2: aligned post-recovery collectives on the shrunken
+            // communicator (stale pre-recovery traffic is epoch-filtered).
+            let mut last = 0;
+            for _ in 0..3 {
+                last = comm
+                    .try_allreduce(vec![1u64], sum_op)
+                    .expect("post-recovery collective")[0];
+            }
+            (survivors, comm.size(), last)
+        });
+        let expected_survivors: Vec<usize> = (0..8).filter(|&r| r != 2).collect();
+        for (r, res) in out.iter().enumerate() {
+            if r == 2 {
+                assert!(res.is_err(), "rank 2 must have crashed");
+            } else {
+                let (survivors, size, last) = res.as_ref().unwrap();
+                assert_eq!(survivors, &expected_survivors, "rank {r} survivor view");
+                assert_eq!(*size, 7);
+                assert_eq!(*last, 7, "rank {r} post-recovery allreduce");
+            }
+        }
+    }
+
+    #[test]
+    fn counters_stay_consistent_under_injected_drop() {
+        use std::time::Duration;
+        // Regression (satellite): a collective aborting mid-fanout due to
+        // dropped messages must leave attempted == delivered + dropped.
+        let u = Universe::with_fault_plan(4, FaultPlan::quiet(5).with_drops(0.4));
+        u.set_recv_timeout(Duration::from_millis(50));
+        let _ = u.try_run(|c| {
+            for _ in 0..4 {
+                let _ = c.try_allreduce(vec![1.0f64; 32], sum_op);
+                let _ = c.try_allgatherv(vec![c.rank() as u64; 8]);
+            }
+        });
+        let stats = u.traffic();
+        let attempted = stats.attempted.load(std::sync::atomic::Ordering::Relaxed);
+        let dropped = stats.dropped.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(attempted > 0, "collectives attempted traffic");
+        assert!(dropped > 0, "drop plan must have fired");
+        stats
+            .check_invariant()
+            .unwrap_or_else(|(a, d, x)| panic!("attempted {a} != delivered {d} + dropped {x}"));
     }
 
     #[test]

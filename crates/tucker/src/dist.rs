@@ -19,10 +19,13 @@ use crate::ra::RaConfig;
 use crate::sthosvd::SthosvdTruncation;
 use crate::timings::{Phase, Timings};
 use crate::tucker_tensor::TuckerTensor;
-use ratucker_dist::{dist_contract, dist_gram, dist_multi_ttm_all_but, dist_ttm, DistTensor};
+use ratucker_dist::{
+    try_dist_contract, try_dist_gram_checked, try_dist_ttm_checked, AbftMode, DistTensor,
+};
 use ratucker_linalg::evd::rank_for_error;
 use ratucker_linalg::qr::qrcp;
 use ratucker_mpi::CartGrid;
+use ratucker_mpi::CommError;
 use ratucker_tensor::io::IoScalar;
 use ratucker_tensor::matrix::Matrix;
 use ratucker_tensor::random::{normal_matrix, orthonormalize_columns};
@@ -68,53 +71,167 @@ pub struct DistRunResult<T: Scalar> {
     pub sweep_ranks: Vec<Vec<usize>>,
 }
 
-/// Distributed LLSV via Gram + redundant EVD.
-fn dist_llsv_gram<T: Scalar>(
+/// ABFT bookkeeping for a resilient run: how many checksum mismatches
+/// the checked kernels reported and how many contractions were
+/// recomputed in response ([`AbftMode::Recover`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AbftStats {
+    /// Checksum mismatches detected.
+    pub detected: usize,
+    /// Poisoned contractions recomputed (always `<= detected`).
+    pub recomputed: usize,
+}
+
+/// Resilience context threaded through the fallible sweep pipeline: the
+/// ABFT policy plus the per-run detection counters.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SweepCtx {
+    /// Checksum policy for the distributed kernels.
+    pub abft: AbftMode,
+    /// Detection / recomputation counters.
+    pub stats: AbftStats,
+}
+
+impl SweepCtx {
+    /// Context with checksums disabled (the legacy panicking drivers).
+    pub fn off() -> Self {
+        SweepCtx::new(AbftMode::Off)
+    }
+
+    /// Context with the given checksum policy.
+    pub fn new(abft: AbftMode) -> Self {
+        SweepCtx {
+            abft,
+            stats: AbftStats::default(),
+        }
+    }
+}
+
+/// How many times one poisoned contraction may be recomputed before the
+/// mismatch is treated as persistent (a sticky hardware fault rather
+/// than a transient bit flip) and surfaced to the caller.
+const ABFT_MAX_ATTEMPTS: usize = 3;
+
+/// Runs a checked collective kernel under the context's ABFT policy:
+/// on a checksum mismatch in [`AbftMode::Recover`], recompute (the
+/// verdict is collective — every rank of the grid reaches the same
+/// decision, so the retry stays a well-formed collective); in
+/// [`AbftMode::Detect`], count it and surface the error.
+fn with_abft_retry<T>(
+    ctx: &mut SweepCtx,
+    mut op: impl FnMut() -> Result<T, CommError>,
+) -> Result<T, CommError> {
+    let mut attempt = 0;
+    loop {
+        match op() {
+            Err(e @ CommError::SilentCorruption { .. }) => {
+                ctx.stats.detected += 1;
+                if ctx.abft == AbftMode::Recover && attempt + 1 < ABFT_MAX_ATTEMPTS {
+                    ctx.stats.recomputed += 1;
+                    attempt += 1;
+                    continue;
+                }
+                return Err(e);
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Checked TTM under the context's ABFT retry policy.
+fn checked_ttm<T: Scalar>(
+    grid: &CartGrid,
+    x: &DistTensor<T>,
+    mode: usize,
+    m: &Matrix<T>,
+    trans: Transpose,
+    ctx: &mut SweepCtx,
+) -> Result<DistTensor<T>, CommError> {
+    let abft = ctx.abft;
+    with_abft_retry(ctx, || try_dist_ttm_checked(grid, x, mode, m, trans, abft))
+}
+
+/// Checked multi-TTM (all factors transposed, skipping `skip_mode`)
+/// under the context's ABFT retry policy.
+fn checked_multi_ttm_all_but<T: Scalar>(
+    grid: &CartGrid,
+    x: &DistTensor<T>,
+    factors: &[Matrix<T>],
+    skip_mode: usize,
+    ctx: &mut SweepCtx,
+) -> Result<DistTensor<T>, CommError> {
+    let mut cur: Option<DistTensor<T>> = None;
+    for (k, u) in factors.iter().enumerate() {
+        if k == skip_mode {
+            continue;
+        }
+        let next = match &cur {
+            None => checked_ttm(grid, x, k, u, Transpose::Yes, ctx)?,
+            Some(t) => checked_ttm(grid, t, k, u, Transpose::Yes, ctx)?,
+        };
+        cur = Some(next);
+    }
+    Ok(cur.unwrap_or_else(|| x.clone()))
+}
+
+/// Distributed LLSV via Gram + redundant EVD (fallible).
+fn try_dist_llsv_gram<T: Scalar>(
     grid: &CartGrid,
     y: &DistTensor<T>,
     mode: usize,
     trunc: Truncation,
     timings: &mut Timings,
-) -> Matrix<T> {
-    let g = timings.time(Phase::Gram, || dist_gram(grid, y, mode));
+    ctx: &mut SweepCtx,
+) -> Result<Matrix<T>, CommError> {
+    let abft = ctx.abft;
+    let g = with_abft_retry(ctx, || {
+        timings.time(Phase::Gram, || try_dist_gram_checked(grid, y, mode, abft))
+    })?;
     let evd = timings.time(Phase::Evd, || robust_sym_evd(&g));
     let r = match trunc {
         Truncation::Rank(r) => r.min(evd.values.len()),
         Truncation::ErrorSq(t) => rank_for_error(&evd.values, t),
     };
-    evd.vectors.leading_cols(r)
+    Ok(evd.vectors.leading_cols(r))
 }
 
-/// Distributed LLSV via subspace iteration (Alg. 5 over the grid):
-/// distributed TTM for the core unfolding, core allgather, distributed
-/// contraction with sum-reduce+broadcast, redundant QRCP. `steps` repeats
-/// the iteration (the paper uses 1).
-fn dist_llsv_subspace<T: Scalar>(
+/// Distributed LLSV via subspace iteration (Alg. 5 over the grid,
+/// fallible): distributed TTM for the core unfolding, core allgather,
+/// distributed contraction with sum-reduce+broadcast, redundant QRCP.
+/// `steps` repeats the iteration (the paper uses 1).
+fn try_dist_llsv_subspace<T: Scalar>(
     grid: &CartGrid,
     y: &DistTensor<T>,
     mode: usize,
     u_prev: &Matrix<T>,
     steps: usize,
     timings: &mut Timings,
-) -> Matrix<T> {
+    ctx: &mut SweepCtx,
+) -> Result<Matrix<T>, CommError> {
     let mut u = u_prev.clone();
     for _ in 0..steps.max(1) {
         // Both Alg. 5 multiplies are charged to the Contract ("SI") phase,
         // matching the sequential accounting.
-        let g_core = timings.time(Phase::Contract, || {
-            dist_ttm(grid, y, mode, &u, Transpose::Yes)
-        });
-        let z = timings.time(Phase::Contract, || {
-            let core_repl = g_core.gather_replicated(grid);
-            dist_contract(grid, y, &core_repl, mode)
-        });
+        let g_core = {
+            let abft = ctx.abft;
+            with_abft_retry(ctx, || {
+                timings.time(Phase::Contract, || {
+                    try_dist_ttm_checked(grid, y, mode, &u, Transpose::Yes, abft)
+                })
+            })?
+        };
+        let z = timings.time(Phase::Contract, || -> Result<_, CommError> {
+            let core_repl = g_core.try_gather_replicated(grid)?;
+            try_dist_contract(grid, y, &core_repl, mode)
+        })?;
         let f = timings.time(Phase::Qr, || qrcp(&z));
         u = f.q;
     }
-    u
+    Ok(u)
 }
 
-fn dist_update_factor<T: Scalar>(
+#[allow(clippy::too_many_arguments)]
+fn try_dist_update_factor<T: Scalar>(
     grid: &CartGrid,
     y: &DistTensor<T>,
     mode: usize,
@@ -122,13 +239,17 @@ fn dist_update_factor<T: Scalar>(
     config: &HooiConfig,
     factors: &mut [Matrix<T>],
     timings: &mut Timings,
-) {
+    ctx: &mut SweepCtx,
+) -> Result<(), CommError> {
     factors[mode] = match config.llsv {
-        LlsvStrategy::GramEvd => dist_llsv_gram(grid, y, mode, Truncation::Rank(rank), timings),
+        LlsvStrategy::GramEvd => {
+            try_dist_llsv_gram(grid, y, mode, Truncation::Rank(rank), timings, ctx)?
+        }
         LlsvStrategy::SubspaceIter => {
-            dist_llsv_subspace(grid, y, mode, &factors[mode], config.si_steps, timings)
+            try_dist_llsv_subspace(grid, y, mode, &factors[mode], config.si_steps, timings, ctx)?
         }
     };
+    Ok(())
 }
 
 /// Distributed STHOSVD (Alg. 1). Collective.
@@ -140,6 +261,7 @@ pub fn dist_sthosvd<T: Scalar>(
     let d = x.global_shape().order();
     let x_norm_sq = x.squared_norm(grid);
     let mut timings = Timings::new();
+    let mut ctx = SweepCtx::off();
     let mut y = x.clone();
     let mut factors = Vec::with_capacity(d);
     for j in 0..d {
@@ -149,8 +271,13 @@ pub fn dist_sthosvd<T: Scalar>(
                 Truncation::ErrorSq(eps * eps * x_norm_sq / d as f64)
             }
         };
-        let u = dist_llsv_gram(grid, &y, j, mode_trunc, &mut timings);
-        y = timings.time(Phase::Ttm, || dist_ttm(grid, &y, j, &u, Transpose::Yes));
+        let u = try_dist_llsv_gram(grid, &y, j, mode_trunc, &mut timings, &mut ctx)
+            .unwrap_or_else(|e| panic!("{e}"));
+        y = timings
+            .time(Phase::Ttm, || {
+                checked_ttm(grid, &y, j, &u, Transpose::Yes, &mut ctx)
+            })
+            .unwrap_or_else(|e| panic!("{e}"));
         factors.push(u);
     }
     let core_norm_sq = y.squared_norm(grid);
@@ -164,42 +291,53 @@ pub fn dist_sthosvd<T: Scalar>(
     }
 }
 
-/// One distributed HOOI sweep; returns the new core.
-fn dist_sweep<T: Scalar>(
+/// One distributed HOOI sweep (fallible); returns the new core.
+///
+/// All communication goes through the checked kernels under the
+/// context's ABFT policy; any [`CommError`] (peer failure, timeout,
+/// revocation, unrecovered checksum mismatch) aborts the sweep with the
+/// factors possibly half-updated — callers that intend to retry must
+/// snapshot `factors` first (see `crate::recover`).
+pub(crate) fn try_dist_sweep<T: Scalar>(
     grid: &CartGrid,
     x: &DistTensor<T>,
     factors: &mut [Matrix<T>],
     ranks: &[usize],
     config: &HooiConfig,
     timings: &mut Timings,
-) -> DistTensor<T> {
+    ctx: &mut SweepCtx,
+) -> Result<DistTensor<T>, CommError> {
     match config.ttm {
         TtmStrategy::Direct => {
             let d = x.global_shape().order();
             let mut core = None;
             for j in 0..d {
-                let y = timings.time(Phase::Ttm, || dist_multi_ttm_all_but(grid, x, factors, j));
-                dist_update_factor(grid, &y, j, ranks[j], config, factors, timings);
+                let y = timings.time(Phase::Ttm, || {
+                    checked_multi_ttm_all_but(grid, x, factors, j, ctx)
+                })?;
+                try_dist_update_factor(grid, &y, j, ranks[j], config, factors, timings, ctx)?;
                 if j == d - 1 {
                     core = Some(timings.time(Phase::Ttm, || {
-                        dist_ttm(grid, &y, j, &factors[j], Transpose::Yes)
-                    }));
+                        checked_ttm(grid, &y, j, &factors[j], Transpose::Yes, ctx)
+                    })?);
                 }
             }
-            core.expect("tensor has at least one mode")
+            Ok(core.expect("tensor has at least one mode"))
         }
         TtmStrategy::DimTree => {
             let d = x.global_shape().order();
             let modes: Vec<usize> = (0..d).collect();
             let mut core = None;
-            dist_dimtree_rec(grid, x, &modes, factors, ranks, config, timings, &mut core);
-            core.expect("mode d-1 leaf must set the core")
+            try_dist_dimtree_rec(
+                grid, x, &modes, factors, ranks, config, timings, &mut core, ctx,
+            )?;
+            Ok(core.expect("mode d-1 leaf must set the core"))
         }
     }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn dist_dimtree_rec<T: Scalar>(
+fn try_dist_dimtree_rec<T: Scalar>(
     grid: &CartGrid,
     x: &DistTensor<T>,
     modes: &[usize],
@@ -208,47 +346,48 @@ fn dist_dimtree_rec<T: Scalar>(
     config: &HooiConfig,
     timings: &mut Timings,
     core: &mut Option<DistTensor<T>>,
-) {
+    ctx: &mut SweepCtx,
+) -> Result<(), CommError> {
     let d = factors.len();
     if modes.len() == 1 {
         let m = modes[0];
-        dist_update_factor(grid, x, m, ranks[m], config, factors, timings);
+        try_dist_update_factor(grid, x, m, ranks[m], config, factors, timings, ctx)?;
         if m == d - 1 {
             *core = Some(timings.time(Phase::Ttm, || {
-                dist_ttm(grid, x, m, &factors[m], Transpose::Yes)
-            }));
+                checked_ttm(grid, x, m, &factors[m], Transpose::Yes, ctx)
+            })?);
         }
-        return;
+        return Ok(());
     }
     let mid = modes.len() / 2;
     let (lo, hi) = modes.split_at(mid);
 
-    let x_hi = timings.time(Phase::Ttm, || {
+    let x_hi = timings.time(Phase::Ttm, || -> Result<_, CommError> {
         let mut cur: Option<DistTensor<T>> = None;
         for &m in hi.iter().rev() {
             let next = match &cur {
-                None => dist_ttm(grid, x, m, &factors[m], Transpose::Yes),
-                Some(t) => dist_ttm(grid, t, m, &factors[m], Transpose::Yes),
+                None => checked_ttm(grid, x, m, &factors[m], Transpose::Yes, ctx)?,
+                Some(t) => checked_ttm(grid, t, m, &factors[m], Transpose::Yes, ctx)?,
             };
             cur = Some(next);
         }
-        cur.expect("hi half is nonempty")
-    });
-    dist_dimtree_rec(grid, &x_hi, lo, factors, ranks, config, timings, core);
+        Ok(cur.expect("hi half is nonempty"))
+    })?;
+    try_dist_dimtree_rec(grid, &x_hi, lo, factors, ranks, config, timings, core, ctx)?;
     drop(x_hi);
 
-    let x_lo = timings.time(Phase::Ttm, || {
+    let x_lo = timings.time(Phase::Ttm, || -> Result<_, CommError> {
         let mut cur: Option<DistTensor<T>> = None;
         for &m in lo.iter() {
             let next = match &cur {
-                None => dist_ttm(grid, x, m, &factors[m], Transpose::Yes),
-                Some(t) => dist_ttm(grid, t, m, &factors[m], Transpose::Yes),
+                None => checked_ttm(grid, x, m, &factors[m], Transpose::Yes, ctx)?,
+                Some(t) => checked_ttm(grid, t, m, &factors[m], Transpose::Yes, ctx)?,
             };
             cur = Some(next);
         }
-        cur.expect("lo half is nonempty")
-    });
-    dist_dimtree_rec(grid, &x_lo, hi, factors, ranks, config, timings, core);
+        Ok(cur.expect("lo half is nonempty"))
+    })?;
+    try_dist_dimtree_rec(grid, &x_lo, hi, factors, ranks, config, timings, core, ctx)
 }
 
 /// Distributed fixed-rank HOOI (any variant). Collective.
@@ -263,12 +402,14 @@ pub fn dist_hooi<T: Scalar>(
     // Same seed on every rank → identical replicated factors.
     let mut factors = crate::hooi::random_init::<T>(&dims, ranks, config.seed);
     let mut timings = Timings::new();
+    let mut ctx = SweepCtx::off();
     let mut sweep_errors = Vec::new();
     let mut core = None;
     let mut prev_err = f64::INFINITY;
 
     for _ in 0..config.max_iters {
-        let c = dist_sweep(grid, x, &mut factors, ranks, config, &mut timings);
+        let c = try_dist_sweep(grid, x, &mut factors, ranks, config, &mut timings, &mut ctx)
+            .unwrap_or_else(|e| panic!("{e}"));
         let g = c.squared_norm(grid);
         let rel_error = ((x_norm_sq - g).max(0.0) / x_norm_sq).sqrt();
         core = Some(c);
@@ -382,7 +523,16 @@ fn dist_ra_hooi_impl<T: Scalar>(
             ranks: ranks.clone(),
             factors: factors.clone(),
         });
-        let core = dist_sweep(grid, x, &mut factors, &ranks, &config.inner, &mut timings);
+        let core = try_dist_sweep(
+            grid,
+            x,
+            &mut factors,
+            &ranks,
+            &config.inner,
+            &mut timings,
+            &mut SweepCtx::off(),
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let core_norm_sq = core.squared_norm(grid);
         let met_now = core_norm_sq >= threshold;
 

@@ -58,6 +58,7 @@ pub mod dist;
 pub mod hooi;
 pub mod llsv;
 pub mod ra;
+pub mod recover;
 pub mod sthosvd;
 pub mod synthetic;
 pub mod timings;
@@ -65,11 +66,13 @@ pub mod tucker_tensor;
 
 pub use checkpoint::{Checkpoint, CheckpointPolicy};
 pub use core_analysis::{analyze_core, analyze_core_greedy, tucker_storage, CoreAnalysis};
+pub use dist::AbftStats;
 pub use hooi::{
     dimtree_schedule, hooi, hooi_with_init, DimTreeEvent, HooiConfig, HooiResult, LlsvStrategy,
     TtmStrategy,
 };
 pub use ra::{ra_hooi, ra_hooi_checkpointed, RaConfig, RaResult};
+pub use recover::{dist_ra_hooi_resilient, RecoveryReport, ResilienceConfig, ResilientOutcome};
 pub use sthosvd::{hosvd, sthosvd, sthosvd_randomized, SthosvdResult, SthosvdTruncation};
 pub use synthetic::SyntheticSpec;
 pub use timings::{Phase, Timings, ALL_PHASES};

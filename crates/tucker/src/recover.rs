@@ -1,0 +1,738 @@
+//! Online shrink-and-continue recovery for distributed RA-HOSI-DT.
+//!
+//! [`dist_ra_hooi_resilient`] runs the rank-adaptive HOOI loop with the
+//! full fault-tolerance stack from the lower layers wired together:
+//!
+//! 1. **ABFT checksums** ([`ratucker_dist::AbftMode`]) on every Gram
+//!    and TTM collective; in `Recover` mode a poisoned contraction is
+//!    recomputed in place (the verdict is collective, so all ranks
+//!    retry together).
+//! 2. **Diskless buddy replication**: at every sweep boundary each rank
+//!    pushes its local block to its ring successors
+//!    ([`ratucker_dist::try_refresh_buddies`]), so a dead rank's block
+//!    survives in a peer's memory.
+//! 3. **Shrink and continue**: when a sweep aborts with a failure-class
+//!    error (peer closed, timeout, revoked), the survivors revoke the
+//!    communicator, run ULFM-style agreement, re-block the global
+//!    tensor onto a shrunken grid from their own blocks plus the dead
+//!    ranks' replicas, restore the pre-sweep factors (replicated, so a
+//!    local snapshot suffices), re-derive the sweep RNG from
+//!    `(seed, sweep)`, and retry the sweep — **no disk restart**.
+//! 4. **RTCK fallback**: only when a rank *and* all of its buddies die
+//!    between two refreshes does the run fall back to the disk
+//!    checkpoint ([`ResilientOutcome::FallbackToCheckpoint`]); the
+//!    caller then restarts from
+//!    [`crate::dist::dist_ra_hooi_checkpointed`] with
+//!    `policy.resuming()`.
+//!
+//! The recovery preserves the *decision trajectory* of the fault-free
+//! run: `‖X‖²` is computed once up front, redistribution is bit-exact,
+//! the expansion RNG is pure in `(seed, sweep)`, and truncation ranks
+//! are floored at the **original** grid dimensions (any shrunken grid
+//! has elementwise-smaller dims, so the floors remain feasible). The
+//! only divergence from the fault-free run is reduction order on the
+//! new grid — O(ε) roundoff, which the chaos suite bounds at 1e-10.
+
+use crate::checkpoint::{
+    expansion_rng, Checkpoint, CheckpointPolicy, FileCheckpointer, RaCheckpointer,
+};
+use crate::core_analysis::analyze_core;
+use crate::dist::{try_dist_sweep, AbftStats, DistRunResult, DistTucker, SweepCtx};
+use crate::ra::RaConfig;
+use crate::timings::{Phase, Timings};
+use crate::tucker_tensor::TuckerTensor;
+use ratucker_dist::{
+    restorer_for, try_redistribute, try_refresh_buddies, AbftMode, BlockPiece, BuddyStore,
+    DistTensor, TensorDist,
+};
+use ratucker_mpi::{choose_shrunk_dims, try_rebuild_grid, CartGrid, CommError, ShrinkOutcome};
+use ratucker_tensor::io::IoScalar;
+use ratucker_tensor::matrix::Matrix;
+use ratucker_tensor::random::{normal_matrix, orthonormalize_columns};
+use ratucker_tensor::scalar::Scalar;
+
+/// Configuration of the online-recovery stack.
+#[derive(Clone, Debug)]
+pub struct ResilienceConfig {
+    /// Replication degree `k`: each rank's block is mirrored on its `k`
+    /// ring successors. `0` disables diskless recovery (every failure
+    /// falls back to the checkpoint). The CLI flag is
+    /// `--buddy-replication <k>`.
+    pub buddy_degree: usize,
+    /// Checksum policy for the distributed kernels. The CLI flag is
+    /// `--abft {off,detect,recover}`.
+    pub abft: AbftMode,
+    /// Optional RTCK checkpoint policy: sweeps are checkpointed as in
+    /// [`crate::dist::dist_ra_hooi_checkpointed`] so the disk fallback
+    /// has something to resume from.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Upper bound on recovery rounds (shrinks + transient retries)
+    /// before the run gives up and surfaces the triggering error.
+    pub max_recoveries: usize,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            buddy_degree: 1,
+            abft: AbftMode::Off,
+            checkpoint: None,
+            max_recoveries: 4,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Sets the replication degree.
+    pub fn with_buddy_degree(mut self, k: usize) -> Self {
+        self.buddy_degree = k;
+        self
+    }
+
+    /// Sets the ABFT policy.
+    pub fn with_abft(mut self, abft: AbftMode) -> Self {
+        self.abft = abft;
+        self
+    }
+
+    /// Attaches an RTCK checkpoint policy.
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+}
+
+/// What the fault-tolerance stack did during a completed run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Recovery rounds taken (grid shrinks plus same-topology retries
+    /// after transient faults).
+    pub recoveries: usize,
+    /// Grid-communicator ranks (of the grid current at each failure)
+    /// that were declared dead and restored from buddy replicas.
+    pub restored_ranks: Vec<usize>,
+    /// Dimensions of the grid the run finished on.
+    pub final_grid: Vec<usize>,
+    /// ABFT detection / recomputation counters.
+    pub abft: AbftStats,
+}
+
+/// Per-rank outcome of a resilient run.
+#[derive(Clone, Debug)]
+pub enum ResilientOutcome<T: Scalar> {
+    /// The run finished on this rank's (possibly shrunken) grid.
+    Completed {
+        /// The decomposition and per-sweep history.
+        result: Box<DistRunResult<T>>,
+        /// The grid the run finished on (needed to gather the core).
+        grid: Box<CartGrid>,
+        /// What the fault-tolerance stack did along the way.
+        report: RecoveryReport,
+    },
+    /// This rank survived a failure but did not fit the shrunken grid;
+    /// it contributed its pieces to the redistribution and exited.
+    Spare {
+        /// What the stack had done up to the exit.
+        report: RecoveryReport,
+    },
+    /// A dead rank's block is unrecoverable in memory (the rank and all
+    /// of its buddies died between two refreshes, or replication is
+    /// disabled): the caller must restart from the disk checkpoint.
+    FallbackToCheckpoint {
+        /// Grid-communicator ranks declared dead at the fatal failure.
+        dead: Vec<usize>,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// What one recovery round decided.
+enum Recovery<T: Scalar> {
+    /// Same topology (every member survived — the fault was transient);
+    /// retry the sweep.
+    Retry,
+    /// Continue on a shrunken grid with the re-blocked tensor.
+    Continue {
+        grid: Box<CartGrid>,
+        x: DistTensor<T>,
+        restored: Vec<usize>,
+    },
+    /// This rank is a spare on the shrunken grid: pieces contributed,
+    /// no block owned.
+    Spare,
+    /// Online recovery is impossible; fall back to the checkpoint.
+    Fallback { dead: Vec<usize>, reason: String },
+}
+
+/// Is this error the failure class that triggers shrink-and-continue
+/// (as opposed to data corruption, which has its own policy)?
+fn is_failure(e: &CommError) -> bool {
+    matches!(
+        e,
+        CommError::PeerClosed { .. }
+            | CommError::Timeout { .. }
+            | CommError::Revoked { .. }
+            | CommError::SizeMismatch { .. }
+    )
+}
+
+/// One recovery round: revoke → agree → (if members died) advertise
+/// replica holdings, designate restorers, shrink, re-block. Collective
+/// over the current grid's survivors. Errors during recovery itself
+/// (e.g. another rank dying mid-redistribution) surface as `Err` and
+/// the driver retries the whole round against the new failure.
+fn try_recover<T: Scalar>(
+    grid: &CartGrid,
+    x: &DistTensor<T>,
+    buddies: &BuddyStore<T>,
+    degree: usize,
+) -> Result<Recovery<T>, CommError> {
+    grid.comm.revoke();
+    let survivors = grid.comm.try_agree()?;
+    let p = grid.comm.size();
+    let me = grid.comm.rank();
+    let in_surv = |r: usize| survivors.contains(&grid.comm.world_rank_of(r));
+    let dead: Vec<usize> = (0..p).filter(|&r| !in_surv(r)).collect();
+    if dead.is_empty() {
+        // Transient fault (dropped message, spurious timeout): the
+        // epoch bump in `try_agree` has already quarantined stale
+        // traffic; retry on the same topology.
+        return Ok(Recovery::Retry);
+    }
+    if degree == 0 {
+        return Ok(Recovery::Fallback {
+            dead,
+            reason: "buddy replication disabled (--buddy-replication 0)".into(),
+        });
+    }
+
+    // The dense survivor communicator; same member order everywhere.
+    let newcomm = grid
+        .comm
+        .shrink(&survivors)
+        .expect("an agreed survivor is in its own survivor list");
+
+    // Advertise which dead ranks' replicas each survivor actually holds
+    // (a refresh interrupted by the failure may have left holdings
+    // uneven), then designate restorers deterministically from the
+    // shared view: the first ring successor that both survived and
+    // holds the replica. `u64` payloads ride the data plane but are not
+    // floats, so the corruption injector cannot touch them.
+    let my_holdings: Vec<u64> = dead
+        .iter()
+        .filter(|&&d| buddies.replica_for(d).is_some())
+        .map(|&d| d as u64)
+        .collect();
+    let all_holdings = newcomm.try_allgatherv(my_holdings)?;
+    // Map: old-grid comm rank → dead ranks whose replicas it holds.
+    let world_to_old: std::collections::HashMap<usize, usize> =
+        (0..p).map(|r| (grid.comm.world_rank_of(r), r)).collect();
+    let mut holdings_of_old: Vec<Vec<usize>> = vec![Vec::new(); p];
+    for (new_rank, held) in all_holdings.iter().enumerate() {
+        let old = world_to_old[&newcomm.world_rank_of(new_rank)];
+        holdings_of_old[old] = held.iter().map(|&d| d as usize).collect();
+    }
+
+    let mut my_pieces: Vec<BlockPiece<T>> =
+        vec![BlockPiece::from_block(x.dist(), x.coords(), x.local())];
+    for &d in &dead {
+        let holder = restorer_for(d, p, degree, |r| {
+            in_surv(r) && holdings_of_old[r].contains(&d)
+        });
+        match holder {
+            Some(h) if h == me => {
+                let rep = buddies
+                    .replica_for(d)
+                    .expect("designated restorer advertises the replica it holds");
+                my_pieces.push(rep.to_piece(x));
+            }
+            Some(_) => {}
+            None => {
+                return Ok(Recovery::Fallback {
+                    reason: format!(
+                        "rank {d} and all {degree} of its replica holders died \
+                         between refreshes; its block is unrecoverable in memory"
+                    ),
+                    dead,
+                });
+            }
+        }
+    }
+
+    // Re-block onto the shrunken grid. The destination grid occupies
+    // the first `Π dims` ranks of `newcomm` — the same layout
+    // `try_rebuild_grid` produces below, so coordinates line up.
+    let new_dims = choose_shrunk_dims(grid.dims(), newcomm.size());
+    let new_dist = TensorDist::new(x.global_shape().clone(), &new_dims);
+    let block = try_redistribute(&newcomm, &new_dist, my_pieces)?;
+    match try_rebuild_grid(newcomm, grid.dims())? {
+        ShrinkOutcome::Active(g2) => Ok(Recovery::Continue {
+            grid: g2,
+            x: block.expect("active ranks of the shrunken grid receive a block"),
+            restored: dead,
+        }),
+        ShrinkOutcome::Spare(_) => Ok(Recovery::Spare),
+    }
+}
+
+/// Outcome of one successful sweep attempt (before it is committed to
+/// the driver's state).
+struct SweepOutcome<T: Scalar> {
+    core: DistTensor<T>,
+    err: f64,
+    new_ranks: Vec<usize>,
+    met: bool,
+}
+
+/// One full RA-HOOI iteration — sweep, threshold test, truncate-or-grow
+/// — with every collective fallible. Mirrors the iteration body of
+/// `dist_ra_hooi_impl` exactly (same arithmetic, same decisions), with
+/// one deliberate difference: truncation ranks are floored at `floor`
+/// (the *original* grid dims) instead of the current grid dims, so the
+/// decision trajectory is invariant under grid shrinks.
+#[allow(clippy::too_many_arguments)]
+fn attempt_sweep<T: Scalar>(
+    grid: &CartGrid,
+    x: &DistTensor<T>,
+    factors: &mut Vec<Matrix<T>>,
+    ranks: &[usize],
+    it: usize,
+    config: &RaConfig,
+    threshold: f64,
+    x_norm_sq: f64,
+    dims: &[usize],
+    floor: &[usize],
+    timings: &mut Timings,
+    ctx: &mut SweepCtx,
+) -> Result<SweepOutcome<T>, CommError> {
+    let core = try_dist_sweep(grid, x, factors, ranks, &config.inner, timings, ctx)?;
+    let core_norm_sq = core.try_squared_norm(grid)?;
+    if core_norm_sq >= threshold {
+        let core_repl = timings.time(Phase::Other, || core.try_gather_replicated(grid))?;
+        let analysis = timings.time(Phase::CoreAnalysis, || {
+            analyze_core(&core_repl, dims, x_norm_sq, config.eps)
+        });
+        if let Some(a) = analysis {
+            let new_ranks: Vec<usize> =
+                a.ranks.iter().zip(floor).map(|(&r, &p)| r.max(p)).collect();
+            let full = TuckerTensor::new(core_repl, factors.clone());
+            let trunc = full.truncate(&new_ranks);
+            *factors = trunc.factors.clone();
+            Ok(SweepOutcome {
+                core: DistTensor::scatter_from_replicated(grid, &trunc.core),
+                err: trunc.rel_error_from_core(x_norm_sq),
+                new_ranks,
+                met: true,
+            })
+        } else {
+            Ok(SweepOutcome {
+                err: ((x_norm_sq - core_norm_sq).max(0.0) / x_norm_sq).sqrt(),
+                core,
+                new_ranks: ranks.to_vec(),
+                met: true,
+            })
+        }
+    } else {
+        let err = ((x_norm_sq - core_norm_sq).max(0.0) / x_norm_sq).sqrt();
+        let grown: Vec<usize> = ranks
+            .iter()
+            .zip(dims)
+            .map(|(&r, &n)| (((r as f64) * config.alpha).ceil() as usize).min(n))
+            .collect();
+        if grown != ranks {
+            // Pure in (seed, sweep): all ranks, any retry after a
+            // recovery, and any resumed run append identical columns.
+            let mut rng = expansion_rng(config.inner.seed, it);
+            for (k, u) in factors.iter_mut().enumerate() {
+                if grown[k] > u.cols() {
+                    let extra = normal_matrix::<T, _>(u.rows(), grown[k] - u.cols(), &mut rng);
+                    let mut ext = u.hcat(&extra);
+                    orthonormalize_columns(&mut ext, u.cols());
+                    *u = ext;
+                }
+            }
+        }
+        Ok(SweepOutcome {
+            core,
+            err,
+            new_ranks: grown,
+            met: false,
+        })
+    }
+}
+
+/// Distributed rank-adaptive HOOI with online shrink-and-continue
+/// recovery, diskless buddy replication, ABFT checksums, and RTCK disk
+/// fallback. Collective over `grid0`.
+///
+/// Failure semantics per error class:
+/// - `PeerClosed` / `Timeout` / `Revoked` → revoke, agree, shrink (or
+///   same-topology retry for transient faults), restore dead blocks
+///   from buddy replicas, reset factors to the pre-sweep snapshot, and
+///   retry the sweep. No disk involved.
+/// - [`CommError::SilentCorruption`] → under [`AbftMode::Recover`] the
+///   kernels already recomputed up to the retry cap; a persistent
+///   mismatch (and any mismatch under [`AbftMode::Detect`]) surfaces as
+///   `Err` — consistently on every rank, because the checksum verdict
+///   is collective.
+/// - Everything else (NaN screens, type mismatches) surfaces as `Err`.
+///
+/// `Err` is also returned when `max_recoveries` consecutive recovery
+/// rounds fail to produce a working topology.
+pub fn dist_ra_hooi_resilient<T: IoScalar>(
+    grid0: &CartGrid,
+    x0: &DistTensor<T>,
+    config: &RaConfig,
+    res: &ResilienceConfig,
+) -> Result<ResilientOutcome<T>, CommError> {
+    let dims: Vec<usize> = x0.global_shape().dims().to_vec();
+    if let Err(msg) = config.validate(&dims) {
+        panic!("infeasible rank-adaptive configuration: {msg}");
+    }
+    // Rank floors are frozen at the original grid dims (see module docs).
+    let floor: Vec<usize> = grid0.dims().to_vec();
+    let mut grid = grid0.clone();
+    let mut x = x0.clone();
+    let mut report = RecoveryReport::default();
+
+    // ‖X‖² is computed once, before any failure, and carried through
+    // recoveries unchanged — recomputing it on a shrunken grid would
+    // perturb the threshold by reduction-order roundoff.
+    let x_norm_sq = x.try_squared_norm(&grid)?;
+    let threshold = (1.0 - config.eps * config.eps) * x_norm_sq;
+
+    let mut ranks: Vec<usize> = config
+        .initial_ranks
+        .iter()
+        .zip(&dims)
+        .map(|(&r, &n)| r.min(n).max(1))
+        .collect();
+    let mut factors = crate::hooi::random_init::<T>(&dims, &ranks, config.inner.seed);
+    let mut start_sweep = 0;
+    if let Some(policy) = &res.checkpoint {
+        let mut ckpt = FileCheckpointer {
+            policy,
+            write: false,
+        };
+        if let Some(ck) =
+            RaCheckpointer::<T>::resume(&mut ckpt, config.inner.seed, config.eps, &dims, x_norm_sq)
+        {
+            assert!(
+                ck.sweep < config.max_iters,
+                "checkpoint is at sweep {} but this run caps at {} sweeps",
+                ck.sweep,
+                config.max_iters
+            );
+            start_sweep = ck.sweep;
+            ranks = ck.ranks;
+            factors = ck.factors;
+        }
+    }
+
+    let mut timings = Timings::new();
+    let mut ctx = SweepCtx::new(res.abft);
+    let mut sweep_errors = Vec::new();
+    let mut sweep_ranks = Vec::new();
+    let mut result_core: Option<DistTensor<T>> = None;
+    let mut buddies: BuddyStore<T> = BuddyStore::disabled();
+
+    let mut it = start_sweep;
+    while it < config.max_iters {
+        if let Some(policy) = &res.checkpoint {
+            let mut ckpt = FileCheckpointer {
+                policy,
+                write: grid.comm.rank() == 0,
+            };
+            ckpt.save(&Checkpoint {
+                sweep: it,
+                seed: config.inner.seed,
+                eps: config.eps,
+                x_norm_sq,
+                dims: dims.clone(),
+                ranks: ranks.clone(),
+                factors: factors.clone(),
+            });
+        }
+        // The sweep mutates factors in place; snapshot them (replicated,
+        // so a local copy is globally consistent) for the retry path.
+        let snapshot = factors.clone();
+        let attempt = try_refresh_buddies(&grid, &x, res.buddy_degree).and_then(|store| {
+            buddies = store;
+            attempt_sweep(
+                &grid,
+                &x,
+                &mut factors,
+                &ranks,
+                it,
+                config,
+                threshold,
+                x_norm_sq,
+                &dims,
+                &floor,
+                &mut timings,
+                &mut ctx,
+            )
+        });
+        match attempt {
+            Ok(out) => {
+                ranks = out.new_ranks;
+                sweep_errors.push(out.err);
+                sweep_ranks.push(ranks.clone());
+                result_core = Some(out.core);
+                it += 1;
+                if out.met && config.stop_on_threshold {
+                    break;
+                }
+            }
+            Err(e) if is_failure(&e) => {
+                // Shrink-and-continue: retry recovery rounds against
+                // fresh failures until one commits or the cap is hit.
+                let mut last = e;
+                let mut round = 0;
+                loop {
+                    report.recoveries += 1;
+                    round += 1;
+                    if report.recoveries > res.max_recoveries {
+                        return Err(last);
+                    }
+                    match try_recover(&grid, &x, &buddies, res.buddy_degree) {
+                        Ok(Recovery::Retry) => break,
+                        Ok(Recovery::Continue {
+                            grid: g2,
+                            x: x2,
+                            restored,
+                        }) => {
+                            grid = *g2;
+                            x = x2;
+                            // The old store's replicas are keyed by the
+                            // old grid's ranks and block shapes; they
+                            // are meaningless on the new topology. The
+                            // retry's refresh rebuilds the store before
+                            // the sweep; a failure in that window
+                            // conservatively falls back to disk.
+                            buddies = BuddyStore::disabled();
+                            report.restored_ranks.extend(restored);
+                            break;
+                        }
+                        Ok(Recovery::Spare) => {
+                            report.abft = ctx.stats;
+                            return Ok(ResilientOutcome::Spare { report });
+                        }
+                        Ok(Recovery::Fallback { dead, reason }) => {
+                            return Ok(ResilientOutcome::FallbackToCheckpoint { dead, reason });
+                        }
+                        Err(e2) if is_failure(&e2) && round <= res.max_recoveries => {
+                            last = e2;
+                        }
+                        Err(e2) => return Err(e2),
+                    }
+                }
+                // Retry this sweep from the pre-sweep state.
+                factors = snapshot;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    report.final_grid = grid.dims().to_vec();
+    report.abft = ctx.stats;
+    let rel_error = *sweep_errors.last().expect("max_iters must be at least 1");
+    Ok(ResilientOutcome::Completed {
+        result: Box::new(DistRunResult {
+            tucker: DistTucker {
+                core: result_core.expect("max_iters must be at least 1"),
+                factors,
+            },
+            rel_error,
+            timings,
+            sweep_errors,
+            sweep_ranks,
+        }),
+        grid: Box::new(grid),
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::dist_ra_hooi;
+    use crate::hooi::HooiConfig;
+    use crate::synthetic::SyntheticSpec;
+    use ratucker_mpi::{CorruptMode, FaultPlan, Universe};
+
+    fn build_dist(grid: &CartGrid, spec: &SyntheticSpec) -> DistTensor<f64> {
+        let full = spec.build::<f64>();
+        DistTensor::scatter_from_replicated(grid, &full)
+    }
+
+    fn undershoot_cfg() -> RaConfig {
+        RaConfig::ra_hosi_dt(0.05, &[2, 2, 2])
+            .with_seed(19)
+            .with_alpha(2.0)
+            .with_max_iters(3)
+    }
+
+    #[test]
+    fn fault_free_resilient_run_is_bitwise_identical_to_plain() {
+        let spec = SyntheticSpec::new(&[12, 10, 8], &[3, 3, 2], 0.02, 209);
+        let cfg = undershoot_cfg();
+        let (s, c2) = (spec.clone(), cfg.clone());
+        let plain = Universe::launch(4, move |c| {
+            let grid = CartGrid::new(c, &[2, 2, 1]);
+            let x = build_dist(&grid, &s);
+            let res = dist_ra_hooi(&grid, &x, &c2);
+            (res.rel_error, res.tucker.factors.clone())
+        });
+        let (s, c2) = (spec.clone(), cfg.clone());
+        let resilient = Universe::launch(4, move |c| {
+            let grid = CartGrid::new(c, &[2, 2, 1]);
+            let x = build_dist(&grid, &s);
+            match dist_ra_hooi_resilient(&grid, &x, &c2, &ResilienceConfig::default()).unwrap() {
+                ResilientOutcome::Completed { result, report, .. } => {
+                    (result.rel_error, result.tucker.factors.clone(), report)
+                }
+                other => panic!("fault-free run must complete, got {other:?}"),
+            }
+        });
+        for ((err_a, fac_a), (err_b, fac_b, report)) in plain.iter().zip(&resilient) {
+            assert_eq!(err_a, err_b);
+            for (ua, ub) in fac_a.iter().zip(fac_b) {
+                assert_eq!(ua.max_abs_diff(ub), 0.0);
+            }
+            assert_eq!(report.recoveries, 0);
+            assert!(report.restored_ranks.is_empty());
+            assert_eq!(report.final_grid, vec![2, 2, 1]);
+            assert_eq!(report.abft, AbftStats::default());
+        }
+    }
+
+    #[test]
+    fn crash_mid_sweep_shrinks_and_continues_online() {
+        let spec = SyntheticSpec::new(&[12, 10, 8], &[3, 3, 2], 0.02, 209);
+        let cfg = undershoot_cfg();
+
+        // Fault-free reference error on the original [2,2,1] grid.
+        let (s, c2) = (spec.clone(), cfg.clone());
+        let reference = Universe::launch(4, move |c| {
+            let grid = CartGrid::new(c, &[2, 2, 1]);
+            let x = build_dist(&grid, &s);
+            dist_ra_hooi(&grid, &x, &c2).rel_error
+        })[0];
+
+        // Kill rank 2 mid-sweep, after the first buddy refresh has
+        // mirrored its block onto rank 3.
+        let victim = 2;
+        let plan = FaultPlan::quiet(41).with_crash(victim, 60);
+        let (s, c2) = (spec.clone(), cfg.clone());
+        let out = Universe::try_launch(4, plan, move |c| {
+            let grid = CartGrid::new(c, &[2, 2, 1]);
+            let x = build_dist(&grid, &s);
+            dist_ra_hooi_resilient(&grid, &x, &c2, &ResilienceConfig::default()).unwrap()
+        });
+
+        let failure = out[victim].as_ref().unwrap_err();
+        assert!(
+            failure.message.contains("injected crash"),
+            "victim should die of the injected crash, got: {}",
+            failure.message
+        );
+        let mut completed = 0;
+        let mut spares = 0;
+        for (rank, res) in out.iter().enumerate() {
+            if rank == victim {
+                continue;
+            }
+            match res.as_ref().expect("survivors must not panic") {
+                ResilientOutcome::Completed { result, report, .. } => {
+                    completed += 1;
+                    assert!(report.recoveries >= 1, "rank {rank}: {report:?}");
+                    assert!(
+                        report.restored_ranks.contains(&victim),
+                        "rank {rank}: {report:?}"
+                    );
+                    // 3 survivors → the largest grid elementwise ≤ [2,2,1]
+                    // has 2 ranks.
+                    assert_eq!(report.final_grid, vec![2, 1, 1], "rank {rank}");
+                    assert!(
+                        (result.rel_error - reference).abs() < 1e-10,
+                        "rank {rank}: online recovery diverged: {} vs {reference}",
+                        result.rel_error
+                    );
+                }
+                ResilientOutcome::Spare { report } => {
+                    spares += 1;
+                    assert!(report.recoveries >= 1);
+                }
+                ResilientOutcome::FallbackToCheckpoint { dead, reason } => {
+                    panic!("rank {rank} fell back to disk (dead {dead:?}): {reason}")
+                }
+            }
+        }
+        assert_eq!((completed, spares), (2, 1));
+    }
+
+    #[test]
+    fn finite_corruption_surfaces_collectively_under_detect() {
+        let spec = SyntheticSpec::new(&[10, 9, 8], &[3, 3, 2], 0.02, 205);
+        let cfg = RaConfig::ra_hosi_dt(0.1, &[3, 3, 2])
+            .with_seed(13)
+            .with_max_iters(2);
+        let plan = FaultPlan::quiet(7).with_corruption(1.0, CorruptMode::ExponentFlip);
+        let s = spec.clone();
+        let out = Universe::try_launch(4, plan, move |c| {
+            let grid = CartGrid::new(c, &[2, 2, 1]);
+            let x = build_dist(&grid, &s);
+            let res = ResilienceConfig::default().with_abft(AbftMode::Detect);
+            dist_ra_hooi_resilient(&grid, &x, &cfg, &res)
+        });
+        // The checksum verdict is collective: every rank sees the same
+        // SilentCorruption error, none hangs, none diverges.
+        for (rank, res) in out.into_iter().enumerate() {
+            match res.expect("ranks return the error, they do not panic") {
+                Err(CommError::SilentCorruption { rel_err, .. }) => {
+                    assert!(rel_err.is_finite() || rel_err.is_infinite());
+                }
+                other => panic!("rank {rank}: expected SilentCorruption, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn abft_recover_recomputes_sparse_corruption_and_converges() {
+        let spec = SyntheticSpec::new(&[12, 10, 8], &[3, 3, 2], 0.02, 209);
+        // HOOI (Gram-EVD + direct TTM) keeps almost all sweep traffic on
+        // the checked kernels.
+        let mut cfg = RaConfig::ra_hosi_dt(0.1, &[3, 3, 2])
+            .with_seed(13)
+            .with_max_iters(2);
+        cfg.inner = HooiConfig::hooi().with_seed(13);
+        let plan = FaultPlan::quiet(23).with_corruption(0.01, CorruptMode::ExponentFlip);
+        let s = spec.clone();
+        let out = Universe::try_launch(4, plan, move |c| {
+            let grid = CartGrid::new(c, &[2, 2, 1]);
+            let x = build_dist(&grid, &s);
+            let res = ResilienceConfig::default().with_abft(AbftMode::Recover);
+            dist_ra_hooi_resilient(&grid, &x, &cfg, &res).unwrap()
+        });
+        let mut detected = 0;
+        for (rank, res) in out.into_iter().enumerate() {
+            match res.expect("no rank panics") {
+                ResilientOutcome::Completed { result, report, .. } => {
+                    assert!(
+                        result.rel_error <= 0.1,
+                        "rank {rank}: corrupted run missed the tolerance: {}",
+                        result.rel_error
+                    );
+                    assert_eq!(report.abft.detected, report.abft.recomputed);
+                    detected = report.abft.detected;
+                }
+                other => panic!("rank {rank}: expected completion, got {other:?}"),
+            }
+        }
+        assert!(
+            detected > 0,
+            "fault plan was meant to poison at least one checked collective"
+        );
+    }
+}
