@@ -25,4 +25,26 @@ cargo test -q --offline --test chaos -- --test-threads=1 \
   killing_rank_and_buddy_falls_back_to_checkpoint_cleanly \
   sampled_fault_plans_through_the_resilient_solver
 
+echo "==> trace smoke (span pipeline round-trip + perf-model validation)"
+cargo run -q --release --offline -p ratucker-bench --bin tracecheck target/ci-trace.json
+
+echo "==> trace smoke (CLI --trace-out on a small RA-HOSI-DT run)"
+TRACE_CFG="$(mktemp)"
+cat > "$TRACE_CFG" <<'EOF'
+Global dims = 12 10 8
+Construction Ranks = 3 3 2
+Decomposition Ranks = 4 4 3
+Noise = 0.01
+Processor grid dims = 1 2 2
+Dimension Tree Memoization = true
+SVD Method = 2
+HOOI-Adapt Threshold = 0.1
+HOOI max iters = 3
+Print timings = true
+EOF
+cargo run -q --release --offline -p ratucker-cli --bin hooi -- \
+  --parameter-file "$TRACE_CFG" --trace-out target/ci-cli-trace.json
+test -s target/ci-cli-trace.json
+rm -f "$TRACE_CFG"
+
 echo "ci.sh: all green"

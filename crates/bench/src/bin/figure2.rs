@@ -39,10 +39,13 @@ fn functional_point(
         let u = Universe::new(p);
         let gd = grid_dims.clone();
         let t0 = Instant::now();
-        u.run(|c| {
+        // Per-rank source-side traffic scopes opened after the scatter:
+        // `comm_bytes` counts the algorithm only, not tensor construction.
+        let per_rank = u.run(|c| {
             let grid = CartGrid::new(c, &gd);
             let x_full = spec.build::<f32>();
             let x = DistTensor::scatter_from_replicated(&grid, &x_full);
+            let scope = grid.comm.traffic_scope();
             match alg {
                 AlgKind::Sthosvd => {
                     let _ = dist_sthosvd(&grid, &x, &SthosvdTruncation::Ranks(ranks.to_vec()));
@@ -60,9 +63,10 @@ fn functional_point(
                     let _ = dist_hooi(&grid, &x, ranks, &cfg);
                 }
             }
+            scope.delta().total_bytes()
         });
         let secs = t0.elapsed().as_secs_f64();
-        let bytes = u.traffic().snapshot().0;
+        let bytes: u64 = per_rank.into_iter().sum();
         if best.as_ref().is_none_or(|(b, _, _)| secs < *b) {
             best = Some((secs, grid_dims, bytes));
         }

@@ -13,6 +13,11 @@ use ratucker_mpi::{CartGrid, Universe};
 use ratucker_perfmodel::{algorithm_cost, AlgKind, Problem};
 
 /// Measured total bytes for one collective algorithm run on a grid.
+///
+/// Each rank opens a [`ratucker_mpi::TrafficScope`] *after* the tensor is
+/// scattered, so construction traffic is excluded by design (no barriers
+/// or global-snapshot arithmetic needed); the per-rank source-side deltas
+/// sum to exactly the algorithm's bytes on the wire.
 fn measured_bytes(
     spec: &SyntheticSpec,
     grid_dims: &[usize],
@@ -20,16 +25,15 @@ fn measured_bytes(
 ) -> u64 {
     let p: usize = grid_dims.iter().product();
     let u = Universe::new(p);
-    u.run(|c| {
+    let per_rank = u.run(|c| {
         let grid = CartGrid::new(c, grid_dims);
         let x_full = spec.build::<f32>();
         let x = DistTensor::scatter_from_replicated(&grid, &x_full);
-        // Only count algorithm traffic, not construction: snapshot after
-        // setup via a barrier to flush.
-        grid.comm.barrier();
+        let scope = grid.comm.traffic_scope();
         run(&grid, &x);
+        scope.delta().total_bytes()
     });
-    u.traffic().snapshot().0
+    per_rank.into_iter().sum()
 }
 
 fn main() {

@@ -31,6 +31,7 @@
 //! | `Resume` + | resume from the latest checkpoint (also `--resume`) | `false` |
 //! | `Buddy replication` + | diskless replication degree k (also `--buddy-replication <k>`) | none |
 //! | `ABFT` + | `off` / `detect` / `recover` checksums (also `--abft <mode>`) | none |
+//! | `Trace out` + | write a merged Chrome trace JSON here (also `--trace-out <path>`) | none |
 //! | `Seed` + | RNG seed | `0` |
 //! | `Precision` + | `single` / `double` | `single` |
 //! | `Input file` + | raw tensor to load instead of synthetic | none |
@@ -239,7 +240,9 @@ pub fn run_sthosvd_driver<T: IoScalar>(
         )
     };
     let p: usize = grid.iter().product();
-    let outcome = run_collective(p, &grid, &x, move |g, xd| dist_sthosvd(g, xd, &trunc));
+    let outcome = run_collective(p, &grid, &x, params.get("Trace out"), move |g, xd| {
+        dist_sthosvd(g, xd, &trunc)
+    });
     if let Some(prefix) = params.get("Output prefix") {
         // Re-run gather on a fresh universe is unnecessary: outcome holds
         // the gathered tucker already.
@@ -304,22 +307,28 @@ pub fn run_hooi_driver<T: IoScalar>(
         };
         ra.validate(x.shape().dims())
             .map_err(|msg| format!("infeasible rank-adaptive configuration: {msg}"))?;
-        run_collective(p, &grid, &x, move |g, xd| match (&resilience, &ckpt) {
-            (Some(res), _) => {
-                let out = dist_ra_hooi_resilient(g, xd, &ra, res).unwrap_or_else(|e| panic!("{e}"));
-                match out {
-                    ResilientOutcome::Completed { result, .. } => *result,
-                    other => panic!(
-                        "driver run without fault injection did not complete: the \
-                                     resilient solver returned {other:?}"
-                    ),
+        run_collective(p, &grid, &x, params.get("Trace out"), move |g, xd| {
+            match (&resilience, &ckpt) {
+                (Some(res), _) => {
+                    let out =
+                        dist_ra_hooi_resilient(g, xd, &ra, res).unwrap_or_else(|e| panic!("{e}"));
+                    match out {
+                        ResilientOutcome::Completed { result, .. } => *result,
+                        other => panic!(
+                            "driver run without fault injection did not complete: the \
+                             resilient solver returned {other:?} (phase timings: {})",
+                            other.timings().summary()
+                        ),
+                    }
                 }
+                (None, Some(policy)) => dist_ra_hooi_checkpointed(g, xd, &ra, policy),
+                (None, None) => dist_ra_hooi(g, xd, &ra),
             }
-            (None, Some(policy)) => dist_ra_hooi_checkpointed(g, xd, &ra, policy),
-            (None, None) => dist_ra_hooi(g, xd, &ra),
         })
     } else {
-        run_collective(p, &grid, &x, move |g, xd| dist_hooi(g, xd, &ranks, &cfg))
+        run_collective(p, &grid, &x, params.get("Trace out"), move |g, xd| {
+            dist_hooi(g, xd, &ranks, &cfg)
+        })
     };
     if let Some(prefix) = params.get("Output prefix") {
         write_tucker(prefix, &outcome.1)?;
@@ -330,19 +339,43 @@ pub fn run_hooi_driver<T: IoScalar>(
 /// Launches a universe over the given grid, scatters the tensor, runs the
 /// collective algorithm, and collects rank-0's outcome plus the gathered
 /// decomposition.
+///
+/// When `trace_out` is set, a span-tracing session brackets the launch
+/// (with a per-rank root `"run"` span so self-attributed traffic
+/// partitions the universe totals), and the merged Chrome trace JSON is
+/// written to that path together with a per-phase breakdown on stdout.
 fn run_collective<T: IoScalar>(
     p: usize,
     grid_dims: &[usize],
     x: &DenseTensor<T>,
+    trace_out: Option<&str>,
     run: impl Fn(&CartGrid, &DistTensor<T>) -> DistRunResult<T> + Sync,
 ) -> (DriverOutcome, TuckerTensor<T>) {
+    let session = trace_out.map(|_| ratucker_obs::TraceSession::start());
     let results = Universe::launch(p, |c| {
         let grid = CartGrid::new(c, grid_dims);
+        // Root span per rank: created *after* grid construction (which
+        // consumes the Comm by value) so it borrows `grid.comm`.
+        let _root = ratucker_obs::span(&grid.comm, "run");
         let xd = DistTensor::scatter_from_replicated(&grid, x);
         let res = run(&grid, &xd);
         let tucker = res.tucker.gather(&grid);
         (res, tucker)
     });
+    if let (Some(session), Some(path)) = (session, trace_out) {
+        let trace = session.finish();
+        match ratucker_obs::write_trace(std::path::Path::new(path), &trace) {
+            Ok(()) => {
+                println!(
+                    "trace: {} spans over {} ranks -> {path}",
+                    trace.events.len(),
+                    trace.ranks()
+                );
+                println!("{}", ratucker_obs::PhaseBreakdown::from_trace(&trace));
+            }
+            Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+        }
+    }
     let (res, tucker) = results.into_iter().next().expect("at least one rank");
     (
         DriverOutcome {
@@ -368,7 +401,7 @@ pub fn parameter_file_from_args() -> Result<Params, Box<dyn std::error::Error>> 
 pub fn params_from_argv(args: &[String]) -> Result<Params, Box<dyn std::error::Error>> {
     let pos = args.iter().position(|a| a == "--parameter-file").ok_or(
         "usage: <driver> --parameter-file <file.cfg> [--checkpoint-dir <dir>] [--resume] \
-             [--buddy-replication <k>] [--abft off|detect|recover]",
+             [--buddy-replication <k>] [--abft off|detect|recover] [--trace-out <trace.json>]",
     )?;
     let path = args
         .get(pos + 1)
@@ -394,6 +427,12 @@ pub fn params_from_argv(args: &[String]) -> Result<Params, Box<dyn std::error::E
             .get(pos + 1)
             .ok_or("--abft requires a mode argument (off, detect, recover)")?;
         params.set("ABFT", mode);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--trace-out") {
+        let path = args
+            .get(pos + 1)
+            .ok_or("--trace-out requires a path argument")?;
+        params.set("Trace out", path);
     }
     Ok(params)
 }
@@ -655,6 +694,55 @@ mod tests {
         // No faults are injected: the resilient path is bit-identical.
         assert_eq!(resilient.rel_error, plain.rel_error);
         assert_eq!(resilient.ranks, plain.ranks);
+    }
+
+    #[test]
+    fn trace_out_key_writes_a_valid_chrome_trace() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir
+            .join(format!("ratucker_cli_trace_{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let p = sthosvd_cfg(&format!("Trace out = {trace_path}\n"));
+        let out = run_sthosvd_driver::<f32>(&p).unwrap();
+        assert!(out.rel_error < 0.05);
+
+        // The emitted file must round-trip through the obs parser and
+        // pass validation: 4 ranks, ≥1 span each, per-phase self bytes
+        // summing to the footer's universe totals.
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let parsed = ratucker_obs::parse(&text).unwrap();
+        ratucker_obs::validate_parsed(&parsed).unwrap();
+        assert_eq!(parsed.ranks, 4);
+        assert!(parsed
+            .spans
+            .iter()
+            .any(|s| s.phase == "run" && s.depth == 0));
+        assert!(parsed.spans.iter().any(|s| s.phase == "Gram"));
+        std::fs::remove_file(&trace_path).unwrap();
+    }
+
+    #[test]
+    fn trace_out_flag_layers_over_the_parameter_file() {
+        let dir = std::env::temp_dir();
+        let cfg = dir.join(format!(
+            "ratucker_cli_trace_argv_{}.cfg",
+            std::process::id()
+        ));
+        std::fs::write(&cfg, "Global dims = 8 8\nRanks = 2 2\n").unwrap();
+        let args: Vec<String> = [
+            "driver",
+            "--parameter-file",
+            cfg.to_str().unwrap(),
+            "--trace-out",
+            "/tmp/trace.json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let p = params_from_argv(&args).unwrap();
+        assert_eq!(p.get("Trace out"), Some("/tmp/trace.json"));
+        std::fs::remove_file(&cfg).unwrap();
     }
 
     #[test]

@@ -124,6 +124,7 @@ fn try_alltoallv_checked<T: Scalar>(
 /// retrying the contraction in [`AbftMode::Recover`] would deadlock the
 /// collective.
 fn abft_verdict<T: Scalar>(grid: &CartGrid, mode: usize, local_rel: f64) -> Result<(), CommError> {
+    let _span = ratucker_obs::span_mode(&grid.comm, "ABFT", mode);
     let rel_err = grid.comm.try_verdict_max(if local_rel.is_finite() {
         local_rel
     } else {
@@ -176,6 +177,7 @@ fn ttm_impl<T: Scalar>(
     trans: Transpose,
     abft: AbftMode,
 ) -> Result<DistTensor<T>, CommError> {
+    let _span = ratucker_obs::span_mode(&grid.comm, "TTM", mode);
     if !x.local().all_finite() {
         return Err(CommError::Corrupted {
             rank: grid.comm.rank(),
@@ -334,6 +336,7 @@ fn gram_impl<T: Scalar>(
     mode: usize,
     abft: AbftMode,
 ) -> Result<Matrix<T>, CommError> {
+    let _span = ratucker_obs::span_mode(&grid.comm, "Gram", mode);
     if !x.local().all_finite() {
         return Err(CommError::Corrupted {
             rank: grid.comm.rank(),
@@ -468,6 +471,7 @@ pub fn try_dist_contract<T: Scalar>(
     core: &DenseTensor<T>,
     mode: usize,
 ) -> Result<Matrix<T>, CommError> {
+    let _span = ratucker_obs::span_mode(&grid.comm, "SI", mode);
     let d = y.global_shape().order();
     assert_eq!(core.order(), d);
     let n_j = y.global_shape().dim(mode);

@@ -85,6 +85,7 @@ pub fn try_redistribute<T: Scalar>(
     new_dist: &TensorDist,
     pieces: Vec<BlockPiece<T>>,
 ) -> Result<Option<DistTensor<T>>, CommError> {
+    let _span = ratucker_obs::span(comm, "Redistribute");
     let d = new_dist.global().order();
     let dims = new_dist.grid_dims();
     let q: usize = dims.iter().product();

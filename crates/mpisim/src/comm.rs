@@ -22,7 +22,7 @@
 //! type mismatches surface as typed errors), and the legacy panicking
 //! form, a thin wrapper that panics with the error's display text.
 
-use crate::fabric::Fabric;
+use crate::fabric::{CollectiveKind, Fabric, TrafficScope};
 use crate::fault::CommError;
 use std::sync::Arc;
 
@@ -75,6 +75,16 @@ impl Comm {
         self.fabric.stats()
     }
 
+    /// A [`TrafficScope`] delta guard over **this rank's** send
+    /// counters: everything this rank sends between the call and a later
+    /// [`TrafficScope::delta`] is captured, per collective kind, without
+    /// picking up concurrent traffic from other ranks. The observability
+    /// layer uses disjoint scopes to attribute communication to phases;
+    /// summed across ranks the deltas partition the universe totals.
+    pub fn traffic_scope(&self) -> TrafficScope<'_> {
+        self.fabric.stats().scope(self.group[self.rank])
+    }
+
     /// The fabric this communicator runs over.
     pub fn fabric(&self) -> &Arc<Fabric> {
         &self.fabric
@@ -90,6 +100,18 @@ impl Comm {
             .try_send(self.group[self.rank], self.group[dst], data)
     }
 
+    /// Internal send charging the traffic to a specific collective kind.
+    #[inline]
+    fn send_k<T: Elem>(
+        &self,
+        dst: usize,
+        data: Vec<T>,
+        kind: CollectiveKind,
+    ) -> Result<(), CommError> {
+        self.fabric
+            .try_send_kind(self.group[self.rank], self.group[dst], data, kind)
+    }
+
     /// Fallible point-to-point receive from communicator rank `src`.
     pub fn try_recv<T: Elem>(&self, src: usize) -> Result<Vec<T>, CommError> {
         self.fabric.try_recv(self.group[src], self.group[self.rank])
@@ -102,7 +124,7 @@ impl Comm {
         while k < p {
             let dst = (self.rank + k) % p;
             let src = (self.rank + p - k) % p;
-            self.try_send::<u8>(dst, Vec::new())?;
+            self.send_k::<u8>(dst, Vec::new(), CollectiveKind::Barrier)?;
             let _ = self.try_recv::<u8>(src)?;
             k <<= 1;
         }
@@ -112,6 +134,17 @@ impl Comm {
     /// Fallible binomial-tree broadcast. The root passes the payload;
     /// other ranks' argument is ignored (pass `Vec::new()`).
     pub fn try_bcast<T: Elem>(&self, root: usize, data: Vec<T>) -> Result<Vec<T>, CommError> {
+        self.bcast_k(root, data, CollectiveKind::Bcast)
+    }
+
+    /// Broadcast with the traffic charged to `kind` (an allreduce's
+    /// broadcast leg is an `Allreduce` for accounting purposes).
+    fn bcast_k<T: Elem>(
+        &self,
+        root: usize,
+        data: Vec<T>,
+        kind: CollectiveKind,
+    ) -> Result<Vec<T>, CommError> {
         let p = self.size();
         if p == 1 {
             return Ok(data);
@@ -143,7 +176,7 @@ impl Comm {
             let vdst = vrank | mask;
             if vdst < p && vdst != vrank {
                 let dst = (vdst + root) % p;
-                self.try_send(dst, buf.clone())?;
+                self.send_k(dst, buf.clone(), kind)?;
             }
             mask >>= 1;
         }
@@ -157,6 +190,17 @@ impl Comm {
         root: usize,
         data: Vec<T>,
         op: impl Fn(&mut [T], &[T]) + Copy,
+    ) -> Result<Option<Vec<T>>, CommError> {
+        self.reduce_k(root, data, op, CollectiveKind::Reduce)
+    }
+
+    /// Reduce with the traffic charged to `kind`.
+    fn reduce_k<T: Elem>(
+        &self,
+        root: usize,
+        data: Vec<T>,
+        op: impl Fn(&mut [T], &[T]) + Copy,
+        kind: CollectiveKind,
     ) -> Result<Option<Vec<T>>, CommError> {
         let p = self.size();
         if p == 1 {
@@ -186,7 +230,7 @@ impl Comm {
             } else {
                 let vdst = vrank & !mask;
                 let dst = (vdst + root) % p;
-                self.try_send(dst, acc)?;
+                self.send_k(dst, acc, kind)?;
                 return Ok(None);
             }
             mask <<= 1;
@@ -194,14 +238,15 @@ impl Comm {
         Ok(Some(acc))
     }
 
-    /// Fallible allreduce = reduce to rank 0 + broadcast.
+    /// Fallible allreduce = reduce to rank 0 + broadcast. Both legs are
+    /// charged to [`CollectiveKind::Allreduce`].
     pub fn try_allreduce<T: Elem>(
         &self,
         data: Vec<T>,
         op: impl Fn(&mut [T], &[T]) + Copy,
     ) -> Result<Vec<T>, CommError> {
-        let reduced = self.try_reduce(0, data, op)?;
-        self.try_bcast(0, reduced.unwrap_or_default())
+        let reduced = self.reduce_k(0, data, op, CollectiveKind::Allreduce)?;
+        self.bcast_k(0, reduced.unwrap_or_default(), CollectiveKind::Allreduce)
     }
 
     /// Fallible ring allgather of variable-size blocks: returns every
@@ -216,7 +261,7 @@ impl Comm {
             // Send the block that arrived `step` hops ago (own block first).
             let send_idx = (self.rank + p - step) % p;
             let block = blocks[send_idx].clone().expect("ring allgather gap");
-            self.try_send(right, block)?;
+            self.send_k(right, block, CollectiveKind::Allgatherv)?;
             let recv_idx = (self.rank + p - step - 1) % p;
             blocks[recv_idx] = Some(self.try_recv(left)?);
         }
@@ -263,7 +308,7 @@ impl Comm {
         // after p-1 steps the fully-reduced own block remains.
         let mut carry = block(&data, (self.rank + 1) % p);
         for step in 0..p - 1 {
-            self.try_send(left, carry)?;
+            self.send_k(left, carry, CollectiveKind::ReduceScatter)?;
             let incoming: Vec<T> = self.try_recv(right)?;
             // The incoming partial sum corresponds to block
             // (rank + step + 2) mod p … except on the final step, where it
@@ -295,7 +340,7 @@ impl Comm {
             if dst == self.rank {
                 out[self.rank] = block;
             } else {
-                self.try_send(dst, block)?;
+                self.send_k(dst, block, CollectiveKind::Alltoallv)?;
             }
         }
         for (src, slot) in out.iter_mut().enumerate() {
@@ -323,7 +368,7 @@ impl Comm {
             }
             Ok(Some(out))
         } else {
-            self.try_send(root, data)?;
+            self.send_k(root, data, CollectiveKind::Gatherv)?;
             Ok(None)
         }
     }

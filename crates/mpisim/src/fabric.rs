@@ -47,6 +47,182 @@ fn default_recv_timeout() -> Duration {
 
 type Payload = Box<dyn Any + Send>;
 
+/// Number of [`CollectiveKind`] variants (sizes the per-kind counter
+/// tables).
+pub const KIND_COUNT: usize = 9;
+
+/// The collective operation a fabric message belongs to, for
+/// phase-attributed traffic accounting.
+///
+/// Every delivered message is charged to exactly one kind:
+/// [`CollectiveKind::PointToPoint`] for bare `try_send`/`try_recv`
+/// traffic, and the matching collective kind for messages sent inside a
+/// collective algorithm (an allreduce's internal reduce *and* broadcast
+/// legs are both charged to `Allreduce` — attribution follows the
+/// user-facing operation, not its implementation tree).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum CollectiveKind {
+    /// Bare point-to-point sends outside any collective.
+    PointToPoint = 0,
+    /// Dissemination barrier rounds.
+    Barrier = 1,
+    /// Binomial-tree broadcast.
+    Bcast = 2,
+    /// Binomial-tree reduce.
+    Reduce = 3,
+    /// Allreduce (its reduce and broadcast legs both land here).
+    Allreduce = 4,
+    /// Ring allgather of variable blocks (includes `Comm::split`'s
+    /// membership exchange).
+    Allgatherv = 5,
+    /// Ring reduce-scatter.
+    ReduceScatter = 6,
+    /// Direct pairwise all-to-all of variable blocks.
+    Alltoallv = 7,
+    /// Gather of variable blocks to a root.
+    Gatherv = 8,
+}
+
+impl CollectiveKind {
+    /// Every kind, in counter-table order.
+    pub const ALL: [CollectiveKind; KIND_COUNT] = [
+        CollectiveKind::PointToPoint,
+        CollectiveKind::Barrier,
+        CollectiveKind::Bcast,
+        CollectiveKind::Reduce,
+        CollectiveKind::Allreduce,
+        CollectiveKind::Allgatherv,
+        CollectiveKind::ReduceScatter,
+        CollectiveKind::Alltoallv,
+        CollectiveKind::Gatherv,
+    ];
+
+    /// Counter-table index of this kind.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name (used as JSON keys in trace files).
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveKind::PointToPoint => "p2p",
+            CollectiveKind::Barrier => "barrier",
+            CollectiveKind::Bcast => "bcast",
+            CollectiveKind::Reduce => "reduce",
+            CollectiveKind::Allreduce => "allreduce",
+            CollectiveKind::Allgatherv => "allgatherv",
+            CollectiveKind::ReduceScatter => "reduce_scatter",
+            CollectiveKind::Alltoallv => "alltoallv",
+            CollectiveKind::Gatherv => "gatherv",
+        }
+    }
+
+    /// Inverse of [`CollectiveKind::name`].
+    pub fn from_name(name: &str) -> Option<CollectiveKind> {
+        CollectiveKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// A plain-integer snapshot of per-kind delivered traffic: `bytes[k]` /
+/// `messages[k]` indexed by [`CollectiveKind::index`]. Doubles as a
+/// *delta* (see [`TrafficScope::delta`]) and as an accumulator — the
+/// counters are monotone, so differences and sums stay exact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindSnapshot {
+    /// Delivered bytes per collective kind.
+    pub bytes: [u64; KIND_COUNT],
+    /// Delivered messages per collective kind.
+    pub messages: [u64; KIND_COUNT],
+}
+
+impl KindSnapshot {
+    /// Total bytes across all kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total messages across all kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().sum()
+    }
+
+    /// Bytes charged to `kind`.
+    #[inline]
+    pub fn bytes_of(&self, kind: CollectiveKind) -> u64 {
+        self.bytes[kind.index()]
+    }
+
+    /// Messages charged to `kind`.
+    #[inline]
+    pub fn messages_of(&self, kind: CollectiveKind) -> u64 {
+        self.messages[kind.index()]
+    }
+
+    /// The counter movement since `earlier` (which must be an older
+    /// snapshot of the same counters; monotonicity makes this exact).
+    pub fn since(&self, earlier: &KindSnapshot) -> KindSnapshot {
+        let mut out = KindSnapshot::default();
+        for k in 0..KIND_COUNT {
+            out.bytes[k] = self.bytes[k] - earlier.bytes[k];
+            out.messages[k] = self.messages[k] - earlier.messages[k];
+        }
+        out
+    }
+
+    /// Accumulates `other` into `self` (for merging deltas).
+    pub fn merge(&mut self, other: &KindSnapshot) {
+        for k in 0..KIND_COUNT {
+            self.bytes[k] += other.bytes[k];
+            self.messages[k] += other.messages[k];
+        }
+    }
+
+    /// `self - other` where every component of `other` is ≤ the matching
+    /// component of `self` (used to carve a child span's traffic out of
+    /// its parent's). Saturates rather than panicking so a racy reader
+    /// can never underflow.
+    pub fn saturating_sub(&self, other: &KindSnapshot) -> KindSnapshot {
+        let mut out = KindSnapshot::default();
+        for k in 0..KIND_COUNT {
+            out.bytes[k] = self.bytes[k].saturating_sub(other.bytes[k]);
+            out.messages[k] = self.messages[k].saturating_sub(other.messages[k]);
+        }
+        out
+    }
+}
+
+/// A scoped delta guard over one rank's per-kind traffic counters.
+///
+/// Created by `Comm::traffic_scope()` (or [`TrafficStats::scope`]), it
+/// snapshots the bytes/messages **sent by that rank** at construction;
+/// [`TrafficScope::delta`] returns how much the rank has sent since.
+/// Because the snapshot covers only the owning rank's source-side
+/// counters, concurrent traffic from other ranks never leaks into the
+/// delta — summing disjoint scopes across all ranks partitions the
+/// universe-global totals exactly, which is what lets spans attribute
+/// communication to phases without double counting.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficScope<'a> {
+    stats: &'a TrafficStats,
+    rank: usize,
+    start: KindSnapshot,
+}
+
+impl TrafficScope<'_> {
+    /// The world rank whose sends this scope observes.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Per-kind traffic this rank has sent since the scope was created.
+    /// Non-consuming: call repeatedly for running totals.
+    pub fn delta(&self) -> KindSnapshot {
+        self.stats.kind_snapshot_for(self.rank).since(&self.start)
+    }
+}
+
 /// Per-universe traffic counters (shared by every communicator derived
 /// from the universe).
 ///
@@ -70,6 +246,11 @@ pub struct TrafficStats {
     pub dropped: AtomicU64,
     /// Per-source-rank byte counts (load-imbalance analysis).
     pub bytes_by_rank: Vec<AtomicU64>,
+    /// Per-source-rank, per-kind delivered bytes
+    /// (`rank * KIND_COUNT + kind.index()`).
+    kind_bytes: Vec<AtomicU64>,
+    /// Per-source-rank, per-kind delivered messages (same layout).
+    kind_messages: Vec<AtomicU64>,
 }
 
 impl TrafficStats {
@@ -80,6 +261,8 @@ impl TrafficStats {
             attempted: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             bytes_by_rank: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            kind_bytes: (0..p * KIND_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            kind_messages: (0..p * KIND_COUNT).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -112,6 +295,59 @@ impl TrafficStats {
             .map(|a| a.load(Ordering::Relaxed))
             .max()
             .unwrap_or(0)
+    }
+
+    /// Per-kind delivered traffic sent by world rank `rank`.
+    pub fn kind_snapshot_for(&self, rank: usize) -> KindSnapshot {
+        let mut snap = KindSnapshot::default();
+        let base = rank * KIND_COUNT;
+        for k in 0..KIND_COUNT {
+            snap.bytes[k] = self.kind_bytes[base + k].load(Ordering::Relaxed);
+            snap.messages[k] = self.kind_messages[base + k].load(Ordering::Relaxed);
+        }
+        snap
+    }
+
+    /// Per-kind delivered traffic summed over every source rank.
+    pub fn kind_totals(&self) -> KindSnapshot {
+        let p = self.bytes_by_rank.len();
+        let mut snap = KindSnapshot::default();
+        for r in 0..p {
+            snap.merge(&self.kind_snapshot_for(r));
+        }
+        snap
+    }
+
+    /// A [`TrafficScope`] delta guard over `world_rank`'s send counters.
+    pub fn scope(&self, world_rank: usize) -> TrafficScope<'_> {
+        TrafficScope {
+            stats: self,
+            rank: world_rank,
+            start: self.kind_snapshot_for(world_rank),
+        }
+    }
+
+    /// Checks the *partition invariant*: summed over ranks, the per-kind
+    /// byte/message counters must equal the global `bytes`/`messages`
+    /// exactly — every delivered message is charged to one kind on one
+    /// source rank, nothing double-counted, nothing orphaned. Returns
+    /// `(kind_total, global_total)` pairs for bytes and messages on
+    /// violation.
+    ///
+    /// Only meaningful while the fabric is quiescent (a send increments
+    /// the kind counter and the global counter non-atomically).
+    #[allow(clippy::type_complexity)]
+    pub fn check_kind_partition(&self) -> Result<(), ((u64, u64), (u64, u64))> {
+        let totals = self.kind_totals();
+        let (bytes, msgs) = self.snapshot();
+        if totals.total_bytes() == bytes && totals.total_messages() == msgs {
+            Ok(())
+        } else {
+            Err((
+                (totals.total_bytes(), bytes),
+                (totals.total_messages(), msgs),
+            ))
+        }
     }
 }
 
@@ -356,7 +592,21 @@ impl Fabric {
         &self,
         src: usize,
         dst: usize,
+        data: Vec<T>,
+    ) -> Result<(), CommError> {
+        self.try_send_kind(src, dst, data, CollectiveKind::PointToPoint)
+    }
+
+    /// [`Fabric::try_send`] with an explicit [`CollectiveKind`] charged
+    /// for the traffic — the collectives in [`crate::comm::Comm`] use
+    /// this so every delivered byte is attributed to the user-facing
+    /// operation that moved it.
+    pub fn try_send_kind<T: Send + 'static>(
+        &self,
+        src: usize,
+        dst: usize,
         mut data: Vec<T>,
+        kind: CollectiveKind,
     ) -> Result<(), CommError> {
         let fault = self.fault_state();
         if let Some(state) = &fault {
@@ -392,6 +642,9 @@ impl Fabric {
         self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_by_rank[src].fetch_add(bytes, Ordering::Relaxed);
+        let cell = src * KIND_COUNT + kind.index();
+        self.stats.kind_bytes[cell].fetch_add(bytes, Ordering::Relaxed);
+        self.stats.kind_messages[cell].fetch_add(1, Ordering::Relaxed);
 
         let epoch = self.current_epoch();
         let link = self.link(src, dst);
@@ -861,6 +1114,69 @@ mod tests {
         .unwrap_err();
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("injected crash"), "got: {msg}");
+    }
+
+    #[test]
+    fn kind_counters_partition_the_global_totals() {
+        let f = Fabric::new(2);
+        f.try_send_kind(0, 1, vec![1.0f64; 4], CollectiveKind::Allreduce)
+            .unwrap();
+        f.try_send_kind(1, 0, vec![1.0f64; 2], CollectiveKind::ReduceScatter)
+            .unwrap();
+        f.send(0, 1, vec![7u8]); // bare p2p
+        let stats = f.stats();
+        let totals = stats.kind_totals();
+        assert_eq!(totals.bytes_of(CollectiveKind::Allreduce), 32);
+        assert_eq!(totals.bytes_of(CollectiveKind::ReduceScatter), 16);
+        assert_eq!(totals.bytes_of(CollectiveKind::PointToPoint), 1);
+        assert_eq!(totals.messages_of(CollectiveKind::Allreduce), 1);
+        assert_eq!(totals.total_bytes(), stats.snapshot().0);
+        assert_eq!(totals.total_messages(), stats.snapshot().1);
+        stats.check_kind_partition().expect("partition invariant");
+        // Per-rank attribution: rank 0 sent the allreduce + p2p bytes.
+        let r0 = stats.kind_snapshot_for(0);
+        assert_eq!(r0.bytes_of(CollectiveKind::Allreduce), 32);
+        assert_eq!(r0.bytes_of(CollectiveKind::ReduceScatter), 0);
+    }
+
+    #[test]
+    fn dropped_sends_are_not_charged_to_any_kind() {
+        let f = Fabric::new(2);
+        f.attach_fault_plan(FaultPlan::quiet(3).with_drops(1.0));
+        f.try_send_kind(0, 1, vec![1.0f64; 8], CollectiveKind::Bcast)
+            .unwrap();
+        let totals = f.stats().kind_totals();
+        assert_eq!(totals.total_bytes(), 0, "dropped bytes never delivered");
+        assert_eq!(totals.total_messages(), 0);
+        f.stats().check_kind_partition().expect("partition on drop");
+        f.clear_fault_plan();
+    }
+
+    #[test]
+    fn traffic_scope_sees_only_its_own_rank() {
+        let f = Fabric::new(2);
+        let scope0 = f.stats().scope(0);
+        let scope1 = f.stats().scope(1);
+        f.try_send_kind(0, 1, vec![1.0f64; 3], CollectiveKind::Gatherv)
+            .unwrap();
+        let d0 = scope0.delta();
+        let d1 = scope1.delta();
+        assert_eq!(d0.total_bytes(), 24);
+        assert_eq!(d0.bytes_of(CollectiveKind::Gatherv), 24);
+        assert_eq!(d1.total_bytes(), 0, "rank 1 sent nothing");
+        // Scopes are non-consuming and deltas are cumulative.
+        f.try_send_kind(0, 1, vec![1.0f64], CollectiveKind::Gatherv)
+            .unwrap();
+        assert_eq!(scope0.delta().total_bytes(), 32);
+    }
+
+    #[test]
+    fn kind_name_round_trips() {
+        for kind in CollectiveKind::ALL {
+            assert_eq!(CollectiveKind::from_name(kind.name()), Some(kind));
+            assert_eq!(CollectiveKind::ALL[kind.index()], kind);
+        }
+        assert_eq!(CollectiveKind::from_name("warp_drive"), None);
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub mod grid;
 pub mod universe;
 
 pub use comm::{max_op, sum_op, Comm};
-pub use fabric::{Fabric, TrafficStats, RECV_TIMEOUT, RECV_TIMEOUT_ENV};
+pub use fabric::{
+    CollectiveKind, Fabric, KindSnapshot, TrafficScope, TrafficStats, KIND_COUNT, RECV_TIMEOUT,
+    RECV_TIMEOUT_ENV,
+};
 pub use fault::{CommError, CorruptMode, FaultPlan, RankFailure};
 pub use grid::{choose_shrunk_dims, enumerate_grids, try_rebuild_grid, CartGrid, ShrinkOutcome};
 pub use universe::Universe;
@@ -333,5 +336,51 @@ mod collective_tests {
         // Reduce (3 sends of 800B) + bcast (3 sends of 800B) = 4800 bytes.
         assert_eq!(bytes, 4800);
         assert_eq!(msgs, 6);
+        // Both legs are attributed to the allreduce kind.
+        let totals = u.traffic().kind_totals();
+        assert_eq!(totals.bytes_of(CollectiveKind::Allreduce), 4800);
+        assert_eq!(totals.messages_of(CollectiveKind::Allreduce), 6);
+        assert_eq!(totals.total_bytes(), 4800);
+        u.traffic().check_kind_partition().unwrap();
+    }
+
+    #[test]
+    fn collectives_charge_their_own_kind() {
+        let u = Universe::new(4);
+        u.run(|c| {
+            c.barrier();
+            let _ = c.bcast(1, if c.rank() == 1 { vec![1u64; 5] } else { vec![] });
+            let _ = c.reduce(0, vec![1.0f64; 3], sum_op);
+            let _ = c.allreduce(vec![1.0f64; 2], sum_op);
+            let _ = c.allgatherv(vec![c.rank() as u64; 2]);
+            let _ = c.reduce_scatter(vec![1.0f64; 4], &[1, 1, 1, 1], sum_op);
+            let _ = c.alltoallv((0..4).map(|d| vec![d as u32]).collect());
+            let _ = c.gatherv(3, vec![c.rank() as u8]);
+            let _ = c.split(c.rank() % 2, c.rank());
+            if c.rank() == 0 {
+                c.send(1, vec![9i64]);
+            }
+            if c.rank() == 1 {
+                let _ = c.recv::<i64>(0);
+            }
+        });
+        let totals = u.traffic().kind_totals();
+        for kind in CollectiveKind::ALL {
+            assert!(
+                totals.messages_of(kind) > 0,
+                "kind {} saw no traffic",
+                kind.name()
+            );
+        }
+        // split rides on allgatherv: one u64 triple ring (3 words x 3
+        // sends x 4 ranks) on top of the explicit 2-word allgatherv.
+        assert_eq!(
+            totals.bytes_of(CollectiveKind::Allgatherv),
+            3 * 4 * 8 * 3 + 3 * 4 * 8 * 2
+        );
+        assert_eq!(totals.bytes_of(CollectiveKind::PointToPoint), 8);
+        assert_eq!(totals.total_bytes(), u.traffic().snapshot().0);
+        assert_eq!(totals.total_messages(), u.traffic().snapshot().1);
+        u.traffic().check_kind_partition().unwrap();
     }
 }

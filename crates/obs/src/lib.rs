@@ -1,0 +1,44 @@
+//! Observability for the RA-Tucker stack.
+//!
+//! Three layers, each usable on its own:
+//!
+//! 1. **Span tracing** ([`trace`]): per-rank begin/end spans carrying a
+//!    phase label, an optional tensor mode, and the communication the
+//!    span performed (attributed *exclusively* — a parent's counters
+//!    exclude its children). Tracing is off by default and costs a
+//!    single relaxed atomic load per span site when disabled.
+//! 2. **Chrome trace export** ([`chrome`]): merges all ranks' spans
+//!    into one trace-event JSON file loadable in `chrome://tracing` or
+//!    Perfetto, one "process" per rank — plus a parser and validator
+//!    for the same files so CI can smoke-check emitted traces.
+//! 3. **Analysis** ([`analysis`], [`validate`]): per-phase load
+//!    imbalance and critical-path estimates across ranks, and a
+//!    perf-model validation report comparing measured per-phase
+//!    communication volume against [`ratucker_perfmodel`] predictions.
+//!
+//! Communication attribution builds on [`ratucker_mpi`]'s
+//! per-collective-kind traffic counters ([`ratucker_mpi::KindSnapshot`]);
+//! the sum of all spans' exclusive counters on a rank equals that
+//! rank's source-side totals, so per-phase bytes partition the global
+//! [`ratucker_mpi::TrafficStats`] exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod chrome;
+pub mod json;
+pub mod trace;
+pub mod validate;
+
+pub use analysis::{PhaseBreakdown, PhaseStat};
+pub use chrome::{
+    export_string, parse, validate_parsed, write_trace, ParsedSpan, ParsedTrace, TraceFileError,
+};
+pub use trace::{
+    enabled, flush_current_thread, span, span_mode, Span, SpanEvent, Trace, TraceSession,
+    DEFAULT_RING_CAPACITY,
+};
+pub use validate::{
+    validate_against_model, PerfDeviation, PhaseValidation, ValidationConfig, ValidationReport,
+};

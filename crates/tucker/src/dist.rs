@@ -187,7 +187,10 @@ fn try_dist_llsv_gram<T: Scalar>(
     let g = with_abft_retry(ctx, || {
         timings.time(Phase::Gram, || try_dist_gram_checked(grid, y, mode, abft))
     })?;
-    let evd = timings.time(Phase::Evd, || robust_sym_evd(&g));
+    let evd = timings.time(Phase::Evd, || {
+        let _s = ratucker_obs::span_mode(&grid.comm, "EVD", mode);
+        robust_sym_evd(&g)
+    });
     let r = match trunc {
         Truncation::Rank(r) => r.min(evd.values.len()),
         Truncation::ErrorSq(t) => rank_for_error(&evd.values, t),
@@ -224,7 +227,10 @@ fn try_dist_llsv_subspace<T: Scalar>(
             let core_repl = g_core.try_gather_replicated(grid)?;
             try_dist_contract(grid, y, &core_repl, mode)
         })?;
-        let f = timings.time(Phase::Qr, || qrcp(&z));
+        let f = timings.time(Phase::Qr, || {
+            let _s = ratucker_obs::span_mode(&grid.comm, "QR", mode);
+            qrcp(&z)
+        });
         u = f.q;
     }
     Ok(u)
@@ -307,6 +313,7 @@ pub(crate) fn try_dist_sweep<T: Scalar>(
     timings: &mut Timings,
     ctx: &mut SweepCtx,
 ) -> Result<DistTensor<T>, CommError> {
+    let _span = ratucker_obs::span(&grid.comm, "sweep");
     match config.ttm {
         TtmStrategy::Direct => {
             let d = x.global_shape().order();
@@ -541,6 +548,7 @@ fn dist_ra_hooi_impl<T: Scalar>(
             // Gather the (small) core everywhere and truncate redundantly.
             let core_repl = timings.time(Phase::Other, || core.gather_replicated(grid));
             let analysis = timings.time(Phase::CoreAnalysis, || {
+                let _s = ratucker_obs::span(&grid.comm, "CoreAnalysis");
                 analyze_core(&core_repl, &dims, x_norm_sq, config.eps)
             });
             if let Some(a) = analysis {

@@ -134,6 +134,9 @@ pub enum ResilientOutcome<T: Scalar> {
     Spare {
         /// What the stack had done up to the exit.
         report: RecoveryReport,
+        /// Phase breakdown up to the exit, including the time spent in
+        /// the recovery rounds themselves ([`Phase::Recovery`]).
+        timings: Timings,
     },
     /// A dead rank's block is unrecoverable in memory (the rank and all
     /// of its buddies died between two refreshes, or replication is
@@ -143,7 +146,24 @@ pub enum ResilientOutcome<T: Scalar> {
         dead: Vec<usize>,
         /// Human-readable reason.
         reason: String,
+        /// Phase breakdown up to the fallback decision, including the
+        /// recovery rounds that failed to restore the block.
+        timings: Timings,
     },
+}
+
+impl<T: Scalar> ResilientOutcome<T> {
+    /// The merged per-phase breakdown of the run, whatever its outcome.
+    /// Shrink/restore/refresh time is charged to [`Phase::Recovery`],
+    /// so the cost of the fault-tolerance stack is visible next to the
+    /// algorithmic phases.
+    pub fn timings(&self) -> &Timings {
+        match self {
+            ResilientOutcome::Completed { result, .. } => &result.timings,
+            ResilientOutcome::Spare { timings, .. } => timings,
+            ResilientOutcome::FallbackToCheckpoint { timings, .. } => timings,
+        }
+    }
 }
 
 /// What one recovery round decided.
@@ -310,6 +330,7 @@ fn attempt_sweep<T: Scalar>(
     if core_norm_sq >= threshold {
         let core_repl = timings.time(Phase::Other, || core.try_gather_replicated(grid))?;
         let analysis = timings.time(Phase::CoreAnalysis, || {
+            let _s = ratucker_obs::span(&grid.comm, "CoreAnalysis");
             analyze_core(&core_repl, dims, x_norm_sq, config.eps)
         });
         if let Some(a) = analysis {
@@ -455,8 +476,20 @@ pub fn dist_ra_hooi_resilient<T: IoScalar>(
         }
         // The sweep mutates factors in place; snapshot them (replicated,
         // so a local copy is globally consistent) for the retry path.
-        let snapshot = factors.clone();
-        let attempt = try_refresh_buddies(&grid, &x, res.buddy_degree).and_then(|store| {
+        let snapshot = {
+            let _s = ratucker_obs::span(&grid.comm, "snapshot");
+            factors.clone()
+        };
+        // Buddy refresh is pure fault-tolerance overhead: charge it to
+        // the Recovery phase so the breakdown shows the price of
+        // resilience next to the algorithmic phases.
+        let refresh_t0 = std::time::Instant::now();
+        let refreshed = {
+            let _s = ratucker_obs::span(&grid.comm, "refresh");
+            try_refresh_buddies(&grid, &x, res.buddy_degree)
+        };
+        timings.record(Phase::Recovery, refresh_t0.elapsed().as_secs_f64());
+        let attempt = refreshed.and_then(|store| {
             buddies = store;
             attempt_sweep(
                 &grid,
@@ -487,15 +520,26 @@ pub fn dist_ra_hooi_resilient<T: IoScalar>(
             Err(e) if is_failure(&e) => {
                 // Shrink-and-continue: retry recovery rounds against
                 // fresh failures until one commits or the cap is hit.
+                // Everything from the failure to the committed retry
+                // state — agreement, re-blocking, factor restore — is
+                // charged to the Recovery phase.
+                let rec_t0 = std::time::Instant::now();
                 let mut last = e;
                 let mut round = 0;
                 loop {
                     report.recoveries += 1;
                     round += 1;
                     if report.recoveries > res.max_recoveries {
+                        timings.record(Phase::Recovery, rec_t0.elapsed().as_secs_f64());
                         return Err(last);
                     }
-                    match try_recover(&grid, &x, &buddies, res.buddy_degree) {
+                    // The span is scoped to the recovery call so the
+                    // `Continue` arm below can move `grid` freely.
+                    let recovery = {
+                        let _s = ratucker_obs::span(&grid.comm, "Recovery");
+                        try_recover(&grid, &x, &buddies, res.buddy_degree)
+                    };
+                    match recovery {
                         Ok(Recovery::Retry) => break,
                         Ok(Recovery::Continue {
                             grid: g2,
@@ -516,19 +560,29 @@ pub fn dist_ra_hooi_resilient<T: IoScalar>(
                         }
                         Ok(Recovery::Spare) => {
                             report.abft = ctx.stats;
-                            return Ok(ResilientOutcome::Spare { report });
+                            timings.record(Phase::Recovery, rec_t0.elapsed().as_secs_f64());
+                            return Ok(ResilientOutcome::Spare { report, timings });
                         }
                         Ok(Recovery::Fallback { dead, reason }) => {
-                            return Ok(ResilientOutcome::FallbackToCheckpoint { dead, reason });
+                            timings.record(Phase::Recovery, rec_t0.elapsed().as_secs_f64());
+                            return Ok(ResilientOutcome::FallbackToCheckpoint {
+                                dead,
+                                reason,
+                                timings,
+                            });
                         }
                         Err(e2) if is_failure(&e2) && round <= res.max_recoveries => {
                             last = e2;
                         }
-                        Err(e2) => return Err(e2),
+                        Err(e2) => {
+                            timings.record(Phase::Recovery, rec_t0.elapsed().as_secs_f64());
+                            return Err(e2);
+                        }
                     }
                 }
                 // Retry this sweep from the pre-sweep state.
                 factors = snapshot;
+                timings.record(Phase::Recovery, rec_t0.elapsed().as_secs_f64());
             }
             Err(e) => return Err(e),
         }
@@ -660,11 +714,11 @@ mod tests {
                         result.rel_error
                     );
                 }
-                ResilientOutcome::Spare { report } => {
+                ResilientOutcome::Spare { report, .. } => {
                     spares += 1;
                     assert!(report.recoveries >= 1);
                 }
-                ResilientOutcome::FallbackToCheckpoint { dead, reason } => {
+                ResilientOutcome::FallbackToCheckpoint { dead, reason, .. } => {
                     panic!("rank {rank} fell back to disk (dead {dead:?}): {reason}")
                 }
             }

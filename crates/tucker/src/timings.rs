@@ -22,18 +22,21 @@ pub enum Phase {
     Qr,
     /// Rank-adaptive core analysis (prefix sums + truncation search).
     CoreAnalysis,
+    /// Fault recovery: snapshot refresh, shrink, redistribute, restore.
+    Recovery,
     /// Core gather / factor setup and everything else.
     Other,
 }
 
 /// All phases, in display order.
-pub const ALL_PHASES: [Phase; 7] = [
+pub const ALL_PHASES: [Phase; 8] = [
     Phase::Ttm,
     Phase::Gram,
     Phase::Evd,
     Phase::Contract,
     Phase::Qr,
     Phase::CoreAnalysis,
+    Phase::Recovery,
     Phase::Other,
 ];
 
@@ -47,6 +50,7 @@ impl Phase {
             Phase::Contract => "SI-Contract",
             Phase::Qr => "QR",
             Phase::CoreAnalysis => "CoreAnalysis",
+            Phase::Recovery => "Recovery",
             Phase::Other => "Other",
         }
     }
@@ -59,8 +63,8 @@ impl Phase {
 /// Accumulated seconds and flops per phase.
 #[derive(Clone, Debug, Default)]
 pub struct Timings {
-    secs: [f64; 7],
-    flops: [u64; 7],
+    secs: [f64; 8],
+    flops: [u64; 8],
 }
 
 impl Timings {
@@ -76,6 +80,13 @@ impl Timings {
         self.secs[phase.index()] += t0.elapsed().as_secs_f64();
         self.flops[phase.index()] += fl;
         out
+    }
+
+    /// Charges `secs` wall seconds directly to `phase` — for callers
+    /// that measured a region themselves (e.g. the recovery loop's
+    /// shrink/restore timer) rather than through [`Timings::time`].
+    pub fn record(&mut self, phase: Phase, secs: f64) {
+        self.secs[phase.index()] += secs;
     }
 
     /// Seconds accumulated in `phase`.
@@ -104,6 +115,39 @@ impl Timings {
             self.secs[i] += other.secs[i];
             self.flops[i] += other.flops[i];
         }
+    }
+
+    /// Integer percent-of-total-seconds per phase (display order),
+    /// apportioned by largest remainder so the row sums to exactly 100
+    /// whenever any time was recorded (all-zero timings yield zeros).
+    pub fn percents(&self) -> [u32; 8] {
+        let total: f64 = self.secs.iter().sum();
+        let mut out = [0u32; 8];
+        if total <= 0.0 {
+            return out;
+        }
+        // Floor shares, then hand the missing percent points to the
+        // phases with the largest fractional remainders (ties broken by
+        // display order, keeping the result deterministic).
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(8);
+        let mut used = 0u32;
+        for (i, &s) in self.secs.iter().enumerate() {
+            let share = s / total * 100.0;
+            let fl = share.floor();
+            out[i] = fl as u32;
+            used += out[i];
+            remainders.push((i, share - fl));
+        }
+        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut left = 100u32.saturating_sub(used);
+        for (i, _) in remainders {
+            if left == 0 {
+                break;
+            }
+            out[i] += 1;
+            left -= 1;
+        }
+        out
     }
 
     /// One-line breakdown, e.g. for harness output.
@@ -157,5 +201,111 @@ mod tests {
         let s = t.summary();
         assert!(s.contains("EVD"));
         assert!(!s.contains("QR"));
+    }
+
+    fn with_secs(pairs: &[(Phase, f64)]) -> Timings {
+        let mut t = Timings::new();
+        for &(p, s) in pairs {
+            t.record(p, s);
+        }
+        t
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), per phase, for both secs and flops.
+        let mk = |seed: u64| {
+            let mut t = Timings::new();
+            for (i, &p) in ALL_PHASES.iter().enumerate() {
+                t.record(p, (seed * 31 + i as u64) as f64 * 0.125);
+            }
+            t.time(ALL_PHASES[seed as usize % ALL_PHASES.len()], || {
+                ratucker_tensor::flops::add(seed * 7 + 3)
+            });
+            t
+        };
+        let (a, b, c) = (mk(1), mk(2), mk(3));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        for &p in &ALL_PHASES {
+            // record() adds exact dyadic fractions, so equality is exact.
+            assert_eq!(left.secs(p), right.secs(p), "{}", p.label());
+            assert_eq!(left.flops(p), right.flops(p), "{}", p.label());
+        }
+    }
+
+    #[test]
+    fn percents_sum_to_exactly_100() {
+        // A pathological split: 1/3, 1/3, 1/3 floors to 33+33+33 = 99;
+        // largest-remainder must top one phase up to 34.
+        let t = with_secs(&[(Phase::Ttm, 1.0), (Phase::Gram, 1.0), (Phase::Evd, 1.0)]);
+        let p = t.percents();
+        assert_eq!(p.iter().sum::<u32>(), 100);
+        assert!(p.iter().filter(|&&x| x == 34).count() == 1);
+        assert!(p.iter().filter(|&&x| x == 33).count() == 2);
+
+        // Seven equal shares: 7 × 14 = 98, two phases get 15.
+        let t = with_secs(
+            &ALL_PHASES[..7]
+                .iter()
+                .map(|&p| (p, 0.5))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(t.percents().iter().sum::<u32>(), 100);
+
+        // All-zero timings stay all-zero (no NaN, no 100-from-nothing).
+        assert_eq!(Timings::new().percents(), [0u32; 8]);
+
+        // A dominant phase keeps ~all of it.
+        let t = with_secs(&[(Phase::Recovery, 99.0), (Phase::Other, 1.0)]);
+        let p = t.percents();
+        assert_eq!(p.iter().sum::<u32>(), 100);
+        assert_eq!(
+            p[ALL_PHASES
+                .iter()
+                .position(|&x| x == Phase::Recovery)
+                .unwrap()],
+            99
+        );
+    }
+
+    #[test]
+    fn display_order_is_stable() {
+        // The breakdown tables and the percents() array are indexed by
+        // ALL_PHASES order; freezing it here turns silent reorderings
+        // into loud test failures.
+        let labels: Vec<&str> = ALL_PHASES.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "TTM",
+                "Gram",
+                "EVD",
+                "SI-Contract",
+                "QR",
+                "CoreAnalysis",
+                "Recovery",
+                "Other"
+            ]
+        );
+        // label() and index() are mutually consistent and distinct.
+        for (i, &p) in ALL_PHASES.iter().enumerate() {
+            assert_eq!(ALL_PHASES.iter().position(|&q| q == p), Some(i));
+        }
+    }
+
+    #[test]
+    fn record_charges_phase_directly() {
+        let mut t = Timings::new();
+        t.record(Phase::Recovery, 2.5);
+        t.record(Phase::Recovery, 0.5);
+        assert_eq!(t.secs(Phase::Recovery), 3.0);
+        assert_eq!(t.total_secs(), 3.0);
+        assert!(t.summary().contains("Recovery=3.0000s"));
     }
 }

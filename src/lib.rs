@@ -15,12 +15,14 @@
 //! - [`tucker`] — STHOSVD, HOOI variants, and rank-adaptive HOSI-DT.
 //! - [`datasets`] — scientific-simulation stand-in generators.
 //! - [`perfmodel`] — analytic cost model and scaling simulator.
+//! - [`obs`] — span tracing, traffic attribution, perf-model validation.
 
 pub use ratucker as tucker;
 pub use ratucker_datasets as datasets;
 pub use ratucker_dist as dist;
 pub use ratucker_linalg as linalg;
 pub use ratucker_mpi as mpi;
+pub use ratucker_obs as obs;
 pub use ratucker_perfmodel as perfmodel;
 pub use ratucker_tensor as tensor;
 

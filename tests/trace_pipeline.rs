@@ -1,0 +1,214 @@
+//! Workspace property tests for the observability pipeline (PR 3).
+//!
+//! The central invariant: per-span **exclusive** traffic *partitions*
+//! the fabric's traffic counters. With a root span open on every rank,
+//! summing the self-attributed per-kind bytes/messages over all
+//! recorded spans must reproduce the universe's global counters
+//! exactly — per rank, per collective kind, and in total — for
+//! arbitrary collective schedules, arbitrary span nesting, and on
+//! `CommError` paths under injected message drops (a dropped send is
+//! charged to no kind *and* not delivered, so the partition is
+//! preserved on both sides of the ledger).
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use ra_hooi::mpi::{Comm, FaultPlan, KindSnapshot, Universe};
+use ra_hooi::obs::{span, span_mode, TraceSession};
+
+/// Runs a deterministic pseudo-random schedule of collectives on `c`,
+/// under nested spans, ignoring (typed) communication errors. Returns
+/// the number of collectives that failed.
+fn random_collectives(c: &Comm, seed: u64, rounds: usize) -> usize {
+    let mut failures = 0;
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for round in 0..rounds {
+        let n = (next() % 64 + 1) as usize;
+        let data: Vec<f64> = (0..n).map(|i| (i + round) as f64).collect();
+        // Each collective runs under its own (sometimes nested) span.
+        let _outer = span_mode(c, "TTM", round % 3);
+        match next() % 5 {
+            0 => {
+                let _s = span(c, "Gram");
+                if c.try_allreduce(data, |a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += *y;
+                    }
+                })
+                .is_err()
+                {
+                    failures += 1;
+                }
+            }
+            1 => {
+                let _s = span(c, "SI");
+                if c.try_bcast(0, data).is_err() {
+                    failures += 1;
+                }
+            }
+            2 => {
+                if c.try_allgatherv(data).is_err() {
+                    failures += 1;
+                }
+            }
+            3 => {
+                let _s = span(c, "QR");
+                // Spread n entries over the ranks (first rank absorbs
+                // the remainder).
+                let p = c.size();
+                let mut counts = vec![n / p; p];
+                counts[0] += n % p;
+                if c.try_reduce_scatter(data, &counts, |a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += *y;
+                    }
+                })
+                .is_err()
+                {
+                    failures += 1;
+                }
+            }
+            _ => {
+                if c.try_barrier().is_err() {
+                    failures += 1;
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Asserts the partition: trace self-traffic == fabric counters, per
+/// rank, per kind, and globally.
+fn assert_partition(trace: &ra_hooi::obs::Trace, u: &Universe, p: usize) {
+    assert_eq!(trace.evicted, 0, "ring evictions void the partition");
+    // Global, per kind.
+    let measured = trace.totals();
+    let fabric = u.traffic().kind_totals();
+    assert_eq!(measured.bytes, fabric.bytes, "per-kind byte partition");
+    assert_eq!(
+        measured.messages, fabric.messages,
+        "per-kind message partition"
+    );
+    // Global totals against the legacy counters.
+    let (bytes, msgs) = u.traffic().snapshot();
+    assert_eq!(measured.total_bytes(), bytes);
+    assert_eq!(measured.total_messages(), msgs);
+    // Per rank, per kind.
+    for r in 0..p {
+        let mut rank_sum = KindSnapshot::default();
+        for e in trace.events_of_rank(r) {
+            rank_sum.merge(&e.traffic);
+        }
+        let want = u.traffic().kind_snapshot_for(r);
+        assert_eq!(rank_sum.bytes, want.bytes, "rank {r} byte partition");
+        assert_eq!(
+            rank_sum.messages, want.messages,
+            "rank {r} message partition"
+        );
+    }
+    // The fabric's own internal partition must also hold.
+    u.traffic().check_kind_partition().unwrap();
+    u.traffic().check_invariant().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Fault-free random collective schedules: span self-traffic
+    /// partitions the fabric counters exactly, and every rank records
+    /// at least its root span.
+    #[test]
+    fn span_traffic_partitions_fabric_counters(
+        p in 2usize..=4,
+        seed in 0u64..10_000,
+        rounds in 1usize..=6,
+    ) {
+        let session = TraceSession::start();
+        let u = Universe::new(p);
+        let failures = u.run(|c| {
+            let _root = span(&c, "run");
+            // Same seed on every rank: collectives are a matched
+            // schedule across the communicator.
+            random_collectives(&c, seed, rounds)
+        });
+        let trace = session.finish();
+        prop_assert!(failures.iter().all(|&f| f == 0), "fault-free run failed");
+        for r in 0..p {
+            prop_assert!(
+                trace.events_of_rank(r).any(|e| e.phase == "run" && e.depth == 0),
+                "rank {r} missing root span"
+            );
+        }
+        assert_partition(&trace, &u, p);
+    }
+
+    /// Injected message drops: collectives fail with typed errors, yet
+    /// the partition still holds — dropped sends are charged to no kind
+    /// and to no global counter, delivered legs to exactly one of each.
+    #[test]
+    fn partition_survives_comm_errors(
+        seed in 0u64..10_000,
+        rounds in 1usize..=3,
+    ) {
+        let p = 2usize;
+        let session = TraceSession::start();
+        let u = Universe::with_fault_plan(
+            p,
+            FaultPlan::quiet(seed).with_drops(1.0),
+        );
+        u.set_recv_timeout(Duration::from_millis(100));
+        let failures = u.run(|c| {
+            let _root = span(&c, "run");
+            // Same seed on every rank: collectives are a matched
+            // schedule across the communicator.
+            random_collectives(&c, seed, rounds)
+        });
+        let trace = session.finish();
+        // With every send dropped, at least one rank must observe a
+        // typed failure (barriers/bcasts/reduces all need the wire when
+        // p > 1).
+        prop_assert!(failures.iter().sum::<usize>() > 0, "drops went unnoticed");
+        // Dropped messages are on the attempted ledger, not the
+        // delivered one.
+        prop_assert!(u.traffic().dropped.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        assert_partition(&trace, &u, p);
+    }
+}
+
+/// Sessions are disjoint: spans recorded outside any session are
+/// dropped, so a traced run's totals reflect that run only.
+#[test]
+fn sessions_isolate_their_traffic() {
+    let p = 2usize;
+    // Un-traced warm-up universe: nothing from here may leak into the
+    // session below.
+    let u0 = Universe::new(p);
+    u0.run(|c| {
+        let _ = c.try_allreduce(vec![1.0f64; 8], |a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += *y;
+            }
+        });
+    });
+
+    let session = TraceSession::start();
+    let u = Universe::new(p);
+    u.run(|c| {
+        let _root = span(&c, "run");
+        let _ = c.try_allreduce(vec![1.0f64; 8], |a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += *y;
+            }
+        });
+    });
+    let trace = session.finish();
+    assert_partition(&trace, &u, p);
+    assert!(trace.totals().total_bytes() > 0);
+}
