@@ -16,6 +16,16 @@ cargo build --workspace --release --offline
 echo "==> cargo test (workspace)"
 cargo test --workspace --offline -q
 
+echo "==> verify: differential oracles + invariant checkers"
+cargo test -q --offline -p ratucker-verify
+
+echo "==> verify: 25-schedule exploration incl. P=4 crash-recovery (fixed seeds)"
+cargo test -q --offline -p ratucker-verify --test explore \
+  p4_recovery_converges_to_identical_state_under_25_schedules -- --exact
+
+echo "==> verify: conformance sweep d in {3,4} x P in {1,2,4,8} vs sequential oracles"
+cargo test -q --offline --test conformance
+
 echo "==> chaos smoke (single-threaded: fault scenarios share wall-clock budgets)"
 cargo test -q --offline --test chaos -- --test-threads=1
 

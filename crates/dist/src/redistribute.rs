@@ -90,10 +90,18 @@ pub fn try_redistribute<T: Scalar>(
     let dims = new_dist.grid_dims();
     let q: usize = dims.iter().product();
     let p = comm.size();
-    assert!(
-        q <= p,
-        "destination grid ({q} ranks) larger than communicator ({p})"
-    );
+    if q > p {
+        // A destination grid bigger than the communicator is a sizing
+        // fault the recovery driver should see as typed (it chose the
+        // grid; it can choose again), not a panic inside the exchange.
+        let me = comm.world_rank_of(comm.rank());
+        return Err(CommError::SizeMismatch {
+            src: me,
+            dst: me,
+            expected: q,
+            got: p,
+        });
+    }
 
     // Route every piece: slice it against the destination blocks it
     // touches (per-mode owner ranges give the bounding box of
@@ -168,10 +176,17 @@ pub fn try_redistribute<T: Scalar>(
     let header = 2 * d;
     let mut lidx = vec![0usize; d];
     for (src, (meta_s, data_s)) in meta_in.into_iter().zip(data_in).enumerate() {
-        assert!(
-            meta_s.len().is_multiple_of(header.max(1)),
-            "malformed redistribute metadata from rank {src}"
-        );
+        if !meta_s.len().is_multiple_of(header.max(1)) {
+            // Truncated or misrouted metadata payload: typed, so the
+            // caller can trigger recovery instead of unwinding.
+            let h = header.max(1);
+            return Err(CommError::SizeMismatch {
+                src: comm.world_rank_of(src),
+                dst: comm.world_rank_of(comm.rank()),
+                expected: meta_s.len() / h * h,
+                got: meta_s.len(),
+            });
+        }
         let mut cursor = 0usize;
         for chunk in meta_s.chunks(header.max(1)) {
             let inter: Vec<BlockRange> = chunk
@@ -183,6 +198,14 @@ pub fn try_redistribute<T: Scalar>(
                 .collect();
             let sub_shape = Shape::new(&inter.iter().map(|r| r.len).collect::<Vec<_>>());
             let n = sub_shape.num_entries();
+            if cursor + n > data_s.len() {
+                return Err(CommError::SizeMismatch {
+                    src: comm.world_rank_of(src),
+                    dst: comm.world_rank_of(comm.rank()),
+                    expected: cursor + n,
+                    got: data_s.len(),
+                });
+            }
             let sub = &data_s[cursor..cursor + n];
             cursor += n;
             for (off, idx) in sub_shape.indices().enumerate() {
@@ -198,7 +221,16 @@ pub fn try_redistribute<T: Scalar>(
                 local.data_mut()[li] = sub[off];
             }
         }
-        assert_eq!(cursor, data_s.len(), "trailing redistribute data");
+        if cursor != data_s.len() {
+            // The data payload disagrees with its own metadata — a
+            // wrong-sized message from `src` in all but name.
+            return Err(CommError::SizeMismatch {
+                src: comm.world_rank_of(src),
+                dst: comm.world_rank_of(comm.rank()),
+                expected: cursor,
+                got: data_s.len(),
+            });
+        }
     }
     assert!(
         written.iter().all(|&w| w),
@@ -271,5 +303,24 @@ mod tests {
         let active: Vec<_> = results.iter().filter(|r| r.is_some()).collect();
         assert_eq!(active.len(), 2, "2 active + 2 spares");
         assert!(results.into_iter().flatten().all(|r| r == 0.0));
+    }
+
+    #[test]
+    fn oversized_destination_grid_is_a_typed_error() {
+        // A [2,2] destination grid needs 4 ranks; the communicator has 2.
+        // This used to be a bare assert — the recovery driver needs the
+        // typed class so it can pick a feasible grid and retry.
+        let results = Universe::launch(2, |c| {
+            let grid = CartGrid::new(c, &[2, 1]);
+            let x = DistTensor::from_fn(&grid, Shape::new(&[6, 5]), val);
+            let piece = BlockPiece::from_block(x.dist(), x.coords(), x.local());
+            let new_dist = TensorDist::new(Shape::new(&[6, 5]), &[2, 2]);
+            match try_redistribute(&grid.comm, &new_dist, vec![piece]) {
+                Err(CommError::SizeMismatch { expected, got, .. }) => (expected, got),
+                Err(other) => panic!("expected SizeMismatch, got {other:?}"),
+                Ok(_) => panic!("oversized grid should have failed"),
+            }
+        });
+        assert!(results.into_iter().all(|r| r == (4, 2)));
     }
 }

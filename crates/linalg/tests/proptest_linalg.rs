@@ -26,6 +26,47 @@ fn arb_symmetric(max_dim: usize) -> impl Strategy<Value = Matrix<f64>> {
     })
 }
 
+/// A symmetric matrix with a *near-degenerate* spectrum: eigenvalues come
+/// in pairs separated by ~1e-10 (ill-conditioned eigenvectors, the regime
+/// where naive EVD implementations lose orthogonality). Built as Q Λ Qᵀ
+/// with Q drawn from the QR factorization of a random matrix, so the true
+/// spectrum is known by construction.
+fn arb_clustered_symmetric(max_pairs: usize) -> impl Strategy<Value = (Matrix<f64>, Vec<f64>)> {
+    (1..=max_pairs).prop_flat_map(|pairs| {
+        let n = 2 * pairs;
+        prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+            let q = qr(&Matrix::from_vec(n, n, data)).q;
+            // λ = [p, p+δ, p−1, p−1+δ, …]: well-separated clusters of two.
+            let delta = 1e-10;
+            let lambda: Vec<f64> = (0..n)
+                .map(|k| (pairs - k / 2) as f64 + if k % 2 == 1 { delta } else { 0.0 })
+                .collect();
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for k in 0..n {
+                        acc += q[(i, k)] * lambda[k] * q[(j, k)];
+                    }
+                    a[(i, j)] = acc;
+                }
+            }
+            (a, lambda)
+        })
+    })
+}
+
+/// `‖A v_k − λ_k v_k‖∞` for eigenpair `k`.
+fn evd_residual(a: &Matrix<f64>, e: &ratucker_linalg::SymEvd<f64>, k: usize) -> f64 {
+    let n = a.rows();
+    (0..n)
+        .map(|i| {
+            let av: f64 = (0..n).map(|j| a[(i, j)] * e.vectors[(j, k)]).sum();
+            (av - e.values[k] * e.vectors[(i, k)]).abs()
+        })
+        .fold(0.0, f64::max)
+}
+
 fn reconstruct_qr(f: &ratucker_linalg::QrFactors<f64>, n: usize) -> Matrix<f64> {
     let prod = f.q.matmul(&f.r);
     let mut a = Matrix::zeros(f.q.rows(), n);
@@ -103,6 +144,51 @@ proptest! {
         let e = sym_evd(&gram);
         for j in 0..a.rows().min(k) {
             prop_assert!((s.sigma[j] * s.sigma[j] - e.values[j]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn evd_residuals_are_small(a in arb_symmetric(10)) {
+        // ‖A v − λ v‖ is the backward-stability measure: it stays tight
+        // even when individual eigenvectors are ill-conditioned.
+        let e = sym_evd(&a);
+        for k in 0..a.rows() {
+            let r = evd_residual(&a, &e, k);
+            prop_assert!(
+                r < 1e-9 * (1.0 + e.values[k].abs()),
+                "eigenpair {k}: residual {r}, λ = {}",
+                e.values[k]
+            );
+        }
+    }
+
+    #[test]
+    fn evd_handles_near_degenerate_spectra((a, lambda) in arb_clustered_symmetric(4)) {
+        let e = sym_evd(&a);
+        let n = a.rows();
+        // Eigenvalues recovered to high accuracy despite 1e-10 gaps…
+        let mut want = lambda.clone();
+        want.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        for (k, (got, w)) in e.values.iter().zip(&want).enumerate() {
+            prop_assert!((got - w).abs() < 1e-8, "λ_{k}: got {got}, want {w}");
+        }
+        // …the basis stays orthonormal, and residuals stay small even
+        // though vectors *within* a cluster are barely determined.
+        prop_assert!(e.vectors.orthonormality_defect() < 1e-9);
+        for k in 0..n {
+            let r = evd_residual(&a, &e, k);
+            prop_assert!(r < 1e-8 * (1.0 + e.values[k].abs()), "eigenpair {k}: residual {r}");
+        }
+    }
+
+    #[test]
+    fn qrcp_first_pivot_has_maximal_column_norm(a in arb_matrix(10)) {
+        // Greedy column pivoting must pick the largest-norm column first.
+        let f = qrcp(&a);
+        let norm = |j: usize| a.col(j).iter().map(|x| x * x).sum::<f64>();
+        let picked = norm(f.perm[0]);
+        for j in 0..a.cols() {
+            prop_assert!(picked >= norm(j) - 1e-12, "column {j} beats the first pivot");
         }
     }
 

@@ -35,12 +35,37 @@ pub const RECV_TIMEOUT: Duration = Duration::from_secs(120);
 /// fractional values allowed).
 pub const RECV_TIMEOUT_ENV: &str = "MPISIM_RECV_TIMEOUT_SECS";
 
+/// Upper bound accepted from the env override (~31 years). Values above
+/// this would push `Duration::from_secs_f64` toward its panic threshold,
+/// and no test deliberately waits that long.
+const MAX_TIMEOUT_SECS: f64 = 1e9;
+
+/// Parses an `MPISIM_RECV_TIMEOUT_SECS` value: a positive, finite number
+/// of seconds (fractional allowed), at most [`MAX_TIMEOUT_SECS`].
+fn parse_recv_timeout(raw: &str) -> Result<Duration, String> {
+    match raw.trim().parse::<f64>() {
+        Ok(secs) if secs > 0.0 && secs <= MAX_TIMEOUT_SECS => Ok(Duration::from_secs_f64(secs)),
+        Ok(secs) => Err(format!("{secs} is not in (0, {MAX_TIMEOUT_SECS}] seconds")),
+        Err(err) => Err(format!("not a number: {err}")),
+    }
+}
+
 fn default_recv_timeout() -> Duration {
     match std::env::var(RECV_TIMEOUT_ENV) {
-        Ok(v) => match v.trim().parse::<f64>() {
-            Ok(secs) if secs > 0.0 && secs.is_finite() => Duration::from_secs_f64(secs),
-            _ => RECV_TIMEOUT,
-        },
+        Ok(v) => parse_recv_timeout(&v).unwrap_or_else(|why| {
+            // Warn exactly once per process: a malformed override used to
+            // be swallowed silently, leaving CI runs on the 120 s default
+            // with no clue why their tightened timeout never applied.
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "mpisim: ignoring malformed {RECV_TIMEOUT_ENV}={v:?} ({why}); \
+                     using the default {}s",
+                    RECV_TIMEOUT.as_secs()
+                );
+            });
+            RECV_TIMEOUT
+        }),
         Err(_) => RECV_TIMEOUT,
     }
 }
@@ -409,6 +434,171 @@ impl FaultState {
     }
 }
 
+/// How the fabric perturbs operation timing to explore alternative
+/// thread interleavings (see DESIGN.md §12 and [`crate::Universe::explore`]).
+///
+/// Perturbation never violates per-link FIFO order or per-rank program
+/// order — it only shifts *when* a send publishes its payload and when a
+/// receive drains its queue, which is exactly the freedom a real network
+/// has. The collectives' reduction trees are fixed by rank arithmetic,
+/// so any observable divergence under a perturbed schedule is a genuine
+/// schedule-dependent bug, not floating-point reassociation.
+///
+/// All delays are deterministic functions of `(policy, src, dst,
+/// per-link operation index)`: the same policy replays the same nominal
+/// delay pattern every run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// No perturbation: deliveries land whenever the OS thread scheduler
+    /// gets there. The default; incurs no overhead beyond a per-op
+    /// `Mutex` lookup that the fault path already pays.
+    Os,
+    /// Hash-derived micro-delays (0–45 µs) on every send, receive, and
+    /// Condvar wakeup, keyed by `seed` — each seed is a distinct
+    /// deterministic schedule.
+    SeededRandom {
+        /// Seed selecting the delay pattern.
+        seed: u64,
+    },
+    /// A targeted worst-case strategy.
+    Adversarial(Adversary),
+}
+
+/// Targeted adversarial scheduling strategies (see [`SchedulePolicy`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Adversary {
+    /// Every fabric operation of one rank is delayed, so it arrives last
+    /// at every rendezvous — a consistently slow straggler, the shape
+    /// that flushes out barrier/agreement races.
+    StarveRank {
+        /// The rank to starve.
+        rank: usize,
+    },
+    /// Deprioritizes old traffic: within each window of operations on a
+    /// link, the earliest get the longest delays — approximating LIFO
+    /// observation order at the receivers without violating per-link
+    /// FIFO delivery (which pipelined collectives rely on for
+    /// correctness; see DESIGN.md §12).
+    Lifo,
+    /// Maximum delay on "crossing" messages (`src > dst`) while downward
+    /// traffic flows freely — skewing every symmetric exchange so the
+    /// two directions of a ring or butterfly never proceed in lockstep.
+    CrossDelay,
+}
+
+/// Runtime state of an installed [`SchedulePolicy`]: the policy plus the
+/// per-link operation counters its delay decisions key on (send, receive,
+/// and Condvar-wakeup counters are kept separately so each perturbation
+/// point sees a dense index sequence).
+struct ScheduleState {
+    policy: SchedulePolicy,
+    p: usize,
+    /// Send index per ordered link (`dst * p + src`).
+    send_ops: Vec<AtomicU64>,
+    /// Receive index per ordered link (same layout).
+    recv_ops: Vec<AtomicU64>,
+    /// Condvar-wakeup index per ordered link (same layout).
+    wake_ops: Vec<AtomicU64>,
+}
+
+/// SplitMix64-style mix of a schedule seed and an operation coordinate.
+/// Local rather than shared with `fault.rs` so the two subsystems'
+/// decision streams can never alias.
+fn sched_hash(seed: u64, src: u64, dst: u64, idx: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(src.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(dst.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(idx.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ScheduleState {
+    /// Base delay quantum. Long enough to reliably shift which thread
+    /// wins a lock race; short enough that thousands of perturbed ops
+    /// stay well under a second per run.
+    const UNIT_US: u64 = 15;
+
+    fn new(policy: SchedulePolicy, p: usize) -> ScheduleState {
+        ScheduleState {
+            policy,
+            p,
+            send_ops: (0..p * p).map(|_| AtomicU64::new(0)).collect(),
+            recv_ops: (0..p * p).map(|_| AtomicU64::new(0)).collect(),
+            wake_ops: (0..p * p).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn reset(&self) {
+        for c in self
+            .send_ops
+            .iter()
+            .chain(self.recv_ops.iter())
+            .chain(self.wake_ops.iter())
+        {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Delay for one fabric operation. `actor` is the rank executing the
+    /// op (`src` for sends, `dst` for receives); `salt` decorrelates the
+    /// send-side and receive-side delay streams under `SeededRandom`.
+    fn op_delay(
+        &self,
+        actor: usize,
+        src: usize,
+        dst: usize,
+        idx: u64,
+        salt: u64,
+    ) -> Option<Duration> {
+        match self.policy {
+            SchedulePolicy::Os => None,
+            SchedulePolicy::SeededRandom { seed } => {
+                let steps = sched_hash(seed ^ salt, src as u64, dst as u64, idx) % 4;
+                (steps > 0).then(|| Duration::from_micros(Self::UNIT_US * steps))
+            }
+            SchedulePolicy::Adversarial(Adversary::StarveRank { rank }) => {
+                (actor == rank).then(|| Duration::from_micros(8 * Self::UNIT_US))
+            }
+            SchedulePolicy::Adversarial(Adversary::Lifo) => {
+                let pos = idx % 4;
+                (pos < 3).then(|| Duration::from_micros(2 * Self::UNIT_US * (3 - pos)))
+            }
+            SchedulePolicy::Adversarial(Adversary::CrossDelay) => {
+                (src > dst).then(|| Duration::from_micros(6 * Self::UNIT_US))
+            }
+        }
+    }
+
+    fn send_delay(&self, src: usize, dst: usize) -> Option<Duration> {
+        let idx = self.send_ops[dst * self.p + src].fetch_add(1, Ordering::Relaxed);
+        self.op_delay(src, src, dst, idx, 0x5E4D_5A17)
+    }
+
+    fn recv_delay(&self, src: usize, dst: usize) -> Option<Duration> {
+        let idx = self.recv_ops[dst * self.p + src].fetch_add(1, Ordering::Relaxed);
+        self.op_delay(dst, src, dst, idx, 0x2EC5_5A17)
+    }
+
+    /// Should a receiver that just woke from its Condvar briefly release
+    /// the link lock and yield, letting another contender win the race?
+    /// This perturbs *which* waiter observes a freshly-enqueued message
+    /// first — the wakeup-choice dimension of the schedule space.
+    fn yield_after_wakeup(&self, src: usize, dst: usize) -> bool {
+        let idx = self.wake_ops[dst * self.p + src].fetch_add(1, Ordering::Relaxed);
+        match self.policy {
+            SchedulePolicy::Os => false,
+            SchedulePolicy::SeededRandom { seed } => {
+                sched_hash(seed ^ 0x3A4E_5A17, src as u64, dst as u64, idx) & 1 == 1
+            }
+            SchedulePolicy::Adversarial(Adversary::StarveRank { rank }) => dst == rank,
+            SchedulePolicy::Adversarial(Adversary::Lifo) => idx.is_multiple_of(2),
+            SchedulePolicy::Adversarial(Adversary::CrossDelay) => src > dst,
+        }
+    }
+}
+
 /// The link matrix connecting `p` ranks.
 pub struct Fabric {
     p: usize,
@@ -435,6 +625,8 @@ pub struct Fabric {
     recv_timeout_us: AtomicU64,
     /// Optional fault-injection state.
     fault: Mutex<Option<Arc<FaultState>>>,
+    /// Optional schedule-perturbation state (`None` ⇔ [`SchedulePolicy::Os`]).
+    schedule: Mutex<Option<Arc<ScheduleState>>>,
 }
 
 impl Fabric {
@@ -451,6 +643,7 @@ impl Fabric {
             stats: TrafficStats::new(p),
             recv_timeout_us: AtomicU64::new(default_recv_timeout().as_micros() as u64),
             fault: Mutex::new(None),
+            schedule: Mutex::new(None),
         })
     }
 
@@ -489,6 +682,30 @@ impl Fabric {
 
     fn fault_state(&self) -> Option<Arc<FaultState>> {
         self.fault.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Installs a schedule-perturbation policy (replacing any previous
+    /// one) with fresh operation counters. [`SchedulePolicy::Os`] clears
+    /// the state entirely, restoring zero-perturbation behavior.
+    pub fn set_schedule_policy(&self, policy: SchedulePolicy) {
+        let state = match policy {
+            SchedulePolicy::Os => None,
+            _ => Some(Arc::new(ScheduleState::new(policy, self.p))),
+        };
+        *self.schedule.lock().unwrap_or_else(|e| e.into_inner()) = state;
+    }
+
+    /// The currently installed schedule policy.
+    pub fn schedule_policy(&self) -> SchedulePolicy {
+        self.schedule_state()
+            .map_or(SchedulePolicy::Os, |s| s.policy)
+    }
+
+    fn schedule_state(&self) -> Option<Arc<ScheduleState>> {
+        self.schedule
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Is `rank` still alive (not retired)?
@@ -574,6 +791,9 @@ impl Fabric {
                 c.store(0, Ordering::Relaxed);
             }
         }
+        if let Some(state) = self.schedule_state() {
+            state.reset();
+        }
     }
 
     #[inline]
@@ -639,6 +859,14 @@ impl Fabric {
             }
         }
 
+        // Schedule perturbation: deterministically shift *when* this send
+        // publishes its payload. FIFO order on the link is untouched.
+        if let Some(sched) = self.schedule_state() {
+            if let Some(delay) = sched.send_delay(src, dst) {
+                std::thread::sleep(delay);
+            }
+        }
+
         self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_by_rank[src].fetch_add(bytes, Ordering::Relaxed);
@@ -660,6 +888,14 @@ impl Fabric {
     pub fn try_recv<T: Send + 'static>(&self, src: usize, dst: usize) -> Result<Vec<T>, CommError> {
         if let Some(state) = self.fault_state() {
             state.step_rank(dst);
+        }
+        // Schedule perturbation: shift when this receiver starts draining
+        // its queue (lock not yet held, so nothing else is blocked).
+        let sched = self.schedule_state();
+        if let Some(state) = &sched {
+            if let Some(delay) = state.recv_delay(src, dst) {
+                std::thread::sleep(delay);
+            }
         }
         let timeout = self.recv_timeout();
         let deadline = Instant::now() + timeout;
@@ -691,6 +927,15 @@ impl Fabric {
                 .wait_timeout(queue, deadline - now)
                 .unwrap_or_else(|e| e.into_inner());
             queue = guard;
+            // Schedule perturbation of the wakeup choice: briefly release
+            // the lock and yield so a different contender can win it.
+            if let Some(state) = &sched {
+                if state.yield_after_wakeup(src, dst) {
+                    drop(queue);
+                    std::thread::yield_now();
+                    queue = link.lock();
+                }
+            }
         };
         drop(queue);
         payload
@@ -718,6 +963,16 @@ impl Fabric {
         if !self.is_alive(dst) {
             return Err(CommError::PeerClosed { peer: dst, me: src });
         }
+        // Schedule perturbation covers the control plane too (agreement
+        // and failure-detection races are prime exploration targets);
+        // the counters are shared with the data plane, which is fine —
+        // a rank issues its sends in program order, so the combined
+        // index stream is still deterministic.
+        if let Some(sched) = self.schedule_state() {
+            if let Some(delay) = sched.send_delay(src, dst) {
+                std::thread::sleep(delay);
+            }
+        }
         let link = &self.ctrl[dst * self.p + src];
         link.lock().push_back((0, Box::new(data)));
         link.ready.notify_all();
@@ -731,6 +986,11 @@ impl Fabric {
         src: usize,
         dst: usize,
     ) -> Result<Vec<T>, CommError> {
+        if let Some(sched) = self.schedule_state() {
+            if let Some(delay) = sched.recv_delay(src, dst) {
+                std::thread::sleep(delay);
+            }
+        }
         let timeout = self.recv_timeout();
         let deadline = Instant::now() + timeout;
         let link = &self.ctrl[dst * self.p + src];
@@ -1187,5 +1447,111 @@ mod tests {
         let f = Fabric::new(1);
         f.set_recv_timeout(Duration::from_millis(1500));
         assert_eq!(f.recv_timeout(), Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn recv_timeout_parser_accepts_positive_seconds() {
+        assert_eq!(parse_recv_timeout("120"), Ok(Duration::from_secs(120)));
+        assert_eq!(parse_recv_timeout("1.5"), Ok(Duration::from_millis(1500)));
+        assert_eq!(parse_recv_timeout("  2 "), Ok(Duration::from_secs(2)));
+        assert_eq!(parse_recv_timeout("0.25"), Ok(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn recv_timeout_parser_rejects_malformed_values() {
+        // Every rejection carries a reason (surfaced in the one-time
+        // warning) instead of being silently swallowed.
+        for bad in ["0", "-3", "nan", "inf", "-inf", "1e300", "", "abc", "12s"] {
+            let err = parse_recv_timeout(bad).unwrap_err();
+            assert!(!err.is_empty(), "{bad:?} should explain its rejection");
+        }
+    }
+
+    #[test]
+    fn schedule_policy_installs_and_clears() {
+        let f = Fabric::new(2);
+        assert_eq!(f.schedule_policy(), SchedulePolicy::Os);
+        f.set_schedule_policy(SchedulePolicy::SeededRandom { seed: 7 });
+        assert_eq!(
+            f.schedule_policy(),
+            SchedulePolicy::SeededRandom { seed: 7 }
+        );
+        f.set_schedule_policy(SchedulePolicy::Adversarial(Adversary::StarveRank {
+            rank: 1,
+        }));
+        assert_eq!(
+            f.schedule_policy(),
+            SchedulePolicy::Adversarial(Adversary::StarveRank { rank: 1 })
+        );
+        f.set_schedule_policy(SchedulePolicy::Os);
+        assert_eq!(f.schedule_policy(), SchedulePolicy::Os);
+    }
+
+    #[test]
+    fn fifo_order_survives_every_schedule_policy() {
+        // The determinism guarantee: perturbation shifts timing only,
+        // never the order in which one link delivers its messages.
+        let policies = [
+            SchedulePolicy::SeededRandom { seed: 99 },
+            SchedulePolicy::Adversarial(Adversary::StarveRank { rank: 0 }),
+            SchedulePolicy::Adversarial(Adversary::Lifo),
+            SchedulePolicy::Adversarial(Adversary::CrossDelay),
+        ];
+        for policy in policies {
+            let f = Fabric::new(2);
+            f.set_schedule_policy(policy);
+            for i in 0..10i64 {
+                f.send(1, 0, vec![i]);
+            }
+            for i in 0..10i64 {
+                assert_eq!(f.recv::<i64>(1, 0), vec![i], "under {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_delays_are_deterministic_and_targeted() {
+        let starve = ScheduleState::new(
+            SchedulePolicy::Adversarial(Adversary::StarveRank { rank: 1 }),
+            4,
+        );
+        // Only ops executed *by* the starved rank are delayed.
+        assert!(starve.op_delay(1, 1, 0, 0, 0).is_some());
+        assert!(starve.op_delay(0, 0, 1, 0, 0).is_none());
+
+        let cross = ScheduleState::new(SchedulePolicy::Adversarial(Adversary::CrossDelay), 4);
+        assert!(cross.op_delay(2, 2, 0, 0, 0).is_some(), "upward is delayed");
+        assert!(cross.op_delay(0, 0, 2, 0, 0).is_none(), "downward flows");
+
+        let lifo = ScheduleState::new(SchedulePolicy::Adversarial(Adversary::Lifo), 2);
+        let d0 = lifo.op_delay(0, 0, 1, 0, 0).unwrap();
+        let d2 = lifo.op_delay(0, 0, 1, 2, 0).unwrap();
+        assert!(d0 > d2, "older ops wait longer: {d0:?} vs {d2:?}");
+        assert!(lifo.op_delay(0, 0, 1, 3, 0).is_none(), "newest goes first");
+
+        let a = ScheduleState::new(SchedulePolicy::SeededRandom { seed: 5 }, 2);
+        let b = ScheduleState::new(SchedulePolicy::SeededRandom { seed: 5 }, 2);
+        for idx in 0..32 {
+            assert_eq!(
+                a.op_delay(0, 0, 1, idx, 7),
+                b.op_delay(0, 0, 1, idx, 7),
+                "same seed must replay the same delay pattern"
+            );
+        }
+        let c = ScheduleState::new(SchedulePolicy::SeededRandom { seed: 6 }, 2);
+        let differs = (0..32).any(|idx| a.op_delay(0, 0, 1, idx, 7) != c.op_delay(0, 0, 1, idx, 7));
+        assert!(differs, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn schedule_counters_reset_with_the_run() {
+        let f = Fabric::new(2);
+        f.set_schedule_policy(SchedulePolicy::Adversarial(Adversary::Lifo));
+        let state = f.schedule_state().unwrap();
+        f.send(0, 1, vec![1u8]);
+        // Link index dst * p + src = 2.
+        assert_eq!(state.send_ops[2].load(Ordering::Relaxed), 1);
+        f.reset_for_run();
+        assert_eq!(state.send_ops[2].load(Ordering::Relaxed), 0);
     }
 }

@@ -139,6 +139,19 @@ impl fmt::Display for CommError {
                 f,
                 "communicator revoked for fault recovery (observed by rank {rank})"
             ),
+            // `src == dst` marks a self-detected configuration mismatch
+            // (e.g. a grid shape that disagrees with its communicator)
+            // rather than a wrong-sized message from a peer.
+            CommError::SizeMismatch {
+                src,
+                dst,
+                expected,
+                got,
+            } if src == dst => write!(
+                f,
+                "rank {dst} detected a size mismatch: got {got}, expected {expected} \
+                 (configuration disagrees with the communicator?)"
+            ),
             CommError::SizeMismatch {
                 src,
                 dst,

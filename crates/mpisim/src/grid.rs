@@ -47,20 +47,26 @@ impl CartGrid {
     }
 
     /// Fallible variant of [`CartGrid::new`]: communication failures
-    /// while splitting into fiber communicators surface as a typed
-    /// [`CommError`] instead of a panic.
-    ///
-    /// # Panics
-    /// Still panics if `Π dims != comm.size()` — that is a configuration
-    /// bug, not a runtime fault.
+    /// while splitting into fiber communicators — and a grid volume that
+    /// does not match the communicator size — surface as a typed
+    /// [`CommError`] instead of a panic. The size check matters on the
+    /// recovery path: after a shrink, a caller-supplied grid shape can
+    /// legitimately disagree with the survivor count, and the solver
+    /// wants to classify that like any other sizing fault rather than
+    /// die inside grid construction.
     pub fn try_new(comm: Comm, dims: &[usize]) -> Result<CartGrid, CommError> {
         let p: usize = dims.iter().product();
-        assert_eq!(
-            p,
-            comm.size(),
-            "grid {dims:?} needs {p} ranks, communicator has {}",
-            comm.size()
-        );
+        if p != comm.size() {
+            // Self-referential src/dst: the mismatch is between this
+            // rank's configuration and its communicator, not a peer.
+            let me = comm.world_rank_of(comm.rank());
+            return Err(CommError::SizeMismatch {
+                src: me,
+                dst: me,
+                expected: p,
+                got: comm.size(),
+            });
+        }
         let coords = Self::rank_to_coords(comm.rank(), dims);
         // Build one fiber communicator per mode. All ranks perform the
         // same sequence of splits, as the collective contract requires.
@@ -358,5 +364,18 @@ mod tests {
         Universe::launch(4, |c| {
             CartGrid::new(c, &[3, 2]);
         });
+    }
+
+    #[test]
+    fn grid_size_mismatch_is_a_typed_error() {
+        use crate::fault::CommError;
+        let results = Universe::launch(4, |c| match CartGrid::try_new(c, &[3, 2]) {
+            Err(CommError::SizeMismatch { expected, got, .. }) => (expected, got),
+            Err(other) => panic!("expected SizeMismatch, got {other:?}"),
+            Ok(_) => panic!("grid construction should have failed"),
+        });
+        // No communication happens before the size check, so every rank
+        // observes the mismatch locally and identically.
+        assert!(results.into_iter().all(|r| r == (6, 4)));
     }
 }

@@ -39,12 +39,12 @@ pub mod universe;
 
 pub use comm::{max_op, sum_op, Comm};
 pub use fabric::{
-    CollectiveKind, Fabric, KindSnapshot, TrafficScope, TrafficStats, KIND_COUNT, RECV_TIMEOUT,
-    RECV_TIMEOUT_ENV,
+    Adversary, CollectiveKind, Fabric, KindSnapshot, SchedulePolicy, TrafficScope, TrafficStats,
+    KIND_COUNT, RECV_TIMEOUT, RECV_TIMEOUT_ENV,
 };
 pub use fault::{CommError, CorruptMode, FaultPlan, RankFailure};
 pub use grid::{choose_shrunk_dims, enumerate_grids, try_rebuild_grid, CartGrid, ShrinkOutcome};
-pub use universe::Universe;
+pub use universe::{schedule_suite, ExploreReport, Universe};
 
 #[cfg(test)]
 mod collective_tests {

@@ -9,7 +9,7 @@
 //! observe [`crate::CommError::PeerClosed`] instead of hanging.
 
 use crate::comm::Comm;
-use crate::fabric::{Fabric, TrafficStats};
+use crate::fabric::{Adversary, Fabric, SchedulePolicy, TrafficStats};
 use crate::fault::{FaultPlan, RankFailure};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
@@ -45,6 +45,39 @@ fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "<non-string panic payload>".to_string()
     }
+}
+
+/// Outcome summary of [`Universe::explore`]. All assertions happen
+/// *inside* `explore` (it panics on any divergence, deadlock, or
+/// accounting violation), so the report is purely diagnostic.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// The schedule policies exercised, in order; index 0 is the
+    /// unperturbed baseline every later schedule is compared against.
+    pub policies: Vec<SchedulePolicy>,
+    /// Ranks that failed — identically under every schedule — if the
+    /// workload deliberately includes failing ranks (fault injection).
+    pub failed_ranks: Vec<usize>,
+}
+
+/// The deterministic schedule suite [`Universe::explore`] runs: the `Os`
+/// baseline, the LIFO and crossing-delay adversaries, starvation of each
+/// rank in turn, then seeded-random schedules derived from `seed`. All
+/// `n_schedules` entries are pairwise distinct.
+pub fn schedule_suite(p: usize, n_schedules: usize, seed: u64) -> Vec<SchedulePolicy> {
+    (0..n_schedules)
+        .map(|i| match i {
+            0 => SchedulePolicy::Os,
+            1 => SchedulePolicy::Adversarial(Adversary::Lifo),
+            2 => SchedulePolicy::Adversarial(Adversary::CrossDelay),
+            _ if i - 3 < p => SchedulePolicy::Adversarial(Adversary::StarveRank { rank: i - 3 }),
+            _ => SchedulePolicy::SeededRandom {
+                seed: seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64),
+            },
+        })
+        .collect()
 }
 
 /// A set of `p` ranks over a shared fabric.
@@ -94,6 +127,111 @@ impl Universe {
     pub fn set_fault_plan(&self, plan: FaultPlan) -> &Universe {
         self.fabric.attach_fault_plan(plan);
         self
+    }
+
+    /// Installs (or, with [`SchedulePolicy::Os`], clears) a schedule
+    /// perturbation policy for subsequent runs.
+    pub fn set_schedule_policy(&self, policy: SchedulePolicy) -> &Universe {
+        self.fabric.set_schedule_policy(policy);
+        self
+    }
+
+    /// Replays `f` under `n_schedules` distinct deterministic message
+    /// schedules (see [`schedule_suite`]) and asserts that the program is
+    /// schedule-independent:
+    ///
+    /// - **bit-identical results** — every rank's return value equals the
+    ///   baseline (`Os`) schedule's, compared with `PartialEq` (return
+    ///   raw factor data, not summaries, to make this a bitwise check);
+    /// - **identical failure sets** — ranks that panic (e.g. injected
+    ///   crashes) fail on the same rank with the same message everywhere;
+    /// - **deadlock-freedom** — no rank times out on a receive under any
+    ///   schedule;
+    /// - **traffic invariants** — the fabric's accounting invariant
+    ///   (`attempted == delivered + dropped`) and per-kind partition
+    ///   invariant hold after every run.
+    ///
+    /// Panics with a message naming the offending schedule on any
+    /// violation; otherwise returns a diagnostic [`ExploreReport`]. The
+    /// previously installed schedule policy is replaced, and the fabric
+    /// is left back on [`SchedulePolicy::Os`].
+    pub fn explore<R, F>(&self, n_schedules: usize, seed: u64, f: F) -> ExploreReport
+    where
+        R: Send + PartialEq + std::fmt::Debug,
+        F: Fn(Comm) -> R + Sync,
+    {
+        assert!(n_schedules > 0, "explore needs at least one schedule");
+        let policies = schedule_suite(self.size(), n_schedules, seed);
+        let mut baseline: Option<Vec<Result<R, RankFailure>>> = None;
+        for (i, &policy) in policies.iter().enumerate() {
+            self.fabric.set_schedule_policy(policy);
+            let out = self.try_run(&f);
+            self.fabric.set_schedule_policy(SchedulePolicy::Os);
+            for (rank, res) in out.iter().enumerate() {
+                if let Err(failure) = res {
+                    assert!(
+                        !failure.message.contains("timed out waiting"),
+                        "schedule {i} ({policy:?}): rank {rank} deadlocked: {}",
+                        failure.message
+                    );
+                }
+            }
+            // The fabric is quiescent between runs, so both counter
+            // invariants must hold exactly (they are cumulative across
+            // schedules; monotonicity keeps the checks valid).
+            if let Err((attempted, delivered, dropped)) = self.fabric.stats().check_invariant() {
+                panic!(
+                    "schedule {i} ({policy:?}): traffic accounting violated: \
+                     attempted {attempted} != delivered {delivered} + dropped {dropped}"
+                );
+            }
+            if let Err(err) = self.fabric.stats().check_kind_partition() {
+                panic!("schedule {i} ({policy:?}): kind-partition invariant violated: {err:?}");
+            }
+            match &baseline {
+                None => baseline = Some(out),
+                Some(base) => {
+                    for (rank, (b, o)) in base.iter().zip(&out).enumerate() {
+                        match (b, o) {
+                            (Ok(bv), Ok(ov)) => assert!(
+                                bv == ov,
+                                "schedule {i} ({policy:?}): rank {rank} diverged from the \
+                                 baseline schedule:\n  baseline: {bv:?}\n  got:      {ov:?}"
+                            ),
+                            (Err(bf), Err(of)) => assert!(
+                                bf.message == of.message,
+                                "schedule {i} ({policy:?}): rank {rank} failed differently: \
+                                 baseline {:?}, got {:?}",
+                                bf.message,
+                                of.message
+                            ),
+                            (Ok(_), Err(of)) => panic!(
+                                "schedule {i} ({policy:?}): rank {rank} failed where the \
+                                 baseline succeeded: {}",
+                                of.message
+                            ),
+                            (Err(bf), Ok(_)) => panic!(
+                                "schedule {i} ({policy:?}): rank {rank} succeeded where the \
+                                 baseline failed: {}",
+                                bf.message
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+        let failed_ranks = baseline
+            .map(|base| {
+                base.iter()
+                    .enumerate()
+                    .filter_map(|(rank, res)| res.is_err().then_some(rank))
+                    .collect()
+            })
+            .unwrap_or_default();
+        ExploreReport {
+            policies,
+            failed_ranks,
+        }
     }
 
     /// Runs `f` on every rank concurrently, catching per-rank panics.
@@ -299,6 +437,51 @@ mod tests {
             good.into_iter().map(Result::unwrap).collect::<Vec<_>>(),
             vec![100, 101]
         );
+    }
+
+    #[test]
+    fn explore_accepts_schedule_invariant_collectives() {
+        let u = Universe::new(4);
+        u.set_recv_timeout(Duration::from_secs(20));
+        let report = u.explore(8, 42, |c| {
+            let sum = c.allreduce(vec![c.rank() as f64 + 1.0, 2.5], |acc, x| {
+                for (a, b) in acc.iter_mut().zip(x) {
+                    *a += *b;
+                }
+            });
+            c.barrier();
+            // Return raw bits so the comparison is bitwise, not approximate.
+            sum.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
+        });
+        assert_eq!(report.policies.len(), 8);
+        assert!(report.failed_ranks.is_empty());
+        // Suite structure: baseline first, every policy distinct.
+        assert_eq!(report.policies[0], SchedulePolicy::Os);
+        for (i, a) in report.policies.iter().enumerate() {
+            for b in &report.policies[i + 1..] {
+                assert_ne!(a, b, "schedules must be pairwise distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn explore_detects_divergent_results() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let u = Universe::new(2);
+        // A deliberately schedule-dependent "program": rank 0's result
+        // changes on every run, so the second schedule must diverge.
+        let counter = AtomicU64::new(0);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            u.explore(3, 7, |c| {
+                if c.rank() == 0 {
+                    counter.fetch_add(1, Ordering::SeqCst)
+                } else {
+                    0
+                }
+            });
+        }));
+        let msg = payload_to_string(res.unwrap_err().as_ref());
+        assert!(msg.contains("diverged"), "got: {msg}");
     }
 
     #[test]

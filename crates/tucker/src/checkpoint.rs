@@ -31,8 +31,22 @@ use std::path::{Path, PathBuf};
 
 /// Magic bytes of the checkpoint format ("ratucker checkpoint").
 const MAGIC: &[u8; 4] = b"RTCK";
-/// Current format version.
-const VERSION: u32 = 1;
+/// Current format version. Version 2 appends a trailing FNV-1a checksum
+/// over the entire preceding payload, so *any* byte-wise corruption —
+/// header or factor data — surfaces as a typed load error instead of a
+/// silently wrong resume.
+const VERSION: u32 = 2;
+
+/// FNV-1a 64-bit hash of `bytes` (the integrity checksum appended to
+/// every checkpoint).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
 
 /// The growth RNG for a given sweep.
 ///
@@ -198,6 +212,8 @@ impl<T: IoScalar> Checkpoint<T> {
                 x.write_le(&mut buf);
             }
         }
+        let checksum = fnv1a(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
         buf
     }
 
@@ -233,6 +249,16 @@ impl<T: IoScalar> Checkpoint<T> {
         if version != VERSION {
             return Err(bad(&format!("unsupported checkpoint version {version}")));
         }
+        // Verify the trailing checksum before trusting any length field:
+        // a corrupted size could otherwise send the parser far off course.
+        if bytes.len() < 16 {
+            return Err(bad("truncated checkpoint file"));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().unwrap());
+        if fnv1a(body) != stored {
+            return Err(bad("checkpoint checksum mismatch (file corrupted)"));
+        }
         let elem = cur.take(1)?[0];
         if elem as usize != T::ELEM.size() {
             return Err(bad(&format!(
@@ -256,14 +282,26 @@ impl<T: IoScalar> Checkpoint<T> {
             .collect::<Result<_, _>>()?;
         let es = T::ELEM.size();
         let mut factors = Vec::with_capacity(d);
-        for _ in 0..d {
+        for k in 0..d {
             let rows = cur.u64()? as usize;
             let cols = cur.u64()? as usize;
-            let data = cur.take(rows * cols * es)?;
+            // Checked arithmetic: a corrupt (but checksum-colliding)
+            // length field must not overflow into a short read or panic.
+            let n = rows
+                .checked_mul(cols)
+                .and_then(|n| n.checked_mul(es))
+                .ok_or_else(|| bad("factor size overflows"))?;
+            if rows != dims[k] || cols != ranks[k] {
+                return Err(bad(&format!(
+                    "factor {k} is {rows}x{cols} but the header promises {}x{}",
+                    dims[k], ranks[k]
+                )));
+            }
+            let data = cur.take(n)?;
             let elems: Vec<T> = data.chunks_exact(es).map(T::read_le).collect();
             factors.push(Matrix::from_vec(rows, cols, elems));
         }
-        if cur.pos != bytes.len() {
+        if cur.pos != body.len() {
             return Err(bad("trailing bytes after checkpoint payload"));
         }
         Ok(Checkpoint {
@@ -435,6 +473,61 @@ mod tests {
         let full = sample().encode();
         fs::write(&path, &full[..full.len() / 2]).unwrap();
         assert!(Checkpoint::<f64>::load(&path).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bytewise_corruption_is_a_typed_error_never_a_panic() {
+        // Flip one byte at every offset of a valid checkpoint. Each
+        // corruption must surface as a typed io::Error from load —
+        // never a panic, never a silently wrong checkpoint (the trailing
+        // FNV-1a checksum covers every byte, so single flips cannot
+        // slip through).
+        let dir = tmp_dir("corruption");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep_0002.rtck");
+        let bytes = sample().encode();
+        for pos in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0xA5;
+            fs::write(&path, &corrupt).unwrap();
+            let outcome = std::panic::catch_unwind(|| Checkpoint::<f64>::load(&path));
+            let loaded = outcome.unwrap_or_else(|_| panic!("load panicked at offset {pos}"));
+            assert!(
+                loaded.is_err(),
+                "corruption at offset {pos} loaded successfully"
+            );
+        }
+        // Truncation at every length is likewise a clean error.
+        for len in 0..bytes.len() {
+            fs::write(&path, &bytes[..len]).unwrap();
+            assert!(
+                Checkpoint::<f64>::load(&path).is_err(),
+                "truncation to {len} bytes loaded successfully"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn absurd_length_field_cannot_overflow() {
+        // A length field of u64::MAX with a *recomputed* checksum (so the
+        // integrity check passes) must die in checked arithmetic, not in
+        // a wrapping multiply or capacity panic. Factor 0's row count
+        // lives right after the header: magic(4) + version(4) + elem(1)
+        // + d(1) + seed(8) + sweep(8) + eps(8) + ‖X‖²(8) + dims(3×8)
+        // + ranks(3×8) = 90.
+        let dir = tmp_dir("overflow");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep_0002.rtck");
+        let mut bytes = sample().encode();
+        bytes[90..98].copy_from_slice(&u64::MAX.to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let checksum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let outcome = std::panic::catch_unwind(|| Checkpoint::<f64>::load(&path));
+        assert!(outcome.expect("load must not panic").is_err());
         fs::remove_dir_all(&dir).unwrap();
     }
 

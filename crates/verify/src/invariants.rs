@@ -1,0 +1,298 @@
+//! Algebraic invariant checkers.
+//!
+//! Where the differential oracles in [`crate::oracle`] ask "does the
+//! optimized kernel compute the same numbers as the naive one?", these
+//! checkers ask "does the output satisfy the algebra it must satisfy
+//! regardless of implementation?" — orthonormality, Gram symmetry and
+//! positive semidefiniteness, the core-norm error identity, TTM
+//! mode-order commutativity, and the monotone fit of block coordinate
+//! descent. Every checker returns `Result<(), String>` with a message
+//! precise enough to file as a bug report.
+
+use crate::oracle::jacobi_eigenvalues_naive;
+use ratucker_tensor::{ttm, DenseTensor, Matrix, Scalar, Transpose};
+
+/// Checks `‖UᵀU − I‖_max ≤ tol` for a factor matrix `U`.
+pub fn check_orthonormal<T: Scalar>(u: &Matrix<T>, tol: f64) -> Result<(), String> {
+    let defect = u.orthonormality_defect();
+    if defect <= tol {
+        Ok(())
+    } else {
+        Err(format!(
+            "{}x{} factor has orthonormality defect {defect:.3e} > {tol:.1e}",
+            u.rows(),
+            u.cols()
+        ))
+    }
+}
+
+/// Checks that `g` is symmetric and positive semidefinite (both up to
+/// `tol` relative to its largest entry). PSD is certified through the
+/// independent Jacobi eigenvalue oracle, not the production EVD.
+pub fn check_symmetric_psd<T: Scalar>(g: &Matrix<T>, tol: f64) -> Result<(), String> {
+    let n = g.rows();
+    if n != g.cols() {
+        return Err(format!("Gram matrix is {}x{}, not square", n, g.cols()));
+    }
+    let gf = Matrix::from_fn(n, n, |i, j| g[(i, j)].to_f64());
+    let scale = gf
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |s, v| s.max(v.abs()))
+        .max(1.0);
+    for i in 0..n {
+        for j in i + 1..n {
+            let gap = (gf[(i, j)] - gf[(j, i)]).abs();
+            if gap > tol * scale {
+                return Err(format!(
+                    "asymmetry at ({i},{j}): |{} − {}| = {gap:.3e} > {:.1e}",
+                    gf[(i, j)],
+                    gf[(j, i)],
+                    tol * scale
+                ));
+            }
+        }
+    }
+    let evs = jacobi_eigenvalues_naive(&gf);
+    if let Some(min) = evs.last() {
+        if *min < -tol * scale {
+            return Err(format!(
+                "not PSD: smallest eigenvalue {min:.3e} < −{:.1e}",
+                tol * scale
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks the error identity `‖X − X̂‖² = ‖X‖² − ‖G‖²` that holds for
+/// any Tucker pair with orthonormal factors, by comparing three numbers
+/// that must agree: the identity-implied relative error, the explicitly
+/// reconstructed relative error, and the `reported` one.
+pub fn check_core_norm_identity<T: Scalar>(
+    x: &DenseTensor<T>,
+    core: &DenseTensor<T>,
+    factors: &[Matrix<T>],
+    reported: f64,
+    tol: f64,
+) -> Result<(), String> {
+    let x_norm_sq = x.squared_norm_f64();
+    if x_norm_sq == 0.0 {
+        return Err("cannot check the identity on a zero tensor".into());
+    }
+    let implied = ((x_norm_sq - core.squared_norm_f64()).max(0.0) / x_norm_sq).sqrt();
+    let mut xhat = core.clone();
+    for (j, u) in factors.iter().enumerate() {
+        xhat = ttm(&xhat, j, u, Transpose::No);
+    }
+    let direct = xhat.rel_error(x);
+    if (implied - direct).abs() > tol {
+        return Err(format!(
+            "core-norm identity broken: implied error {implied:.12e} vs reconstructed \
+             {direct:.12e} (gap > {tol:.1e})"
+        ));
+    }
+    if (reported - direct).abs() > tol {
+        return Err(format!(
+            "reported error {reported:.12e} disagrees with reconstruction {direct:.12e} \
+             (gap > {tol:.1e})"
+        ));
+    }
+    Ok(())
+}
+
+/// Checks that TTMs on *distinct* modes commute: applying `ops` in the
+/// given order and in reverse must agree to `tol` relative to the
+/// result norm.
+pub fn check_ttm_commutes<T: Scalar>(
+    x: &DenseTensor<T>,
+    ops: &[(usize, Matrix<T>, Transpose)],
+    tol: f64,
+) -> Result<(), String> {
+    for (a, op_a) in ops.iter().enumerate() {
+        for op_b in ops.iter().skip(a + 1) {
+            if op_a.0 == op_b.0 {
+                return Err(format!(
+                    "mode {} appears twice; only distinct-mode TTMs commute",
+                    op_a.0
+                ));
+            }
+        }
+    }
+    let apply = |order: &mut dyn Iterator<Item = &(usize, Matrix<T>, Transpose)>| {
+        order.fold(x.clone(), |y, (mode, m, t)| ttm(&y, *mode, m, *t))
+    };
+    let fwd = apply(&mut ops.iter());
+    let rev = apply(&mut ops.iter().rev());
+    let scale = fwd
+        .data()
+        .iter()
+        .fold(0.0f64, |s, v| s.max(v.to_f64().abs()))
+        .max(1.0);
+    let gap = fwd.max_abs_diff(&rev);
+    if gap > tol * scale {
+        return Err(format!(
+            "TTM order changed the result by {gap:.3e} > {:.1e}",
+            tol * scale
+        ));
+    }
+    Ok(())
+}
+
+/// Checks that a per-sweep error history is non-increasing up to
+/// `slack` (the monotone-fit property of fixed-rank HOOI).
+pub fn check_monotone_fit(errors: &[f64], slack: f64) -> Result<(), String> {
+    for (i, w) in errors.windows(2).enumerate() {
+        if w[1] > w[0] + slack {
+            return Err(format!(
+                "fit regressed at sweep {}: {} → {} (rise > {slack:.1e})",
+                i + 1,
+                w[0],
+                w[1]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Compares two factor matrices up to per-column sign (the inherent
+/// ambiguity of eigenvector bases): `‖a_j − s_j b_j‖_max ≤ tol` with
+/// `s_j = sign(a_jᵀ b_j)`.
+pub fn check_factor_match<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, tol: f64) -> Result<(), String> {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return Err(format!(
+            "factor shapes disagree: {}x{} vs {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        ));
+    }
+    for j in 0..a.cols() {
+        let dot: f64 = a
+            .col(j)
+            .iter()
+            .zip(b.col(j))
+            .map(|(&x, &y)| x.to_f64() * y.to_f64())
+            .sum();
+        let s = if dot >= 0.0 { 1.0 } else { -1.0 };
+        for (i, (&x, &y)) in a.col(j).iter().zip(b.col(j)).enumerate() {
+            let gap = (x.to_f64() - s * y.to_f64()).abs();
+            if gap > tol {
+                return Err(format!(
+                    "column {j} (sign {s:+}): entry {i} differs by {gap:.3e} > {tol:.1e}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tolerances::{TOL_CORE_NORM, TOL_MONOTONE_SLACK, TOL_ORTHO, TOL_TTM_COMMUTE};
+    use ratucker_tensor::Shape;
+
+    fn fill(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mut z = *state;
+        z ^= z >> 33;
+        z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        z ^= z >> 33;
+        (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+
+    fn rand_tensor(dims: &[usize], seed: u64) -> DenseTensor<f64> {
+        let mut s = seed;
+        DenseTensor::from_fn(Shape::new(dims), |_| fill(&mut s))
+    }
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+        let mut s = seed;
+        Matrix::from_fn(rows, cols, |_, _| fill(&mut s))
+    }
+
+    #[test]
+    fn orthonormality_checker_accepts_q_and_rejects_scaled_q() {
+        let q = ratucker_linalg::qr(&rand_matrix(8, 4, 1)).q;
+        assert!(check_orthonormal(&q, TOL_ORTHO).is_ok());
+        let mut bad = q.clone();
+        for v in bad.col_mut(1) {
+            *v *= 1.0 + 1e-6;
+        }
+        assert!(check_orthonormal(&bad, TOL_ORTHO).is_err());
+    }
+
+    #[test]
+    fn gram_checker_accepts_real_grams_and_rejects_tampering() {
+        let x = rand_tensor(&[4, 3, 3], 2);
+        for mode in 0..3 {
+            let g = ratucker_tensor::gram(&x, mode);
+            assert!(check_symmetric_psd(&g, TOL_ORTHO).is_ok(), "mode {mode}");
+        }
+        let mut g = ratucker_tensor::gram(&x, 0);
+        g[(0, 1)] += 0.5; // break symmetry
+        assert!(check_symmetric_psd(&g, TOL_ORTHO).is_err());
+        let mut g = ratucker_tensor::gram(&x, 0);
+        let n = g.rows();
+        for i in 0..n {
+            g[(i, i)] -= 100.0; // push the spectrum negative
+        }
+        assert!(check_symmetric_psd(&g, TOL_ORTHO).is_err());
+    }
+
+    #[test]
+    fn ttm_commutativity_holds_on_distinct_modes_only() {
+        let x = rand_tensor(&[5, 4, 3], 3);
+        let ops = vec![
+            (0usize, rand_matrix(5, 2, 4), Transpose::Yes),
+            (2usize, rand_matrix(3, 2, 5), Transpose::Yes),
+        ];
+        assert!(check_ttm_commutes(&x, &ops, TOL_TTM_COMMUTE).is_ok());
+        let dup = vec![
+            (1usize, rand_matrix(2, 4, 6), Transpose::No),
+            (1usize, rand_matrix(2, 2, 7), Transpose::No),
+        ];
+        assert!(check_ttm_commutes(&x, &dup, TOL_TTM_COMMUTE).is_err());
+    }
+
+    #[test]
+    fn monotone_checker_flags_a_rise_beyond_slack() {
+        assert!(check_monotone_fit(&[0.5, 0.3, 0.3, 0.2], TOL_MONOTONE_SLACK).is_ok());
+        assert!(check_monotone_fit(&[0.5, 0.3, 0.300001], TOL_MONOTONE_SLACK).is_err());
+    }
+
+    #[test]
+    fn factor_match_is_sign_insensitive_but_not_value_insensitive() {
+        let a = ratucker_linalg::qr(&rand_matrix(6, 3, 8)).q;
+        let mut flipped = a.clone();
+        for v in flipped.col_mut(2) {
+            *v = -*v;
+        }
+        assert!(check_factor_match(&a, &flipped, 1e-12).is_ok());
+        let mut bad = a.clone();
+        bad[(0, 0)] += 1e-3;
+        assert!(check_factor_match(&a, &bad, 1e-6).is_err());
+    }
+
+    #[test]
+    fn core_norm_identity_validates_a_real_decomposition() {
+        // An exact low-rank tensor: X = G ×1 U1 ×2 U2 ×3 U3.
+        let g0 = rand_tensor(&[2, 2, 2], 9);
+        let us: Vec<Matrix<f64>> = [(5, 10u64), (4, 11), (3, 12)]
+            .iter()
+            .map(|&(n, s)| ratucker_linalg::qr(&rand_matrix(n, 2, s)).q)
+            .collect();
+        let mut x = g0.clone();
+        for (j, u) in us.iter().enumerate() {
+            x = ttm(&x, j, u, Transpose::No);
+        }
+        // Exact decomposition → reported error 0.
+        assert!(check_core_norm_identity(&x, &g0, &us, 0.0, TOL_CORE_NORM).is_ok());
+        // A lying reported error must be caught.
+        assert!(check_core_norm_identity(&x, &g0, &us, 0.3, TOL_CORE_NORM).is_err());
+    }
+}

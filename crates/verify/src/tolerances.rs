@@ -1,0 +1,75 @@
+//! The single source of truth for every verification tolerance.
+//!
+//! Each constant documents *why* its value is what it is, so a failing
+//! conformance test points at either a genuine regression or a
+//! consciously revised bound — never at an unexplained magic number.
+//! DESIGN.md §12 reproduces this table; keep the two in sync.
+//!
+//! All tolerances are **relative**: checks scale them by the magnitude
+//! of the data being compared (a matrix norm, `1 + |λ|`, …), so the
+//! same constants work for well- and badly-scaled inputs.
+
+/// Optimized kernel vs. naive triple-loop oracle, `f64` data.
+///
+/// Both sides perform the same O(n) additions per output entry in
+/// different orders, so the difference is bounded by `n · ε ≈ 1e-14`
+/// for the dimensions the suite uses. `1e-10` leaves four orders of
+/// headroom while still catching any indexing or blocking bug (those
+/// produce O(1) errors).
+pub const TOL_ORACLE: f64 = 1e-10;
+
+/// `sym_evd` eigenvalues vs. the independent cyclic-Jacobi oracle.
+///
+/// Two different EVD implementations agree on eigenvalues to roughly
+/// `‖A‖ · ε` each; `1e-8` covers accumulation over sweeps on the ≤12
+/// dimensional Gram matrices the suite feeds them.
+pub const TOL_EVD_CROSS: f64 = 1e-8;
+
+/// Orthonormality defect `‖UᵀU − I‖_max` of computed factor matrices.
+///
+/// Householder QR and Jacobi EVD both deliver defects of a few `ε`;
+/// `1e-9` is loose enough for accumulation across HOOI sweeps and tight
+/// enough that a forgotten normalization (defect O(1)) is unmissable.
+pub const TOL_ORTHO: f64 = 1e-9;
+
+/// Core-norm error identity: `‖X − X̂‖² = ‖X‖² − ‖G‖²` (orthonormal
+/// factors), checked against explicit reconstruction.
+///
+/// The identity holds exactly in exact arithmetic; in `f64` the two
+/// sides differ by cancellation in `‖X‖² − ‖G‖²`, amplified when the
+/// residual is small. `1e-8` on the *relative* error covers the suite's
+/// ≥1% noise floors.
+pub const TOL_CORE_NORM: f64 = 1e-8;
+
+/// TTM mode-order commutativity: `X ×_i A ×_j B` vs. `X ×_j B ×_i A`.
+///
+/// Mathematically exact for distinct modes; numerically the two
+/// orderings round differently, bounded by a few `n · ε` relative to
+/// the result norm.
+pub const TOL_TTM_COMMUTE: f64 = 1e-12;
+
+/// Slack for the monotone-fit invariant of fixed-rank HOOI.
+///
+/// Each block-coordinate sweep can only lower the exact objective; the
+/// *reported* per-sweep relative error is computed through the core-norm
+/// identity and may tick up by cancellation noise. Anything above this
+/// slack is a genuine convergence bug.
+pub const TOL_MONOTONE_SLACK: f64 = 1e-12;
+
+/// Distributed vs. sequential relative error, `f64`, fixed ranks.
+///
+/// The distributed pipeline sums Gram matrices and norms in a different
+/// order (tree allreduce vs. left-to-right), perturbing the result at
+/// ~`√n_ops · ε ≈ 1e-13`. The eigensolver then runs on bitwise-different
+/// input. `1e-8` is far above that floor and far below any algorithmic
+/// divergence.
+pub const TOL_DIST_REL_ERROR: f64 = 1e-8;
+
+/// Distributed vs. sequential factor matrices (column-sign insensitive).
+///
+/// Eigenvector sensitivity is `perturbation / gap`; the synthetic
+/// conformance tensors have O(1) spectral gaps between kept and
+/// discarded eigenvalues, so a ~1e-13 Gram perturbation moves factor
+/// entries by ~1e-12. `1e-6` keeps the check robust to genuinely close
+/// kept eigenvalues without letting a wrong subspace through.
+pub const TOL_DIST_FACTOR: f64 = 1e-6;

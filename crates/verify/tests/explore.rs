@@ -1,0 +1,164 @@
+//! Schedule exploration over the real distributed solvers.
+//!
+//! `Universe::explore` replays a workload under ≥25 deterministic
+//! message schedules (OS baseline, adversarial starvation / LIFO /
+//! cross-traffic delay, seeded random) and asserts bit-identical
+//! per-rank results, deadlock-freedom, and the fabric's traffic
+//! invariants. Because the collectives use fixed reduction trees and
+//! per-link FIFO is never violated, *any* divergence is a genuine
+//! schedule race, not floating-point noise.
+//!
+//! Two workloads:
+//!
+//! 1. a fault-free distributed STHOSVD at P = 4 returning the raw bit
+//!    patterns of every factor matrix, the local core block, and the
+//!    relative error (the ISSUE acceptance check);
+//! 2. a full shrink-and-continue recovery at P = 4: rank 2 is crashed
+//!    mid-workload by the fault injector, the survivors revoke → agree
+//!    → shrink → restore the dead rank's block from its buddy replica →
+//!    re-block onto the [2, 1] grid → run a post-recovery collective.
+//!    The returned state (survivor set, shrunken grid, restored block
+//!    bits, collective result) must be identical under every schedule
+//!    even though *where* each survivor first observes the failure is
+//!    schedule-dependent.
+
+use std::time::Duration;
+
+use ratucker::dist::dist_sthosvd;
+use ratucker::prelude::*;
+use ratucker_dist::{
+    restorer_for, try_redistribute, try_refresh_buddies, BlockPiece, DistTensor, TensorDist,
+};
+use ratucker_mpi::{
+    choose_shrunk_dims, sum_op, try_rebuild_grid, CartGrid, Comm, CommError, FaultPlan,
+    SchedulePolicy, ShrinkOutcome, Universe,
+};
+use ratucker_tensor::Shape;
+
+const N_SCHEDULES: usize = 25;
+
+#[test]
+fn dist_sthosvd_factors_are_bit_identical_under_25_schedules() {
+    let spec = SyntheticSpec::new(&[10, 9, 8], &[3, 3, 2], 0.02, 4242);
+    let u = Universe::new(4);
+    u.set_recv_timeout(Duration::from_secs(20));
+    let report = u.explore(N_SCHEDULES, 0xE5E5, move |c| {
+        let grid = CartGrid::new(c, &[2, 2, 1]);
+        let x = DistTensor::scatter_from_replicated(&grid, &spec.build::<f64>());
+        let res = dist_sthosvd(&grid, &x, &SthosvdTruncation::Ranks(vec![3, 3, 2]));
+        // Raw bit patterns, so explore's PartialEq comparison is a
+        // bitwise check, not an approximate one.
+        let mut bits = vec![res.rel_error.to_bits()];
+        for f in &res.tucker.factors {
+            bits.extend(f.as_slice().iter().map(|v| v.to_bits()));
+        }
+        bits.extend(res.tucker.core.local().data().iter().map(|v| v.to_bits()));
+        bits
+    });
+    assert_eq!(report.policies.len(), N_SCHEDULES);
+    assert!(
+        report.failed_ranks.is_empty(),
+        "fault-free run failed on ranks {:?}",
+        report.failed_ranks
+    );
+    // The suite must actually be diverse: baseline first, all distinct.
+    assert_eq!(report.policies[0], SchedulePolicy::Os);
+    for (i, a) in report.policies.iter().enumerate() {
+        for b in report.policies.iter().skip(i + 1) {
+            assert_ne!(a, b, "duplicate schedule in the suite");
+        }
+    }
+}
+
+const GRID: [usize; 2] = [2, 2];
+const DIMS: [usize; 2] = [12, 10];
+const CRASH_RANK: usize = 2;
+/// Fabric-op index of the injected crash: safely past grid setup and
+/// the buddy refresh (~10 ops on rank 2), inside the allreduce loop.
+const CRASH_OP: u64 = 60;
+
+/// The survivors' workload: set up a block-distributed tensor with
+/// degree-1 buddy replication, run collectives until the injected crash
+/// surfaces as a typed error, then recover online and report the
+/// post-recovery state.
+fn recovery_workload(c: Comm) -> Vec<u64> {
+    let grid = CartGrid::new(c, &GRID);
+    let x = DistTensor::from_fn(&grid, Shape::new(&DIMS), |idx| {
+        (idx[0] * 31 + idx[1] * 7) as f64 / 17.0
+    });
+    let buddies = try_refresh_buddies(&grid, &x, 1).expect("the crash lands after the refresh");
+
+    // Drive collectives until rank 2's crash is observed. Which
+    // iteration (and which CommError variant) each survivor sees is
+    // schedule-dependent; nothing from this loop may leak into the
+    // return value.
+    let work = || -> Result<(), CommError> {
+        for _ in 0..200 {
+            grid.comm
+                .try_allreduce(vec![x.local().squared_norm_f64()], sum_op)?;
+        }
+        Ok(())
+    };
+    work().expect_err("the injected crash must surface within 200 allreduces");
+
+    // Online recovery, mirroring the resilient driver: revoke → agree →
+    // shrink → buddy-restore → re-block → rebuild the grid.
+    grid.comm.revoke();
+    let survivors = grid.comm.try_agree().expect("survivors agree");
+    let p = grid.comm.size();
+    let me = grid.comm.rank();
+    let in_surv = |r: usize| survivors.contains(&grid.comm.world_rank_of(r));
+    let dead: Vec<usize> = (0..p).filter(|&r| !in_surv(r)).collect();
+    assert_eq!(dead, vec![CRASH_RANK], "exactly the crashed rank is dead");
+
+    let newcomm = grid
+        .comm
+        .shrink(&survivors)
+        .expect("an agreed survivor is in its own survivor list");
+    let mut pieces = vec![BlockPiece::from_block(x.dist(), x.coords(), x.local())];
+    for &d in &dead {
+        let holder = restorer_for(d, p, 1, in_surv).expect("the buddy of rank 2 survived");
+        if holder == me {
+            let rep = buddies
+                .replica_for(d)
+                .expect("the ring successor holds the replica");
+            pieces.push(rep.to_piece(&x));
+        }
+    }
+    let new_dims = choose_shrunk_dims(&GRID, newcomm.size());
+    let new_dist = TensorDist::new(Shape::new(&DIMS), &new_dims);
+    let block = try_redistribute(&newcomm, &new_dist, pieces).expect("re-blocking succeeds");
+
+    match try_rebuild_grid(newcomm, &GRID).expect("grid rebuild succeeds") {
+        ShrinkOutcome::Active(g2) => {
+            let xb = block.expect("active ranks of the shrunken grid receive a block");
+            let total = g2
+                .comm
+                .try_allreduce(vec![xb.local().squared_norm_f64()], sum_op)
+                .expect("post-recovery collective succeeds")[0];
+            let mut out = vec![1u64];
+            out.extend(survivors.iter().map(|&s| s as u64));
+            out.extend(g2.dims().iter().map(|&d| d as u64));
+            out.push(total.to_bits());
+            out.extend(xb.local().data().iter().map(|v| v.to_bits()));
+            out
+        }
+        ShrinkOutcome::Spare(_) => {
+            let mut out = vec![u64::MAX];
+            out.extend(survivors.iter().map(|&s| s as u64));
+            out
+        }
+    }
+}
+
+#[test]
+fn p4_recovery_converges_to_identical_state_under_25_schedules() {
+    let plan = FaultPlan::quiet(11).with_crash(CRASH_RANK, CRASH_OP);
+    let u = Universe::with_fault_plan(4, plan);
+    u.set_recv_timeout(Duration::from_secs(20));
+    let report = u.explore(N_SCHEDULES, 0x2ECE, recovery_workload);
+    assert_eq!(report.policies.len(), N_SCHEDULES);
+    // Exactly the crashed rank fails — under every schedule, with the
+    // same deterministic panic message (checked inside explore).
+    assert_eq!(report.failed_ranks, vec![CRASH_RANK]);
+}

@@ -1,0 +1,226 @@
+//! Conformance suite: every distributed solver, swept over tensor
+//! orders d ∈ {3, 4} and processor counts P ∈ {1, 2, 4, 8}, against
+//! the sequential implementation as a differential oracle — within the
+//! documented tolerances of `ratucker_verify::tolerances` — plus the
+//! algebraic invariants any correct output must satisfy.
+//!
+//! Three comparison layers per case:
+//!
+//! 1. **cross-rank**: every rank's gathered result is *bitwise*
+//!    identical (the collectives are replicated-deterministic);
+//! 2. **distributed vs. sequential**: relative error within
+//!    `TOL_DIST_REL_ERROR`, ranks equal, factor columns within
+//!    `TOL_DIST_FACTOR` up to sign;
+//! 3. **invariants**: orthonormal factors and the core-norm error
+//!    identity on the gathered decomposition.
+
+use ra_hooi::dist::DistTensor;
+use ra_hooi::mpi::{CartGrid, Universe};
+use ra_hooi::prelude::*;
+use ra_hooi::tucker::dist::{dist_ra_hooi, dist_sthosvd};
+use ra_hooi::tucker::{dist_ra_hooi_resilient, ResilienceConfig, ResilientOutcome};
+use ratucker_verify::tolerances::{
+    TOL_CORE_NORM, TOL_DIST_FACTOR, TOL_DIST_REL_ERROR, TOL_MONOTONE_SLACK, TOL_ORTHO,
+};
+use ratucker_verify::{
+    check_core_norm_identity, check_factor_match, check_monotone_fit, check_orthonormal,
+};
+
+struct Case {
+    dims: Vec<usize>,
+    ranks: Vec<usize>,
+    seed: u64,
+    /// One grid per processor count in {1, 2, 4, 8}.
+    grids: Vec<Vec<usize>>,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            dims: vec![10, 9, 8],
+            ranks: vec![3, 3, 2],
+            seed: 331,
+            grids: vec![vec![1, 1, 1], vec![2, 1, 1], vec![2, 2, 1], vec![2, 2, 2]],
+        },
+        Case {
+            dims: vec![8, 7, 6, 5],
+            ranks: vec![2, 2, 2, 2],
+            seed: 332,
+            grids: vec![
+                vec![1, 1, 1, 1],
+                vec![2, 1, 1, 1],
+                vec![2, 2, 1, 1],
+                vec![2, 2, 2, 1],
+            ],
+        },
+    ]
+}
+
+/// Gathered results from each rank must agree bit-for-bit.
+fn assert_bitwise_equal_across_ranks(results: &[(f64, TuckerTensor<f64>)], ctx: &str) {
+    let (err0, t0) = &results[0];
+    for (rank, (err, t)) in results.iter().enumerate().skip(1) {
+        assert_eq!(
+            err.to_bits(),
+            err0.to_bits(),
+            "{ctx}: rank {rank} rel_error differs from rank 0"
+        );
+        for (j, (f, f0)) in t.factors.iter().zip(&t0.factors).enumerate() {
+            let same = f
+                .as_slice()
+                .iter()
+                .zip(f0.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{ctx}: rank {rank} factor {j} differs from rank 0");
+        }
+        let same = t
+            .core
+            .data()
+            .iter()
+            .zip(t0.core.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "{ctx}: rank {rank} core differs from rank 0");
+    }
+}
+
+fn assert_invariants(x: &DenseTensor<f64>, t: &TuckerTensor<f64>, reported: f64, ctx: &str) {
+    for (j, f) in t.factors.iter().enumerate() {
+        check_orthonormal(f, TOL_ORTHO).unwrap_or_else(|e| panic!("{ctx}: factor {j}: {e}"));
+    }
+    check_core_norm_identity(x, &t.core, &t.factors, reported, TOL_CORE_NORM)
+        .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+}
+
+#[test]
+fn sthosvd_conforms_to_the_sequential_oracle_on_every_grid() {
+    for case in cases() {
+        let x = SyntheticSpec::new(&case.dims, &case.ranks, 0.02, case.seed).build::<f64>();
+        let seq = sthosvd(&x, &SthosvdTruncation::Ranks(case.ranks.clone()));
+        assert_invariants(&x, &seq.tucker, seq.rel_error, "sequential STHOSVD");
+
+        for grid_dims in &case.grids {
+            let p: usize = grid_dims.iter().product();
+            let ctx = format!("STHOSVD d={} P={p} grid {grid_dims:?}", case.dims.len());
+            let gd = grid_dims.clone();
+            let ranks = case.ranks.clone();
+            let xg = x.clone();
+            let out = Universe::launch(p, move |c| {
+                let grid = CartGrid::new(c, &gd);
+                let xd = DistTensor::scatter_from_replicated(&grid, &xg);
+                let res = dist_sthosvd(&grid, &xd, &SthosvdTruncation::Ranks(ranks.clone()));
+                (res.rel_error, res.tucker.gather(&grid))
+            });
+            assert_bitwise_equal_across_ranks(&out, &ctx);
+            let (err, t) = &out[0];
+            assert!(
+                (err - seq.rel_error).abs() < TOL_DIST_REL_ERROR,
+                "{ctx}: rel_error {err} vs sequential {}",
+                seq.rel_error
+            );
+            assert_eq!(t.ranks(), seq.tucker.ranks(), "{ctx}: ranks differ");
+            for (j, (fd, fs)) in t.factors.iter().zip(&seq.tucker.factors).enumerate() {
+                check_factor_match(fd, fs, TOL_DIST_FACTOR)
+                    .unwrap_or_else(|e| panic!("{ctx}: factor {j}: {e}"));
+            }
+            assert_invariants(&x, t, *err, &ctx);
+        }
+    }
+}
+
+#[test]
+fn ra_hosi_dt_conforms_to_the_sequential_oracle_on_every_grid() {
+    let eps = 0.05;
+    for case in cases() {
+        let x = SyntheticSpec::new(&case.dims, &case.ranks, 0.01, case.seed).build::<f64>();
+        // Every mode's rank must stay ≥ the largest grid dimension the
+        // sweep uses (a core mode smaller than the grid leaves empty
+        // ranks), so the initial guess starts at 2, not 1.
+        let guess = vec![2; case.dims.len()];
+        let cfg = RaConfig::ra_hosi_dt(eps, &guess).with_seed(9);
+        let seq = ra_hooi(&x, &cfg);
+        assert!(seq.rel_error <= eps, "sequential RA missed its tolerance");
+        assert_invariants(&x, &seq.tucker, seq.rel_error, "sequential RA-HOSI-DT");
+
+        for grid_dims in &case.grids {
+            let p: usize = grid_dims.iter().product();
+            let ctx = format!("RA-HOSI-DT d={} P={p} grid {grid_dims:?}", case.dims.len());
+            let gd = grid_dims.clone();
+            let cfg2 = cfg.clone();
+            let xg = x.clone();
+            let out = Universe::launch(p, move |c| {
+                let grid = CartGrid::new(c, &gd);
+                let xd = DistTensor::scatter_from_replicated(&grid, &xg);
+                let res = dist_ra_hooi(&grid, &xd, &cfg2);
+                (res.rel_error, res.tucker.gather(&grid))
+            });
+            assert_bitwise_equal_across_ranks(&out, &ctx);
+            let (err, t) = &out[0];
+            assert!(*err <= eps, "{ctx}: tolerance missed: {err}");
+            assert!(
+                (err - seq.rel_error).abs() < TOL_DIST_REL_ERROR,
+                "{ctx}: rel_error {err} vs sequential {}",
+                seq.rel_error
+            );
+            assert_eq!(t.ranks(), seq.tucker.ranks(), "{ctx}: adapted ranks differ");
+            for (j, (fd, fs)) in t.factors.iter().zip(&seq.tucker.factors).enumerate() {
+                check_factor_match(fd, fs, TOL_DIST_FACTOR)
+                    .unwrap_or_else(|e| panic!("{ctx}: factor {j}: {e}"));
+            }
+            assert_invariants(&x, t, *err, &ctx);
+        }
+    }
+}
+
+#[test]
+fn hooi_fit_is_monotone_and_matches_its_invariants() {
+    for case in cases() {
+        let x = SyntheticSpec::new(&case.dims, &case.ranks, 0.02, case.seed).build::<f64>();
+        for cfg in [HooiConfig::hooi(), HooiConfig::hosi_dt()] {
+            let res = hooi(&x, &case.ranks, &cfg.with_max_iters(4).with_seed(3));
+            let errors: Vec<f64> = res.sweeps.iter().map(|s| s.rel_error).collect();
+            check_monotone_fit(&errors, TOL_MONOTONE_SLACK)
+                .unwrap_or_else(|e| panic!("d={}: {e}", case.dims.len()));
+            assert_invariants(&x, &res.tucker, res.rel_error(), "fixed-rank HOOI");
+        }
+    }
+}
+
+#[test]
+fn fault_free_resilient_solver_conforms_to_the_plain_distributed_run() {
+    let case = &cases()[0];
+    let x = SyntheticSpec::new(&case.dims, &case.ranks, 0.01, case.seed).build::<f64>();
+    let guess = vec![2; case.dims.len()];
+    let cfg = RaConfig::ra_hosi_dt(0.05, &guess).with_seed(9);
+
+    let cfg2 = cfg.clone();
+    let xg = x.clone();
+    let plain = Universe::launch(4, move |c| {
+        let grid = CartGrid::new(c, &[2, 2, 1]);
+        let xd = DistTensor::scatter_from_replicated(&grid, &xg);
+        dist_ra_hooi(&grid, &xd, &cfg2).rel_error
+    });
+
+    let cfg2 = cfg.clone();
+    let xg = x.clone();
+    let resilient = Universe::launch(4, move |c| {
+        let grid = CartGrid::new(c, &[2, 2, 1]);
+        let xd = DistTensor::scatter_from_replicated(&grid, &xg);
+        let out = dist_ra_hooi_resilient(&grid, &xd, &cfg2, &ResilienceConfig::default())
+            .expect("fault-free resilient run succeeds");
+        match out {
+            ResilientOutcome::Completed { result, report, .. } => {
+                assert_eq!(report.recoveries, 0, "fault-free run took a recovery");
+                result.rel_error
+            }
+            other => panic!("fault-free run did not complete: {other:?}"),
+        }
+    });
+
+    for (rank, (a, b)) in plain.iter().zip(&resilient).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "rank {rank}: resilient path diverged fault-free: {a} vs {b}"
+        );
+    }
+}
