@@ -19,9 +19,10 @@ cargo test --workspace --offline -q
 echo "==> verify: differential oracles + invariant checkers"
 cargo test -q --offline -p ratucker-verify
 
-echo "==> verify: 25-schedule exploration incl. P=4 crash-recovery (fixed seeds)"
+echo "==> verify: 25-schedule exploration incl. P=4 crash-recovery + straggler demotion (fixed seeds)"
 cargo test -q --offline -p ratucker-verify --test explore \
-  p4_recovery_converges_to_identical_state_under_25_schedules -- --exact
+  p4_recovery_converges_to_identical_state_under_25_schedules \
+  p4_straggler_demotion_converges_to_identical_state_under_25_schedules
 
 echo "==> verify: conformance sweep d in {3,4} x P in {1,2,4,8} vs sequential oracles"
 cargo test -q --offline --test conformance
@@ -34,6 +35,18 @@ cargo test -q --offline --test chaos -- --test-threads=1 \
   kill_one_of_eight_mid_sweep_recovers_online_within_1e10 \
   killing_rank_and_buddy_falls_back_to_checkpoint_cleanly \
   sampled_fault_plans_through_the_resilient_solver
+
+echo "==> gray-failure smoke (straggler demotion, retry healing, deadline fallback; 60 s guard)"
+GRAY_T0=$SECONDS
+cargo test -q --offline --test chaos -- --test-threads=1 \
+  persistent_straggler_at_p8_is_demoted_online_within_1e10 \
+  flaky_link_is_fully_healed_by_retries_bit_identically \
+  deadline_expiry_under_dead_slow_rank_falls_back_to_checkpoint
+GRAY_ELAPSED=$((SECONDS - GRAY_T0))
+if [ "$GRAY_ELAPSED" -ge 60 ]; then
+  echo "gray-failure smoke took ${GRAY_ELAPSED}s (>= 60s): a deadline/retry path is stalling" >&2
+  exit 1
+fi
 
 echo "==> trace smoke (span pipeline round-trip + perf-model validation)"
 cargo run -q --release --offline -p ratucker-bench --bin tracecheck target/ci-trace.json

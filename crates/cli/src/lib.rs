@@ -31,6 +31,9 @@
 //! | `Resume` + | resume from the latest checkpoint (also `--resume`) | `false` |
 //! | `Buddy replication` + | diskless replication degree k (also `--buddy-replication <k>`) | none |
 //! | `ABFT` + | `off` / `detect` / `recover` checksums (also `--abft <mode>`) | none |
+//! | `Deadline profile` + | `off` / `strict` / `lenient` per-collective deadlines (also `--deadline-profile <name>`) | `off` |
+//! | `Retry` + | max retransmissions per p2p op, with exponential backoff (also `--retry <n>`) | `0` |
+//! | `Straggler demotion` + | demote a rank whose induced wait exceeds this multiple of the median (also `--straggler-demotion <x>`) | off |
 //! | `Trace out` + | write a merged Chrome trace JSON here (also `--trace-out <path>`) | none |
 //! | `Seed` + | RNG seed | `0` |
 //! | `Precision` + | `single` / `double` | `single` |
@@ -52,7 +55,8 @@ use ratucker::prelude::*;
 use ratucker::{dist_ra_hooi_resilient, ResilienceConfig, ResilientOutcome};
 use ratucker::{Timings, ALL_PHASES};
 use ratucker_dist::{AbftMode, DistTensor};
-use ratucker_mpi::{CartGrid, Universe};
+use ratucker_mpi::{CartGrid, DeadlinePolicy, RetryPolicy, Universe};
+use ratucker_obs::StragglerPolicy;
 use ratucker_tensor::dense::DenseTensor;
 use ratucker_tensor::io::IoScalar;
 use ratucker_tensor::shape::Shape;
@@ -158,16 +162,17 @@ pub fn checkpoint_policy(params: &Params) -> Result<Option<CheckpointPolicy>, Pa
     Ok(Some(policy))
 }
 
-/// Parses the resilience keys (`Buddy replication` / `ABFT`) into a
-/// [`ResilienceConfig`], if either is present. The checkpoint policy, if
-/// any, rides along as the RTCK disk fallback.
+/// Parses the resilience keys (`Buddy replication` / `ABFT` /
+/// `Straggler demotion`) into a [`ResilienceConfig`], if any is present.
+/// The checkpoint policy, if any, rides along as the RTCK disk fallback.
 pub fn resilience_config(
     params: &Params,
     checkpoint: Option<CheckpointPolicy>,
 ) -> Result<Option<ResilienceConfig>, ParamError> {
     let buddy = params.get("Buddy replication");
     let abft = params.get("ABFT");
-    if buddy.is_none() && abft.is_none() {
+    let straggler = params.get("Straggler demotion");
+    if buddy.is_none() && abft.is_none() && straggler.is_none() {
         return Ok(None);
     }
     let mut cfg = ResilienceConfig::default()
@@ -180,10 +185,41 @@ pub fn resilience_config(
                 expected: "off, detect, or recover",
             })?,
         });
+    if straggler.is_some() {
+        let multiple = params.f64_or("Straggler demotion", 4.0)?;
+        if multiple.is_nan() || multiple <= 1.0 {
+            return Err(ParamError::Invalid {
+                key: "Straggler demotion".into(),
+                value: multiple.to_string(),
+                expected: "median multiple greater than 1",
+            });
+        }
+        cfg = cfg.with_straggler(StragglerPolicy::new(multiple));
+    }
     if let Some(policy) = checkpoint {
         cfg = cfg.with_checkpoint(policy);
     }
     Ok(Some(cfg))
+}
+
+/// Parses the `Deadline profile` key into a per-collective deadline
+/// policy (`off`, `strict`, or `lenient`).
+pub fn deadline_policy(params: &Params) -> Result<Option<DeadlinePolicy>, ParamError> {
+    match params.get("Deadline profile") {
+        None => Ok(None),
+        Some(s) => DeadlinePolicy::profile(s).ok_or_else(|| ParamError::Invalid {
+            key: "Deadline profile".into(),
+            value: s.into(),
+            expected: "off, strict, or lenient",
+        }),
+    }
+}
+
+/// Parses the `Retry` key (max retransmissions per point-to-point
+/// operation; `0` disables retries).
+pub fn retry_policy(params: &Params) -> Result<Option<RetryPolicy>, ParamError> {
+    let n = params.usize_or("Retry", 0)?;
+    Ok((n > 0).then(|| RetryPolicy::new(n.min(u32::MAX as usize) as u32)))
 }
 
 /// The grid dims (default: all ones over the tensor order).
@@ -240,9 +276,15 @@ pub fn run_sthosvd_driver<T: IoScalar>(
         )
     };
     let p: usize = grid.iter().product();
-    let outcome = run_collective(p, &grid, &x, params.get("Trace out"), move |g, xd| {
-        dist_sthosvd(g, xd, &trunc)
-    });
+    let outcome = run_collective(
+        p,
+        &grid,
+        &x,
+        params.get("Trace out"),
+        deadline_policy(params)?,
+        retry_policy(params)?,
+        move |g, xd| dist_sthosvd(g, xd, &trunc),
+    );
     if let Some(prefix) = params.get("Output prefix") {
         // Re-run gather on a fresh universe is unnecessary: outcome holds
         // the gathered tucker already.
@@ -296,6 +338,8 @@ pub fn run_hooi_driver<T: IoScalar>(
             .into());
     }
     let p: usize = grid.iter().product();
+    let deadline = deadline_policy(params)?;
+    let retry = retry_policy(params)?;
     let outcome = if adapt_eps > 0.0 {
         let ra = RaConfig {
             eps: adapt_eps,
@@ -307,8 +351,14 @@ pub fn run_hooi_driver<T: IoScalar>(
         };
         ra.validate(x.shape().dims())
             .map_err(|msg| format!("infeasible rank-adaptive configuration: {msg}"))?;
-        run_collective(p, &grid, &x, params.get("Trace out"), move |g, xd| {
-            match (&resilience, &ckpt) {
+        run_collective(
+            p,
+            &grid,
+            &x,
+            params.get("Trace out"),
+            deadline,
+            retry,
+            move |g, xd| match (&resilience, &ckpt) {
                 (Some(res), _) => {
                     let out =
                         dist_ra_hooi_resilient(g, xd, &ra, res).unwrap_or_else(|e| panic!("{e}"));
@@ -323,12 +373,18 @@ pub fn run_hooi_driver<T: IoScalar>(
                 }
                 (None, Some(policy)) => dist_ra_hooi_checkpointed(g, xd, &ra, policy),
                 (None, None) => dist_ra_hooi(g, xd, &ra),
-            }
-        })
+            },
+        )
     } else {
-        run_collective(p, &grid, &x, params.get("Trace out"), move |g, xd| {
-            dist_hooi(g, xd, &ranks, &cfg)
-        })
+        run_collective(
+            p,
+            &grid,
+            &x,
+            params.get("Trace out"),
+            deadline,
+            retry,
+            move |g, xd| dist_hooi(g, xd, &ranks, &cfg),
+        )
     };
     if let Some(prefix) = params.get("Output prefix") {
         write_tucker(prefix, &outcome.1)?;
@@ -344,15 +400,24 @@ pub fn run_hooi_driver<T: IoScalar>(
 /// (with a per-rank root `"run"` span so self-attributed traffic
 /// partitions the universe totals), and the merged Chrome trace JSON is
 /// written to that path together with a per-phase breakdown on stdout.
+///
+/// The gray-failure knobs (`deadline` / `retry`) are installed on the
+/// universe's fabric before any rank starts.
 fn run_collective<T: IoScalar>(
     p: usize,
     grid_dims: &[usize],
     x: &DenseTensor<T>,
     trace_out: Option<&str>,
+    deadline: Option<DeadlinePolicy>,
+    retry: Option<RetryPolicy>,
     run: impl Fn(&CartGrid, &DistTensor<T>) -> DistRunResult<T> + Sync,
 ) -> (DriverOutcome, TuckerTensor<T>) {
     let session = trace_out.map(|_| ratucker_obs::TraceSession::start());
-    let results = Universe::launch(p, |c| {
+    let universe = Universe::new(p);
+    universe
+        .set_deadline_policy(deadline)
+        .set_retry_policy(retry);
+    let results = universe.run(|c| {
         let grid = CartGrid::new(c, grid_dims);
         // Root span per rank: created *after* grid construction (which
         // consumes the Comm by value) so it borrows `grid.comm`.
@@ -401,7 +466,8 @@ pub fn parameter_file_from_args() -> Result<Params, Box<dyn std::error::Error>> 
 pub fn params_from_argv(args: &[String]) -> Result<Params, Box<dyn std::error::Error>> {
     let pos = args.iter().position(|a| a == "--parameter-file").ok_or(
         "usage: <driver> --parameter-file <file.cfg> [--checkpoint-dir <dir>] [--resume] \
-             [--buddy-replication <k>] [--abft off|detect|recover] [--trace-out <trace.json>]",
+             [--buddy-replication <k>] [--abft off|detect|recover] [--trace-out <trace.json>] \
+             [--deadline-profile off|strict|lenient] [--retry <n>] [--straggler-demotion <x>]",
     )?;
     let path = args
         .get(pos + 1)
@@ -433,6 +499,24 @@ pub fn params_from_argv(args: &[String]) -> Result<Params, Box<dyn std::error::E
             .get(pos + 1)
             .ok_or("--trace-out requires a path argument")?;
         params.set("Trace out", path);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--deadline-profile") {
+        let name = args
+            .get(pos + 1)
+            .ok_or("--deadline-profile requires a profile argument (off, strict, lenient)")?;
+        params.set("Deadline profile", name);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--retry") {
+        let n = args
+            .get(pos + 1)
+            .ok_or("--retry requires a max-retransmissions argument")?;
+        params.set("Retry", n);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--straggler-demotion") {
+        let x = args
+            .get(pos + 1)
+            .ok_or("--straggler-demotion requires a median-multiple argument")?;
+        params.set("Straggler demotion", x);
     }
     Ok(params)
 }
@@ -694,6 +778,93 @@ mod tests {
         // No faults are injected: the resilient path is bit-identical.
         assert_eq!(resilient.rel_error, plain.rel_error);
         assert_eq!(resilient.ranks, plain.ranks);
+    }
+
+    #[test]
+    fn gray_failure_keys_build_policies() {
+        let p = Params::parse("Deadline profile = strict\nRetry = 3\n").unwrap();
+        let d = deadline_policy(&p).unwrap().unwrap();
+        assert_eq!(d, DeadlinePolicy::strict());
+        let r = retry_policy(&p).unwrap().unwrap();
+        assert_eq!(r.max_retries, 3);
+
+        // "off" and 0 disable the knobs without erroring.
+        let p = Params::parse("Deadline profile = off\nRetry = 0\n").unwrap();
+        assert!(deadline_policy(&p).unwrap().is_none());
+        assert!(retry_policy(&p).unwrap().is_none());
+        // Absent keys default to disabled.
+        let p = Params::parse("").unwrap();
+        assert!(deadline_policy(&p).unwrap().is_none());
+        assert!(retry_policy(&p).unwrap().is_none());
+        // Unknown profiles are typed errors.
+        let p = Params::parse("Deadline profile = aggressive\n").unwrap();
+        assert!(deadline_policy(&p).is_err());
+    }
+
+    #[test]
+    fn straggler_key_joins_the_resilience_config() {
+        let p = Params::parse("Straggler demotion = 3\n").unwrap();
+        let cfg = resilience_config(&p, None).unwrap().unwrap();
+        let pol = cfg.straggler.unwrap();
+        assert_eq!(pol.multiple, 3.0);
+        // The key alone is enough to opt into the resilient driver; the
+        // other knobs take their defaults.
+        assert_eq!(cfg.buddy_degree, 1);
+        assert_eq!(cfg.abft, AbftMode::Off);
+        // A multiple that can never exceed the median is rejected.
+        let bad = Params::parse("Straggler demotion = 1.0\n").unwrap();
+        assert!(resilience_config(&bad, None).is_err());
+        // Without the key, no straggler policy is attached.
+        let p = Params::parse("ABFT = detect\n").unwrap();
+        assert!(resilience_config(&p, None)
+            .unwrap()
+            .unwrap()
+            .straggler
+            .is_none());
+    }
+
+    #[test]
+    fn gray_failure_flags_layer_over_the_parameter_file() {
+        let dir = std::env::temp_dir();
+        let cfg = dir.join(format!("ratucker_cli_gray_argv_{}.cfg", std::process::id()));
+        std::fs::write(&cfg, "Global dims = 8 8\nRanks = 2 2\n").unwrap();
+        let args: Vec<String> = [
+            "driver",
+            "--parameter-file",
+            cfg.to_str().unwrap(),
+            "--deadline-profile",
+            "lenient",
+            "--retry",
+            "4",
+            "--straggler-demotion",
+            "2.5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let p = params_from_argv(&args).unwrap();
+        assert_eq!(p.get("Deadline profile"), Some("lenient"));
+        assert_eq!(p.get("Retry"), Some("4"));
+        assert_eq!(p.get("Straggler demotion"), Some("2.5"));
+        std::fs::remove_file(&cfg).unwrap();
+    }
+
+    #[test]
+    fn hooi_driver_runs_with_gray_failure_knobs() {
+        // Installing deadlines and retries on a healthy run must not
+        // change the result: nothing times out, nothing retries.
+        let base = "Global dims = 12 10 8\nConstruction Ranks = 3 3 2\n\
+                    Decomposition Ranks = 2 2 2\nNoise = 0.01\nProcessor grid dims = 1 2 2\n\
+                    HOOI-Adapt Threshold = 0.05\nHOOI max iters = 3\n\
+                    Rank Growth Factor = 2.0\nPrecision = double\n";
+        let plain = run_hooi_driver::<f64>(&Params::parse(base).unwrap()).unwrap();
+        let p = Params::parse(&format!(
+            "{base}Deadline profile = lenient\nRetry = 2\nStraggler demotion = 100\n"
+        ))
+        .unwrap();
+        let guarded = run_hooi_driver::<f64>(&p).unwrap();
+        assert_eq!(guarded.rel_error, plain.rel_error);
+        assert_eq!(guarded.ranks, plain.ranks);
     }
 
     #[test]

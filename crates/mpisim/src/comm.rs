@@ -117,6 +117,15 @@ impl Comm {
         self.fabric.try_recv(self.group[src], self.group[self.rank])
     }
 
+    /// Internal receive running under a specific collective kind's
+    /// deadline budget (see [`crate::DeadlinePolicy`]). Collectives use
+    /// this so a slow peer is blamed with the operation it stalled.
+    #[inline]
+    fn recv_k<T: Elem>(&self, src: usize, kind: CollectiveKind) -> Result<Vec<T>, CommError> {
+        self.fabric
+            .try_recv_kind(self.group[src], self.group[self.rank], kind)
+    }
+
     /// Fallible dissemination barrier.
     pub fn try_barrier(&self) -> Result<(), CommError> {
         let p = self.size();
@@ -125,7 +134,7 @@ impl Comm {
             let dst = (self.rank + k) % p;
             let src = (self.rank + p - k) % p;
             self.send_k::<u8>(dst, Vec::new(), CollectiveKind::Barrier)?;
-            let _ = self.try_recv::<u8>(src)?;
+            let _ = self.recv_k::<u8>(src, CollectiveKind::Barrier)?;
             k <<= 1;
         }
         Ok(())
@@ -158,7 +167,7 @@ impl Comm {
                 if vrank & mask != 0 {
                     let vsrc = vrank & !mask;
                     let src = (vsrc + root) % p;
-                    have = Some(self.try_recv(src)?);
+                    have = Some(self.recv_k(src, kind)?);
                     break;
                 }
                 mask <<= 1;
@@ -214,7 +223,7 @@ impl Comm {
                 let vsrc = vrank | mask;
                 if vsrc < p {
                     let src = (vsrc + root) % p;
-                    let incoming: Vec<T> = self.try_recv(src)?;
+                    let incoming: Vec<T> = self.recv_k(src, kind)?;
                     if incoming.len() != acc.len() {
                         // A dropped message desynchronized the channel;
                         // typed and failure-class (see `SizeMismatch`).
@@ -263,7 +272,7 @@ impl Comm {
             let block = blocks[send_idx].clone().expect("ring allgather gap");
             self.send_k(right, block, CollectiveKind::Allgatherv)?;
             let recv_idx = (self.rank + p - step - 1) % p;
-            blocks[recv_idx] = Some(self.try_recv(left)?);
+            blocks[recv_idx] = Some(self.recv_k(left, CollectiveKind::Allgatherv)?);
         }
         Ok(blocks
             .into_iter()
@@ -309,7 +318,7 @@ impl Comm {
         let mut carry = block(&data, (self.rank + 1) % p);
         for step in 0..p - 1 {
             self.send_k(left, carry, CollectiveKind::ReduceScatter)?;
-            let incoming: Vec<T> = self.try_recv(right)?;
+            let incoming: Vec<T> = self.recv_k(right, CollectiveKind::ReduceScatter)?;
             // The incoming partial sum corresponds to block
             // (rank + step + 2) mod p … except on the final step, where it
             // is my own block: accumulate my contribution and continue.
@@ -345,7 +354,7 @@ impl Comm {
         }
         for (src, slot) in out.iter_mut().enumerate() {
             if src != self.rank {
-                *slot = self.try_recv(src)?;
+                *slot = self.recv_k(src, CollectiveKind::Alltoallv)?;
             }
         }
         Ok(out)
@@ -363,7 +372,7 @@ impl Comm {
             out[root] = data;
             for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    *slot = self.try_recv(src)?;
+                    *slot = self.recv_k(src, CollectiveKind::Gatherv)?;
                 }
             }
             Ok(Some(out))

@@ -20,7 +20,7 @@
 use crate::fault::{CommError, CorruptMode, FaultPlan};
 use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -48,6 +48,15 @@ fn parse_recv_timeout(raw: &str) -> Result<Duration, String> {
         Ok(secs) => Err(format!("{secs} is not in (0, {MAX_TIMEOUT_SECS}] seconds")),
         Err(err) => Err(format!("not a number: {err}")),
     }
+}
+
+/// Converts a `Duration` to whole microseconds, saturating at `u64::MAX`
+/// (~584 000 years) instead of wrapping. `as_micros() as u64` silently
+/// truncates the `u128` for absurd-but-parseable timeouts near the
+/// [`MAX_TIMEOUT_SECS`] boundary, which would turn a "wait forever"
+/// request into a near-zero timeout.
+fn duration_to_us_saturating(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 fn default_recv_timeout() -> Duration {
@@ -271,6 +280,22 @@ pub struct TrafficStats {
     pub dropped: AtomicU64,
     /// Per-source-rank byte counts (load-imbalance analysis).
     pub bytes_by_rank: Vec<AtomicU64>,
+    /// Send-side retransmissions issued by the [`RetryPolicy`] after an
+    /// injected drop (each also counts on `attempted`, and then on
+    /// exactly one of `messages` or `dropped`).
+    pub send_retries: AtomicU64,
+    /// Receive-side deadline-budget re-arms issued by the [`RetryPolicy`]
+    /// after a [`DeadlinePolicy`] budget expired.
+    pub recv_retries: AtomicU64,
+    /// Messages eventually delivered after one or more injected drops —
+    /// the retry layer's healing score.
+    pub drops_healed: AtomicU64,
+    /// Per-*sender*-rank induced blocked-wait microseconds: time
+    /// receivers spent blocked in `try_recv` waiting for a message from
+    /// this rank. Under blocking collectives this is the online
+    /// straggler signal — a persistently slow rank makes everyone else
+    /// wait on *it*, so its column grows a multiple faster than the rest.
+    wait_us_by_src: Vec<AtomicU64>,
     /// Per-source-rank, per-kind delivered bytes
     /// (`rank * KIND_COUNT + kind.index()`).
     kind_bytes: Vec<AtomicU64>,
@@ -286,8 +311,29 @@ impl TrafficStats {
             attempted: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             bytes_by_rank: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            send_retries: AtomicU64::new(0),
+            recv_retries: AtomicU64::new(0),
+            drops_healed: AtomicU64::new(0),
+            wait_us_by_src: (0..p).map(|_| AtomicU64::new(0)).collect(),
             kind_bytes: (0..p * KIND_COUNT).map(|_| AtomicU64::new(0)).collect(),
             kind_messages: (0..p * KIND_COUNT).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Per-sender induced blocked-wait microseconds (see
+    /// `wait_us_by_src`): entry `r` is how long receivers have spent
+    /// blocked waiting for messages *from* rank `r`, cumulatively.
+    pub fn induced_wait_us(&self) -> Vec<u64> {
+        self.wait_us_by_src
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Charges `us` microseconds of blocked receive wait to sender `src`.
+    fn charge_wait(&self, src: usize, us: u64) {
+        if us > 0 {
+            self.wait_us_by_src[src].fetch_add(us, Ordering::Relaxed);
         }
     }
 
@@ -376,6 +422,112 @@ impl TrafficStats {
     }
 }
 
+/// Per-collective-kind receive deadline budgets, layered *under* the
+/// global recv timeout ([`Fabric::recv_timeout`]).
+///
+/// The global timeout is the fabric's coarse deadlock detector (120 s by
+/// default); a deadline budget is the gray-failure detector: a receive
+/// inside a collective of kind `k` that blocks longer than `budget(k)`
+/// fails fast with [`CommError::DeadlineExceeded`], naming the suspected
+/// straggler, long before the global timeout would fire. A kind with no
+/// budget falls back to the global timeout alone.
+///
+/// With a [`RetryPolicy`] installed, an expired budget is retried with
+/// backoff before the error surfaces (the peer may be slow, not gone).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadlinePolicy {
+    budgets: [Option<Duration>; KIND_COUNT],
+}
+
+impl DeadlinePolicy {
+    /// No budgets at all: every kind uses the global timeout alone.
+    pub fn none() -> DeadlinePolicy {
+        DeadlinePolicy {
+            budgets: [None; KIND_COUNT],
+        }
+    }
+
+    /// The same budget for every collective kind.
+    pub fn uniform(budget: Duration) -> DeadlinePolicy {
+        DeadlinePolicy {
+            budgets: [Some(budget); KIND_COUNT],
+        }
+    }
+
+    /// Overrides the budget for one kind.
+    pub fn with_kind(mut self, kind: CollectiveKind, budget: Duration) -> DeadlinePolicy {
+        self.budgets[kind.index()] = Some(budget);
+        self
+    }
+
+    /// The budget for `kind`, if one is set.
+    pub fn budget(&self, kind: CollectiveKind) -> Option<Duration> {
+        self.budgets[kind.index()]
+    }
+
+    /// The `strict` profile: 250 ms per collective — tight enough that a
+    /// dead-slow peer is blamed within a sweep, loose enough that debug
+    /// builds of the tier-1 problem sizes never trip it.
+    pub fn strict() -> DeadlinePolicy {
+        DeadlinePolicy::uniform(Duration::from_millis(250))
+    }
+
+    /// The `lenient` profile: 2 s per collective — catches only gross
+    /// stalls, suitable for heavily loaded CI machines.
+    pub fn lenient() -> DeadlinePolicy {
+        DeadlinePolicy::uniform(Duration::from_secs(2))
+    }
+
+    /// Parses a named profile for the CLI `--deadline-profile` knob:
+    /// `"off"` → no policy, `"strict"` / `"lenient"` → the matching
+    /// preset. Unknown names return `None`.
+    #[allow(clippy::option_option)]
+    pub fn profile(name: &str) -> Option<Option<DeadlinePolicy>> {
+        match name.to_ascii_lowercase().as_str() {
+            "off" => Some(None),
+            "strict" => Some(Some(DeadlinePolicy::strict())),
+            "lenient" => Some(Some(DeadlinePolicy::lenient())),
+            _ => None,
+        }
+    }
+}
+
+/// Bounded retry-with-exponential-backoff for transient point-to-point
+/// failures: send-side retransmission of injected drops (flaky links)
+/// and receive-side re-arming of expired [`DeadlinePolicy`] budgets.
+///
+/// Backoff for attempt *n* (1-based) is `base · 2^(n-1)`, capped at
+/// `max_backoff`. Every retry is counted on [`TrafficStats`]
+/// (`send_retries` / `recv_retries` / `drops_healed`), and each send
+/// attempt moves the `attempted` ledger, so the accounting invariant
+/// `attempted == delivered + dropped` holds through the retry loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of retries after the initial attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` retries, 50 µs base backoff, 5 ms cap.
+    pub fn new(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(5),
+        }
+    }
+
+    /// The backoff before retry `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        (self.base_backoff * factor).min(self.max_backoff)
+    }
+}
+
 /// One ordered-pair FIFO queue. Each entry carries the fabric *epoch* at
 /// which it was sent; receivers discard entries from earlier epochs, so
 /// in-flight data from before a fault recovery cannot poison the retried
@@ -431,6 +583,13 @@ impl FaultState {
                 panic!("injected crash: rank {rank} died at fabric operation {op}");
             }
         }
+    }
+
+    /// The persistent-slowness delay for `rank` at its *current*
+    /// operation count (respects any scheduled onset).
+    fn slow_delay_now(&self, rank: usize) -> Option<Duration> {
+        self.plan
+            .slow_delay_at(rank, self.rank_ops[rank].load(Ordering::Relaxed))
     }
 }
 
@@ -599,6 +758,16 @@ impl ScheduleState {
     }
 }
 
+/// Resets a `blocked_on` cell to "not blocked" when the receive that
+/// set it returns, on every exit path.
+struct ClearOnDrop<'a>(&'a AtomicUsize);
+
+impl Drop for ClearOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.store(usize::MAX, Ordering::Relaxed);
+    }
+}
+
 /// The link matrix connecting `p` ranks.
 pub struct Fabric {
     p: usize,
@@ -613,6 +782,12 @@ pub struct Fabric {
     ctrl: Vec<Link>,
     /// Liveness flags; a retired (crashed) rank wakes its blocked peers.
     alive: Vec<AtomicBool>,
+    /// `blocked_on[r]`: the world rank that rank `r` is currently
+    /// blocked waiting on in a data-plane receive (`usize::MAX` when
+    /// not blocked). Feeds [`Fabric::resolve_blame`], the wait-for
+    /// chain walk that distinguishes a true straggler from the healthy
+    /// ranks queued up behind it.
+    blocked_on: Vec<AtomicUsize>,
     /// Revocation flag: once any rank revokes the fabric, pending and
     /// future data-plane operations fail fast with
     /// [`CommError::Revoked`] until the recovery protocol clears it.
@@ -623,6 +798,10 @@ pub struct Fabric {
     stats: TrafficStats,
     /// Receive timeout in microseconds (atomic so tests can tighten it).
     recv_timeout_us: AtomicU64,
+    /// Optional per-collective deadline budgets (gray-failure detector).
+    deadline: Mutex<Option<DeadlinePolicy>>,
+    /// Optional bounded retry-with-backoff for transient p2p failures.
+    retry: Mutex<Option<RetryPolicy>>,
     /// Optional fault-injection state.
     fault: Mutex<Option<Arc<FaultState>>>,
     /// Optional schedule-perturbation state (`None` ⇔ [`SchedulePolicy::Os`]).
@@ -638,10 +817,13 @@ impl Fabric {
             links: (0..p * p).map(|_| Link::new()).collect(),
             ctrl: (0..p * p).map(|_| Link::new()).collect(),
             alive: (0..p).map(|_| AtomicBool::new(true)).collect(),
+            blocked_on: (0..p).map(|_| AtomicUsize::new(usize::MAX)).collect(),
             revoked: AtomicBool::new(false),
             epoch: AtomicU64::new(0),
             stats: TrafficStats::new(p),
-            recv_timeout_us: AtomicU64::new(default_recv_timeout().as_micros() as u64),
+            recv_timeout_us: AtomicU64::new(duration_to_us_saturating(default_recv_timeout())),
+            deadline: Mutex::new(None),
+            retry: Mutex::new(None),
             fault: Mutex::new(None),
             schedule: Mutex::new(None),
         })
@@ -662,10 +844,33 @@ impl Fabric {
         Duration::from_micros(self.recv_timeout_us.load(Ordering::Relaxed))
     }
 
-    /// Overrides the receive timeout for this fabric.
+    /// Overrides the receive timeout for this fabric. Durations beyond
+    /// `u64::MAX` microseconds (~584 000 years) saturate instead of
+    /// silently wrapping to a near-zero timeout.
     pub fn set_recv_timeout(&self, timeout: Duration) {
         self.recv_timeout_us
-            .store(timeout.as_micros() as u64, Ordering::Relaxed);
+            .store(duration_to_us_saturating(timeout), Ordering::Relaxed);
+    }
+
+    /// Installs (or clears, with `None`) the per-collective deadline
+    /// budgets.
+    pub fn set_deadline_policy(&self, policy: Option<DeadlinePolicy>) {
+        *self.deadline.lock().unwrap_or_else(|e| e.into_inner()) = policy;
+    }
+
+    /// The currently installed deadline policy, if any.
+    pub fn deadline_policy(&self) -> Option<DeadlinePolicy> {
+        *self.deadline.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Installs (or clears, with `None`) the retry-with-backoff policy.
+    pub fn set_retry_policy(&self, policy: Option<RetryPolicy>) {
+        *self.retry.lock().unwrap_or_else(|e| e.into_inner()) = policy;
+    }
+
+    /// The currently installed retry policy, if any.
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        *self.retry.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Attaches a fault-injection plan (replacing any previous one) and
@@ -715,16 +920,50 @@ impl Fabric {
 
     /// Marks `rank` as dead and wakes every receiver blocked on a
     /// message from it, so peers observe [`CommError::PeerClosed`]
-    /// instead of waiting out the timeout.
+    /// instead of waiting out the timeout. The retired rank's *own*
+    /// blocked receives are woken too: a rank demoted by its peers (the
+    /// straggler-eviction verdict) observes [`CommError::Demoted`]
+    /// promptly instead of stalling to the global timeout.
     pub fn retire(&self, rank: usize) {
         self.alive[rank].store(false, Ordering::SeqCst);
-        for dst in 0..self.p {
+        for other in 0..self.p {
             for lane in [&self.links, &self.ctrl] {
-                let link = &lane[dst * self.p + rank];
-                let _guard = link.lock();
-                link.ready.notify_all();
+                for link_idx in [other * self.p + rank, rank * self.p + other] {
+                    let link = &lane[link_idx];
+                    let _guard = link.lock();
+                    link.ready.notify_all();
+                }
             }
         }
+    }
+
+    /// Resolves a deadline blame raised by `dst` against `src` to the
+    /// most likely straggler by walking the fabric's wait-for chain.
+    ///
+    /// The proximate peer of an expired budget is often innocent: a
+    /// rank stuck in a blocking receive behind the real straggler has
+    /// not issued its *own* sends yet, so lateness chains through the
+    /// topology (rank 0 times out on rank 3, which is blocked on
+    /// rank 2, which is blocked on the degraded rank 1). Each blocked
+    /// receive publishes who it waits on; the walk follows that
+    /// relation from `src` until it reaches a rank that is *not*
+    /// blocked — the one actually failing to make progress. The walk
+    /// stops early if it loops back to `dst` or exceeds `p` hops
+    /// (a genuine wait cycle), returning the last rank reached.
+    ///
+    /// The cells are read racily, but a rank slow enough to trip a
+    /// deadline budget leaves the chain quiesced for the whole budget,
+    /// so every blamer resolves to the same culprit in practice.
+    pub fn resolve_blame(&self, dst: usize, src: usize) -> usize {
+        let mut cur = src;
+        for _ in 0..self.p {
+            let next = self.blocked_on[cur].load(Ordering::Relaxed);
+            if next == usize::MAX || next == dst || next == cur {
+                break;
+            }
+            cur = next;
+        }
+        cur
     }
 
     /// The world ranks currently alive, ascending. This is the failure
@@ -781,6 +1020,9 @@ impl Fabric {
         for a in &self.alive {
             a.store(true, Ordering::SeqCst);
         }
+        for b in &self.blocked_on {
+            b.store(usize::MAX, Ordering::Relaxed);
+        }
         for link in self.links.iter().chain(self.ctrl.iter()) {
             link.lock().clear();
         }
@@ -832,6 +1074,12 @@ impl Fabric {
         if let Some(state) = &fault {
             state.step_rank(src);
         }
+        if !self.is_alive(src) {
+            // This rank was demoted (retired) by the failure detector
+            // while still running: fail fast instead of feeding a
+            // communicator its peers have already shrunk away from.
+            return Err(CommError::Demoted { rank: src });
+        }
         if self.is_revoked() {
             return Err(CommError::Revoked { rank: src });
         }
@@ -843,6 +1091,11 @@ impl Fabric {
         self.stats.attempted.fetch_add(1, Ordering::Relaxed);
 
         if let Some(state) = &fault {
+            if let Some(delay) = state.slow_delay_now(src) {
+                // Persistent slow rank: every rendezvous it initiates is
+                // late, modeling a degraded-but-alive node.
+                std::thread::sleep(delay);
+            }
             let idx = state.link_ops[dst * self.p + src].fetch_add(1, Ordering::Relaxed);
             if let Some(delay) = state.plan.delay_for(src, dst, idx) {
                 std::thread::sleep(delay);
@@ -850,12 +1103,37 @@ impl Fabric {
             if let Some((mode, h)) = state.plan.corrupt_for(src, dst, idx) {
                 corrupt_payload(&mut data, mode, h);
             }
-            if state.plan.drop_for(src, dst, idx) {
-                // The message vanishes on the wire; the receiver will
-                // surface this as a Timeout. It was attempted but not
-                // delivered, so only the `dropped` counter moves.
+            if state.plan.lost_for(src, dst, idx) {
+                // The message vanishes on the wire. It was attempted but
+                // not delivered, so only the `dropped` counter moves —
+                // unless a retry policy retransmits it. The retry loop
+                // runs inside this call (same thread, same link), so
+                // per-link FIFO order is preserved and a healed run is
+                // bit-identical to a fault-free one. Loss decisions are
+                // pure functions of the per-link message index, so each
+                // retransmission draws a fresh, deterministic decision.
                 self.stats.dropped.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
+                let mut healed = false;
+                if let Some(retry) = self.retry_policy() {
+                    for attempt in 1..=retry.max_retries {
+                        std::thread::sleep(retry.backoff(attempt));
+                        self.stats.send_retries.fetch_add(1, Ordering::Relaxed);
+                        self.stats.attempted.fetch_add(1, Ordering::Relaxed);
+                        let idx =
+                            state.link_ops[dst * self.p + src].fetch_add(1, Ordering::Relaxed);
+                        if !state.plan.lost_for(src, dst, idx) {
+                            self.stats.drops_healed.fetch_add(1, Ordering::Relaxed);
+                            healed = true;
+                            break;
+                        }
+                        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                if !healed {
+                    // Exhausted (or no policy): the receiver will surface
+                    // this as a Timeout / DeadlineExceeded.
+                    return Ok(());
+                }
             }
         }
 
@@ -886,8 +1164,32 @@ impl Fabric {
     /// earlier fabric epoch are silently discarded (stale traffic from a
     /// collective aborted by fault recovery).
     pub fn try_recv<T: Send + 'static>(&self, src: usize, dst: usize) -> Result<Vec<T>, CommError> {
+        self.try_recv_kind(src, dst, CollectiveKind::PointToPoint)
+    }
+
+    /// [`Fabric::try_recv`] with an explicit [`CollectiveKind`]: the kind
+    /// selects which [`DeadlinePolicy`] budget (if any) this receive runs
+    /// under, layered *under* the global timeout. When a budget expires
+    /// with a [`RetryPolicy`] installed, the wait is re-armed with
+    /// backoff (counted on `TrafficStats::recv_retries`) before
+    /// [`CommError::DeadlineExceeded`] surfaces.
+    ///
+    /// Blocked-wait time is charged to the *sender* on
+    /// [`TrafficStats::induced_wait_us`] — the per-rank signal the
+    /// straggler detector consumes.
+    pub fn try_recv_kind<T: Send + 'static>(
+        &self,
+        src: usize,
+        dst: usize,
+        kind: CollectiveKind,
+    ) -> Result<Vec<T>, CommError> {
         if let Some(state) = self.fault_state() {
             state.step_rank(dst);
+            if let Some(delay) = state.slow_delay_now(dst) {
+                // Persistent slow rank: its receives are as late as its
+                // sends — the whole node is degraded, not one link.
+                std::thread::sleep(delay);
+            }
         }
         // Schedule perturbation: shift when this receiver starts draining
         // its queue (lock not yet held, so nothing else is blocked).
@@ -898,12 +1200,34 @@ impl Fabric {
             }
         }
         let timeout = self.recv_timeout();
-        let deadline = Instant::now() + timeout;
+        let overall = Instant::now() + timeout;
+        let budget = self.deadline_policy().and_then(|d| d.budget(kind));
+        let retry = budget.and(self.retry_policy());
+        let mut attempt = 0u32;
+        let mut op_deadline = budget.map(|b| Instant::now() + b);
+        let wait_start = Instant::now();
+        let charge = || {
+            self.stats
+                .charge_wait(src, duration_to_us_saturating(wait_start.elapsed()));
+        };
+        // Publish who we are blocked on for the duration of the wait so
+        // deadline blame can be resolved along the wait-for chain (the
+        // guard clears the cell on every exit path).
+        self.blocked_on[dst].store(src, Ordering::Relaxed);
+        let _blocked = ClearOnDrop(&self.blocked_on[dst]);
         let link = self.link(src, dst);
         let mut queue = link.lock();
         let payload = loop {
             if self.is_revoked() {
+                charge();
                 return Err(CommError::Revoked { rank: dst });
+            }
+            if !self.is_alive(dst) {
+                // Demoted by the failure detector while blocked (or about
+                // to block): fail fast instead of waiting out a timeout
+                // on a membership that no longer includes us.
+                charge();
+                return Err(CommError::Demoted { rank: dst });
             }
             let current = self.current_epoch();
             match queue.pop_front() {
@@ -912,19 +1236,50 @@ impl Fabric {
                 None => {}
             }
             if !self.is_alive(src) {
+                charge();
                 return Err(CommError::PeerClosed { peer: src, me: dst });
             }
             let now = Instant::now();
-            if now >= deadline {
+            if now >= overall {
+                charge();
                 return Err(CommError::Timeout {
                     src,
                     dst,
                     waited: timeout,
                 });
             }
+            if let (Some(d), Some(b)) = (op_deadline, budget) {
+                if now >= d {
+                    match retry {
+                        Some(r) if attempt < r.max_retries => {
+                            // Re-arm the budget with backoff: the peer
+                            // may be slow, not gone. Release the link
+                            // lock while sleeping so the sender can
+                            // deliver in the meantime.
+                            attempt += 1;
+                            self.stats.recv_retries.fetch_add(1, Ordering::Relaxed);
+                            drop(queue);
+                            std::thread::sleep(r.backoff(attempt));
+                            op_deadline = Some(Instant::now() + b);
+                            queue = link.lock();
+                            continue;
+                        }
+                        _ => {
+                            charge();
+                            return Err(CommError::DeadlineExceeded {
+                                src,
+                                dst,
+                                kind: kind.name(),
+                                budget: b,
+                            });
+                        }
+                    }
+                }
+            }
+            let until = op_deadline.map_or(overall, |d| d.min(overall));
             let (guard, _res) = link
                 .ready
-                .wait_timeout(queue, deadline - now)
+                .wait_timeout(queue, until - now)
                 .unwrap_or_else(|e| e.into_inner());
             queue = guard;
             // Schedule perturbation of the wakeup choice: briefly release
@@ -938,6 +1293,7 @@ impl Fabric {
             }
         };
         drop(queue);
+        charge();
         payload
             .downcast::<Vec<T>>()
             .map(|b| *b)
@@ -960,6 +1316,12 @@ impl Fabric {
         dst: usize,
         data: Vec<T>,
     ) -> Result<(), CommError> {
+        if !self.is_alive(src) {
+            // A demoted rank must not litter the control plane: stale
+            // votes from an evicted member could poison a later
+            // agreement round (ctrl messages carry no epoch).
+            return Err(CommError::Demoted { rank: src });
+        }
         if !self.is_alive(dst) {
             return Err(CommError::PeerClosed { peer: dst, me: src });
         }
@@ -996,6 +1358,11 @@ impl Fabric {
         let link = &self.ctrl[dst * self.p + src];
         let mut queue = link.lock();
         let payload = loop {
+            if !self.is_alive(dst) {
+                // Demoted while waiting for agreement traffic: wake up
+                // and leave instead of stalling to the timeout.
+                return Err(CommError::Demoted { rank: dst });
+            }
             if let Some((_, payload)) = queue.pop_front() {
                 break payload;
             }
@@ -1541,6 +1908,264 @@ mod tests {
         let c = ScheduleState::new(SchedulePolicy::SeededRandom { seed: 6 }, 2);
         let differs = (0..32).any(|idx| a.op_delay(0, 0, 1, idx, 7) != c.op_delay(0, 0, 1, idx, 7));
         assert!(differs, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn recv_timeout_parser_accepts_the_max_boundary() {
+        // The documented ceiling itself must parse…
+        assert_eq!(parse_recv_timeout("1e9"), Ok(Duration::from_secs_f64(1e9)));
+        // …and convert to microseconds without truncation (1e15 µs fits
+        // comfortably in u64; the old `as_micros() as u64` cast only
+        // wrapped beyond ~5.8e5 years, which saturation now absorbs).
+        assert_eq!(
+            duration_to_us_saturating(Duration::from_secs_f64(1e9)),
+            1_000_000_000_000_000
+        );
+        assert!(parse_recv_timeout("1.000001e9").is_err(), "above the cap");
+    }
+
+    #[test]
+    fn set_recv_timeout_saturates_instead_of_wrapping() {
+        let f = Fabric::new(1);
+        // Duration::MAX is ~5.8e11 years: `as_micros() as u64` would wrap
+        // this to a near-zero timeout. Saturation keeps it "forever".
+        f.set_recv_timeout(Duration::MAX);
+        assert_eq!(f.recv_timeout(), Duration::from_micros(u64::MAX));
+        // In-range values are exact.
+        f.set_recv_timeout(Duration::from_millis(1500));
+        assert_eq!(f.recv_timeout(), Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn deadline_budget_fires_before_the_global_timeout() {
+        let f = Fabric::new(2);
+        f.set_recv_timeout(Duration::from_secs(30));
+        f.set_deadline_policy(Some(DeadlinePolicy::uniform(Duration::from_millis(25))));
+        let start = Instant::now();
+        match f.try_recv_kind::<f64>(0, 1, CollectiveKind::Allreduce) {
+            Err(CommError::DeadlineExceeded {
+                src: 0,
+                dst: 1,
+                kind,
+                budget,
+            }) => {
+                assert_eq!(kind, "allreduce");
+                assert_eq!(budget, Duration::from_millis(25));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(start.elapsed() < Duration::from_secs(5), "budget ignored");
+        // A kind with no budget still waits out the global timeout.
+        f.set_deadline_policy(Some(
+            DeadlinePolicy::none().with_kind(CollectiveKind::Bcast, Duration::from_millis(25)),
+        ));
+        f.set_recv_timeout(Duration::from_millis(80));
+        assert!(matches!(
+            f.try_recv_kind::<f64>(0, 1, CollectiveKind::Allreduce),
+            Err(CommError::Timeout { .. })
+        ));
+    }
+
+    #[test]
+    fn recv_retries_rearm_the_budget_then_surface_deadline_exceeded() {
+        let f = Fabric::new(2);
+        f.set_recv_timeout(Duration::from_secs(30));
+        f.set_deadline_policy(Some(DeadlinePolicy::uniform(Duration::from_millis(10))));
+        f.set_retry_policy(Some(RetryPolicy::new(2)));
+        let start = Instant::now();
+        assert!(matches!(
+            f.try_recv_kind::<f64>(0, 1, CollectiveKind::Gatherv),
+            Err(CommError::DeadlineExceeded { .. })
+        ));
+        // Two re-armed budgets before giving up: ≥ 3 × 10 ms of waiting.
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        assert_eq!(f.stats().recv_retries.load(Ordering::Relaxed), 2);
+        // A message arriving during a retry window is delivered normally.
+        f.send(0, 1, vec![9.0f64]);
+        assert_eq!(
+            f.try_recv_kind::<f64>(0, 1, CollectiveKind::Gatherv)
+                .unwrap(),
+            vec![9.0]
+        );
+    }
+
+    #[test]
+    fn retry_policy_heals_flaky_link_drops() {
+        let f = Fabric::new(2);
+        f.attach_fault_plan(FaultPlan::quiet(21).with_flaky_link(0, 1, 0.4));
+        f.set_retry_policy(Some(RetryPolicy::new(8)));
+        for i in 0..20i64 {
+            f.send(0, 1, vec![i]);
+        }
+        // Every message is eventually delivered, in order.
+        for i in 0..20i64 {
+            assert_eq!(f.recv::<i64>(0, 1), vec![i]);
+        }
+        let stats = f.stats();
+        assert!(
+            stats.drops_healed.load(Ordering::Relaxed) > 0,
+            "seed 21 at p=0.4 must drop at least once in 20 sends"
+        );
+        assert!(stats.send_retries.load(Ordering::Relaxed) > 0);
+        // Every attempt (first tries + retries) is on the ledger.
+        stats.check_invariant().expect("invariant through retries");
+        assert_eq!(stats.messages.load(Ordering::Relaxed), 20);
+        f.clear_fault_plan();
+    }
+
+    #[test]
+    fn retry_exhaustion_still_keeps_the_ledger_consistent() {
+        let f = Fabric::new(2);
+        f.set_recv_timeout(Duration::from_millis(20));
+        f.attach_fault_plan(FaultPlan::quiet(0).with_drops(1.0));
+        f.set_retry_policy(Some(RetryPolicy::new(3)));
+        f.send(0, 1, vec![1.0f64]);
+        let stats = f.stats();
+        // 1 first attempt + 3 retries, all dropped, none delivered.
+        assert_eq!(stats.attempted.load(Ordering::Relaxed), 4);
+        assert_eq!(stats.dropped.load(Ordering::Relaxed), 4);
+        assert_eq!(stats.send_retries.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.drops_healed.load(Ordering::Relaxed), 0);
+        stats.check_invariant().expect("invariant after exhaustion");
+        assert!(matches!(
+            f.try_recv::<f64>(0, 1),
+            Err(CommError::Timeout { .. })
+        ));
+        f.clear_fault_plan();
+    }
+
+    #[test]
+    fn slow_rank_delays_its_own_rendezvous() {
+        let f = Fabric::new(2);
+        f.attach_fault_plan(FaultPlan::quiet(0).with_slow_rank(0, Duration::from_millis(30)));
+        let t0 = Instant::now();
+        f.send(0, 1, vec![1u8]);
+        assert!(t0.elapsed() >= Duration::from_millis(30), "send not slowed");
+        // The fast rank's operations are unaffected (its recv pops an
+        // already-delivered message instantly).
+        let t1 = Instant::now();
+        assert_eq!(f.recv::<u8>(0, 1), vec![1]);
+        assert!(t1.elapsed() < Duration::from_millis(25));
+        f.clear_fault_plan();
+    }
+
+    #[test]
+    fn demoted_rank_fails_fast_on_every_plane() {
+        let f = Fabric::new(2);
+        f.set_recv_timeout(Duration::from_secs(30));
+        f.retire(1);
+        assert!(matches!(
+            f.try_send(1, 0, vec![1.0f64]),
+            Err(CommError::Demoted { rank: 1 })
+        ));
+        assert!(matches!(
+            f.try_recv::<f64>(0, 1),
+            Err(CommError::Demoted { rank: 1 })
+        ));
+        assert!(matches!(
+            f.ctrl_send(1, 0, vec![1u64]),
+            Err(CommError::Demoted { rank: 1 })
+        ));
+        assert!(matches!(
+            f.ctrl_recv::<u64>(0, 1),
+            Err(CommError::Demoted { rank: 1 })
+        ));
+        f.reset_for_run();
+    }
+
+    #[test]
+    fn retire_wakes_the_retired_ranks_own_blocked_recv() {
+        let f = Fabric::new(2);
+        f.set_recv_timeout(Duration::from_secs(30));
+        let f2 = Arc::clone(&f);
+        let start = Instant::now();
+        // Rank 1 blocks waiting on rank 0; its *own* demotion must wake it.
+        let h = std::thread::spawn(move || f2.try_recv::<f64>(0, 1));
+        std::thread::sleep(Duration::from_millis(30));
+        f.retire(1);
+        let res = h.join().unwrap();
+        assert!(
+            matches!(res, Err(CommError::Demoted { rank: 1 })),
+            "{res:?}"
+        );
+        assert!(start.elapsed() < Duration::from_secs(5), "zombie hung");
+    }
+
+    #[test]
+    fn resolve_blame_walks_the_wait_for_chain_to_the_stalled_rank() {
+        // Rank 0 waits on rank 1, which waits on rank 2, which is doing
+        // nothing (the stalled culprit). The blame raised by rank 0
+        // against its proximate peer must resolve to rank 2.
+        let f = Fabric::new(3);
+        let f1 = Arc::clone(&f);
+        let h1 = std::thread::spawn(move || f1.try_recv::<f64>(2, 1));
+        let f0 = Arc::clone(&f);
+        let h0 = std::thread::spawn(move || f0.try_recv::<f64>(1, 0));
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(f.resolve_blame(0, 1), 2);
+        // A blame against a rank that is not blocked stays where it is.
+        assert_eq!(f.resolve_blame(0, 2), 2);
+        // Unwind the chain: rank 2 answers, then rank 1 can answer.
+        f.send(2, 1, vec![7.0f64]);
+        assert_eq!(h1.join().unwrap().unwrap(), vec![7.0]);
+        f.send(1, 0, vec![8.0f64]);
+        assert_eq!(h0.join().unwrap().unwrap(), vec![8.0]);
+        // All cells cleared once nobody is blocked.
+        assert_eq!(f.resolve_blame(0, 1), 1);
+    }
+
+    #[test]
+    fn blocked_waits_are_charged_to_the_sender() {
+        let f = Fabric::new(2);
+        let f2 = Arc::clone(&f);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            f2.send(0, 1, vec![1.0f64]);
+        });
+        assert_eq!(f.recv::<f64>(0, 1), vec![1.0]);
+        h.join().unwrap();
+        let waits = f.stats().induced_wait_us();
+        assert!(
+            waits[0] >= 30_000,
+            "rank 0 made the receiver wait ~40 ms, charged {} µs",
+            waits[0]
+        );
+        assert_eq!(waits[1], 0, "rank 1 sent nothing");
+    }
+
+    #[test]
+    fn deadline_profiles_parse() {
+        assert_eq!(DeadlinePolicy::profile("off"), Some(None));
+        assert_eq!(
+            DeadlinePolicy::profile("strict"),
+            Some(Some(DeadlinePolicy::strict()))
+        );
+        assert_eq!(
+            DeadlinePolicy::profile("LENIENT"),
+            Some(Some(DeadlinePolicy::lenient()))
+        );
+        assert_eq!(DeadlinePolicy::profile("brutal"), None);
+        assert!(
+            DeadlinePolicy::strict()
+                .budget(CollectiveKind::Allreduce)
+                .unwrap()
+                < DeadlinePolicy::lenient()
+                    .budget(CollectiveKind::Allreduce)
+                    .unwrap()
+        );
+        assert_eq!(
+            DeadlinePolicy::none().budget(CollectiveKind::Allreduce),
+            None
+        );
+    }
+
+    #[test]
+    fn retry_backoff_is_exponential_and_capped() {
+        let r = RetryPolicy::new(10);
+        assert_eq!(r.backoff(1), Duration::from_micros(50));
+        assert_eq!(r.backoff(2), Duration::from_micros(100));
+        assert_eq!(r.backoff(3), Duration::from_micros(200));
+        assert_eq!(r.backoff(30), Duration::from_millis(5), "capped");
     }
 
     #[test]

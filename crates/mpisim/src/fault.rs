@@ -103,6 +103,29 @@ pub enum CommError {
         /// Element count actually received.
         got: usize,
     },
+    /// A receive exceeded its per-collective deadline budget (the
+    /// [`crate::DeadlinePolicy`] layer *under* the global recv timeout):
+    /// the peer is slow-but-alive — a gray failure — and the caller gets
+    /// to react long before the coarse [`CommError::Timeout`] would fire.
+    DeadlineExceeded {
+        /// World rank of the expected sender (the suspected straggler).
+        src: usize,
+        /// World rank of the receiver whose budget expired.
+        dst: usize,
+        /// The collective kind whose budget expired.
+        kind: &'static str,
+        /// The per-operation budget that was exhausted.
+        budget: Duration,
+    },
+    /// The rank was demoted by the failure detector (straggler demotion
+    /// or a deadline-blame eviction): its peers have agreed to treat it
+    /// as failed, and every further fabric operation it issues — or that
+    /// targets it — aborts with this error so the shrink machinery takes
+    /// over instead of a stall.
+    Demoted {
+        /// World rank that was demoted.
+        rank: usize,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -161,6 +184,22 @@ impl fmt::Display for CommError {
                 f,
                 "rank {dst} received a wrong-sized payload from rank {src} \
                  (lost or misrouted message?): got {got} elements, expected {expected}"
+            ),
+            CommError::DeadlineExceeded {
+                src,
+                dst,
+                kind,
+                budget,
+            } => write!(
+                f,
+                "rank {dst} exceeded the {kind} deadline budget of {:.3}s \
+                 waiting for rank {src} (slow-but-alive peer?)",
+                budget.as_secs_f64()
+            ),
+            CommError::Demoted { rank } => write!(
+                f,
+                "rank {rank} was demoted by the failure detector \
+                 (straggler eviction)"
             ),
         }
     }
@@ -223,6 +262,22 @@ pub struct FaultPlan {
     /// `(rank, op)` pairs: rank `rank` panics ("crashes") when it issues
     /// its `op`-th fabric operation (sends + receives, 1-based).
     pub crashes: Vec<(usize, u64)>,
+    /// `(rank, delay)` pairs: a *persistently slow* rank — every fabric
+    /// rendezvous (send and receive) it participates in is delayed by
+    /// the fixed duration. The gray-failure analogue of a crash plan:
+    /// the rank stays alive and correct, just late, every single time.
+    pub slow_ranks: Vec<(usize, Duration)>,
+    /// `(rank, op)` pairs: suppress `slow_ranks` delays for `rank`
+    /// until it has issued `op` fabric operations (sends + receives,
+    /// 1-based) — models a node that *degrades mid-run* (thermal
+    /// throttling, a failing disk) rather than booting slow. First
+    /// match wins; absent means slow from the first operation.
+    pub slow_onset: Vec<(usize, u64)>,
+    /// `(src, dst, prob)` triples: a *flaky link* — messages on the
+    /// specific `src→dst` link are dropped with probability `prob`,
+    /// decided by the same counter-based hash as [`FaultPlan::drop_for`]
+    /// (distinct salt), so flaky-link runs replay bit-identically.
+    pub flaky_links: Vec<(usize, usize, f64)>,
 }
 
 impl FaultPlan {
@@ -234,6 +289,9 @@ impl FaultPlan {
             drop: None,
             corrupt: None,
             crashes: Vec::new(),
+            slow_ranks: Vec::new(),
+            slow_onset: Vec::new(),
+            flaky_links: Vec::new(),
         }
     }
 
@@ -263,10 +321,38 @@ impl FaultPlan {
         self
     }
 
-    /// True if the plan can only reorder timing (delays), never lose or
-    /// alter data — such a plan must be semantics-preserving.
+    /// Marks `rank` as persistently slow: every fabric rendezvous it
+    /// participates in is delayed by `delay`.
+    pub fn with_slow_rank(mut self, rank: usize, delay: Duration) -> FaultPlan {
+        self.slow_ranks.push((rank, delay));
+        self
+    }
+
+    /// Delays the onset of `rank`'s persistent slowness until its
+    /// `op`-th fabric operation (1-based): before that the rank runs at
+    /// full speed. Lets a scenario get through setup collectives before
+    /// the node turns dead-slow.
+    pub fn with_slow_onset(mut self, rank: usize, op: u64) -> FaultPlan {
+        self.slow_onset.push((rank, op));
+        self
+    }
+
+    /// Marks the `src→dst` link as flaky: each message on it is dropped
+    /// with probability `prob` (deterministic, counter-hashed).
+    pub fn with_flaky_link(mut self, src: usize, dst: usize, prob: f64) -> FaultPlan {
+        self.flaky_links.push((src, dst, prob));
+        self
+    }
+
+    /// True if the plan can only reorder timing (delays, slow ranks),
+    /// never lose or alter data — such a plan must be
+    /// semantics-preserving. Flaky links lose messages, so they are not,
+    /// even though retry-with-backoff can heal them in practice.
     pub fn is_semantics_preserving(&self) -> bool {
-        self.drop.is_none() && self.corrupt.is_none() && self.crashes.is_empty()
+        self.drop.is_none()
+            && self.corrupt.is_none()
+            && self.crashes.is_empty()
+            && self.flaky_links.is_empty()
     }
 
     /// The scheduled crash op for `rank`, if any (first match wins).
@@ -316,6 +402,54 @@ impl FaultPlan {
             }
             None => false,
         }
+    }
+
+    /// Should message `idx` on `src→dst` be dropped by a *flaky link*?
+    /// Distinct salt from [`FaultPlan::drop_for`], so the two drop
+    /// sources decide independently.
+    pub fn flaky_drop_for(&self, src: usize, dst: usize, idx: u64) -> bool {
+        self.flaky_links
+            .iter()
+            .filter(|&&(s, d, _)| s == src && d == dst)
+            .any(|&(_, _, prob)| {
+                let h = self.link_hash(src, dst, idx ^ 0x00F1_AC4E);
+                Self::unit(h) < prob
+            })
+    }
+
+    /// Combined loss decision for message `idx` on `src→dst`: the plan's
+    /// global drop probability *or* a flaky link. This is the predicate
+    /// the send path (and its retry loop) evaluates per attempt.
+    pub fn lost_for(&self, src: usize, dst: usize, idx: u64) -> bool {
+        self.drop_for(src, dst, idx) || self.flaky_drop_for(src, dst, idx)
+    }
+
+    /// The persistent-slowness delay for `rank`, if any (delays from
+    /// repeated entries accumulate). Ignores any onset — see
+    /// [`FaultPlan::slow_delay_at`] for the onset-aware variant.
+    pub fn slow_delay(&self, rank: usize) -> Option<Duration> {
+        let total: Duration = self
+            .slow_ranks
+            .iter()
+            .filter(|&&(r, _)| r == rank)
+            .map(|&(_, d)| d)
+            .sum();
+        (total > Duration::ZERO).then_some(total)
+    }
+
+    /// The persistent-slowness delay applying to `rank`'s `op`-th fabric
+    /// operation (1-based): `None` while the operation count is still
+    /// below the rank's scheduled onset.
+    pub fn slow_delay_at(&self, rank: usize, op: u64) -> Option<Duration> {
+        let onset = self
+            .slow_onset
+            .iter()
+            .find(|&&(r, _)| r == rank)
+            .map_or(0, |&(_, at)| at);
+        if op < onset {
+            return None;
+        }
+        self.slow_delay(rank)
     }
 
     /// Should message `idx` on `src→dst` be corrupted? Returns the mode
@@ -378,7 +512,88 @@ mod tests {
         let plan = FaultPlan::quiet(1).with_delays(0.9, Duration::from_micros(100));
         assert!(plan.is_semantics_preserving());
         assert!(!plan.clone().with_drops(0.1).is_semantics_preserving());
-        assert!(!plan.with_crash(0, 5).is_semantics_preserving());
+        assert!(!plan.clone().with_crash(0, 5).is_semantics_preserving());
+        // Slow ranks only reorder timing; flaky links lose data.
+        assert!(plan
+            .clone()
+            .with_slow_rank(1, Duration::from_micros(50))
+            .is_semantics_preserving());
+        assert!(!plan.with_flaky_link(0, 1, 0.2).is_semantics_preserving());
+    }
+
+    #[test]
+    fn slow_onset_gates_the_delay_by_operation_count() {
+        let plan = FaultPlan::quiet(7)
+            .with_slow_rank(1, Duration::from_millis(5))
+            .with_slow_onset(1, 10);
+        assert_eq!(plan.slow_delay_at(1, 0), None);
+        assert_eq!(plan.slow_delay_at(1, 9), None);
+        assert_eq!(plan.slow_delay_at(1, 10), Some(Duration::from_millis(5)));
+        assert_eq!(plan.slow_delay_at(1, 11), Some(Duration::from_millis(5)));
+        // The onset-ignoring accessor still reports the full delay, and
+        // a rank without an onset entry is slow from the start.
+        assert_eq!(plan.slow_delay(1), Some(Duration::from_millis(5)));
+        let no_onset = FaultPlan::quiet(7).with_slow_rank(2, Duration::from_millis(3));
+        assert_eq!(no_onset.slow_delay_at(2, 0), Some(Duration::from_millis(3)));
+        // Onset alone (no slow delay) injects nothing.
+        assert_eq!(
+            FaultPlan::quiet(7)
+                .with_slow_onset(1, 5)
+                .slow_delay_at(1, 99),
+            None
+        );
+    }
+
+    #[test]
+    fn slow_onset_plans_stay_semantics_preserving() {
+        let plan = FaultPlan::quiet(7)
+            .with_slow_rank(1, Duration::from_millis(5))
+            .with_slow_onset(1, 10);
+        assert!(plan.is_semantics_preserving());
+    }
+
+    #[test]
+    fn slow_rank_delays_are_per_rank_and_accumulate() {
+        let plan = FaultPlan::quiet(5)
+            .with_slow_rank(2, Duration::from_millis(3))
+            .with_slow_rank(2, Duration::from_millis(1));
+        assert_eq!(plan.slow_delay(2), Some(Duration::from_millis(4)));
+        assert_eq!(plan.slow_delay(0), None);
+        assert_eq!(FaultPlan::quiet(5).slow_delay(2), None);
+    }
+
+    #[test]
+    fn flaky_link_decisions_are_deterministic_and_link_local() {
+        let plan = FaultPlan::quiet(11).with_flaky_link(0, 1, 0.3);
+        let n = 10_000;
+        let dropped = (0..n).filter(|&i| plan.flaky_drop_for(0, 1, i)).count();
+        let frac = dropped as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.03, "flaky drop fraction {frac}");
+        // Only the configured link is flaky — and replays agree.
+        assert!((0..n).all(|i| !plan.flaky_drop_for(1, 0, i)));
+        let replay = plan.clone();
+        assert!((0..200).all(|i| plan.lost_for(0, 1, i) == replay.lost_for(0, 1, i)));
+        // A lost message is lost regardless of which source decided it.
+        let both = plan.with_drops(0.1);
+        assert!((0..200).all(|i| {
+            both.lost_for(0, 1, i) == (both.drop_for(0, 1, i) || both.flaky_drop_for(0, 1, i))
+        }));
+    }
+
+    #[test]
+    fn gray_failure_error_display_is_stable() {
+        let d = CommError::DeadlineExceeded {
+            src: 3,
+            dst: 0,
+            kind: "allreduce",
+            budget: Duration::from_millis(250),
+        };
+        assert!(d
+            .to_string()
+            .contains("exceeded the allreduce deadline budget"));
+        assert!(d.to_string().contains("waiting for rank 3"));
+        let m = CommError::Demoted { rank: 5 };
+        assert!(m.to_string().contains("rank 5 was demoted"));
     }
 
     #[test]

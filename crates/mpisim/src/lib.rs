@@ -39,8 +39,8 @@ pub mod universe;
 
 pub use comm::{max_op, sum_op, Comm};
 pub use fabric::{
-    Adversary, CollectiveKind, Fabric, KindSnapshot, SchedulePolicy, TrafficScope, TrafficStats,
-    KIND_COUNT, RECV_TIMEOUT, RECV_TIMEOUT_ENV,
+    Adversary, CollectiveKind, DeadlinePolicy, Fabric, KindSnapshot, RetryPolicy, SchedulePolicy,
+    TrafficScope, TrafficStats, KIND_COUNT, RECV_TIMEOUT, RECV_TIMEOUT_ENV,
 };
 pub use fault::{CommError, CorruptMode, FaultPlan, RankFailure};
 pub use grid::{choose_shrunk_dims, enumerate_grids, try_rebuild_grid, CartGrid, ShrinkOutcome};

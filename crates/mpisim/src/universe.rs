@@ -29,7 +29,8 @@ fn install_quiet_hook() {
     HOOK.get_or_init(|| {
         let default = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if !RANK_THREAD.with(|f| f.get()) {
+            if !RANK_THREAD.with(|f| f.get()) || std::env::var_os("MPISIM_RANK_BACKTRACE").is_some()
+            {
                 default(info);
             }
         }));
@@ -126,6 +127,20 @@ impl Universe {
     /// Attaches (or replaces) a fault-injection plan.
     pub fn set_fault_plan(&self, plan: FaultPlan) -> &Universe {
         self.fabric.attach_fault_plan(plan);
+        self
+    }
+
+    /// Installs (or clears, with `None`) per-collective deadline budgets
+    /// for all ranks (see [`crate::DeadlinePolicy`]).
+    pub fn set_deadline_policy(&self, policy: Option<crate::DeadlinePolicy>) -> &Universe {
+        self.fabric.set_deadline_policy(policy);
+        self
+    }
+
+    /// Installs (or clears, with `None`) the retry-with-backoff policy
+    /// for all ranks (see [`crate::RetryPolicy`]).
+    pub fn set_retry_policy(&self, policy: Option<crate::RetryPolicy>) -> &Universe {
+        self.fabric.set_retry_policy(policy);
         self
     }
 

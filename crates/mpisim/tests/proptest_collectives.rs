@@ -139,6 +139,58 @@ proptest! {
     }
 
     #[test]
+    fn retry_healed_flaky_links_leave_collectives_bit_identical(
+        p in 2usize..=5,
+        len in 1usize..8,
+        seed in 0u64..1000,
+        plan_seed in 0u64..1000,
+        prob_pct in 1u32..=20,
+        link_seed in 0usize..100,
+    ) {
+        // A flaky link loses messages, so the plan is *not*
+        // semantics-preserving on its own — but bounded retry heals it,
+        // and because loss decisions are pure functions of the per-link
+        // message index, a healed run is bit-identical to a fault-free
+        // one. At 20% loss and 12 retries the chance of exhaustion is
+        // ~0.2^13 per message — never within this suite's lifetime.
+        let src = link_seed % p;
+        let dst = (src + 1 + link_seed % (p - 1)) % p;
+        let plan = ratucker_mpi::FaultPlan::quiet(plan_seed)
+            .with_flaky_link(src, dst, prob_pct as f64 / 100.0);
+        prop_assert!(!plan.is_semantics_preserving());
+
+        let payload = move |rank: usize| -> Vec<f64> {
+            (0..len)
+                .map(|i| ((seed as usize + rank * 29 + i * 11) % 83) as f64 * 0.5)
+                .collect()
+        };
+        let workload = move |c: ratucker_mpi::Comm| {
+            let summed = c.allreduce(payload(c.rank()), sum_op);
+            let gathered = c.allgatherv(payload(c.rank()));
+            let bits: Vec<u64> = summed
+                .iter()
+                .chain(gathered.iter().flatten())
+                .map(|v| v.to_bits())
+                .collect();
+            bits
+        };
+        let baseline = Universe::new(p).run(workload);
+
+        let u = Universe::with_fault_plan(p, plan);
+        u.set_retry_policy(Some(ratucker_mpi::RetryPolicy::new(12)));
+        let healed = u.run(workload);
+        prop_assert_eq!(&healed, &baseline);
+
+        // The ledger stays partitioned through retries, and any drop
+        // that occurred was healed rather than surfacing as a timeout.
+        let stats = u.traffic();
+        prop_assert!(stats.check_invariant().is_ok());
+        let dropped = stats.dropped.load(std::sync::atomic::Ordering::Relaxed);
+        let healed = stats.drops_healed.load(std::sync::atomic::Ordering::Relaxed);
+        prop_assert!(healed >= u64::from(dropped > 0));
+    }
+
+    #[test]
     fn type_mismatch_is_reported_not_panicked(p in 2usize..=4) {
         // Regression (ISSUE satellite): mismatched element types across a
         // send/recv pair must surface as a typed error through try_run —

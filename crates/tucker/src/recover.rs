@@ -46,6 +46,7 @@ use ratucker_dist::{
     DistTensor, TensorDist,
 };
 use ratucker_mpi::{choose_shrunk_dims, try_rebuild_grid, CartGrid, CommError, ShrinkOutcome};
+use ratucker_obs::{StragglerDetector, StragglerPolicy};
 use ratucker_tensor::io::IoScalar;
 use ratucker_tensor::matrix::Matrix;
 use ratucker_tensor::random::{normal_matrix, orthonormalize_columns};
@@ -69,6 +70,12 @@ pub struct ResilienceConfig {
     /// Upper bound on recovery rounds (shrinks + transient retries)
     /// before the run gives up and surfaces the triggering error.
     pub max_recoveries: usize,
+    /// Optional straggler demotion: after every committed sweep the
+    /// induced-wait deltas are fed to a [`StragglerPolicy`] detector,
+    /// and a confirmed slow-but-alive rank is proactively evicted
+    /// through the same shrink-and-continue machinery a crash takes.
+    /// The CLI flag is `--straggler-demotion <multiple>`.
+    pub straggler: Option<StragglerPolicy>,
 }
 
 impl Default for ResilienceConfig {
@@ -78,6 +85,7 @@ impl Default for ResilienceConfig {
             abft: AbftMode::Off,
             checkpoint: None,
             max_recoveries: 4,
+            straggler: None,
         }
     }
 }
@@ -100,6 +108,12 @@ impl ResilienceConfig {
         self.checkpoint = Some(policy);
         self
     }
+
+    /// Enables straggler demotion with the given policy.
+    pub fn with_straggler(mut self, policy: StragglerPolicy) -> Self {
+        self.straggler = Some(policy);
+        self
+    }
 }
 
 /// What the fault-tolerance stack did during a completed run.
@@ -111,6 +125,10 @@ pub struct RecoveryReport {
     /// Grid-communicator ranks (of the grid current at each failure)
     /// that were declared dead and restored from buddy replicas.
     pub restored_ranks: Vec<usize>,
+    /// Grid-communicator ranks (of the grid current at each verdict)
+    /// that were alive but confirmed as stragglers and proactively
+    /// demoted.
+    pub demoted_ranks: Vec<usize>,
     /// Dimensions of the grid the run finished on.
     pub final_grid: Vec<usize>,
     /// ABFT detection / recomputation counters.
@@ -186,6 +204,10 @@ enum Recovery<T: Scalar> {
 
 /// Is this error the failure class that triggers shrink-and-continue
 /// (as opposed to data corruption, which has its own policy)?
+/// `DeadlineExceeded` (a gray failure: the peer is alive but blew its
+/// per-collective budget) and `Demoted` (the failure detector evicted
+/// a rank) both take the same revoke → agree → shrink path a crash
+/// does.
 fn is_failure(e: &CommError) -> bool {
     matches!(
         e,
@@ -193,6 +215,8 @@ fn is_failure(e: &CommError) -> bool {
             | CommError::Timeout { .. }
             | CommError::Revoked { .. }
             | CommError::SizeMismatch { .. }
+            | CommError::DeadlineExceeded { .. }
+            | CommError::Demoted { .. }
     )
 }
 
@@ -293,6 +317,136 @@ fn try_recover<T: Scalar>(
         }),
         ShrinkOutcome::Spare(_) => Ok(Recovery::Spare),
     }
+}
+
+/// What a burst of recovery rounds decided for this rank.
+enum RoundsOutcome {
+    /// A topology was committed (same or shrunken); resume sweeping.
+    Resumed,
+    /// This rank left the grid (spare on the shrunken topology, or
+    /// itself demoted).
+    Spare,
+    /// Online recovery is impossible; fall back to the checkpoint.
+    Fallback { dead: Vec<usize>, reason: String },
+    /// Recovery itself failed fatally.
+    Failed(CommError),
+}
+
+/// Runs recovery rounds against `trigger` (and any fresh failures that
+/// strike during recovery) until a topology commits, this rank exits,
+/// or the `max_recoveries` cap is hit. On success `grid`/`x`/`buddies`
+/// are updated in place; all time spent is charged to
+/// [`Phase::Recovery`].
+///
+/// Gray-failure triggers get one extra step: a
+/// [`CommError::DeadlineExceeded`] blame names a slow-but-alive peer,
+/// which is retired *before* agreement so the shrunken topology
+/// excludes it — the ULFM machinery only evicts ranks it cannot hear
+/// from, and a straggler still answers eventually (on the ctrl plane
+/// it answers promptly, so agreement alone would keep re-admitting
+/// it). The blame is settled by the fabric's wait-for chain walk
+/// ([`ratucker_mpi::Fabric::resolve_blame`]), not taken at face value.
+fn recovery_rounds<T: Scalar>(
+    grid: &mut CartGrid,
+    x: &mut DistTensor<T>,
+    buddies: &mut BuddyStore<T>,
+    res: &ResilienceConfig,
+    report: &mut RecoveryReport,
+    timings: &mut Timings,
+    trigger: CommError,
+) -> RoundsOutcome {
+    let rec_t0 = std::time::Instant::now();
+    let me_world = grid.comm.world_rank_of(grid.comm.rank());
+    let mut last = trigger;
+    let mut round = 0;
+    let out = loop {
+        if let CommError::DeadlineExceeded { src, .. } = &last {
+            // The proximate src of an expired budget may itself be a
+            // healthy rank queued up behind the real straggler, so the
+            // blame is resolved along the fabric's wait-for chain
+            // before anyone is retired.
+            let blamed = grid.comm.fabric().resolve_blame(me_world, *src);
+            if blamed != me_world {
+                grid.comm.fabric().retire(blamed);
+            }
+        }
+        report.recoveries += 1;
+        round += 1;
+        if report.recoveries > res.max_recoveries {
+            break RoundsOutcome::Failed(last);
+        }
+        // The span is scoped to the recovery call so the `Continue`
+        // arm below can replace `grid` freely.
+        let recovery = {
+            let _s = ratucker_obs::span(&grid.comm, "Recovery");
+            try_recover(grid, x, buddies, res.buddy_degree)
+        };
+        match recovery {
+            Ok(Recovery::Retry) => break RoundsOutcome::Resumed,
+            Ok(Recovery::Continue {
+                grid: g2,
+                x: x2,
+                restored,
+            }) => {
+                *grid = *g2;
+                *x = x2;
+                // The old store's replicas are keyed by the old grid's
+                // ranks and block shapes; they are meaningless on the
+                // new topology. The retry's refresh rebuilds the store
+                // before the sweep; a failure in that window
+                // conservatively falls back to disk.
+                *buddies = BuddyStore::disabled();
+                report.restored_ranks.extend(restored);
+                break RoundsOutcome::Resumed;
+            }
+            Ok(Recovery::Spare) => break RoundsOutcome::Spare,
+            Ok(Recovery::Fallback { dead, reason }) => {
+                break RoundsOutcome::Fallback { dead, reason }
+            }
+            Err(CommError::Demoted { rank }) if rank == me_world => {
+                // Someone else's blame evicted *us* mid-recovery: exit
+                // cleanly; the survivors restore our block.
+                break RoundsOutcome::Spare;
+            }
+            Err(e2) if is_failure(&e2) && round <= res.max_recoveries => last = e2,
+            Err(e2) => break RoundsOutcome::Failed(e2),
+        }
+    };
+    timings.record(Phase::Recovery, rec_t0.elapsed().as_secs_f64());
+    out
+}
+
+/// One straggler-detection window after a committed sweep. Collective
+/// over the grid: comm rank 0 scores every member by how long the rest
+/// of the grid spent blocked waiting on it since the last window (the
+/// induced-wait delta from
+/// [`ratucker_mpi::TrafficStats::induced_wait_us`]) and feeds the
+/// scores to the detector; the verdict rides the ctrl plane
+/// ([`ratucker_mpi::Comm::try_verdict_max`], encoded as
+/// `comm rank + 1`) so every rank acts on the same decision even
+/// though the counters are read at slightly different instants.
+fn straggler_window(
+    grid: &CartGrid,
+    detector: &mut StragglerDetector,
+    prev_wait_us: &mut Vec<u64>,
+) -> Result<Option<usize>, CommError> {
+    let p = grid.comm.size();
+    let now = grid.comm.traffic().induced_wait_us();
+    let verdict = if grid.comm.rank() == 0 {
+        let mut scores = vec![0.0; p];
+        for (r, score) in scores.iter_mut().enumerate() {
+            let w = grid.comm.world_rank_of(r);
+            let cur = now.get(w).copied().unwrap_or(0);
+            let old = prev_wait_us.get(w).copied().unwrap_or(0);
+            *score = cur.saturating_sub(old) as f64 * 1e-6;
+        }
+        detector.observe(&scores).map_or(0.0, |v| (v + 1) as f64)
+    } else {
+        0.0
+    };
+    *prev_wait_us = now;
+    let v = grid.comm.try_verdict_max(verdict)?;
+    Ok((v > 0.0).then(|| v as usize - 1))
 }
 
 /// Outcome of one successful sweep attempt (before it is committed to
@@ -456,6 +610,43 @@ pub fn dist_ra_hooi_resilient<T: IoScalar>(
     let mut sweep_ranks = Vec::new();
     let mut result_core: Option<DistTensor<T>> = None;
     let mut buddies: BuddyStore<T> = BuddyStore::disabled();
+    let mut detector = StragglerDetector::new(res.straggler.unwrap_or_default());
+    // Baseline for induced-wait deltas; refreshed every window and
+    // after every topology change.
+    let mut prev_wait_us: Vec<u64> = grid.comm.traffic().induced_wait_us();
+
+    // Dispatches a burst of recovery rounds; evaluates to `()` only on
+    // the resume path (all exit outcomes return from the function).
+    macro_rules! run_recovery {
+        ($trigger:expr) => {
+            match recovery_rounds(
+                &mut grid,
+                &mut x,
+                &mut buddies,
+                res,
+                &mut report,
+                &mut timings,
+                $trigger,
+            ) {
+                RoundsOutcome::Resumed => {
+                    detector.reset();
+                    prev_wait_us = grid.comm.traffic().induced_wait_us();
+                }
+                RoundsOutcome::Spare => {
+                    report.abft = ctx.stats;
+                    return Ok(ResilientOutcome::Spare { report, timings });
+                }
+                RoundsOutcome::Fallback { dead, reason } => {
+                    return Ok(ResilientOutcome::FallbackToCheckpoint {
+                        dead,
+                        reason,
+                        timings,
+                    });
+                }
+                RoundsOutcome::Failed(e) => return Err(e),
+            }
+        };
+    }
 
     let mut it = start_sweep;
     while it < config.max_iters {
@@ -516,73 +707,51 @@ pub fn dist_ra_hooi_resilient<T: IoScalar>(
                 if out.met && config.stop_on_threshold {
                     break;
                 }
+                // Straggler demotion: a committed sweep closes one
+                // detection window. A confirmed slow-but-alive rank is
+                // proactively evicted through the same shrink path a
+                // crash takes — its block is restored from buddy
+                // replicas and the committed factors carry over
+                // unchanged (they are replicated and the tensor is
+                // immutable).
+                if res.straggler.is_some() && grid.comm.size() >= 2 {
+                    match straggler_window(&grid, &mut detector, &mut prev_wait_us) {
+                        Ok(None) => {}
+                        Ok(Some(victim)) => {
+                            let victim_world = grid.comm.world_rank_of(victim);
+                            report.demoted_ranks.push(victim);
+                            if grid.comm.rank() == victim {
+                                // Evict ourselves *after* the verdict
+                                // completed everywhere, so the
+                                // survivors' agreement excludes us and
+                                // none of their collectives hang on us.
+                                grid.comm.fabric().retire(victim_world);
+                                report.abft = ctx.stats;
+                                return Ok(ResilientOutcome::Spare { report, timings });
+                            }
+                            run_recovery!(CommError::Demoted { rank: victim_world });
+                        }
+                        Err(e) if is_failure(&e) => run_recovery!(e),
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            Err(CommError::Demoted { rank })
+                if rank == grid.comm.world_rank_of(grid.comm.rank()) =>
+            {
+                // The failure detector (a peer's deadline blame or a
+                // straggler verdict) evicted this rank while it was
+                // slow but alive: exit cleanly as a spare; the
+                // survivors restore our block from replicas.
+                report.abft = ctx.stats;
+                return Ok(ResilientOutcome::Spare { report, timings });
             }
             Err(e) if is_failure(&e) => {
                 // Shrink-and-continue: retry recovery rounds against
-                // fresh failures until one commits or the cap is hit.
-                // Everything from the failure to the committed retry
-                // state — agreement, re-blocking, factor restore — is
-                // charged to the Recovery phase.
-                let rec_t0 = std::time::Instant::now();
-                let mut last = e;
-                let mut round = 0;
-                loop {
-                    report.recoveries += 1;
-                    round += 1;
-                    if report.recoveries > res.max_recoveries {
-                        timings.record(Phase::Recovery, rec_t0.elapsed().as_secs_f64());
-                        return Err(last);
-                    }
-                    // The span is scoped to the recovery call so the
-                    // `Continue` arm below can move `grid` freely.
-                    let recovery = {
-                        let _s = ratucker_obs::span(&grid.comm, "Recovery");
-                        try_recover(&grid, &x, &buddies, res.buddy_degree)
-                    };
-                    match recovery {
-                        Ok(Recovery::Retry) => break,
-                        Ok(Recovery::Continue {
-                            grid: g2,
-                            x: x2,
-                            restored,
-                        }) => {
-                            grid = *g2;
-                            x = x2;
-                            // The old store's replicas are keyed by the
-                            // old grid's ranks and block shapes; they
-                            // are meaningless on the new topology. The
-                            // retry's refresh rebuilds the store before
-                            // the sweep; a failure in that window
-                            // conservatively falls back to disk.
-                            buddies = BuddyStore::disabled();
-                            report.restored_ranks.extend(restored);
-                            break;
-                        }
-                        Ok(Recovery::Spare) => {
-                            report.abft = ctx.stats;
-                            timings.record(Phase::Recovery, rec_t0.elapsed().as_secs_f64());
-                            return Ok(ResilientOutcome::Spare { report, timings });
-                        }
-                        Ok(Recovery::Fallback { dead, reason }) => {
-                            timings.record(Phase::Recovery, rec_t0.elapsed().as_secs_f64());
-                            return Ok(ResilientOutcome::FallbackToCheckpoint {
-                                dead,
-                                reason,
-                                timings,
-                            });
-                        }
-                        Err(e2) if is_failure(&e2) && round <= res.max_recoveries => {
-                            last = e2;
-                        }
-                        Err(e2) => {
-                            timings.record(Phase::Recovery, rec_t0.elapsed().as_secs_f64());
-                            return Err(e2);
-                        }
-                    }
-                }
-                // Retry this sweep from the pre-sweep state.
+                // fresh failures until one commits or the cap is hit,
+                // then retry this sweep from the pre-sweep state.
+                run_recovery!(e);
                 factors = snapshot;
-                timings.record(Phase::Recovery, rec_t0.elapsed().as_secs_f64());
             }
             Err(e) => return Err(e),
         }
@@ -724,6 +893,74 @@ mod tests {
             }
         }
         assert_eq!((completed, spares), (2, 1));
+    }
+
+    #[test]
+    fn straggler_is_demoted_online_and_the_run_converges() {
+        use std::time::Duration;
+        let spec = SyntheticSpec::new(&[12, 10, 8], &[3, 3, 2], 0.02, 209);
+        let cfg = undershoot_cfg();
+
+        // Fault-free reference error on the original [2,2,1] grid.
+        let (s, c2) = (spec.clone(), cfg.clone());
+        let reference = Universe::launch(4, move |c| {
+            let grid = CartGrid::new(c, &[2, 2, 1]);
+            let x = build_dist(&grid, &s);
+            dist_ra_hooi(&grid, &x, &c2).rel_error
+        })[0];
+
+        // Rank 1 is alive and correct but pays a delay on every data-
+        // plane operation: a gray failure no liveness check can see.
+        let victim = 1;
+        let plan = FaultPlan::quiet(31).with_slow_rank(victim, Duration::from_millis(5));
+        let (s, c2) = (spec.clone(), cfg.clone());
+        let out = Universe::try_launch(4, plan, move |c| {
+            let grid = CartGrid::new(c, &[2, 2, 1]);
+            let x = build_dist(&grid, &s);
+            // The blame cascades: ranks stuck waiting on the victim
+            // delay their own sends, inflating the median, so the
+            // relative multiple is set well below the victim's ~3×
+            // share.
+            let res = ResilienceConfig::default().with_straggler(
+                StragglerPolicy::new(2.0)
+                    .with_consecutive(1)
+                    .with_min_secs(0.02),
+            );
+            dist_ra_hooi_resilient(&grid, &x, &c2, &res).unwrap()
+        });
+
+        let mut completed = 0;
+        let mut spares = 0;
+        for (rank, res) in out.iter().enumerate() {
+            match res.as_ref().expect("no rank panics under demotion") {
+                ResilientOutcome::Completed { result, report, .. } => {
+                    completed += 1;
+                    assert!(
+                        report.demoted_ranks.contains(&victim),
+                        "rank {rank}: {report:?}"
+                    );
+                    assert!(
+                        report.restored_ranks.contains(&victim),
+                        "rank {rank}: {report:?}"
+                    );
+                    // 3 survivors → the largest grid elementwise ≤ [2,2,1]
+                    // has 2 ranks.
+                    assert_eq!(report.final_grid, vec![2, 1, 1], "rank {rank}");
+                    assert!(
+                        (result.rel_error - reference).abs() < 1e-10,
+                        "rank {rank}: demotion diverged: {} vs {reference}",
+                        result.rel_error
+                    );
+                }
+                ResilientOutcome::Spare { .. } => spares += 1,
+                ResilientOutcome::FallbackToCheckpoint { dead, reason, .. } => {
+                    panic!("rank {rank} fell back to disk (dead {dead:?}): {reason}")
+                }
+            }
+        }
+        // The victim exits as a spare; one survivor does not fit the
+        // shrunken grid.
+        assert_eq!((completed, spares), (2, 2));
     }
 
     #[test]

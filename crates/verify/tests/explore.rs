@@ -20,7 +20,15 @@
 //!    The returned state (survivor set, shrunken grid, restored block
 //!    bits, collective result) must be identical under every schedule
 //!    even though *where* each survivor first observes the failure is
-//!    schedule-dependent.
+//!    schedule-dependent;
+//! 3. a full straggler demotion at P = 4: rank 1 runs 5 ms late on
+//!    every data-plane operation, the induced-wait detector confirms it
+//!    after a committed sweep, the grid demotes it online (verdict →
+//!    retire → shrink → restore → redistribute), and the run completes
+//!    on the survivors. The digest (who was demoted, the final grid,
+//!    the result bits) must be identical under every schedule — the
+//!    perturbations are microsecond-scale, so they can never flip the
+//!    millisecond-scale verdict.
 
 use std::time::Duration;
 
@@ -161,4 +169,59 @@ fn p4_recovery_converges_to_identical_state_under_25_schedules() {
     // Exactly the crashed rank fails — under every schedule, with the
     // same deterministic panic message (checked inside explore).
     assert_eq!(report.failed_ranks, vec![CRASH_RANK]);
+}
+
+#[test]
+fn p4_straggler_demotion_converges_to_identical_state_under_25_schedules() {
+    use ratucker::{dist_ra_hooi_resilient, ResilienceConfig, ResilientOutcome};
+    use ratucker_obs::StragglerPolicy;
+
+    const VICTIM: usize = 1;
+    let plan = FaultPlan::quiet(91).with_slow_rank(VICTIM, Duration::from_millis(5));
+    let u = Universe::with_fault_plan(4, plan);
+    u.set_recv_timeout(Duration::from_secs(60));
+    let report = u.explore(N_SCHEDULES, 0xDE40, move |c| {
+        let spec = SyntheticSpec::new(&[12, 10, 8], &[3, 3, 2], 0.01, 913);
+        let grid = CartGrid::new(c, &[2, 2, 1]);
+        let x = DistTensor::scatter_from_replicated(&grid, &spec.build::<f64>());
+        let cfg = RaConfig::ra_hosi_dt(0.1, &[2, 2, 2])
+            .with_seed(31)
+            .with_alpha(2.0)
+            .with_max_iters(3);
+        // The 2.0 multiple absorbs the blame cascade (ranks queued up
+        // behind the victim accrue secondary wait); the 5 ms/op signal
+        // is ~300× the largest schedule perturbation, so the verdict
+        // cannot flip with the schedule.
+        let res = ResilienceConfig::default().with_straggler(
+            StragglerPolicy::new(2.0)
+                .with_consecutive(1)
+                .with_min_secs(0.02),
+        );
+        match dist_ra_hooi_resilient(&grid, &x, &cfg, &res).expect("no rank errors out") {
+            ResilientOutcome::Completed { result, report, .. } => {
+                let mut out = vec![1u64];
+                out.extend(report.demoted_ranks.iter().map(|&r| r as u64));
+                out.extend(report.final_grid.iter().map(|&d| d as u64));
+                out.push(result.rel_error.to_bits());
+                for f in &result.tucker.factors {
+                    out.extend(f.as_slice().iter().map(|v| v.to_bits()));
+                }
+                out
+            }
+            ResilientOutcome::Spare { report, .. } => {
+                let mut out = vec![u64::MAX];
+                out.extend(report.demoted_ranks.iter().map(|&r| r as u64));
+                out
+            }
+            ResilientOutcome::FallbackToCheckpoint { dead, .. } => {
+                panic!("no checkpoint policy is configured, yet fallback named {dead:?}")
+            }
+        }
+    });
+    assert_eq!(report.policies.len(), N_SCHEDULES);
+    assert!(
+        report.failed_ranks.is_empty(),
+        "demotion must be clean on every rank, failed: {:?}",
+        report.failed_ranks
+    );
 }

@@ -149,6 +149,69 @@ proptest! {
         assert_partition(&trace, &u, p);
     }
 
+    /// `Timings::percents` apportions by largest remainder: the row
+    /// sums to exactly 100 whenever any time was recorded, every phase
+    /// gets its floored share or one point more, and all-zero timings
+    /// yield all zeros.
+    #[test]
+    fn timings_percents_apportion_by_largest_remainder(
+        raw in proptest::collection::vec(0u32..1_000, 8),
+    ) {
+        use ra_hooi::tucker::{Timings, ALL_PHASES};
+        let mut t = Timings::new();
+        for (&phase, &units) in ALL_PHASES.iter().zip(&raw) {
+            // Dyadic fractions, so shares are computed from exact sums.
+            t.record(phase, f64::from(units) / 1024.0);
+        }
+        let out = t.percents();
+        let total: f64 = raw.iter().map(|&u| f64::from(u) / 1024.0).sum();
+        if total <= 0.0 {
+            prop_assert_eq!(out, [0u32; 8]);
+        } else {
+            prop_assert_eq!(out.iter().sum::<u32>(), 100, "row must sum to 100");
+            for (i, (&units, &got)) in raw.iter().zip(&out).enumerate() {
+                let share = f64::from(units) / 1024.0 / total * 100.0;
+                let fl = share.floor() as u32;
+                prop_assert!(
+                    got == fl || got == fl + 1,
+                    "phase {i}: {got} not in {{floor, floor+1}} of {share}"
+                );
+            }
+        }
+    }
+
+    /// Drops healed by retry-with-backoff keep the traffic ledger
+    /// partitioned: every attempt lands on exactly one of `messages` or
+    /// `dropped`, each healed drop consumed at least one retry, and the
+    /// collectives themselves succeed as if the wire were clean.
+    #[test]
+    fn retry_counters_stay_partitioned_under_drops(
+        seed in 0u64..10_000,
+        rounds in 1usize..=3,
+        prob_pct in 5u32..=30,
+    ) {
+        use std::sync::atomic::Ordering;
+        use ra_hooi::mpi::RetryPolicy;
+        let p = 2usize;
+        let u = Universe::with_fault_plan(
+            p,
+            FaultPlan::quiet(seed).with_drops(f64::from(prob_pct) / 100.0),
+        );
+        u.set_retry_policy(Some(RetryPolicy::new(12)));
+        let failures = u.run(|c| random_collectives(&c, seed, rounds));
+        // At ≤30% drop probability and 12 retries, exhaustion is a
+        // ~0.3¹³ event per message: the run must come back clean.
+        prop_assert!(failures.iter().all(|&f| f == 0), "retry failed to heal");
+        u.traffic().check_invariant().unwrap();
+        let stats = u.traffic();
+        let dropped = stats.dropped.load(Ordering::Relaxed);
+        let healed = stats.drops_healed.load(Ordering::Relaxed);
+        let retries = stats.send_retries.load(Ordering::Relaxed);
+        prop_assert_eq!(healed, dropped.min(healed), "healed ≤ dropped");
+        prop_assert!(retries >= healed, "each heal consumed ≥ 1 retry");
+        prop_assert!(healed >= u64::from(dropped > 0), "a clean run has no unhealed drops");
+    }
+
     /// Injected message drops: collectives fail with typed errors, yet
     /// the partition still holds — dropped sends are charged to no kind
     /// and to no global counter, delivered legs to exactly one of each.
