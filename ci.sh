@@ -19,10 +19,11 @@ cargo test --workspace --offline -q
 echo "==> verify: differential oracles + invariant checkers"
 cargo test -q --offline -p ratucker-verify
 
-echo "==> verify: 25-schedule exploration incl. P=4 crash-recovery + straggler demotion (fixed seeds)"
-cargo test -q --offline -p ratucker-verify --test explore \
+echo "==> verify: 25-schedule exploration incl. crash-recovery, straggler demotion, budget pressure (fixed seeds)"
+cargo test -q --offline -p ratucker-verify --test explore -- \
   p4_recovery_converges_to_identical_state_under_25_schedules \
-  p4_straggler_demotion_converges_to_identical_state_under_25_schedules
+  p4_straggler_demotion_converges_to_identical_state_under_25_schedules \
+  p8_budget_pressure_converges_to_identical_state_under_25_schedules
 
 echo "==> verify: conformance sweep d in {3,4} x P in {1,2,4,8} vs sequential oracles"
 cargo test -q --offline --test conformance
@@ -48,6 +49,26 @@ if [ "$GRAY_ELAPSED" -ge 60 ]; then
   exit 1
 fi
 
+echo "==> memory-pressure smoke (degradation ladder + checkpoint-floor fallback; 60 s guard)"
+MEM_T0=$SECONDS
+cargo test -q --offline --test chaos -- --test-threads=1 \
+  mid_sweep_budget_shrink_engages_ladder_and_converges \
+  budget_below_checkpoint_floor_falls_back_cleanly
+MEM_ELAPSED=$((SECONDS - MEM_T0))
+if [ "$MEM_ELAPSED" -ge 60 ]; then
+  echo "memory-pressure smoke took ${MEM_ELAPSED}s (>= 60s): a budget-recovery path is stalling" >&2
+  exit 1
+fi
+
+echo "==> bench JSON reports (criterion stub -> BENCH_*.json)"
+# Absolute paths: cargo runs bench binaries from the package dir.
+BENCH_JSON="$PWD/target/BENCH_kernels.json" \
+  cargo bench -q --offline -p ratucker-bench --bench kernels
+BENCH_JSON="$PWD/target/BENCH_tucker.json" \
+  cargo bench -q --offline -p ratucker-bench --bench tucker_algorithms
+test -s target/BENCH_kernels.json
+test -s target/BENCH_tucker.json
+
 echo "==> trace smoke (span pipeline round-trip + perf-model validation)"
 cargo run -q --release --offline -p ratucker-bench --bin tracecheck target/ci-trace.json
 
@@ -66,7 +87,7 @@ HOOI max iters = 3
 Print timings = true
 EOF
 cargo run -q --release --offline -p ratucker-cli --bin hooi -- \
-  --parameter-file "$TRACE_CFG" --trace-out target/ci-cli-trace.json
+  --parameter-file "$TRACE_CFG" --trace-out target/ci-cli-trace.json --mem-budget 1G
 test -s target/ci-cli-trace.json
 rm -f "$TRACE_CFG"
 

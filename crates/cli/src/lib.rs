@@ -34,6 +34,7 @@
 //! | `Deadline profile` + | `off` / `strict` / `lenient` per-collective deadlines (also `--deadline-profile <name>`) | `off` |
 //! | `Retry` + | max retransmissions per p2p op, with exponential backoff (also `--retry <n>`) | `0` |
 //! | `Straggler demotion` + | demote a rank whose induced wait exceeds this multiple of the median (also `--straggler-demotion <x>`) | off |
+//! | `Mem budget` + | per-rank memory budget in bytes, `K`/`M`/`G` suffixes accepted (also `--mem-budget <size>`); the run is admitted through the perf-model peak estimate, possibly at a degraded rung, or refused up front | none |
 //! | `Trace out` + | write a merged Chrome trace JSON here (also `--trace-out <path>`) | none |
 //! | `Seed` + | RNG seed | `0` |
 //! | `Precision` + | `single` / `double` | `single` |
@@ -57,6 +58,7 @@ use ratucker::{Timings, ALL_PHASES};
 use ratucker_dist::{AbftMode, DistTensor};
 use ratucker_mpi::{CartGrid, DeadlinePolicy, RetryPolicy, Universe};
 use ratucker_obs::StragglerPolicy;
+use ratucker_perfmodel::{admit, Admission, MemProblem};
 use ratucker_tensor::dense::DenseTensor;
 use ratucker_tensor::io::IoScalar;
 use ratucker_tensor::shape::Shape;
@@ -202,6 +204,52 @@ pub fn resilience_config(
     Ok(Some(cfg))
 }
 
+/// Parses a byte size with an optional binary suffix: `"1048576"`,
+/// `"64K"`, `"256M"`, `"2G"` (case-insensitive; `KB`/`KiB` spellings
+/// accepted). `None` on malformed input or zero.
+pub fn parse_size(s: &str) -> Option<u64> {
+    let t = s.trim();
+    let upper = t.to_ascii_uppercase();
+    let (digits, shift) = if let Some(d) = upper
+        .strip_suffix("KIB")
+        .or(upper.strip_suffix("KB"))
+        .or(upper.strip_suffix('K'))
+    {
+        (d, 10)
+    } else if let Some(d) = upper
+        .strip_suffix("MIB")
+        .or(upper.strip_suffix("MB"))
+        .or(upper.strip_suffix('M'))
+    {
+        (d, 20)
+    } else if let Some(d) = upper
+        .strip_suffix("GIB")
+        .or(upper.strip_suffix("GB"))
+        .or(upper.strip_suffix('G'))
+    {
+        (d, 30)
+    } else if let Some(d) = upper.strip_suffix('B') {
+        (d, 0)
+    } else {
+        (upper.as_str(), 0)
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    n.checked_mul(1u64 << shift).filter(|&b| b > 0)
+}
+
+/// Parses the `Mem budget` key (per-rank budget in bytes, `K`/`M`/`G`
+/// suffixes accepted).
+pub fn mem_budget(params: &Params) -> Result<Option<u64>, ParamError> {
+    match params.get("Mem budget") {
+        None => Ok(None),
+        Some(s) => parse_size(s).map(Some).ok_or_else(|| ParamError::Invalid {
+            key: "Mem budget".into(),
+            value: s.into(),
+            expected: "a positive byte count with an optional K/M/G suffix",
+        }),
+    }
+}
+
 /// Parses the `Deadline profile` key into a per-collective deadline
 /// policy (`off`, `strict`, or `lenient`).
 pub fn deadline_policy(params: &Params) -> Result<Option<DeadlinePolicy>, ParamError> {
@@ -283,6 +331,7 @@ pub fn run_sthosvd_driver<T: IoScalar>(
         params.get("Trace out"),
         deadline_policy(params)?,
         retry_policy(params)?,
+        None,
         move |g, xd| dist_sthosvd(g, xd, &trunc),
     );
     if let Some(prefix) = params.get("Output prefix") {
@@ -340,6 +389,58 @@ pub fn run_hooi_driver<T: IoScalar>(
     let p: usize = grid.iter().product();
     let deadline = deadline_policy(params)?;
     let retry = retry_policy(params)?;
+    // Memory-budget admission (perfmodel peak projection): the run is
+    // either admitted at the cheapest degradation rung whose projected
+    // per-rank peak fits, or refused here — before any rank thread
+    // starts or a byte is staged.
+    let mem = match mem_budget(params)? {
+        None => None,
+        Some(budget) => {
+            // Worst-case ranks: α-growth every sweep, capped at dims.
+            let growth = if adapt_eps > 0.0 {
+                params
+                    .f64_or("Rank Growth Factor", 1.5)?
+                    .powi(cfg.max_iters.saturating_sub(1) as i32)
+            } else {
+                1.0
+            };
+            let peak_ranks: Vec<usize> = ranks
+                .iter()
+                .zip(x.shape().dims())
+                .map(|(&r, &n)| (((r as f64) * growth).ceil() as usize).min(n))
+                .collect();
+            let mp = MemProblem {
+                dims: x.shape().dims().to_vec(),
+                grid: grid.clone(),
+                ranks: peak_ranks,
+                buddy_degree: resilience.as_ref().map_or(0, |r| r.buddy_degree),
+                abft: resilience.as_ref().is_some_and(|r| r.abft != AbftMode::Off),
+                elem_bytes: std::mem::size_of::<T>(),
+            };
+            match admit(&mp, budget) {
+                Admission::Admit {
+                    start_rung,
+                    headroom,
+                } => {
+                    if start_rung > 0 {
+                        println!(
+                            "mem budget: admitted at degradation rung {start_rung} \
+                             ({headroom} B headroom)"
+                        );
+                    }
+                    Some((budget, start_rung))
+                }
+                Admission::Reject { required, budget } => {
+                    return Err(format!(
+                        "memory budget of {budget} B per rank refused: the cheapest \
+                         degraded execution mode still needs about {required} B; \
+                         raise --mem-budget or use more ranks"
+                    )
+                    .into())
+                }
+            }
+        }
+    };
     let outcome = if adapt_eps > 0.0 {
         let ra = RaConfig {
             eps: adapt_eps,
@@ -358,6 +459,7 @@ pub fn run_hooi_driver<T: IoScalar>(
             params.get("Trace out"),
             deadline,
             retry,
+            mem,
             move |g, xd| match (&resilience, &ckpt) {
                 (Some(res), _) => {
                     let out =
@@ -383,6 +485,7 @@ pub fn run_hooi_driver<T: IoScalar>(
             params.get("Trace out"),
             deadline,
             retry,
+            mem,
             move |g, xd| dist_hooi(g, xd, &ranks, &cfg),
         )
     };
@@ -402,7 +505,9 @@ pub fn run_hooi_driver<T: IoScalar>(
 /// written to that path together with a per-phase breakdown on stdout.
 ///
 /// The gray-failure knobs (`deadline` / `retry`) are installed on the
-/// universe's fabric before any rank starts.
+/// universe's fabric before any rank starts, and the memory budget and
+/// its admitted degradation rung (`mem`) on every rank's ledger.
+#[allow(clippy::too_many_arguments)]
 fn run_collective<T: IoScalar>(
     p: usize,
     grid_dims: &[usize],
@@ -410,6 +515,7 @@ fn run_collective<T: IoScalar>(
     trace_out: Option<&str>,
     deadline: Option<DeadlinePolicy>,
     retry: Option<RetryPolicy>,
+    mem: Option<(u64, u8)>,
     run: impl Fn(&CartGrid, &DistTensor<T>) -> DistRunResult<T> + Sync,
 ) -> (DriverOutcome, TuckerTensor<T>) {
     let session = trace_out.map(|_| ratucker_obs::TraceSession::start());
@@ -417,6 +523,11 @@ fn run_collective<T: IoScalar>(
     universe
         .set_deadline_policy(deadline)
         .set_retry_policy(retry);
+    if let Some((budget, start_rung)) = mem {
+        universe
+            .set_mem_budget(Some(budget))
+            .set_start_rung(start_rung);
+    }
     let results = universe.run(|c| {
         let grid = CartGrid::new(c, grid_dims);
         // Root span per rank: created *after* grid construction (which
@@ -467,7 +578,8 @@ pub fn params_from_argv(args: &[String]) -> Result<Params, Box<dyn std::error::E
     let pos = args.iter().position(|a| a == "--parameter-file").ok_or(
         "usage: <driver> --parameter-file <file.cfg> [--checkpoint-dir <dir>] [--resume] \
              [--buddy-replication <k>] [--abft off|detect|recover] [--trace-out <trace.json>] \
-             [--deadline-profile off|strict|lenient] [--retry <n>] [--straggler-demotion <x>]",
+             [--deadline-profile off|strict|lenient] [--retry <n>] [--straggler-demotion <x>] \
+             [--mem-budget <size>]",
     )?;
     let path = args
         .get(pos + 1)
@@ -517,6 +629,12 @@ pub fn params_from_argv(args: &[String]) -> Result<Params, Box<dyn std::error::E
             .get(pos + 1)
             .ok_or("--straggler-demotion requires a median-multiple argument")?;
         params.set("Straggler demotion", x);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--mem-budget") {
+        let size = args
+            .get(pos + 1)
+            .ok_or("--mem-budget requires a size argument (bytes, K/M/G suffixes accepted)")?;
+        params.set("Mem budget", size);
     }
     Ok(params)
 }
@@ -914,6 +1032,77 @@ mod tests {
         let p = params_from_argv(&args).unwrap();
         assert_eq!(p.get("Trace out"), Some("/tmp/trace.json"));
         std::fs::remove_file(&cfg).unwrap();
+    }
+
+    #[test]
+    fn size_suffixes_parse() {
+        assert_eq!(parse_size("1048576"), Some(1 << 20));
+        assert_eq!(parse_size("64K"), Some(64 << 10));
+        assert_eq!(parse_size("64k"), Some(64 << 10));
+        assert_eq!(parse_size("256 MiB"), Some(256 << 20));
+        assert_eq!(parse_size("2GB"), Some(2 << 30));
+        assert_eq!(parse_size("512b"), Some(512));
+        assert_eq!(parse_size("0"), None);
+        assert_eq!(parse_size("lots"), None);
+        assert_eq!(parse_size("-3M"), None);
+    }
+
+    #[test]
+    fn mem_budget_key_parses_and_rejects_garbage() {
+        let p = Params::parse("Mem budget = 128M\n").unwrap();
+        assert_eq!(mem_budget(&p).unwrap(), Some(128 << 20));
+        assert_eq!(mem_budget(&Params::parse("").unwrap()).unwrap(), None);
+        let bad = Params::parse("Mem budget = plenty\n").unwrap();
+        assert!(mem_budget(&bad).is_err());
+    }
+
+    #[test]
+    fn mem_budget_flag_layers_over_the_parameter_file() {
+        let dir = std::env::temp_dir();
+        let cfg = dir.join(format!("ratucker_cli_mem_argv_{}.cfg", std::process::id()));
+        std::fs::write(&cfg, "Global dims = 8 8\nRanks = 2 2\n").unwrap();
+        let args: Vec<String> = [
+            "driver",
+            "--parameter-file",
+            cfg.to_str().unwrap(),
+            "--mem-budget",
+            "64M",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let p = params_from_argv(&args).unwrap();
+        assert_eq!(p.get("Mem budget"), Some("64M"));
+        std::fs::remove_file(&cfg).unwrap();
+    }
+
+    #[test]
+    fn generous_mem_budget_leaves_the_run_bit_identical() {
+        let base = "Global dims = 12 10 8\nConstruction Ranks = 3 3 2\n\
+                    Decomposition Ranks = 2 2 2\nNoise = 0.01\nProcessor grid dims = 1 2 2\n\
+                    HOOI-Adapt Threshold = 0.05\nHOOI max iters = 3\n\
+                    Rank Growth Factor = 2.0\nPrecision = double\n";
+        let plain = run_hooi_driver::<f64>(&Params::parse(base).unwrap()).unwrap();
+        let p = Params::parse(&format!("{base}Mem budget = 1G\n")).unwrap();
+        let budgeted = run_hooi_driver::<f64>(&p).unwrap();
+        // A budget no allocation ever hits admits at rung 0 and changes
+        // nothing: same arithmetic, same decisions.
+        assert_eq!(budgeted.rel_error, plain.rel_error);
+        assert_eq!(budgeted.ranks, plain.ranks);
+    }
+
+    #[test]
+    fn hopeless_mem_budget_is_refused_before_launch() {
+        let p = Params::parse(
+            "Global dims = 12 10 8\nConstruction Ranks = 3 3 2\n\
+             Decomposition Ranks = 2 2 2\nNoise = 0.01\nProcessor grid dims = 1 2 2\n\
+             HOOI-Adapt Threshold = 0.05\nHOOI max iters = 3\n\
+             Rank Growth Factor = 2.0\nPrecision = double\nMem budget = 1K\n",
+        )
+        .unwrap();
+        let err = run_hooi_driver::<f64>(&p).unwrap_err().to_string();
+        assert!(err.contains("refused"), "{err}");
+        assert!(err.contains("--mem-budget"), "{err}");
     }
 
     #[test]

@@ -19,11 +19,28 @@
 
 use crate::distribution::block_range;
 use crate::dtensor::DistTensor;
+use ratucker_mem::{self as mem, MemPhase};
 use ratucker_mpi::{sum_op, CartGrid, Comm, CommError};
 use ratucker_tensor::dense::DenseTensor;
 use ratucker_tensor::matrix::Matrix;
 use ratucker_tensor::scalar::Scalar;
 use ratucker_tensor::ttm::{ttm, Transpose};
+
+/// Converts a ledger refusal into the typed comm error, revoking the
+/// communicator first: peers blocked in the collective this rank is
+/// abandoning fail fast with [`CommError::Revoked`] instead of timing
+/// out, so every rank reaches the recovery agreement — and the
+/// degradation-rung verdict — promptly.
+pub(crate) fn budget_error(comm: &Comm, e: mem::BudgetExceeded) -> CommError {
+    comm.revoke();
+    CommError::BudgetExceeded {
+        rank: comm.world_rank_of(comm.rank()),
+        phase: e.phase.name(),
+        requested: e.requested,
+        live: e.live,
+        budget: e.budget,
+    }
+}
 
 /// Algorithm-based fault tolerance (ABFT) policy for the checked
 /// kernels ([`try_dist_gram_checked`], [`try_dist_ttm_checked`]).
@@ -178,6 +195,7 @@ fn ttm_impl<T: Scalar>(
     abft: AbftMode,
 ) -> Result<DistTensor<T>, CommError> {
     let _span = ratucker_obs::span_mode(&grid.comm, "TTM", mode);
+    let _mem = mem::with_phase(MemPhase::Ttm);
     if !x.local().all_finite() {
         return Err(CommError::Corrupted {
             rank: grid.comm.rank(),
@@ -215,6 +233,15 @@ fn ttm_impl<T: Scalar>(
         "operand inner dimension must match the global mode extent"
     );
 
+    // Preflight the partial product's footprint before allocating it:
+    // under a budget, a rank that cannot even hold the local multiply
+    // output fails typed (and revokes) rather than aborting on OOM.
+    {
+        let lf = x.local().shape().left(mode);
+        let rt = x.local().shape().right(mode);
+        mem::ensure_headroom(mem::bytes_of::<T>(lf * out_dim * rt))
+            .map_err(|e| budget_error(&grid.comm, e))?;
+    }
     // Local partial product: full `out_dim` in the contracted mode.
     let partial = ttm(x.local(), mode, &m_sub, trans);
 
@@ -228,12 +255,10 @@ fn ttm_impl<T: Scalar>(
 
     // Pack the partial into P_j contiguous chunks along the output mode
     // (chunk q = the block of `out_dim` owned by fiber rank q), each chunk
-    // in standard [left, block, right] layout, then reduce-scatter.
+    // in standard [left, block, right] layout.
     let left: usize = partial.shape().left(mode);
     let right: usize = partial.shape().right(mode);
-    let mut packed = Vec::with_capacity(partial.num_entries() + p_j);
-    let mut counts = Vec::with_capacity(p_j);
-    for q in 0..p_j {
+    let pack_chunk = |packed: &mut Vec<T>, q: usize| {
         let r_q = block_range(out_dim, p_j, q);
         let chunk_start = packed.len();
         for r in 0..right {
@@ -249,9 +274,39 @@ fn ttm_impl<T: Scalar>(
             let cs = T::from_f64(sum_f64(&packed[chunk_start..]));
             packed.push(cs);
         }
-        counts.push(left * r_q.len * right + usize::from(abft.is_enabled()));
-    }
-    let mut my_block = fiber.try_reduce_scatter(packed, &counts, sum_op)?;
+    };
+    let mut my_block = if mem::rung() >= 1 {
+        // Degradation rung ≥ 1: per-chunk reductions instead of one
+        // monolithic reduce-scatter. Peak staging drops from the full
+        // packed partial (≈ the local block size) to a single 1/P_j
+        // chunk, at the cost of P_j collectives. Every fiber member
+        // iterates the roots in the same order, so the pattern is as
+        // deterministic as the reduce-scatter it replaces.
+        let mut mine: Option<Vec<T>> = None;
+        for q in 0..p_j {
+            let r_q = block_range(out_dim, p_j, q);
+            let cap = left * r_q.len * right + usize::from(abft.is_enabled());
+            let mut chunk =
+                mem::TrackedBuf::try_with_capacity(cap).map_err(|e| budget_error(&grid.comm, e))?;
+            pack_chunk(&mut chunk, q);
+            let reduced = fiber.try_reduce(q, chunk.into_vec(), sum_op)?;
+            if fiber.rank() == q {
+                mine = reduced;
+            }
+        }
+        mine.expect("fiber rank received its reduced chunk")
+    } else {
+        let cap = partial.num_entries() + p_j;
+        let mut packed =
+            mem::TrackedBuf::try_with_capacity(cap).map_err(|e| budget_error(&grid.comm, e))?;
+        let mut counts = Vec::with_capacity(p_j);
+        for q in 0..p_j {
+            pack_chunk(&mut packed, q);
+            let r_q = block_range(out_dim, p_j, q);
+            counts.push(left * r_q.len * right + usize::from(abft.is_enabled()));
+        }
+        fiber.try_reduce_scatter(packed.into_vec(), &counts, sum_op)?
+    };
     if abft.is_enabled() {
         let cs = my_block
             .pop()
@@ -337,6 +392,7 @@ fn gram_impl<T: Scalar>(
     abft: AbftMode,
 ) -> Result<Matrix<T>, CommError> {
     let _span = ratucker_obs::span_mode(&grid.comm, "Gram", mode);
+    let _mem = mem::with_phase(MemPhase::Gram);
     if !x.local().all_finite() {
         return Err(CommError::Corrupted {
             rank: grid.comm.rank(),
@@ -350,7 +406,7 @@ fn gram_impl<T: Scalar>(
     // Worst relative checksum error seen on the redistribution leg;
     // folded into the kernel's single end-of-kernel verdict.
     let mut a2a_rel = 0.0f64;
-    let mut g_partial = Matrix::zeros(n_j, n_j);
+    let mut g_partial = Matrix::try_zeros(n_j, n_j).map_err(|e| budget_error(&grid.comm, e))?;
     if p_j == 1 {
         // Mode fully local: straight local Gram.
         ratucker_tensor::gram::gram_accumulate(x.local(), mode, &mut g_partial);
@@ -365,7 +421,11 @@ fn gram_impl<T: Scalar>(
         let right = local.shape().right(mode);
         let total_cols = left * right;
 
-        // Pack column fibers destined to each fiber rank.
+        // Pack column fibers destined to each fiber rank. The staging
+        // total (one copy of the local block) is charged up front so a
+        // budgeted rank refuses typed instead of aborting on OOM.
+        let _stage = mem::Charge::try_new(mem::bytes_of::<T>(nj_loc * total_cols))
+            .map_err(|e| budget_error(&grid.comm, e))?;
         let mut blocks: Vec<Vec<T>> = Vec::with_capacity(p_j);
         for q in 0..p_j {
             let cr = block_range(total_cols, p_j, q);
@@ -388,10 +448,9 @@ fn gram_impl<T: Scalar>(
             fiber.try_alltoallv(blocks)?
         };
 
-        // Assemble my column share with full rows: A is n_j × my_cols.
+        // Validate the received block sizes before assembling anything.
         let my_cols = block_range(total_cols, p_j, fiber.rank()).len;
-        let mut a = Matrix::zeros(n_j, my_cols);
-        for (s, block) in received.into_iter().enumerate() {
+        for (s, block) in received.iter().enumerate() {
             let rows_s = x.dist().range(mode, s);
             if block.len() != rows_s.len * my_cols {
                 // Channel desync from a dropped message: typed and
@@ -403,21 +462,44 @@ fn gram_impl<T: Scalar>(
                     got: block.len(),
                 });
             }
-            for c in 0..my_cols {
-                let col = a.col_mut(c);
-                col[rows_s.offset..rows_s.offset + rows_s.len]
-                    .copy_from_slice(&block[c * rows_s.len..(c + 1) * rows_s.len]);
-            }
         }
-        // Local symmetric rank-k update G += A Aᵀ.
-        ratucker_tensor::kernels::syrk_nt(
-            n_j,
-            my_cols,
-            a.as_slice(),
-            n_j,
-            g_partial.as_mut_slice(),
-            n_j,
-        );
+
+        // Assemble my column share with full rows (A is n_j × my_cols)
+        // and apply the symmetric rank-k update G += A Aᵀ. On rung ≥ 2
+        // the unfolding is *streamed*: A is assembled and consumed in
+        // contiguous ascending column batches of 1/8 of the share, so
+        // the scratch shrinks 8× — and because `syrk_nt` accumulates
+        // column-by-column in ascending order (symmetrization is an
+        // overwrite copy), the batched result is bit-identical to the
+        // monolithic one.
+        let batch_cols = if mem::rung() >= 2 {
+            my_cols.div_ceil(8).max(1)
+        } else {
+            my_cols.max(1)
+        };
+        let mut c0 = 0;
+        while c0 < my_cols {
+            let cols_now = batch_cols.min(my_cols - c0);
+            let mut a =
+                Matrix::try_zeros(n_j, cols_now).map_err(|e| budget_error(&grid.comm, e))?;
+            for (s, block) in received.iter().enumerate() {
+                let rows_s = x.dist().range(mode, s);
+                for c in 0..cols_now {
+                    let col = a.col_mut(c);
+                    col[rows_s.offset..rows_s.offset + rows_s.len]
+                        .copy_from_slice(&block[(c0 + c) * rows_s.len..(c0 + c + 1) * rows_s.len]);
+                }
+            }
+            ratucker_tensor::kernels::syrk_nt(
+                n_j,
+                cols_now,
+                a.as_slice(),
+                n_j,
+                g_partial.as_mut_slice(),
+                n_j,
+            );
+            c0 += cols_now;
+        }
     }
 
     // Sum contributions across the whole grid; result replicated. Under

@@ -15,6 +15,8 @@
 
 use crate::distribution::{owner_of, BlockRange, TensorDist};
 use crate::dtensor::DistTensor;
+use crate::ops::budget_error;
+use ratucker_mem::{self as mem, MemPhase};
 use ratucker_mpi::{CartGrid, Comm, CommError};
 use ratucker_tensor::dense::DenseTensor;
 use ratucker_tensor::scalar::Scalar;
@@ -53,11 +55,16 @@ impl<T: Scalar> BlockPiece<T> {
 }
 
 /// Extracts the sub-brick of `piece` covering the (global) intersection
-/// ranges `inter` (which must lie within the piece's ranges).
-fn extract_sub<T: Scalar>(piece: &BlockPiece<T>, inter: &[BlockRange]) -> Vec<T> {
+/// ranges `inter` (which must lie within the piece's ranges). Fallible:
+/// the sub-brick is ledger-checked before it is allocated.
+fn extract_sub<T: Scalar>(
+    piece: &BlockPiece<T>,
+    inter: &[BlockRange],
+) -> Result<Vec<T>, mem::BudgetExceeded> {
     let piece_shape = Shape::new(&piece.ranges.iter().map(|r| r.len).collect::<Vec<_>>());
     let sub_shape = Shape::new(&inter.iter().map(|r| r.len).collect::<Vec<_>>());
     let d = inter.len();
+    mem::ensure_headroom(mem::bytes_of::<T>(sub_shape.num_entries()))?;
     let mut out = Vec::with_capacity(sub_shape.num_entries());
     let mut lidx = vec![0usize; d];
     for idx in sub_shape.indices() {
@@ -66,7 +73,7 @@ fn extract_sub<T: Scalar>(piece: &BlockPiece<T>, inter: &[BlockRange]) -> Vec<T>
         }
         out.push(piece.data[piece_shape.linear_index(&lidx)]);
     }
-    out
+    Ok(out)
 }
 
 /// Redistributes block pieces onto the distribution `new_dist`, whose
@@ -86,6 +93,7 @@ pub fn try_redistribute<T: Scalar>(
     pieces: Vec<BlockPiece<T>>,
 ) -> Result<Option<DistTensor<T>>, CommError> {
     let _span = ratucker_obs::span(comm, "Redistribute");
+    let _mem = mem::with_phase(MemPhase::Redistribute);
     let d = new_dist.global().order();
     let dims = new_dist.grid_dims();
     let q: usize = dims.iter().product();
@@ -105,7 +113,12 @@ pub fn try_redistribute<T: Scalar>(
 
     // Route every piece: slice it against the destination blocks it
     // touches (per-mode owner ranges give the bounding box of
-    // destination coordinates).
+    // destination coordinates). The routed staging totals one copy of
+    // this rank's pieces; charge it up front so a budgeted rank refuses
+    // typed instead of aborting on OOM mid-exchange.
+    let piece_entries: usize = pieces.iter().map(|pc| pc.data.len()).sum();
+    let _stage = mem::Charge::try_new(mem::bytes_of::<T>(piece_entries))
+        .map_err(|e| budget_error(comm, e))?;
     let mut meta: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
     let mut data: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
     for piece in &pieces {
@@ -141,7 +154,7 @@ pub fn try_redistribute<T: Scalar>(
                 meta[dest].push(r.offset as u64);
                 meta[dest].push(r.len as u64);
             }
-            data[dest].extend(extract_sub(piece, &inter));
+            data[dest].extend(extract_sub(piece, &inter).map_err(|e| budget_error(comm, e))?);
             // Advance the odometer.
             for k in 0..d {
                 if coords[k] < coord_lo_hi[k].1 {
@@ -171,8 +184,10 @@ pub fn try_redistribute<T: Scalar>(
     let my_coords = CartGrid::rank_to_coords(comm.rank(), dims);
     let my_ranges: Vec<BlockRange> = (0..d).map(|k| new_dist.range(k, my_coords[k])).collect();
     let local_shape = new_dist.local_shape(&my_coords);
-    let mut local = DenseTensor::<T>::zeros(local_shape.clone());
-    let mut written = vec![false; local_shape.num_entries()];
+    let mut local =
+        DenseTensor::<T>::try_zeros(local_shape.clone()).map_err(|e| budget_error(comm, e))?;
+    let mut written = mem::TrackedBuf::try_filled(local_shape.num_entries(), false)
+        .map_err(|e| budget_error(comm, e))?;
     let header = 2 * d;
     let mut lidx = vec![0usize; d];
     for (src, (meta_s, data_s)) in meta_in.into_iter().zip(data_in).enumerate() {

@@ -20,7 +20,9 @@
 //! covers the single-failure model of the paper's scale analysis.
 
 use crate::dtensor::DistTensor;
+use crate::ops::budget_error;
 use crate::redistribute::BlockPiece;
+use ratucker_mem::{self as mem, MemPhase};
 use ratucker_mpi::{CartGrid, CommError};
 use ratucker_tensor::dense::DenseTensor;
 use ratucker_tensor::scalar::Scalar;
@@ -125,6 +127,13 @@ pub fn try_refresh_buddies<T: Scalar>(
         return Ok(BuddyStore::disabled());
     }
     let me = grid.comm.rank();
+    let _mem = mem::with_phase(MemPhase::Replica);
+    // The sends stage k copies of the local block in flight until the
+    // successors drain them — real memory, so a budgeted rank refuses
+    // typed here rather than silently growing by k extra blocks. The
+    // received predecessor blocks carry their own per-buffer charges.
+    let _stage = mem::Charge::try_new(mem::bytes_of::<T>(k * x.local().data().len()))
+        .map_err(|e| budget_error(&grid.comm, e))?;
     // Queues are unbounded: post all sends, then receive.
     for j in 1..=k {
         let dst = (me + j) % p;
@@ -136,6 +145,8 @@ pub fn try_refresh_buddies<T: Scalar>(
         let data = grid.comm.try_recv::<T>(src)?;
         let coords = CartGrid::rank_to_coords(src, grid.dims());
         let shape = x.dist().local_shape(&coords);
+        mem::ensure_headroom(mem::bytes_of::<T>(shape.num_entries()))
+            .map_err(|e| budget_error(&grid.comm, e))?;
         if data.len() != shape.num_entries() {
             // A dropped message desynchronized the channel: typed,
             // failure-class, so the recovery retry (whose agreement

@@ -1,0 +1,131 @@
+//! Property tests for the allocation ledger's accounting invariants:
+//! charges − releases == live at every step, per-phase live bytes
+//! partition the rank total, and high-water marks are monotone within
+//! a phase (absent an explicit `reset_hwm`).
+
+use proptest::prelude::*;
+use ratucker_mem::{install_rank, stats, with_phase, Charge, MemPhase};
+
+/// Interprets a random op sequence against the ledger, checking the
+/// invariants after every step. Ops: (action, bytes, phase-index).
+///   action 0 => force-charge, 1 => try-charge, 2 => drop oldest charge
+fn run_script(budget: Option<u64>, script: &[(u8, u64, usize)]) {
+    install_rank(budget, 0);
+    let mut held: Vec<Charge> = Vec::new();
+    let mut prev_hwm_by_phase = [0u64; MemPhase::COUNT];
+    let mut prev_hwm = 0u64;
+    for &(action, bytes, phase_idx) in script {
+        let phase = MemPhase::ALL[phase_idx % MemPhase::COUNT];
+        {
+            let _g = with_phase(phase);
+            match action % 3 {
+                0 => held.push(Charge::force(bytes)),
+                1 => {
+                    if let Ok(c) = Charge::try_new(bytes) {
+                        held.push(c);
+                    }
+                }
+                _ => {
+                    if !held.is_empty() {
+                        held.remove(0);
+                    }
+                }
+            }
+        }
+        let s = stats();
+        // charges − releases == live, exactly.
+        prop_assert_eq!(s.charged - s.released, s.live);
+        // Per-phase live bytes partition the rank total.
+        prop_assert_eq!(s.live_by_phase.iter().sum::<u64>(), s.live);
+        // The budget, when set, is a hard ceiling for the live total
+        // (force-charges may pierce it; they model pre-existing state,
+        // so only check when the script used try-charges exclusively).
+        // High-water marks are monotone within the run...
+        prop_assert!(s.hwm >= prev_hwm, "global hwm regressed");
+        for (p, &prev) in prev_hwm_by_phase.iter().enumerate() {
+            prop_assert!(s.hwm_by_phase[p] >= prev, "phase hwm regressed");
+            // ...and each phase's mark dominates its live level.
+            prop_assert!(s.hwm_by_phase[p] >= s.live_by_phase[p]);
+        }
+        // The global mark is bracketed by the per-phase marks: at least
+        // the largest single phase, at most their sum.
+        let max_p = *s.hwm_by_phase.iter().max().unwrap();
+        let sum_p: u64 = s.hwm_by_phase.iter().sum();
+        prop_assert!(s.hwm >= max_p && s.hwm <= sum_p);
+        prev_hwm = s.hwm;
+        prev_hwm_by_phase = s.hwm_by_phase;
+    }
+    drop(held);
+    let s = stats();
+    prop_assert_eq!(s.live, 0, "all charges dropped => zero live bytes");
+    prop_assert_eq!(s.charged, s.released);
+    prop_assert_eq!(s.live_by_phase.iter().sum::<u64>(), 0);
+    install_rank(None, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unbudgeted_ledger_invariants(
+        script in prop::collection::vec((0u8..3, 0u64..10_000, 0usize..MemPhase::COUNT), 1..60)
+    ) {
+        run_script(None, &script);
+    }
+
+    #[test]
+    fn budgeted_ledger_invariants(
+        budget in 1u64..20_000,
+        script in prop::collection::vec((1u8..3, 0u64..10_000, 0usize..MemPhase::COUNT), 1..60)
+    ) {
+        // Try-charges only (actions 1..3): live must never pierce budget.
+        install_rank(Some(budget), 0);
+        let mut held: Vec<Charge> = Vec::new();
+        for &(action, bytes, phase_idx) in &script {
+            let phase = MemPhase::ALL[phase_idx % MemPhase::COUNT];
+            let _g = with_phase(phase);
+            match action % 3 {
+                1 => {
+                    let before = stats().live;
+                    match Charge::try_new(bytes) {
+                        Ok(c) => held.push(c),
+                        Err(e) => {
+                            prop_assert_eq!(e.budget, budget);
+                            prop_assert_eq!(e.requested, bytes);
+                            prop_assert_eq!(e.live, before);
+                            prop_assert!(before + bytes > budget, "spurious refusal");
+                            prop_assert_eq!(stats().live, before, "refusal must not charge");
+                        }
+                    }
+                }
+                _ => {
+                    if !held.is_empty() {
+                        held.remove(0);
+                    }
+                }
+            }
+            prop_assert!(stats().live <= budget, "budget pierced");
+            prop_assert_eq!(stats().charged - stats().released, stats().live);
+        }
+        drop(held);
+        prop_assert_eq!(stats().live, 0);
+        install_rank(None, 0);
+    }
+
+    #[test]
+    fn clone_doubles_and_releases_cleanly(
+        sizes in prop::collection::vec(1u64..5_000, 1..12)
+    ) {
+        install_rank(None, 0);
+        let originals: Vec<Charge> = sizes.iter().map(|&b| Charge::force(b)).collect();
+        let total: u64 = sizes.iter().sum();
+        prop_assert_eq!(stats().live, total);
+        let copies: Vec<Charge> = originals.iter().map(Charge::clone).collect();
+        prop_assert_eq!(stats().live, 2 * total);
+        drop(copies);
+        prop_assert_eq!(stats().live, total);
+        drop(originals);
+        prop_assert_eq!(stats().live, 0);
+        install_rank(None, 0);
+    }
+}

@@ -583,6 +583,13 @@ impl FaultState {
                 panic!("injected crash: rank {rank} died at fabric operation {op}");
             }
         }
+        // Memory-pressure injection: `step_rank` always runs on the
+        // rank's own OS thread, so shrinking the thread-local ledger
+        // budget here lands on exactly the targeted rank, at a
+        // program-order (hence schedule-independent) onset.
+        if let Some(budget) = self.plan.mem_budget_at(rank, op) {
+            ratucker_mem::set_budget(Some(budget));
+        }
     }
 
     /// The persistent-slowness delay for `rank` at its *current*

@@ -126,6 +126,24 @@ pub enum CommError {
         /// World rank that was demoted.
         rank: usize,
     },
+    /// An allocation was refused by the rank's memory-budget ledger
+    /// (`ratucker-mem`): the requested working set would not fit under
+    /// the budget. A *resource* failure, not a data failure — the
+    /// recovery loop reacts by stepping down the graceful-degradation
+    /// ladder (smaller staging, streamed accumulation, frozen rank
+    /// growth) instead of aborting the process the way a real OOM would.
+    BudgetExceeded {
+        /// World rank whose budget was exhausted.
+        rank: usize,
+        /// Allocation phase (ledger attribution) of the refused charge.
+        phase: &'static str,
+        /// Bytes the refused charge asked for.
+        requested: u64,
+        /// Live ledger bytes at the time of the refusal.
+        live: u64,
+        /// The budget in force, in bytes.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -200,6 +218,17 @@ impl fmt::Display for CommError {
                 f,
                 "rank {rank} was demoted by the failure detector \
                  (straggler eviction)"
+            ),
+            CommError::BudgetExceeded {
+                rank,
+                phase,
+                requested,
+                live,
+                budget,
+            } => write!(
+                f,
+                "rank {rank} exceeded its memory budget in phase {phase}: \
+                 requested {requested} B with {live} B live against a {budget} B budget"
             ),
         }
     }
@@ -278,6 +307,13 @@ pub struct FaultPlan {
     /// decided by the same counter-based hash as [`FaultPlan::drop_for`]
     /// (distinct salt), so flaky-link runs replay bit-identically.
     pub flaky_links: Vec<(usize, usize, f64)>,
+    /// `(rank, onset, budget)` triples: *memory pressure* — when `rank`
+    /// issues its `onset`-th fabric operation (sends + receives,
+    /// 1-based, the same counter [`FaultPlan::slow_delay_at`] gates on)
+    /// its `ratucker-mem` ledger budget shrinks to `budget` bytes.
+    /// Models a co-tenant landing on the node mid-run. Deterministic:
+    /// the onset is a program-order operation count, not wall time.
+    pub mem_pressure: Vec<(usize, u64, u64)>,
 }
 
 impl FaultPlan {
@@ -292,6 +328,7 @@ impl FaultPlan {
             slow_ranks: Vec::new(),
             slow_onset: Vec::new(),
             flaky_links: Vec::new(),
+            mem_pressure: Vec::new(),
         }
     }
 
@@ -344,6 +381,14 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules memory pressure on `rank`: from its `onset`-th fabric
+    /// operation (1-based) onward, the rank's ledger budget is `budget`
+    /// bytes. First entry for a rank wins.
+    pub fn with_mem_pressure(mut self, rank: usize, onset: u64, budget: u64) -> FaultPlan {
+        self.mem_pressure.push((rank, onset, budget));
+        self
+    }
+
     /// True if the plan can only reorder timing (delays, slow ranks),
     /// never lose or alter data — such a plan must be
     /// semantics-preserving. Flaky links lose messages, so they are not,
@@ -353,6 +398,7 @@ impl FaultPlan {
             && self.corrupt.is_none()
             && self.crashes.is_empty()
             && self.flaky_links.is_empty()
+            && self.mem_pressure.is_empty()
     }
 
     /// The scheduled crash op for `rank`, if any (first match wins).
@@ -450,6 +496,16 @@ impl FaultPlan {
             return None;
         }
         self.slow_delay(rank)
+    }
+
+    /// The memory budget applying to `rank`'s `op`-th fabric operation
+    /// (1-based): `None` while the operation count is below the rank's
+    /// scheduled pressure onset, or when the rank has no entry.
+    pub fn mem_budget_at(&self, rank: usize, op: u64) -> Option<u64> {
+        self.mem_pressure
+            .iter()
+            .find(|&&(r, _, _)| r == rank)
+            .and_then(|&(_, onset, budget)| (op >= onset).then_some(budget))
     }
 
     /// Should message `idx` on `src→dst` be corrupted? Returns the mode
@@ -578,6 +634,33 @@ mod tests {
         assert!((0..200).all(|i| {
             both.lost_for(0, 1, i) == (both.drop_for(0, 1, i) || both.flaky_drop_for(0, 1, i))
         }));
+    }
+
+    #[test]
+    fn mem_pressure_onset_gates_the_budget_by_operation_count() {
+        let plan = FaultPlan::quiet(9).with_mem_pressure(2, 40, 1 << 20);
+        assert_eq!(plan.mem_budget_at(2, 0), None);
+        assert_eq!(plan.mem_budget_at(2, 39), None);
+        assert_eq!(plan.mem_budget_at(2, 40), Some(1 << 20));
+        assert_eq!(plan.mem_budget_at(2, 41), Some(1 << 20));
+        assert_eq!(plan.mem_budget_at(0, 100), None);
+        // Pressure changes what the program can do — not just timing.
+        assert!(!plan.is_semantics_preserving());
+    }
+
+    #[test]
+    fn budget_exceeded_display_is_stable() {
+        let e = CommError::BudgetExceeded {
+            rank: 3,
+            phase: "gram",
+            requested: 4096,
+            live: 900,
+            budget: 2048,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 3 exceeded its memory budget"), "got: {s}");
+        assert!(s.contains("phase gram"), "got: {s}");
+        assert!(s.contains("4096 B"), "got: {s}");
     }
 
     #[test]

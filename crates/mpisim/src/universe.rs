@@ -81,9 +81,18 @@ pub fn schedule_suite(p: usize, n_schedules: usize, seed: u64) -> Vec<SchedulePo
         .collect()
 }
 
+/// Sentinel for "no budget" in [`Universe`]'s atomic budget cell.
+const NO_BUDGET: u64 = u64::MAX;
+
 /// A set of `p` ranks over a shared fabric.
 pub struct Universe {
     fabric: Arc<Fabric>,
+    /// Per-rank memory budget installed on each rank thread's ledger at
+    /// spawn ([`NO_BUDGET`] = unbudgeted).
+    mem_budget: std::sync::atomic::AtomicU64,
+    /// Degradation rung each rank's ledger starts on (admission control
+    /// may start a job pre-degraded instead of rejecting it).
+    start_rung: std::sync::atomic::AtomicU8,
 }
 
 impl Universe {
@@ -91,6 +100,8 @@ impl Universe {
     pub fn new(p: usize) -> Universe {
         Universe {
             fabric: Fabric::new(p),
+            mem_budget: std::sync::atomic::AtomicU64::new(NO_BUDGET),
+            start_rung: std::sync::atomic::AtomicU8::new(0),
         }
     }
 
@@ -148,6 +159,26 @@ impl Universe {
     /// perturbation policy for subsequent runs.
     pub fn set_schedule_policy(&self, policy: SchedulePolicy) -> &Universe {
         self.fabric.set_schedule_policy(policy);
+        self
+    }
+
+    /// Installs (or clears, with `None`) a per-rank memory budget:
+    /// every rank thread spawned by subsequent runs starts with its
+    /// `ratucker-mem` ledger reset and this budget in force.
+    pub fn set_mem_budget(&self, budget: Option<u64>) -> &Universe {
+        self.mem_budget.store(
+            budget.unwrap_or(NO_BUDGET),
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        self
+    }
+
+    /// Sets the degradation rung rank ledgers start on (default 0).
+    /// Admission control uses this to start a tight-budget job already
+    /// degraded instead of rejecting it outright.
+    pub fn set_start_rung(&self, rung: u8) -> &Universe {
+        self.start_rung
+            .store(rung, std::sync::atomic::Ordering::Relaxed);
         self
     }
 
@@ -267,6 +298,9 @@ impl Universe {
         install_quiet_hook();
         self.fabric.reset_for_run();
         let p = self.fabric.size();
+        let budget = self.mem_budget.load(std::sync::atomic::Ordering::Relaxed);
+        let budget = (budget != NO_BUDGET).then_some(budget);
+        let rung = self.start_rung.load(std::sync::atomic::Ordering::Relaxed);
         let f = &f;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..p)
@@ -274,6 +308,10 @@ impl Universe {
                     let fabric = Arc::clone(&self.fabric);
                     scope.spawn(move || {
                         RANK_THREAD.with(|flag| flag.set(true));
+                        // Fresh ledger per run: replayed schedules (and
+                        // reused universes) start from identical
+                        // accounting state.
+                        ratucker_mem::install_rank(budget, rung);
                         let comm = Comm::world(Arc::clone(&fabric), rank);
                         let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(comm)));
                         if result.is_err() {
@@ -375,6 +413,36 @@ mod tests {
             c.rank()
         });
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn mem_budget_and_rung_are_installed_on_rank_threads() {
+        let u = Universe::new(2);
+        u.set_mem_budget(Some(4096)).set_start_rung(1);
+        let out = u.run(|_c| (ratucker_mem::budget(), ratucker_mem::rung()));
+        assert!(out.iter().all(|&(b, r)| b == Some(4096) && r == 1));
+        // Clearing restores unbudgeted rung-0 ledgers on the next run.
+        u.set_mem_budget(None).set_start_rung(0);
+        let out = u.run(|_c| (ratucker_mem::budget(), ratucker_mem::rung()));
+        assert!(out.iter().all(|&(b, r)| b.is_none() && r == 0));
+    }
+
+    #[test]
+    fn mem_pressure_arms_the_budget_at_its_onset_op() {
+        use crate::fault::FaultPlan;
+        // Each barrier is a fixed number of fabric ops; after enough of
+        // them every rank is past onset 4.
+        let u = Universe::with_fault_plan(2, FaultPlan::quiet(3).with_mem_pressure(1, 4, 1 << 16));
+        let out = u.run(|c| {
+            let before = ratucker_mem::budget();
+            for _ in 0..8 {
+                c.barrier();
+            }
+            (before, ratucker_mem::budget())
+        });
+        assert_eq!(out[0], (None, None), "unpressured rank stays unbudgeted");
+        assert_eq!(out[1].0, None, "pressure must not fire before onset");
+        assert_eq!(out[1].1, Some(1 << 16), "pressure armed at onset");
     }
 
     #[test]

@@ -180,6 +180,8 @@ mod tests {
             traffic,
             gross_bytes: bytes,
             gross_messages: u64::from(bytes > 0),
+            mem_hwm_bytes: 0,
+            mem_live_bytes: 0,
         }
     }
 

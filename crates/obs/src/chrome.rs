@@ -86,6 +86,12 @@ fn push_span(out: &mut String, e: &SpanEvent) {
         e.gross_bytes,
         e.gross_messages
     ));
+    if e.mem_hwm_bytes > 0 || e.mem_live_bytes > 0 {
+        out.push_str(&format!(
+            ",\"mem_hwm_bytes\":{},\"mem_live_bytes\":{}",
+            e.mem_hwm_bytes, e.mem_live_bytes
+        ));
+    }
     for kind in CollectiveKind::ALL {
         let bytes = e.traffic.bytes_of(kind);
         let msgs = e.traffic.messages_of(kind);
@@ -137,6 +143,11 @@ pub struct ParsedSpan {
     pub traffic: KindSnapshot,
     /// Inclusive bytes.
     pub gross_bytes: u64,
+    /// Memory-ledger high-water mark (bytes) when the span closed
+    /// (0 when the producing run had no charged buffers).
+    pub mem_hwm_bytes: u64,
+    /// Live ledger-charged bytes when the span closed.
+    pub mem_live_bytes: u64,
 }
 
 /// A trace file read back: spans plus the embedded session totals.
@@ -231,6 +242,16 @@ pub fn parse(text: &str) -> Result<ParsedTrace, TraceFileError> {
             self_dur_us: field_u64(args, "self_dur_us")?,
             traffic,
             gross_bytes: field_u64(args, "gross_bytes")?,
+            // Optional: absent from spans recorded before the ledger
+            // existed (and from runs that never charge a buffer).
+            mem_hwm_bytes: args
+                .get("mem_hwm_bytes")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            mem_live_bytes: args
+                .get("mem_live_bytes")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
         });
     }
     let footer = doc
@@ -354,6 +375,8 @@ mod tests {
             assert_eq!(m.dur_us, e.dur_us);
             assert_eq!(m.self_dur_us, e.self_dur_us);
             assert_eq!(m.gross_bytes, e.gross_bytes);
+            assert_eq!(m.mem_hwm_bytes, e.mem_hwm_bytes);
+            assert_eq!(m.mem_live_bytes, e.mem_live_bytes);
         }
         validate_parsed(&parsed).expect("file-level partition invariant");
         // And the file totals match what the universe actually moved.

@@ -275,6 +275,8 @@ mod tests {
             traffic: KindSnapshot::default(),
             gross_bytes: 0,
             gross_messages: 0,
+            mem_hwm_bytes: 0,
+            mem_live_bytes: 0,
         };
         let events = vec![
             ev(0, "ttm", 1_000_000),

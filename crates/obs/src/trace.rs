@@ -80,6 +80,11 @@ pub struct SpanEvent {
     pub gross_bytes: u64,
     /// Inclusive messages sent (children included).
     pub gross_messages: u64,
+    /// The rank's memory-ledger high-water mark (bytes) when the span
+    /// closed — cumulative over the run, not span-local.
+    pub mem_hwm_bytes: u64,
+    /// The rank's live ledger-charged bytes when the span closed.
+    pub mem_live_bytes: u64,
 }
 
 /// Per-thread accumulator a parent span keeps for its children's
@@ -191,6 +196,7 @@ impl Drop for Span<'_> {
         let end = inner.stats.kind_snapshot_for(inner.rank);
         let gross = end.since(&inner.start);
         let dur_us = now_us().saturating_sub(inner.t_start_us);
+        let mem = ratucker_mem::stats();
         THREAD.with(|t| {
             let mut state = t.borrow_mut();
             let children = state.stack.pop().unwrap_or_default();
@@ -205,6 +211,8 @@ impl Drop for Span<'_> {
                 traffic: gross.saturating_sub(&children.traffic),
                 gross_bytes: gross.total_bytes(),
                 gross_messages: gross.total_messages(),
+                mem_hwm_bytes: mem.hwm,
+                mem_live_bytes: mem.live,
             };
             if let Some(parent) = state.stack.last_mut() {
                 parent.traffic.merge(&gross);

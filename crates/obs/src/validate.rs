@@ -273,6 +273,8 @@ mod tests {
             traffic,
             gross_bytes: bytes,
             gross_messages: 1,
+            mem_hwm_bytes: 0,
+            mem_live_bytes: 0,
         }
     }
 

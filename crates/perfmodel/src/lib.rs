@@ -26,8 +26,10 @@
 
 pub mod costs;
 pub mod machine;
+pub mod memory;
 pub mod scaling;
 
 pub use costs::{algorithm_cost, AlgKind, CostBreakdown, PhaseCost, Problem};
 pub use machine::Machine;
+pub use memory::{admit, estimate_peak, Admission, MemEstimate, MemProblem, ADMISSION_MARGIN};
 pub use scaling::{best_grid_time, strong_scaling, ScalingPoint};

@@ -3,12 +3,20 @@
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
 use crate::shape::Shape;
+use ratucker_mem::{bytes_of, BudgetExceeded, Charge};
 
 /// A dense tensor with entries stored mode-0-fastest.
+///
+/// The buffer is charged to the calling rank's `ratucker-mem` ledger
+/// for the tensor's lifetime (released on drop, re-charged on clone).
+/// The infallible constructors track without enforcing;
+/// [`DenseTensor::try_zeros`] / [`DenseTensor::try_from_vec`]
+/// additionally respect the rank's budget.
 #[derive(Clone, PartialEq)]
 pub struct DenseTensor<T> {
     shape: Shape,
     data: Vec<T>,
+    charge: Charge,
 }
 
 impl<T: Scalar> DenseTensor<T> {
@@ -16,7 +24,46 @@ impl<T: Scalar> DenseTensor<T> {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let data = vec![T::ZERO; shape.num_entries()];
-        DenseTensor { shape, data }
+        let charge = Charge::force(bytes_of::<T>(data.len()));
+        DenseTensor {
+            shape,
+            data,
+            charge,
+        }
+    }
+
+    /// All-zeros tensor charged against the rank's memory budget —
+    /// refused (with nothing allocated) if it would not fit.
+    pub fn try_zeros(shape: impl Into<Shape>) -> Result<Self, BudgetExceeded> {
+        let shape = shape.into();
+        let charge = Charge::try_new(bytes_of::<T>(shape.num_entries()))?;
+        let data = vec![T::ZERO; shape.num_entries()];
+        Ok(DenseTensor {
+            shape,
+            data,
+            charge,
+        })
+    }
+
+    /// Budget-checked variant of [`DenseTensor::from_vec`]: charges the
+    /// adopted buffer against the rank's budget.
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not match the shape.
+    pub fn try_from_vec(shape: impl Into<Shape>, data: Vec<T>) -> Result<Self, BudgetExceeded> {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.num_entries(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        let charge = Charge::try_new(bytes_of::<T>(data.len()))?;
+        Ok(DenseTensor {
+            shape,
+            data,
+            charge,
+        })
     }
 
     /// Builds a tensor entry-wise from a multi-index function.
@@ -26,7 +73,12 @@ impl<T: Scalar> DenseTensor<T> {
         for idx in shape.indices() {
             data.push(f(&idx));
         }
-        DenseTensor { shape, data }
+        let charge = Charge::force(bytes_of::<T>(data.len()));
+        DenseTensor {
+            shape,
+            data,
+            charge,
+        }
     }
 
     /// Wraps an existing buffer (must be in layout order).
@@ -41,7 +93,12 @@ impl<T: Scalar> DenseTensor<T> {
             "buffer length {} does not match shape {shape}",
             data.len()
         );
-        DenseTensor { shape, data }
+        let charge = Charge::force(bytes_of::<T>(data.len()));
+        DenseTensor {
+            shape,
+            data,
+            charge,
+        }
     }
 
     /// The tensor's shape.
@@ -210,6 +267,7 @@ impl<T: Scalar> DenseTensor<T> {
         DenseTensor {
             shape,
             data: self.data,
+            charge: self.charge,
         }
     }
 
@@ -235,6 +293,34 @@ impl<T: Scalar> std::fmt::Debug for DenseTensor<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn buffers_are_ledger_charged_for_their_lifetime() {
+        ratucker_mem::install_rank(None, 0);
+        let base = ratucker_mem::stats().live;
+        let t: DenseTensor<f64> = DenseTensor::zeros([4, 4]);
+        assert_eq!(ratucker_mem::stats().live, base + 128);
+        let u = t.clone();
+        assert_eq!(ratucker_mem::stats().live, base + 256);
+        let r = u.reshape([2, 8]); // moves the charge, no re-charge
+        assert_eq!(ratucker_mem::stats().live, base + 256);
+        drop(r);
+        drop(t);
+        assert_eq!(ratucker_mem::stats().live, base);
+        ratucker_mem::install_rank(None, 0);
+    }
+
+    #[test]
+    fn try_zeros_respects_the_budget() {
+        ratucker_mem::install_rank(Some(200), 0);
+        let ok: DenseTensor<f64> = DenseTensor::try_zeros([5]).expect("40 B fits");
+        let err = DenseTensor::<f64>::try_zeros([4, 8]).expect_err("256 B must not fit");
+        assert_eq!(err.requested, 256);
+        assert_eq!(err.budget, 200);
+        assert!(DenseTensor::<f64>::try_from_vec([3], vec![1.0; 3]).is_ok());
+        drop(ok);
+        ratucker_mem::install_rank(None, 0);
+    }
 
     #[test]
     fn from_fn_and_get_agree() {

@@ -7,14 +7,21 @@
 //! buffer.
 
 use crate::scalar::Scalar;
+use ratucker_mem::{bytes_of, BudgetExceeded, Charge};
 use std::fmt;
 
 /// A dense column-major matrix.
+///
+/// The buffer is charged to the calling rank's `ratucker-mem` ledger
+/// for the matrix's lifetime (the `charge` member releases on drop;
+/// `Clone` re-charges). The infallible constructors track without
+/// enforcing; [`Matrix::try_zeros`] additionally respects the budget.
 #[derive(Clone, PartialEq)]
 pub struct Matrix<T> {
     rows: usize,
     cols: usize,
     data: Vec<T>,
+    charge: Charge,
 }
 
 impl<T: Scalar> Matrix<T> {
@@ -24,7 +31,20 @@ impl<T: Scalar> Matrix<T> {
             rows,
             cols,
             data: vec![T::ZERO; rows * cols],
+            charge: Charge::force(bytes_of::<T>(rows * cols)),
         }
+    }
+
+    /// A `rows × cols` zero matrix, charged against the rank's memory
+    /// budget — refused (with nothing allocated) if it would not fit.
+    pub fn try_zeros(rows: usize, cols: usize) -> Result<Self, BudgetExceeded> {
+        let charge = Charge::try_new(bytes_of::<T>(rows * cols))?;
+        Ok(Matrix {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+            charge,
+        })
     }
 
     /// The `n × n` identity.
@@ -44,7 +64,13 @@ impl<T: Scalar> Matrix<T> {
                 data.push(f(i, j));
             }
         }
-        Matrix { rows, cols, data }
+        let charge = Charge::force(bytes_of::<T>(data.len()));
+        Matrix {
+            rows,
+            cols,
+            data,
+            charge,
+        }
     }
 
     /// Wraps an existing column-major buffer.
@@ -58,7 +84,13 @@ impl<T: Scalar> Matrix<T> {
             "buffer length {} does not match {rows}x{cols}",
             data.len()
         );
-        Matrix { rows, cols, data }
+        let charge = Charge::force(bytes_of::<T>(data.len()));
+        Matrix {
+            rows,
+            cols,
+            data,
+            charge,
+        }
     }
 
     /// Number of rows.
@@ -145,6 +177,7 @@ impl<T: Scalar> Matrix<T> {
             rows: self.rows,
             cols: k,
             data: self.data[..k * self.rows].to_vec(),
+            charge: Charge::force(bytes_of::<T>(k * self.rows)),
         }
     }
 
@@ -154,10 +187,12 @@ impl<T: Scalar> Matrix<T> {
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
+        let charge = Charge::force(bytes_of::<T>(data.len()));
         Matrix {
             rows: self.rows,
             cols: self.cols + other.cols,
             data,
+            charge,
         }
     }
 
@@ -279,6 +314,16 @@ impl<T: Scalar> fmt::Debug for Matrix<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_zeros_respects_the_budget() {
+        ratucker_mem::install_rank(Some(100), 0);
+        let ok = Matrix::<f64>::try_zeros(3, 4).expect("96 B fits");
+        assert!(Matrix::<f64>::try_zeros(2, 2).is_err(), "32 B over budget");
+        drop(ok);
+        assert!(Matrix::<f64>::try_zeros(2, 2).is_ok());
+        ratucker_mem::install_rank(None, 0);
+    }
 
     #[test]
     fn index_and_columns() {

@@ -133,6 +133,9 @@ pub struct RecoveryReport {
     pub final_grid: Vec<usize>,
     /// ABFT detection / recomputation counters.
     pub abft: AbftStats,
+    /// Highest rung of the graceful-degradation ladder the run reached
+    /// under memory pressure (`0` = never degraded; see [`RUNG_FREEZE`]).
+    pub max_rung: u8,
 }
 
 /// Per-rank outcome of a resilient run.
@@ -207,7 +210,11 @@ enum Recovery<T: Scalar> {
 /// `DeadlineExceeded` (a gray failure: the peer is alive but blew its
 /// per-collective budget) and `Demoted` (the failure detector evicted
 /// a rank) both take the same revoke → agree → shrink path a crash
-/// does.
+/// does. `BudgetExceeded` (a resource failure: the allocation was
+/// refused by the memory ledger, and the refusing rank revoked the
+/// communicator so its peers flush too) rides the same path, but the
+/// post-recovery rung verdict escalates the degradation ladder instead
+/// of shrinking the grid — no rank died.
 fn is_failure(e: &CommError) -> bool {
     matches!(
         e,
@@ -217,8 +224,26 @@ fn is_failure(e: &CommError) -> bool {
             | CommError::SizeMismatch { .. }
             | CommError::DeadlineExceeded { .. }
             | CommError::Demoted { .. }
+            | CommError::BudgetExceeded { .. }
     )
 }
+
+/// Highest rung of the graceful-degradation ladder that still makes
+/// forward progress. The rungs (see `DESIGN.md` §14):
+///
+/// * **0** — normal operation: monolithic TTM reduce-scatter, one-shot
+///   Gram assembly.
+/// * **1** — chunked TTM: the packed slab is reduced one destination
+///   block at a time, bounding the staging buffer by the largest single
+///   block instead of the whole slab.
+/// * **2** — streamed Gram: the unfolding columns are assembled and
+///   accumulated into the Gram matrix in batches instead of one
+///   full-width scratch matrix.
+/// * **3** — rank growth frozen: the expansion step of RA-HOSI-DT is
+///   skipped, capping factor/core memory at the current ranks.
+/// * **> 3** — nothing left to shed: clean
+///   [`ResilientOutcome::FallbackToCheckpoint`].
+const RUNG_FREEZE: u8 = 3;
 
 /// One recovery round: revoke → agree → (if members died) advertise
 /// replica holdings, designate restorers, shrink, re-block. Collective
@@ -373,7 +398,23 @@ fn recovery_rounds<T: Scalar>(
         report.recoveries += 1;
         round += 1;
         if report.recoveries > res.max_recoveries {
-            break RoundsOutcome::Failed(last);
+            // A budget refusal at the cap still gets a clean exit: the
+            // checkpoint fallback is exactly what an operator restarts
+            // from with more memory, and returning the raw error here
+            // would surface as an untyped failure on this rank only.
+            break if matches!(last, CommError::BudgetExceeded { .. }) {
+                RoundsOutcome::Fallback {
+                    dead: Vec::new(),
+                    reason: format!(
+                        "memory budget pressure exhausted the recovery budget \
+                         ({} recoveries): restart from the checkpoint with more \
+                         memory or fewer ranks per node",
+                        res.max_recoveries
+                    ),
+                }
+            } else {
+                RoundsOutcome::Failed(last)
+            };
         }
         // The span is scoped to the recovery call so the `Continue`
         // arm below can replace `grid` freely.
@@ -406,6 +447,17 @@ fn recovery_rounds<T: Scalar>(
             Err(CommError::Demoted { rank }) if rank == me_world => {
                 // Someone else's blame evicted *us* mid-recovery: exit
                 // cleanly; the survivors restore our block.
+                break RoundsOutcome::Spare;
+            }
+            Err(CommError::BudgetExceeded { .. }) => {
+                // A budget refusal inside recovery is deterministic:
+                // retrying the round reruns the same allocation, and
+                // the degradation ladder cannot shrink replica/restore
+                // storage. Leave the grid instead — retire self so the
+                // survivors' next agreement excludes this rank and
+                // restores its block from the buddy replicas, exactly
+                // like a demoted straggler.
+                grid.comm.fabric().retire(me_world);
                 break RoundsOutcome::Spare;
             }
             Err(e2) if is_failure(&e2) && round <= res.max_recoveries => last = e2,
@@ -488,6 +540,7 @@ fn attempt_sweep<T: Scalar>(
             analyze_core(&core_repl, dims, x_norm_sq, config.eps)
         });
         if let Some(a) = analysis {
+            let _mem = ratucker_mem::with_phase(ratucker_mem::MemPhase::Factors);
             let new_ranks: Vec<usize> =
                 a.ranks.iter().zip(floor).map(|(&r, &p)| r.max(p)).collect();
             let full = TuckerTensor::new(core_repl, factors.clone());
@@ -509,6 +562,22 @@ fn attempt_sweep<T: Scalar>(
         }
     } else {
         let err = ((x_norm_sq - core_norm_sq).max(0.0) / x_norm_sq).sqrt();
+        if ratucker_mem::rung() >= RUNG_FREEZE {
+            // Rung 3 of the degradation ladder: the grid is under
+            // memory pressure, and rank growth is the one step that
+            // *increases* the working set (wider factors, bigger core,
+            // bigger collectives). Freeze the ranks and keep sweeping —
+            // the iteration still improves the factors at the current
+            // ranks; it just stops chasing the target tolerance upward.
+            // The rung is collectively agreed, so every rank freezes
+            // the same sweep and the trajectory stays deterministic.
+            return Ok(SweepOutcome {
+                core,
+                err,
+                new_ranks: ranks.to_vec(),
+                met: false,
+            });
+        }
         let grown: Vec<usize> = ranks
             .iter()
             .zip(dims)
@@ -517,6 +586,7 @@ fn attempt_sweep<T: Scalar>(
         if grown != ranks {
             // Pure in (seed, sweep): all ranks, any retry after a
             // recovery, and any resumed run append identical columns.
+            let _mem = ratucker_mem::with_phase(ratucker_mem::MemPhase::Factors);
             let mut rng = expansion_rng(config.inner.seed, it);
             for (k, u) in factors.iter_mut().enumerate() {
                 if grown[k] > u.cols() {
@@ -651,6 +721,7 @@ pub fn dist_ra_hooi_resilient<T: IoScalar>(
     let mut it = start_sweep;
     while it < config.max_iters {
         if let Some(policy) = &res.checkpoint {
+            let _mem = ratucker_mem::with_phase(ratucker_mem::MemPhase::Checkpoint);
             let mut ckpt = FileCheckpointer {
                 policy,
                 write: grid.comm.rank() == 0,
@@ -750,7 +821,70 @@ pub fn dist_ra_hooi_resilient<T: IoScalar>(
                 // Shrink-and-continue: retry recovery rounds against
                 // fresh failures until one commits or the cap is hit,
                 // then retry this sweep from the pre-sweep state.
+                let budget_hit = matches!(e, CommError::BudgetExceeded { .. });
                 run_recovery!(e);
+                // Recovery can race a sweep commit: a revocation that
+                // strikes inside the threshold verdict may leave some
+                // ranks having committed the sweep (factors updated,
+                // ranks grown) while others still retry it, and their
+                // data-plane messages would then disagree on every
+                // block size. The sweep index is agreed before
+                // resuming; a mismatch is unrecoverable online — the
+                // divergent ranks hold different factor states — so it
+                // falls back to the checkpoint cleanly instead.
+                let hi = grid.comm.try_verdict_max(it as f64)? as usize;
+                let lo = (-grid.comm.try_verdict_max(-(it as f64))?) as usize;
+                if hi != lo {
+                    return Ok(ResilientOutcome::FallbackToCheckpoint {
+                        dead: Vec::new(),
+                        reason: format!(
+                            "recovery raced a sweep commit (sweeps {lo}..{hi} in \
+                             flight): the survivors hold divergent factor states, \
+                             resume from the checkpoint"
+                        ),
+                        timings,
+                    });
+                }
+                // Degradation-ladder verdict, collective over the
+                // resumed grid. Only the rank whose allocation was
+                // refused sees `BudgetExceeded` (its peers flush with
+                // `Revoked`), so the escalation proposal rides a
+                // max-verdict on the ctrl plane: every survivor commits
+                // to the same rung before the sweep retries. A verdict
+                // past the last rung means the ladder is exhausted —
+                // the retry would refuse the same allocation again —
+                // so the run falls back to the disk checkpoint cleanly
+                // on every rank at once.
+                let old_rung = ratucker_mem::rung();
+                let proposed = if budget_hit {
+                    old_rung.saturating_add(1)
+                } else {
+                    old_rung
+                };
+                let verdict = grid.comm.try_verdict_max(proposed as f64)? as u8;
+                if verdict > RUNG_FREEZE {
+                    return Ok(ResilientOutcome::FallbackToCheckpoint {
+                        dead: Vec::new(),
+                        reason: format!(
+                            "memory budget exhausted beyond degradation rung {RUNG_FREEZE}: \
+                             no cheaper execution mode is left, restart from the checkpoint \
+                             with more memory or fewer ranks per node"
+                        ),
+                        timings,
+                    });
+                }
+                ratucker_mem::set_rung(verdict);
+                report.max_rung = report.max_rung.max(verdict);
+                if verdict > old_rung {
+                    // A ladder escalation is deterministic progress —
+                    // the retry runs strictly cheaper — not a crash
+                    // retry: refund the recovery round so
+                    // `max_recoveries` keeps bounding genuine fault
+                    // storms only. `old_rung` and `verdict` are both
+                    // collectively committed, so every rank refunds in
+                    // lockstep.
+                    report.recoveries = report.recoveries.saturating_sub(1);
+                }
                 factors = snapshot;
             }
             Err(e) => return Err(e),
@@ -961,6 +1095,35 @@ mod tests {
         // The victim exits as a spare; one survivor does not fit the
         // shrunken grid.
         assert_eq!((completed, spares), (2, 2));
+    }
+
+    #[test]
+    fn budget_below_every_rung_falls_back_to_checkpoint_cleanly() {
+        let spec = SyntheticSpec::new(&[12, 10, 8], &[3, 3, 2], 0.02, 209);
+        let cfg = undershoot_cfg();
+        // 1 KiB is below rank 1's resident block alone, so every rung of
+        // the ladder still refuses the first staging charge: the run
+        // must climb 1 → 2 → 3, agree the ladder is exhausted, and fall
+        // back to the checkpoint cleanly on every rank — no deadlock,
+        // no abort, no rank declared dead.
+        let plan = FaultPlan::quiet(11).with_mem_pressure(1, 50, 1 << 10);
+        let out = Universe::try_launch(4, plan, move |c| {
+            let grid = CartGrid::new(c, &[2, 2, 1]);
+            let x = build_dist(&grid, &spec);
+            dist_ra_hooi_resilient(&grid, &x, &cfg, &ResilienceConfig::default()).unwrap()
+        });
+        for (rank, res) in out.into_iter().enumerate() {
+            match res.expect("no rank panics under memory pressure") {
+                ResilientOutcome::FallbackToCheckpoint { dead, reason, .. } => {
+                    assert!(dead.is_empty(), "rank {rank}: no rank died: {dead:?}");
+                    assert!(
+                        reason.contains("memory budget"),
+                        "rank {rank}: unexpected reason: {reason}"
+                    );
+                }
+                other => panic!("rank {rank}: expected checkpoint fallback, got {other:?}"),
+            }
+        }
     }
 
     #[test]

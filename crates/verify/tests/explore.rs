@@ -225,3 +225,46 @@ fn p4_straggler_demotion_converges_to_identical_state_under_25_schedules() {
         report.failed_ranks
     );
 }
+
+#[test]
+fn p8_budget_pressure_converges_to_identical_state_under_25_schedules() {
+    use ratucker::{dist_ra_hooi_resilient, ResilienceConfig, ResilientOutcome};
+
+    // The chaos-suite scenario-14 cell: rank 3's budget shrinks to
+    // 28800 B at its own fabric op 60 — program-order deterministic on
+    // the pressured rank, and far from a sweep-commit boundary, so the
+    // refusal always lands mid-sweep. The ladder verdict travels the
+    // revocation-immune ctrl plane, so every schedule must agree rung 1
+    // and finish bit-identical on the full grid.
+    let plan = FaultPlan::quiet(67).with_mem_pressure(3, 60, 28_800);
+    let u = Universe::with_fault_plan(8, plan);
+    u.set_recv_timeout(Duration::from_secs(60));
+    let report = u.explore(N_SCHEDULES, 0xB4D6, move |c| {
+        let spec = SyntheticSpec::new(&[24, 20, 16], &[6, 6, 4], 0.01, 914);
+        let grid = CartGrid::new(c, &[2, 2, 2]);
+        let x = DistTensor::scatter_from_replicated(&grid, &spec.build::<f64>());
+        let cfg = RaConfig::ra_hosi_dt(0.1, &[3, 3, 2])
+            .with_seed(31)
+            .with_alpha(2.0)
+            .with_max_iters(3);
+        let res = ResilienceConfig::default().with_buddy_degree(0);
+        match dist_ra_hooi_resilient(&grid, &x, &cfg, &res).expect("no rank errors out") {
+            ResilientOutcome::Completed { result, report, .. } => {
+                let mut out = vec![1u64, report.max_rung as u64];
+                out.extend(report.final_grid.iter().map(|&d| d as u64));
+                out.push(result.rel_error.to_bits());
+                for f in &result.tucker.factors {
+                    out.extend(f.as_slice().iter().map(|v| v.to_bits()));
+                }
+                out
+            }
+            other => panic!("budget pressure must stay on the ladder, got {other:?}"),
+        }
+    });
+    assert_eq!(report.policies.len(), N_SCHEDULES);
+    assert!(
+        report.failed_ranks.is_empty(),
+        "degradation must be clean on every rank, failed: {:?}",
+        report.failed_ranks
+    );
+}

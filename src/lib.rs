@@ -12,6 +12,7 @@
 //! - [`linalg`] — GEMM, symmetric EVD, QR, QR with column pivoting, SVD.
 //! - [`mpi`] — the threaded message-passing runtime (MPI stand-in).
 //! - [`dist`] — block-distributed tensors and distributed kernels.
+//! - [`mem`] — per-rank allocation ledger, budgets, degradation rungs.
 //! - [`tucker`] — STHOSVD, HOOI variants, and rank-adaptive HOSI-DT.
 //! - [`datasets`] — scientific-simulation stand-in generators.
 //! - [`perfmodel`] — analytic cost model and scaling simulator.
@@ -21,6 +22,7 @@ pub use ratucker as tucker;
 pub use ratucker_datasets as datasets;
 pub use ratucker_dist as dist;
 pub use ratucker_linalg as linalg;
+pub use ratucker_mem as mem;
 pub use ratucker_mpi as mpi;
 pub use ratucker_obs as obs;
 pub use ratucker_perfmodel as perfmodel;

@@ -41,6 +41,19 @@
 //!     blamed, retired, and (with replication disabled) every survivor
 //!     reports a clean `FallbackToCheckpoint`; the disk resume then
 //!     matches the fault-free run within 1e-10.
+//!
+//! Memory-pressure scenarios (ISSUE "budget + degradation ladder"
+//! tentpole):
+//! 14. a mid-sweep per-rank budget shrink at P = 8 trips a typed
+//!     `BudgetExceeded`, the collectively-agreed degradation ladder
+//!     steps to rung 1 (chunked TTM reduction), and the run completes
+//!     on the full grid bit-identical to fault-free — memory pressure
+//!     costs footprint, never accuracy;
+//! 15. a budget below what even the cheapest rung needs exhausts the
+//!     ladder: every rank reports a clean `FallbackToCheckpoint` (no
+//!     rank dead, reason naming the memory budget), and the disk
+//!     resume on a healthy universe matches the fault-free run within
+//!     1e-10.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -405,6 +418,7 @@ enum Digest {
         recoveries: usize,
         restored: Vec<usize>,
         final_grid: Vec<usize>,
+        max_rung: u8,
     },
     Spare,
     Fallback {
@@ -424,6 +438,7 @@ fn digest(outcome: ResilientOutcome<f64>) -> Digest {
             recoveries: report.recoveries,
             restored: report.restored_ranks,
             final_grid: report.final_grid,
+            max_rung: report.max_rung,
         },
         ResilientOutcome::Spare { .. } => Digest::Spare,
         ResilientOutcome::FallbackToCheckpoint { dead, .. } => Digest::Fallback { dead },
@@ -486,6 +501,7 @@ fn kill_one_of_eight_mid_sweep_recovers_online_within_1e10() {
                 recoveries,
                 restored,
                 final_grid,
+                ..
             } => {
                 completed += 1;
                 assert!(*recoveries >= 1);
@@ -897,6 +913,167 @@ fn deadline_expiry_under_dead_slow_rank_falls_back_to_checkpoint() {
     assert!(
         (resumed.0 - reference.0).abs() <= 1e-10,
         "rel_error diverged after the deadline fallback: {} vs {}",
+        resumed.0,
+        reference.0
+    );
+    assert_eq!(resumed.1.ranks(), reference.1.ranks());
+    assert!(resumed.1.core.max_abs_diff(&reference.1.core) <= 1e-10);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------------------------------ 14
+
+#[test]
+fn mid_sweep_budget_shrink_engages_ladder_and_converges() {
+    let spec = SyntheticSpec::new(&[24, 20, 16], &[6, 6, 4], 0.01, 914);
+    let cfg = RaConfig::ra_hosi_dt(0.1, &[3, 3, 2])
+        .with_seed(31)
+        .with_alpha(2.0)
+        .with_max_iters(3);
+
+    // Fault-free reference on the full [2,2,2] grid.
+    let s = spec.clone();
+    let c2 = cfg.clone();
+    let ref_err = Universe::launch(8, move |c| {
+        let grid = CartGrid::new(c, &[2, 2, 2]);
+        let x = DistTensor::scatter_from_replicated(&grid, &s.build::<f64>());
+        dist_ra_hooi(&grid, &x, &c2).rel_error
+    })[0];
+    assert!(ref_err <= cfg.eps, "reference missed ε: {ref_err}");
+
+    // Rank 3's budget shrinks to 28800 B at fabric op 60: enough for the
+    // resident working set but below the rung-0 TTM staging peak of the
+    // grown-rank sweeps. Replication is off so the budget bites inside
+    // the sweep (far from the sweep-commit boundary), which keeps the
+    // recovery deterministic: the refused allocation revokes the data
+    // plane, every rank agrees rung 1 on the ctrl plane, and the sweep
+    // retries with chunked TTM reductions that fit.
+    let plan = FaultPlan::quiet(67).with_mem_pressure(3, 60, 28_800);
+    let u = Universe::with_fault_plan(8, plan);
+    u.set_recv_timeout(Duration::from_secs(5));
+    let s = spec.clone();
+    let c2 = cfg.clone();
+    let started = std::time::Instant::now();
+    let results = u.try_run(move |c| {
+        let grid = CartGrid::new(c, &[2, 2, 2]);
+        let x = DistTensor::scatter_from_replicated(&grid, &s.build::<f64>());
+        let res = ResilienceConfig::default().with_buddy_degree(0);
+        digest(dist_ra_hooi_resilient(&grid, &x, &c2, &res).unwrap())
+    });
+
+    for (rank, r) in results.iter().enumerate() {
+        match r.as_ref().expect("no rank panics under memory pressure") {
+            Digest::Completed {
+                rel_error,
+                final_grid,
+                max_rung,
+                ..
+            } => {
+                // The ladder engaged (rung >= 1) and nobody left the grid.
+                assert!(
+                    *max_rung >= 1,
+                    "rank {rank}: pressure must engage the ladder, rung {max_rung}"
+                );
+                assert_eq!(final_grid, &[2, 2, 2], "no rank may be evicted");
+                // Degraded execution changes the working set, not the
+                // answer: the P_j = 2 fibers make the chunked reduction
+                // order-identical, so the result is bit-equal.
+                assert_eq!(
+                    rel_error.to_bits(),
+                    ref_err.to_bits(),
+                    "rank {rank}: degraded run drifted: {rel_error} vs {ref_err}"
+                );
+                assert!(*rel_error <= cfg.eps, "degraded run missed ε");
+            }
+            other => panic!("rank {rank}: expected completion on the ladder, got {other:?}"),
+        }
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "budget recovery took {:?}",
+        started.elapsed()
+    );
+}
+
+// ------------------------------------------------------------------ 15
+
+#[test]
+fn budget_below_checkpoint_floor_falls_back_cleanly() {
+    let spec = SyntheticSpec::new(&[24, 20, 16], &[6, 6, 4], 0.01, 915);
+    let cfg = RaConfig::ra_hosi_dt(0.1, &[3, 3, 2])
+        .with_seed(31)
+        .with_alpha(2.0)
+        .with_max_iters(3);
+    let dir = ckpt_dir("budget_floor");
+
+    // Fault-free reference.
+    let s = spec.clone();
+    let c2 = cfg.clone();
+    let reference = Universe::launch(8, move |c| {
+        let grid = CartGrid::new(c, &[2, 2, 2]);
+        let x = DistTensor::scatter_from_replicated(&grid, &s.build::<f64>());
+        let res = dist_ra_hooi(&grid, &x, &c2);
+        (res.rel_error, res.tucker.gather(&grid))
+    })
+    .into_iter()
+    .next()
+    .unwrap();
+
+    // 2 KiB is below rank 3's resident block alone: every rung of the
+    // ladder still refuses the first allocation of the retried sweep,
+    // so the run must climb 1 → 2 → 3, agree the ladder is exhausted,
+    // and fall back to the checkpoint cleanly on every rank — no
+    // deadlock, no abort, no rank declared dead.
+    let s = spec.clone();
+    let c2 = cfg.clone();
+    let policy = CheckpointPolicy::new(&dir).every(1);
+    let res_cfg = ResilienceConfig::default()
+        .with_buddy_degree(0)
+        .with_checkpoint(policy.clone());
+    let plan = FaultPlan::quiet(71).with_mem_pressure(3, 60, 2 << 10);
+    let u = Universe::with_fault_plan(8, plan);
+    u.set_recv_timeout(Duration::from_secs(5));
+    let started = std::time::Instant::now();
+    let results = u.try_run(move |c| {
+        let grid = CartGrid::new(c, &[2, 2, 2]);
+        let x = DistTensor::scatter_from_replicated(&grid, &s.build::<f64>());
+        match dist_ra_hooi_resilient(&grid, &x, &c2, &res_cfg).unwrap() {
+            ResilientOutcome::FallbackToCheckpoint { dead, reason, .. } => (dead, reason),
+            other => panic!("expected checkpoint fallback, got {other:?}"),
+        }
+    });
+    for (rank, r) in results.iter().enumerate() {
+        let (dead, reason) = r.as_ref().expect("every rank exits cleanly");
+        assert!(dead.is_empty(), "rank {rank}: no rank died: {dead:?}");
+        assert!(
+            reason.contains("memory budget"),
+            "rank {rank}: reason must name the budget: {reason}"
+        );
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "budget fallback took {:?}",
+        started.elapsed()
+    );
+
+    // RTCK: resume from the surviving checkpoint on a healthy universe
+    // and match the fault-free decomposition within 1e-10.
+    let s = spec.clone();
+    let c2 = cfg.clone();
+    let policy = policy.resuming();
+    let resumed = Universe::launch(8, move |c| {
+        let grid = CartGrid::new(c, &[2, 2, 2]);
+        let x = DistTensor::scatter_from_replicated(&grid, &s.build::<f64>());
+        let res = dist_ra_hooi_checkpointed(&grid, &x, &c2, &policy);
+        (res.rel_error, res.tucker.gather(&grid))
+    })
+    .into_iter()
+    .next()
+    .unwrap();
+    assert!(
+        (resumed.0 - reference.0).abs() <= 1e-10,
+        "rel_error diverged after the budget fallback: {} vs {}",
         resumed.0,
         reference.0
     );

@@ -1,0 +1,76 @@
+//! Pins the band between the perfmodel peak-memory *prediction* and the
+//! ledger-*measured* per-rank high-water mark (see
+//! `ratucker_perfmodel::memory` and `DESIGN.md` §14).
+//!
+//! The prediction is structural (resident state + the largest staging
+//! slab) and must bound every rank's measured high-water mark from
+//! above once the admission margin is applied, without being more than
+//! `BAND` times the largest measured mark — a model that over-predicts
+//! by 10x would admit nothing, one that under-predicts would admit runs
+//! the ledger then kills.
+
+use ra_hooi::dist::DistTensor;
+use ra_hooi::mpi::{CartGrid, Universe};
+use ra_hooi::perfmodel::{estimate_peak, MemProblem, ADMISSION_MARGIN};
+use ra_hooi::prelude::*;
+use ra_hooi::tucker::{dist_ra_hooi_resilient, ResilienceConfig, ResilientOutcome};
+
+/// The documented band: margin-adjusted prediction / largest measured
+/// high-water mark stays below this.
+const BAND: f64 = 2.0;
+
+#[test]
+fn perfmodel_peak_bounds_measured_hwm_within_band() {
+    let dims = [24usize, 20, 16];
+    let grid_dims = [2usize, 2, 2];
+    let spec = SyntheticSpec::new(&dims, &[6, 6, 4], 0.01, 914);
+    let cfg = RaConfig::ra_hosi_dt(0.1, &[3, 3, 2])
+        .with_seed(31)
+        .with_alpha(2.0)
+        .with_max_iters(3);
+
+    let u = Universe::new(8);
+    u.set_mem_budget(Some(1 << 30));
+    let results = u.run(move |c| {
+        let grid = CartGrid::new(c, &grid_dims);
+        let x = DistTensor::scatter_from_replicated(&grid, &spec.build::<f64>());
+        // Measure the run itself: the scattered block stays live, so it
+        // is still part of every later high-water mark.
+        ra_hooi::mem::reset_hwm();
+        let res = ResilienceConfig::default();
+        match dist_ra_hooi_resilient(&grid, &x, &cfg, &res).unwrap() {
+            ResilientOutcome::Completed { result, .. } => {
+                (ra_hooi::mem::stats().hwm, result.tucker.ranks())
+            }
+            other => panic!("fault-free run must complete, got {other:?}"),
+        }
+    });
+
+    let final_ranks = results[0].1.clone();
+    let hwm_max = results.iter().map(|r| r.0).max().unwrap();
+    let prob = MemProblem {
+        dims: dims.to_vec(),
+        grid: grid_dims.to_vec(),
+        ranks: final_ranks.clone(),
+        buddy_degree: 1,
+        abft: false,
+        elem_bytes: 8,
+    };
+    let pred = (estimate_peak(&prob, 0).peak() as f64 * ADMISSION_MARGIN) as u64;
+    println!(
+        "final_ranks={final_ranks:?} hwm per rank={:?} max={hwm_max} raw_pred={} margin_pred={pred}",
+        results.iter().map(|r| r.0).collect::<Vec<_>>(),
+        estimate_peak(&prob, 0).peak(),
+    );
+
+    assert!(
+        pred >= hwm_max,
+        "the admission-margin prediction must bound the measured peak: \
+         predicted {pred} B < measured {hwm_max} B"
+    );
+    assert!(
+        (pred as f64) <= BAND * hwm_max as f64,
+        "the prediction is uselessly loose: predicted {pred} B > \
+         {BAND} x measured {hwm_max} B"
+    );
+}

@@ -17,7 +17,50 @@
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Completed measurements, collected for the optional JSON report.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// One completed benchmark measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name` or plain name).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub per_iter_ns: f64,
+    /// Timed iterations behind the mean.
+    pub iters: u64,
+}
+
+/// Writes every measurement recorded so far as a JSON document to the
+/// path in the `BENCH_JSON` environment variable; a no-op when the
+/// variable is unset. Called by [`criterion_main!`] after all groups
+/// finish, so `BENCH_JSON=out.json cargo bench` leaves a machine-
+/// readable report next to the human-readable stdout lines.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::from("{\n\"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let name = r.name.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "{{\"name\": \"{name}\", \"per_iter_ns\": {:.1}, \"iters\": {}}}",
+            r.per_iter_ns, r.iters
+        ));
+    }
+    out.push_str("\n]\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("bench: wrote {} results -> {path}", results.len()),
+        Err(e) => eprintln!("bench: failed to write {path}: {e}"),
+    }
+}
 
 /// Re-export of [`std::hint::black_box`] under criterion's name.
 pub fn black_box<T>(x: T) -> T {
@@ -118,6 +161,14 @@ fn run_one(name: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) {
         "bench: {name:<48} {:>12}/iter  ({iters} iters)",
         human(per_iter)
     );
+    RESULTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(BenchResult {
+            name: name.to_string(),
+            per_iter_ns: per_iter.as_secs_f64() * 1e9,
+            iters,
+        });
 }
 
 /// Top-level benchmark driver (subset of the real `Criterion`).
@@ -225,12 +276,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench binary's `main`, running each group.
+/// Declares the bench binary's `main`, running each group and then
+/// writing the `BENCH_JSON` report (if requested via the environment).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
@@ -269,5 +322,22 @@ mod tests {
     fn ids_format() {
         assert_eq!(BenchmarkId::new("ranks", 4).to_string(), "ranks/4");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn results_are_collected_for_the_json_report() {
+        let before = RESULTS.lock().unwrap_or_else(|e| e.into_inner()).len();
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("collected", |b| b.iter(|| black_box(2u64) * 2));
+        let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(results.len() > before);
+        let r = results
+            .iter()
+            .rev()
+            .find(|r| r.name == "collected")
+            .unwrap();
+        assert_eq!(r.iters, 3);
+        assert!(r.per_iter_ns >= 0.0);
     }
 }
