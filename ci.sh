@@ -60,14 +60,45 @@ if [ "$MEM_ELAPSED" -ge 60 ]; then
   exit 1
 fi
 
+echo "==> serve smoke (multi-tenant service: mixed workload on a warm P=4 universe; 60 s guard)"
+SERVE_T0=$SECONDS
+# loadgen exits non-zero on any failed/lost job or traffic-partition
+# violation and prints per-kind latency percentiles on success.
+cargo run -q --release --offline -p ratucker-serve --bin loadgen -- \
+  --p 4 --tenants 2 --requests 200 --seed 7
+SERVE_ELAPSED=$((SECONDS - SERVE_T0))
+if [ "$SERVE_ELAPSED" -ge 60 ]; then
+  echo "serve smoke took ${SERVE_ELAPSED}s (>= 60s): the service queue or a worker is stalling" >&2
+  exit 1
+fi
+
+echo "==> serve smoke (served stdio protocol round-trip)"
+printf 'compress acme f dims=12x10x8 ranks=3x3x2\nquery acme f off=0,0,0 len=2,2,2\nstatus acme\nshutdown\n' |
+  cargo run -q --release --offline -p ratucker-cli --bin served -- --p 4 --mem-budget 1G \
+  | tee target/ci-served.log
+if grep -q '^err' target/ci-served.log || ! grep -q 'partition_ok=true' target/ci-served.log; then
+  echo "served stdio smoke failed (see target/ci-served.log)" >&2
+  exit 1
+fi
+
 echo "==> bench JSON reports (criterion stub -> BENCH_*.json)"
 # Absolute paths: cargo runs bench binaries from the package dir.
+# Benches are a soft gate: warn (don't fail CI) if a report is missing,
+# but always refresh the stable repo-root copies when one is produced.
 BENCH_JSON="$PWD/target/BENCH_kernels.json" \
-  cargo bench -q --offline -p ratucker-bench --bench kernels
+  cargo bench -q --offline -p ratucker-bench --bench kernels ||
+  echo "warning: kernels bench did not run cleanly" >&2
 BENCH_JSON="$PWD/target/BENCH_tucker.json" \
-  cargo bench -q --offline -p ratucker-bench --bench tucker_algorithms
-test -s target/BENCH_kernels.json
-test -s target/BENCH_tucker.json
+  cargo bench -q --offline -p ratucker-bench --bench tucker_algorithms ||
+  echo "warning: tucker_algorithms bench did not run cleanly" >&2
+for b in kernels tucker; do
+  if [ -s "target/BENCH_${b}.json" ]; then
+    cp "target/BENCH_${b}.json" "BENCH_${b}.json"
+  else
+    echo "warning: bench report target/BENCH_${b}.json missing or empty (benches skipped?);" \
+      "repo-root BENCH_${b}.json not refreshed" >&2
+  fi
+done
 
 echo "==> trace smoke (span pipeline round-trip + perf-model validation)"
 cargo run -q --release --offline -p ratucker-bench --bin tracecheck target/ci-trace.json

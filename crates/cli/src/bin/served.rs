@@ -1,0 +1,135 @@
+//! `served` — the compression-service daemon.
+//!
+//! Boots a warm universe and serves the newline-delimited protocol of
+//! [`ratucker_serve::protocol`] on stdin/stdout (the sandbox-friendly
+//! stand-in for a network front end): one `ok …`/`err …` line per
+//! request, `shutdown` (or EOF) drains the queues and prints the
+//! lifetime report.
+//!
+//! ```sh
+//! printf 'compress acme f dims=12x10x8 ranks=3x3x2\nquery acme f off=0,0,0 len=2,2,2\nshutdown\n' \
+//!     | cargo run --release -p ratucker-cli --bin served -- --p 4
+//! ```
+
+use ratucker_serve::{parse_line, Command, JobOutcome, ServeConfig, Service};
+use std::io::{BufRead, Write};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: served [--p N] [--mem-budget SIZE] [--ingest-limit SIZE] \
+         [--queue-cap N] [--query-workers N] [--checkpoint-dir DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_config() -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("served: {flag} needs a value");
+            usage();
+        };
+        let bad = |what: &str| -> ! {
+            eprintln!("served: bad {what}: {value:?}");
+            usage();
+        };
+        match flag.as_str() {
+            "--p" => cfg.p = value.parse().unwrap_or_else(|_| bad("--p")),
+            "--mem-budget" => {
+                cfg.mem_budget =
+                    Some(ratucker_mem::parse_size(value).unwrap_or_else(|| bad("--mem-budget")))
+            }
+            "--ingest-limit" => {
+                cfg.ingest_limit =
+                    Some(ratucker_mem::parse_size(value).unwrap_or_else(|| bad("--ingest-limit")))
+            }
+            "--queue-cap" => cfg.queue_cap = value.parse().unwrap_or_else(|_| bad("--queue-cap")),
+            "--query-workers" => {
+                cfg.query_workers = value.parse().unwrap_or_else(|_| bad("--query-workers"))
+            }
+            "--checkpoint-dir" => cfg.checkpoint_dir = Some(value.into()),
+            _ => usage(),
+        }
+    }
+    if cfg.p == 0 || cfg.queue_cap == 0 || cfg.query_workers == 0 {
+        eprintln!("served: --p, --queue-cap, --query-workers must be positive");
+        usage();
+    }
+    cfg
+}
+
+fn render(outcome: &JobOutcome) -> String {
+    match outcome {
+        JobOutcome::Compressed {
+            ranks,
+            rel_error,
+            storage_entries,
+            recovery,
+            ..
+        } => {
+            let mut line = format!(
+                "ok compressed ranks={ranks:?} rel_error={rel_error:.6} entries={storage_entries}"
+            );
+            if recovery.recoveries > 0 || recovery.resumed_from_checkpoint {
+                line.push_str(&format!(
+                    " recovered recoveries={} restored={:?} resumed={}",
+                    recovery.recoveries, recovery.restored_ranks, recovery.resumed_from_checkpoint
+                ));
+            }
+            line
+        }
+        JobOutcome::Queried { entries, checksum } => {
+            format!("ok queried entries={entries} checksum={checksum:.6e}")
+        }
+        JobOutcome::Status { report } => format!("ok {report}"),
+        JobOutcome::Rejected { required, budget } => {
+            format!("err admission refused: needs ~{required} B against a {budget} B budget")
+        }
+        JobOutcome::Failed { reason } => format!("err {reason}"),
+    }
+}
+
+fn main() {
+    let cfg = parse_config();
+    let service = Service::start(cfg);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "ready").expect("stdout");
+    out.flush().expect("stdout");
+
+    for line in stdin.lock().lines() {
+        let line = line.expect("stdin");
+        let response = match parse_line(&line) {
+            Ok(None) => continue,
+            Ok(Some(Command::Shutdown)) => break,
+            Ok(Some(Command::Submit { tenant, request })) => {
+                match service.submit(&tenant, request) {
+                    // Lockstep front end: wait each job out so responses
+                    // arrive in request order. Concurrency lives behind
+                    // the queue (loadgen drives it in-process).
+                    Ok(id) => render(&service.wait(id).0),
+                    Err(e) => format!("err {e}"),
+                }
+            }
+            Err(e) => format!("err {e}"),
+        };
+        writeln!(out, "{response}").expect("stdout");
+        out.flush().expect("stdout");
+    }
+
+    let report = service.shutdown();
+    writeln!(
+        out,
+        "bye submitted={} completed={} failed={} rejected={} stored={} partition_ok={}",
+        report.submitted,
+        report.completed,
+        report.failed,
+        report.rejected,
+        report.stored_cores,
+        report.partition_ok,
+    )
+    .expect("stdout");
+}

@@ -204,38 +204,12 @@ pub fn resilience_config(
     Ok(Some(cfg))
 }
 
-/// Parses a byte size with an optional binary suffix: `"1048576"`,
-/// `"64K"`, `"256M"`, `"2G"` (case-insensitive; `KB`/`KiB` spellings
-/// accepted). `None` on malformed input or zero.
-pub fn parse_size(s: &str) -> Option<u64> {
-    let t = s.trim();
-    let upper = t.to_ascii_uppercase();
-    let (digits, shift) = if let Some(d) = upper
-        .strip_suffix("KIB")
-        .or(upper.strip_suffix("KB"))
-        .or(upper.strip_suffix('K'))
-    {
-        (d, 10)
-    } else if let Some(d) = upper
-        .strip_suffix("MIB")
-        .or(upper.strip_suffix("MB"))
-        .or(upper.strip_suffix('M'))
-    {
-        (d, 20)
-    } else if let Some(d) = upper
-        .strip_suffix("GIB")
-        .or(upper.strip_suffix("GB"))
-        .or(upper.strip_suffix('G'))
-    {
-        (d, 30)
-    } else if let Some(d) = upper.strip_suffix('B') {
-        (d, 0)
-    } else {
-        (upper.as_str(), 0)
-    };
-    let n: u64 = digits.trim().parse().ok()?;
-    n.checked_mul(1u64 << shift).filter(|&b| b > 0)
-}
+/// The shared K/M/G byte-size parser (re-exported from `ratucker-mem`
+/// so every byte-count flag in the workspace — `Mem budget` here, the
+/// serve daemon's `--mem-budget` / `--ingest-limit` — parses
+/// identically: `None` on malformed input or zero, saturation to
+/// `u64::MAX` on overflow).
+pub use ratucker_mem::parse_size;
 
 /// Parses the `Mem budget` key (per-rank budget in bytes, `K`/`M`/`G`
 /// suffixes accepted).

@@ -433,6 +433,84 @@ pub fn bytes_of<T>(len: usize) -> u64 {
     (len as u64).saturating_mul(std::mem::size_of::<T>() as u64)
 }
 
+/// Parses a byte size with an optional binary suffix: `"1048576"`,
+/// `"64K"`, `"256M"`, `"2G"` (case-insensitive; `KB`/`KiB` spellings
+/// accepted). This is the one shared parser behind every byte-count
+/// flag in the workspace (`--mem-budget`, the serve daemon's ingest
+/// limit, parameter-file `Mem budget` keys).
+///
+/// Semantics:
+/// - `None` on malformed input (non-numeric digits, unknown suffix,
+///   negative values) and on zero — a zero budget is always a
+///   configuration mistake, not a request for an empty ledger;
+/// - values that overflow `u64` after the suffix shift **saturate** to
+///   `u64::MAX` rather than failing: "more bytes than addressable" is
+///   an unbudgeted run, and refusing it would make generous inputs
+///   behave worse than absent ones.
+pub fn parse_size(s: &str) -> Option<u64> {
+    let upper = s.trim().to_ascii_uppercase();
+    let (digits, shift) = if let Some(d) = upper
+        .strip_suffix("KIB")
+        .or(upper.strip_suffix("KB"))
+        .or(upper.strip_suffix('K'))
+    {
+        (d, 10)
+    } else if let Some(d) = upper
+        .strip_suffix("MIB")
+        .or(upper.strip_suffix("MB"))
+        .or(upper.strip_suffix('M'))
+    {
+        (d, 20)
+    } else if let Some(d) = upper
+        .strip_suffix("GIB")
+        .or(upper.strip_suffix("GB"))
+        .or(upper.strip_suffix('G'))
+    {
+        (d, 30)
+    } else if let Some(d) = upper.strip_suffix('B') {
+        (d, 0)
+    } else {
+        (upper.as_str(), 0)
+    };
+    // Parse into u128 so an over-u64 digit string saturates instead of
+    // erroring; the suffix shift then saturates the same way.
+    let n: u128 = digits.trim().parse().ok()?;
+    let bytes = n.saturating_mul(1u128 << shift);
+    match bytes {
+        0 => None,
+        b => Some(u64::try_from(b).unwrap_or(u64::MAX)),
+    }
+}
+
+/// Per-job high-water-mark scope: brackets one unit of work on a
+/// long-lived thread so its peak ledger usage can be attributed to that
+/// job alone (the serve daemon's query workers process many jobs per
+/// thread; without rebasing, every job would inherit the largest peak
+/// seen since the thread started).
+///
+/// `begin` rebases the thread's high-water marks to the current live
+/// level; [`JobScope::peak`] reports how far above that level the job
+/// pushed them. Dropping the scope is a no-op — the next `begin`
+/// rebases again.
+pub struct JobScope {
+    base_live: u64,
+}
+
+impl JobScope {
+    /// Starts a job scope: rebases the high-water marks to `live`.
+    pub fn begin() -> JobScope {
+        reset_hwm();
+        JobScope {
+            base_live: stats().live,
+        }
+    }
+
+    /// Peak bytes this job added above the live level at `begin`.
+    pub fn peak(&self) -> u64 {
+        stats().hwm.saturating_sub(self.base_live)
+    }
+}
+
 /// A `Vec<T>` whose capacity is charged to the ledger for its lifetime.
 /// The workhorse for staging buffers at communication boundaries.
 ///
@@ -599,6 +677,50 @@ mod tests {
         assert!(ensure_headroom(100).is_ok());
         assert!(ensure_headroom(101).is_err());
         assert_eq!(stats().live, 0);
+        install_rank(None, 0);
+    }
+
+    #[test]
+    fn parse_size_suffixes_zero_overflow_and_garbage() {
+        // Plain counts and every suffix spelling.
+        assert_eq!(parse_size("1048576"), Some(1 << 20));
+        assert_eq!(parse_size("64K"), Some(64 << 10));
+        assert_eq!(parse_size("64k"), Some(64 << 10));
+        assert_eq!(parse_size(" 256 MiB "), Some(256 << 20));
+        assert_eq!(parse_size("2GB"), Some(2 << 30));
+        assert_eq!(parse_size("512b"), Some(512));
+        // Zero is a configuration mistake, whatever the suffix.
+        assert_eq!(parse_size("0"), None);
+        assert_eq!(parse_size("0G"), None);
+        // Overflow saturates: a beyond-addressable budget is "unbounded",
+        // both from oversized digits and from the suffix shift.
+        assert_eq!(parse_size("999999999999999999999G"), Some(u64::MAX));
+        assert_eq!(parse_size("18446744073709551615K"), Some(u64::MAX));
+        assert_eq!(parse_size(&u64::MAX.to_string()), Some(u64::MAX));
+        // Malformed suffixes and digits are typed away as None.
+        assert_eq!(parse_size("lots"), None);
+        assert_eq!(parse_size("-3M"), None);
+        assert_eq!(parse_size("3T"), None);
+        assert_eq!(parse_size("1.5G"), None);
+        assert_eq!(parse_size(""), None);
+        assert_eq!(parse_size("K"), None);
+    }
+
+    #[test]
+    fn job_scope_isolates_per_job_peaks() {
+        install_rank(None, 0);
+        // A big job followed by a small one on the same thread: the
+        // small job's scope must not inherit the big peak.
+        let big = JobScope::begin();
+        let c = Charge::force(1000);
+        drop(c);
+        assert_eq!(big.peak(), 1000);
+        let resident = Charge::force(64); // live across the next job
+        let small = JobScope::begin();
+        let c = Charge::force(10);
+        assert_eq!(small.peak(), 10, "peak is relative to live at begin");
+        drop(c);
+        drop(resident);
         install_rank(None, 0);
     }
 

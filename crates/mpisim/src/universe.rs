@@ -141,6 +141,15 @@ impl Universe {
         self
     }
 
+    /// Removes the fault-injection plan, if any. A long-lived universe
+    /// needs this between jobs: `reset_for_run` re-arms the plan's op
+    /// counters on every run, so a one-shot injected crash would fire
+    /// again on the *next* job unless the plan is cleared once consumed.
+    pub fn clear_fault_plan(&self) -> &Universe {
+        self.fabric.clear_fault_plan();
+        self
+    }
+
     /// Installs (or clears, with `None`) per-collective deadline budgets
     /// for all ranks (see [`crate::DeadlinePolicy`]).
     pub fn set_deadline_policy(&self, policy: Option<crate::DeadlinePolicy>) -> &Universe {
@@ -577,5 +586,27 @@ mod tests {
         assert!(out[0].is_err() || out[0].is_ok()); // rank 0: PeerClosed panic or completed
         let f = out[1].as_ref().unwrap_err();
         assert!(f.message.contains("injected crash"), "got: {}", f.message);
+    }
+
+    #[test]
+    fn clear_fault_plan_disarms_before_next_run() {
+        // Without the clear, reset_for_run re-arms the plan's op counters
+        // and the second run would crash again.
+        use crate::fault::FaultPlan;
+        let u = Universe::new(2);
+        u.set_fault_plan(FaultPlan::quiet(0).with_crash(1, 1));
+        let first = u.try_run(|c| {
+            c.barrier();
+            c.rank()
+        });
+        assert!(first[1].is_err(), "crash plan should fire on first run");
+        u.clear_fault_plan();
+        let second = u.try_run(|c| {
+            c.barrier();
+            c.rank()
+        });
+        for (r, res) in second.iter().enumerate() {
+            assert_eq!(*res.as_ref().expect("clean run after clear"), r);
+        }
     }
 }

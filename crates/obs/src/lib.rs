@@ -29,6 +29,7 @@ pub mod analysis;
 pub mod chrome;
 pub mod json;
 pub mod straggler;
+pub mod tenant;
 pub mod trace;
 pub mod validate;
 
@@ -37,6 +38,7 @@ pub use chrome::{
     export_string, parse, validate_parsed, write_trace, ParsedSpan, ParsedTrace, TraceFileError,
 };
 pub use straggler::{scores_from_breakdown, StragglerDetector, StragglerPolicy};
+pub use tenant::{TenantAccount, TenantLedger};
 pub use trace::{
     enabled, flush_current_thread, span, span_mode, Span, SpanEvent, Trace, TraceSession,
     DEFAULT_RING_CAPACITY,

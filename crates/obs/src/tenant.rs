@@ -1,0 +1,185 @@
+//! Per-tenant accounting for a multi-tenant service.
+//!
+//! The serve layer runs many jobs for many tenants over one warm
+//! fabric, and the fabric's [`ratucker_mpi::TrafficStats`] counters are
+//! global. This module keeps the per-tenant books: each tenant
+//! accumulates a [`KindSnapshot`] of the traffic its jobs caused (the
+//! service measures a global delta around each fabric-touching job and
+//! charges it here), job counts by outcome, and the high-water memory
+//! mark of its heaviest job.
+//!
+//! The key property is the **partition invariant**, mirroring the
+//! per-kind invariant on the fabric itself: summed over tenants, the
+//! charged bytes/messages must equal the global counter movement over
+//! the same window exactly — every delivered byte is charged to exactly
+//! one tenant, nothing double-counted, nothing orphaned.
+//! [`TenantLedger::check_partition`] verifies this.
+
+use ratucker_mpi::KindSnapshot;
+use std::collections::BTreeMap;
+
+/// One tenant's accumulated books.
+#[derive(Clone, Debug, Default)]
+pub struct TenantAccount {
+    /// Fabric traffic charged to this tenant's jobs.
+    pub traffic: KindSnapshot,
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs that finished successfully.
+    pub completed: u64,
+    /// Jobs that failed (after any recovery attempts).
+    pub failed: u64,
+    /// Jobs refused by admission control before running.
+    pub rejected: u64,
+    /// Largest per-job memory high-water mark seen, in bytes.
+    pub peak_job_bytes: u64,
+}
+
+/// Per-tenant books for a service instance. Keys are tenant names;
+/// iteration order is deterministic (sorted) for stable reports.
+#[derive(Clone, Debug, Default)]
+pub struct TenantLedger {
+    accounts: BTreeMap<String, TenantAccount>,
+}
+
+impl TenantLedger {
+    /// An empty ledger.
+    pub fn new() -> TenantLedger {
+        TenantLedger::default()
+    }
+
+    fn entry(&mut self, tenant: &str) -> &mut TenantAccount {
+        self.accounts.entry(tenant.to_string()).or_default()
+    }
+
+    /// Charges a traffic delta (a global [`KindSnapshot`] movement
+    /// measured around one of `tenant`'s jobs) to the tenant.
+    pub fn charge_traffic(&mut self, tenant: &str, delta: &KindSnapshot) {
+        self.entry(tenant).traffic.merge(delta);
+    }
+
+    /// Records a job acceptance.
+    pub fn record_submitted(&mut self, tenant: &str) {
+        self.entry(tenant).submitted += 1;
+    }
+
+    /// Records a successful job completion, with the job's memory
+    /// high-water mark in bytes.
+    pub fn record_completed(&mut self, tenant: &str, job_peak_bytes: u64) {
+        let acc = self.entry(tenant);
+        acc.completed += 1;
+        acc.peak_job_bytes = acc.peak_job_bytes.max(job_peak_bytes);
+    }
+
+    /// Records a job failure.
+    pub fn record_failed(&mut self, tenant: &str) {
+        self.entry(tenant).failed += 1;
+    }
+
+    /// Records an admission-control rejection.
+    pub fn record_rejected(&mut self, tenant: &str) {
+        self.entry(tenant).rejected += 1;
+    }
+
+    /// The account for `tenant`, if it has any history.
+    pub fn account(&self, tenant: &str) -> Option<&TenantAccount> {
+        self.accounts.get(tenant)
+    }
+
+    /// All accounts, sorted by tenant name.
+    pub fn accounts(&self) -> impl Iterator<Item = (&str, &TenantAccount)> {
+        self.accounts.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of tenants with any history.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Whether the ledger is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// Sum of all tenants' charged traffic.
+    pub fn total_traffic(&self) -> KindSnapshot {
+        let mut out = KindSnapshot::default();
+        for acc in self.accounts.values() {
+            out.merge(&acc.traffic);
+        }
+        out
+    }
+
+    /// Checks the partition invariant against the global counter
+    /// movement over the same accounting window: per-tenant charges must
+    /// sum to `global` *exactly* (bytes and messages). Returns
+    /// `((tenant_bytes, global_bytes), (tenant_msgs, global_msgs))` on
+    /// violation.
+    ///
+    /// Only meaningful while no charged job is in flight — the service
+    /// serializes fabric-touching jobs, so quiescence between jobs
+    /// makes the deltas exact.
+    #[allow(clippy::type_complexity)]
+    pub fn check_partition(&self, global: &KindSnapshot) -> Result<(), ((u64, u64), (u64, u64))> {
+        let mine = self.total_traffic();
+        let (tb, gb) = (mine.total_bytes(), global.total_bytes());
+        let (tm, gm) = (mine.total_messages(), global.total_messages());
+        if tb == gb && tm == gm {
+            Ok(())
+        } else {
+            Err(((tb, gb), (tm, gm)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(bytes: u64, msgs: u64) -> KindSnapshot {
+        let mut s = KindSnapshot::default();
+        s.bytes[0] = bytes;
+        s.messages[0] = msgs;
+        s
+    }
+
+    #[test]
+    fn charges_accumulate_and_partition_holds() {
+        let mut ledger = TenantLedger::new();
+        ledger.record_submitted("alice");
+        ledger.charge_traffic("alice", &snap(100, 3));
+        ledger.charge_traffic("alice", &snap(50, 1));
+        ledger.record_submitted("bob");
+        ledger.charge_traffic("bob", &snap(200, 7));
+        ledger.record_completed("alice", 4096);
+        ledger.record_completed("alice", 1024);
+        ledger.record_failed("bob");
+
+        let a = ledger.account("alice").unwrap();
+        assert_eq!(a.traffic.total_bytes(), 150);
+        assert_eq!(a.completed, 2);
+        assert_eq!(a.peak_job_bytes, 4096, "peak is a max, not a sum");
+        assert_eq!(ledger.len(), 2);
+
+        assert!(ledger.check_partition(&snap(350, 11)).is_ok());
+        let err = ledger.check_partition(&snap(351, 11)).unwrap_err();
+        assert_eq!(err.0, (350, 351));
+    }
+
+    #[test]
+    fn empty_ledger_partitions_zero_exactly() {
+        let ledger = TenantLedger::new();
+        assert!(ledger.is_empty());
+        assert!(ledger.check_partition(&KindSnapshot::default()).is_ok());
+        assert!(ledger.check_partition(&snap(1, 0)).is_err());
+    }
+
+    #[test]
+    fn accounts_iterate_sorted() {
+        let mut ledger = TenantLedger::new();
+        ledger.record_rejected("zed");
+        ledger.record_rejected("ann");
+        let names: Vec<&str> = ledger.accounts().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["ann", "zed"]);
+    }
+}

@@ -1,0 +1,408 @@
+//! Load generator for the compression service.
+//!
+//! Boots an in-process [`Service`], has every tenant compress a couple
+//! of base cores, then hammers the daemon with a mixed stream of
+//! query/status/compress requests from one client thread per tenant,
+//! keeping a bounded window of jobs in flight. Reports throughput,
+//! per-kind latency percentiles, per-tenant accounting, and checks the
+//! tenant-partition invariant; exits non-zero on any lost or failed
+//! job.
+//!
+//! ```sh
+//! cargo run --release -p ratucker-serve --bin loadgen -- \
+//!     --p 4 --tenants 2 --requests 1000
+//! ```
+
+use ratucker_serve::{CompressSpec, JobId, QuerySpec, Request, ServeConfig, Service, SubmitError};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+struct Args {
+    p: usize,
+    tenants: usize,
+    requests: usize,
+    compress_per_mille: usize,
+    status_per_mille: usize,
+    window: usize,
+    seed: u64,
+    mem_budget: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        p: 4,
+        tenants: 2,
+        requests: 1000,
+        compress_per_mille: 20,
+        status_per_mille: 100,
+        window: 16,
+        seed: 1,
+        mem_budget: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--p" => args.p = value()?.parse().map_err(|e| format!("--p: {e}"))?,
+            "--tenants" => {
+                args.tenants = value()?.parse().map_err(|e| format!("--tenants: {e}"))?
+            }
+            "--requests" => {
+                args.requests = value()?.parse().map_err(|e| format!("--requests: {e}"))?
+            }
+            "--compress-per-mille" => {
+                args.compress_per_mille = value()?
+                    .parse()
+                    .map_err(|e| format!("--compress-per-mille: {e}"))?
+            }
+            "--status-per-mille" => {
+                args.status_per_mille = value()?
+                    .parse()
+                    .map_err(|e| format!("--status-per-mille: {e}"))?
+            }
+            "--window" => args.window = value()?.parse().map_err(|e| format!("--window: {e}"))?,
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--mem-budget" => {
+                let v = value()?;
+                args.mem_budget = Some(
+                    ratucker_mem::parse_size(v).ok_or(format!("--mem-budget: bad size {v:?}"))?,
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.tenants == 0 || args.requests == 0 || args.window == 0 {
+        return Err("--tenants, --requests, --window must be positive".into());
+    }
+    if args.compress_per_mille + args.status_per_mille > 1000 {
+        return Err("per-mille mix must sum to at most 1000".into());
+    }
+    Ok(args)
+}
+
+/// Deterministic splitmix64 — the load pattern must replay from --seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// The base cores every tenant compresses before the mixed phase.
+fn base_specs(tenant_idx: usize) -> Vec<CompressSpec> {
+    vec![
+        CompressSpec {
+            name: "base3".into(),
+            dims: vec![12, 10, 8],
+            construction_ranks: vec![3, 3, 2],
+            noise: 0.01,
+            seed: 900 + tenant_idx as u64,
+            eps: 0.2,
+            initial_ranks: vec![2, 2, 2],
+            alpha: 2.0,
+            max_iters: 2,
+        },
+        CompressSpec {
+            name: "base4".into(),
+            dims: vec![8, 6, 5, 4],
+            construction_ranks: vec![2, 2, 2, 2],
+            noise: 0.01,
+            seed: 950 + tenant_idx as u64,
+            eps: 0.3,
+            initial_ranks: vec![2, 2, 2, 2],
+            alpha: 2.0,
+            max_iters: 2,
+        },
+    ]
+}
+
+fn random_query(rng: &mut Rng, stored: &[(String, Vec<usize>)]) -> Request {
+    let (name, dims) = &stored[rng.below(stored.len())];
+    let mut offsets = Vec::with_capacity(dims.len());
+    let mut lens = Vec::with_capacity(dims.len());
+    for &n in dims {
+        let len = 1 + rng.below(n);
+        offsets.push(rng.below(n - len + 1));
+        lens.push(len);
+    }
+    Request::Query(QuerySpec {
+        name: name.clone(),
+        offsets,
+        lens,
+    })
+}
+
+#[derive(Default)]
+struct TenantResult {
+    latencies: Vec<(&'static str, Duration)>,
+    failed: Vec<String>,
+    accepted: usize,
+    refused: usize,
+}
+
+fn drain_one(
+    service: &Service,
+    inflight: &mut VecDeque<(JobId, &'static str)>,
+    out: &mut TenantResult,
+) {
+    let Some((id, kind)) = inflight.pop_front() else {
+        return;
+    };
+    let (outcome, latency) = service.wait(id);
+    out.latencies.push((kind, latency));
+    if !outcome.is_success() {
+        out.failed.push(format!("{kind} {id}: {outcome:?}"));
+    }
+}
+
+fn tenant_client(
+    service: &Service,
+    tenant: &str,
+    tenant_idx: usize,
+    n_requests: usize,
+    args: &Args,
+) -> TenantResult {
+    let mut out = TenantResult::default();
+    let mut rng = Rng(args.seed ^ ((tenant_idx as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+    let mut stored: Vec<(String, Vec<usize>)> = Vec::new();
+    let mut inflight: VecDeque<(JobId, &'static str)> = VecDeque::new();
+
+    // Phase 1: base cores, waited out so the mixed phase always has
+    // valid query targets.
+    for spec in base_specs(tenant_idx) {
+        let dims = spec.dims.clone();
+        let name = spec.name.clone();
+        match service.submit(tenant, Request::Compress(spec)) {
+            Ok(id) => {
+                out.accepted += 1;
+                let (outcome, latency) = service.wait(id);
+                out.latencies.push(("compress", latency));
+                if outcome.is_success() {
+                    stored.push((name, dims));
+                } else {
+                    out.failed.push(format!("base compress {id}: {outcome:?}"));
+                }
+            }
+            Err(e) => out.failed.push(format!("base compress refused: {e}")),
+        }
+    }
+    if stored.is_empty() {
+        out.failed
+            .push("no base cores stored; aborting tenant".into());
+        return out;
+    }
+
+    // Phase 2: the mixed stream, windowed.
+    let mut extra_core = 0usize;
+    for i in 0..n_requests {
+        let roll = rng.below(1000);
+        let (kind, request): (&'static str, Request) = if roll < args.compress_per_mille {
+            extra_core += 1;
+            let mut spec = base_specs(tenant_idx).swap_remove(0);
+            spec.name = format!("core{extra_core}");
+            spec.seed = args.seed.wrapping_add((tenant_idx * 10_000 + i) as u64);
+            ("compress", Request::Compress(spec))
+        } else if roll < args.compress_per_mille + args.status_per_mille {
+            ("status", Request::Status)
+        } else {
+            ("query", random_query(&mut rng, &stored))
+        };
+        match service.submit(tenant, request) {
+            Ok(id) => {
+                out.accepted += 1;
+                if kind == "compress" {
+                    // Wait compress jobs out immediately so the new core
+                    // is a valid query target for the rest of the stream.
+                    let (outcome, latency) = service.wait(id);
+                    out.latencies.push(("compress", latency));
+                    if outcome.is_success() {
+                        stored.push((
+                            format!("core{extra_core}"),
+                            base_specs(tenant_idx)[0].dims.clone(),
+                        ));
+                    } else {
+                        out.failed.push(format!("compress {id}: {outcome:?}"));
+                    }
+                } else {
+                    inflight.push_back((id, kind));
+                    if inflight.len() >= args.window {
+                        drain_one(service, &mut inflight, &mut out);
+                    }
+                }
+            }
+            Err(SubmitError::QueueFull { .. }) => {
+                // Backpressure, not an error: drain a slot and drop the
+                // request (the generator's mix is approximate anyway).
+                out.refused += 1;
+                drain_one(service, &mut inflight, &mut out);
+            }
+            Err(e) => out.failed.push(format!("{kind} refused: {e}")),
+        }
+    }
+    while !inflight.is_empty() {
+        drain_one(service, &mut inflight, &mut out);
+    }
+    out
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+    let service = Service::start(ServeConfig {
+        p: args.p,
+        mem_budget: args.mem_budget,
+        query_workers: 2,
+        ..ServeConfig::default()
+    });
+    let tenant_names: Vec<String> = (0..args.tenants).map(|i| format!("tenant{i}")).collect();
+    let per_tenant = args.requests.div_ceil(args.tenants);
+
+    println!(
+        "loadgen: p={} tenants={} requests={} (~{per_tenant}/tenant) seed={}",
+        args.p, args.tenants, args.requests, args.seed
+    );
+    let started = Instant::now();
+    let results: Vec<TenantResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = tenant_names
+            .iter()
+            .enumerate()
+            .map(|(idx, name)| {
+                let service = &service;
+                let args = &args;
+                scope.spawn(move || tenant_client(service, name, idx, per_tenant, args))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    // ---- aggregate -----------------------------------------------------
+    let mut by_kind: std::collections::BTreeMap<&str, Vec<Duration>> = Default::default();
+    let mut failures: Vec<&String> = Vec::new();
+    let (mut accepted, mut refused) = (0usize, 0usize);
+    for r in &results {
+        for (kind, latency) in &r.latencies {
+            by_kind.entry(kind).or_default().push(*latency);
+        }
+        failures.extend(&r.failed);
+        accepted += r.accepted;
+        refused += r.refused;
+    }
+    let done: usize = by_kind.values().map(Vec::len).sum();
+    println!(
+        "\n{done} jobs done in {elapsed:.2?} ({:.0} jobs/s), {refused} backpressured",
+        done as f64 / elapsed.as_secs_f64()
+    );
+    for (kind, lats) in by_kind.iter_mut() {
+        lats.sort();
+        println!(
+            "  {kind:>8}: n={:<5} p50={:>10.2?} p99={:>10.2?} max={:>10.2?}",
+            lats.len(),
+            percentile(lats, 0.50),
+            percentile(lats, 0.99),
+            lats.last().copied().unwrap_or_default(),
+        );
+    }
+
+    // ---- per-tenant accounting + partition invariant -------------------
+    println!();
+    for name in &tenant_names {
+        if let Some(acc) = service.tenant_account(name) {
+            println!(
+                "  {name}: submitted={} completed={} failed={} rejected={} \
+                 traffic={} B/{} msgs peak={} B",
+                acc.submitted,
+                acc.completed,
+                acc.failed,
+                acc.rejected,
+                acc.traffic.total_bytes(),
+                acc.traffic.total_messages(),
+                acc.peak_job_bytes,
+            );
+        }
+    }
+    let partition_ok = service.check_partition();
+    let global = service.global_traffic();
+    println!(
+        "  global traffic: {} B / {} msgs — tenant partition {}",
+        global.total_bytes(),
+        global.total_messages(),
+        if partition_ok { "EXACT" } else { "VIOLATED" },
+    );
+
+    let report = service.shutdown();
+    let lost = report
+        .submitted
+        .checked_sub(report.completed + report.failed + report.rejected);
+    println!(
+        "shutdown: submitted={} completed={} failed={} rejected={} stored={} partition_ok={}",
+        report.submitted,
+        report.completed,
+        report.failed,
+        report.rejected,
+        report.stored_cores,
+        report.partition_ok,
+    );
+
+    let mut bad = false;
+    if !failures.is_empty() {
+        bad = true;
+        eprintln!("\n{} FAILED jobs:", failures.len());
+        for f in failures.iter().take(10) {
+            eprintln!("  {f}");
+        }
+    }
+    if accepted as u64 != report.submitted {
+        bad = true;
+        eprintln!(
+            "accounting mismatch: clients accepted {accepted}, service saw {}",
+            report.submitted
+        );
+    }
+    if lost != Some(0) {
+        bad = true;
+        eprintln!(
+            "lost jobs: submitted={} vs terminal={}",
+            report.submitted,
+            report.completed + report.failed + report.rejected
+        );
+    }
+    if !partition_ok || !report.partition_ok {
+        bad = true;
+        eprintln!("tenant traffic does not partition the global ledger");
+    }
+    if bad {
+        std::process::exit(1);
+    }
+    println!("\nloadgen: PASS (zero lost jobs, partition invariant exact)");
+}

@@ -1,0 +1,230 @@
+//! Job descriptions, states, and outcomes.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Opaque job handle returned by [`crate::Service::submit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// A compression job: generate the tenant's tensor deterministically
+/// from a spec (the offline stand-in for a network ingest), run
+/// RA-HOSI-DT on the daemon's universe, and store the result under
+/// `(tenant, name)` in the [`crate::CoreStore`].
+#[derive(Clone, Debug)]
+pub struct CompressSpec {
+    /// Store key within the tenant's namespace.
+    pub name: String,
+    /// Global tensor dimensions (d = dims.len(), 2 ≤ d).
+    pub dims: Vec<usize>,
+    /// Construction ranks of the synthetic signal part.
+    pub construction_ranks: Vec<usize>,
+    /// Relative noise level of the ingest.
+    pub noise: f64,
+    /// Generation seed (each rank rebuilds its block bit-identically).
+    pub seed: u64,
+    /// Relative-error threshold ε for the rank-adaptive solve.
+    pub eps: f64,
+    /// Initial ranks for RA-HOSI-DT.
+    pub initial_ranks: Vec<usize>,
+    /// Rank growth factor α.
+    pub alpha: f64,
+    /// Maximum rank-adaptation iterations.
+    pub max_iters: usize,
+}
+
+impl CompressSpec {
+    /// Bytes of the full (uncompressed) f64 ingest, saturating.
+    pub fn ingest_bytes(&self) -> u64 {
+        self.dims
+            .iter()
+            .try_fold(8u64, |acc, &n| acc.checked_mul(n as u64))
+            .unwrap_or(u64::MAX)
+    }
+}
+
+/// A partial-decompression job against a stored core.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// Name of the stored core in the tenant's namespace.
+    pub name: String,
+    /// Per-mode start of the hyperslab.
+    pub offsets: Vec<usize>,
+    /// Per-mode extent of the hyperslab (all ≥ 1).
+    pub lens: Vec<usize>,
+}
+
+/// What a client asks the service to do.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Compress and store.
+    Compress(CompressSpec),
+    /// Partially decompress a stored core.
+    Query(QuerySpec),
+    /// Report the tenant's accounting and the service's job counters.
+    Status,
+}
+
+impl Request {
+    /// Stable label for metrics and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Compress(_) => "compress",
+            Request::Query(_) => "query",
+            Request::Status => "status",
+        }
+    }
+}
+
+/// What the fault-tolerance stack did to a compress job.
+#[derive(Clone, Debug, Default)]
+pub struct RecoverySummary {
+    /// Recovery rounds taken (0 = fault-free).
+    pub recoveries: usize,
+    /// Ranks restored from buddy replicas.
+    pub restored_ranks: Vec<usize>,
+    /// Stragglers proactively demoted.
+    pub demoted_ranks: Vec<usize>,
+    /// Grid dimensions the run finished on.
+    pub final_grid: Vec<usize>,
+    /// Whether the job had to fall back to its checkpoint and resume.
+    pub resumed_from_checkpoint: bool,
+}
+
+/// Terminal result of a job.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// Compress finished; the core is in the store.
+    Compressed {
+        /// Final Tucker ranks.
+        ranks: Vec<usize>,
+        /// Relative error achieved.
+        rel_error: f64,
+        /// Stored entries (core + factors).
+        storage_entries: usize,
+        /// What the resilience stack did, if anything.
+        recovery: RecoverySummary,
+        /// Max per-rank ledger high-water mark during the job, bytes.
+        peak_bytes: u64,
+    },
+    /// Query finished.
+    Queried {
+        /// Entries in the extracted hyperslab.
+        entries: usize,
+        /// Sum of the extracted entries (a cheap content witness the
+        /// client can check against its own reconstruction).
+        checksum: f64,
+    },
+    /// Status snapshot (pre-rendered, tenant-scoped).
+    Status {
+        /// Human-readable accounting report.
+        report: String,
+    },
+    /// Refused by admission control before running.
+    Rejected {
+        /// Margin-adjusted bytes the cheapest execution mode needs.
+        required: u64,
+        /// The per-rank budget it was checked against.
+        budget: u64,
+    },
+    /// The job failed (after any recovery attempts).
+    Failed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl JobOutcome {
+    /// Whether the outcome counts as a success for availability math.
+    pub fn is_success(&self) -> bool {
+        matches!(
+            self,
+            JobOutcome::Compressed { .. } | JobOutcome::Queried { .. } | JobOutcome::Status { .. }
+        )
+    }
+}
+
+/// Lifecycle state of a job.
+#[derive(Clone, Debug)]
+pub enum JobState {
+    /// Accepted, waiting in the fairness queue.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; the outcome and queue-to-done latency are final.
+    Done(JobOutcome, Duration),
+}
+
+impl JobState {
+    /// Stable label for status lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(o, _) if o.is_success() => "done",
+            JobState::Done(JobOutcome::Rejected { .. }, _) => "rejected",
+            JobState::Done(_, _) => "failed",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_bytes_saturates() {
+        let mut spec = CompressSpec {
+            name: "x".into(),
+            dims: vec![usize::MAX, usize::MAX],
+            construction_ranks: vec![1, 1],
+            noise: 0.0,
+            seed: 0,
+            eps: 0.1,
+            initial_ranks: vec![1, 1],
+            alpha: 1.5,
+            max_iters: 2,
+        };
+        assert_eq!(spec.ingest_bytes(), u64::MAX);
+        spec.dims = vec![4, 2];
+        assert_eq!(spec.ingest_bytes(), 64);
+    }
+
+    #[test]
+    fn state_labels_partition_outcomes() {
+        let d = Duration::from_millis(1);
+        assert_eq!(JobState::Queued.label(), "queued");
+        assert_eq!(
+            JobState::Done(
+                JobOutcome::Queried {
+                    entries: 1,
+                    checksum: 0.0
+                },
+                d
+            )
+            .label(),
+            "done"
+        );
+        assert_eq!(
+            JobState::Done(
+                JobOutcome::Rejected {
+                    required: 2,
+                    budget: 1
+                },
+                d
+            )
+            .label(),
+            "rejected"
+        );
+        assert_eq!(
+            JobState::Done(JobOutcome::Failed { reason: "x".into() }, d).label(),
+            "failed"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Multi-tenant tensor-compression service over the fabric.
+//!
+//! The batch layers below (`ratucker`'s RA-HOSI-DT, the resilient
+//! solver, `ratucker-mem` budgets, `ratucker-perfmodel` admission,
+//! `ratucker-obs` accounting) become *uptime* features here: a
+//! long-running daemon owns a warm [`ratucker_mpi::Universe`] and
+//! processes concurrent jobs from many tenants.
+//!
+//! Three job kinds:
+//! - **compress** — deterministic tensor ingest → rank-adaptive
+//!   HOSI-DT on the universe → factors/core stored in the indexed
+//!   [`CoreStore`];
+//! - **query** — partial decompression of an arbitrary hyperslab from
+//!   a stored core, bit-identical to slicing the full reconstruction
+//!   and never touching the fabric;
+//! - **status** — per-tenant job and traffic/memory accounting.
+//!
+//! Properties the tests pin down:
+//! - **fairness** — FIFO per tenant, round-robin across tenants, with
+//!   per-tenant depth caps ([`FairQueue`]);
+//! - **admission** — compress jobs are checked against the daemon's
+//!   per-rank memory budget via `perfmodel::memory::admit` before any
+//!   allocation, and may start on a degradation rung;
+//! - **isolation** — a mid-job rank crash demotes the *job* (online
+//!   recovery, or disk fallback when checkpointing is on), never the
+//!   daemon; queries on stored cores keep succeeding throughout;
+//! - **accounting** — per-tenant traffic charges partition the global
+//!   fabric counters exactly ([`ratucker_obs::TenantLedger`]).
+//!
+//! The `loadgen` bin hammers an in-process service with thousands of
+//! mixed requests and reports throughput and latency percentiles; the
+//! `served` bin (in `ratucker-cli`) exposes the same service over a
+//! newline-delimited stdio protocol ([`protocol`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod protocol;
+pub mod queue;
+pub mod service;
+pub mod store;
+
+pub use job::{CompressSpec, JobId, JobOutcome, JobState, QuerySpec, RecoverySummary, Request};
+pub use protocol::{parse_line, Command};
+pub use queue::{FairQueue, QueueFull};
+pub use service::{ServeConfig, Service, ShutdownReport, SubmitError};
+pub use store::{CoreStore, QueryError, StoredCore};

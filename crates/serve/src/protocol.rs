@@ -1,0 +1,201 @@
+//! Line protocol for the `served` daemon.
+//!
+//! The daemon speaks newline-delimited commands on stdin/stdout — the
+//! sandbox-friendly stand-in for a network front end (same shape as
+//! piping to `nc`). One request per line:
+//!
+//! ```text
+//! compress <tenant> <name> dims=12x10x8 ranks=3x3x2 [noise=0.01]
+//!          [seed=1] [eps=0.1] [init=2x2x2] [alpha=2.0] [iters=3]
+//! query <tenant> <name> off=0,0,0 len=4,4,4
+//! status <tenant>
+//! shutdown
+//! ```
+//!
+//! Responses are `ok <detail>` / `err <reason>`, one line per request,
+//! in request order (the daemon front end waits each job out so the
+//! protocol stays a simple lockstep pipe; concurrency lives behind the
+//! queue, driven by `loadgen` in-process).
+
+use crate::job::{CompressSpec, QuerySpec, Request};
+
+/// A parsed protocol line.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// Submit a job on behalf of a tenant.
+    Submit {
+        /// The tenant name.
+        tenant: String,
+        /// The job.
+        request: Request,
+    },
+    /// Drain and exit.
+    Shutdown,
+}
+
+fn parse_dims(s: &str, sep: char) -> Result<Vec<usize>, String> {
+    let v: Result<Vec<usize>, _> = s.split(sep).map(|t| t.trim().parse::<usize>()).collect();
+    match v {
+        Ok(v) if !v.is_empty() => Ok(v),
+        _ => Err(format!("malformed extent list {s:?}")),
+    }
+}
+
+/// Parses one protocol line. Empty lines and `#` comments yield
+/// `Ok(None)`.
+pub fn parse_line(line: &str) -> Result<Option<Command>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut words = line.split_whitespace();
+    let verb = words.next().expect("non-empty line has a first word");
+    let rest: Vec<&str> = words.collect();
+    let kv = |key: &str| -> Option<&str> {
+        rest.iter()
+            .find_map(|w| w.strip_prefix(key).and_then(|s| s.strip_prefix('=')))
+    };
+    match verb {
+        "shutdown" => {
+            if rest.is_empty() {
+                Ok(Some(Command::Shutdown))
+            } else {
+                Err("shutdown takes no arguments".into())
+            }
+        }
+        "status" => {
+            let [tenant] = rest.as_slice() else {
+                return Err("usage: status <tenant>".into());
+            };
+            Ok(Some(Command::Submit {
+                tenant: tenant.to_string(),
+                request: Request::Status,
+            }))
+        }
+        "query" => {
+            let (Some(tenant), Some(name)) = (rest.first(), rest.get(1)) else {
+                return Err("usage: query <tenant> <name> off=… len=…".into());
+            };
+            let off = kv("off").ok_or("query needs off=…")?;
+            let len = kv("len").ok_or("query needs len=…")?;
+            Ok(Some(Command::Submit {
+                tenant: tenant.to_string(),
+                request: Request::Query(QuerySpec {
+                    name: name.to_string(),
+                    offsets: parse_dims(off, ',')?,
+                    lens: parse_dims(len, ',')?,
+                }),
+            }))
+        }
+        "compress" => {
+            let (Some(tenant), Some(name)) = (rest.first(), rest.get(1)) else {
+                return Err("usage: compress <tenant> <name> dims=… ranks=…".into());
+            };
+            let dims = parse_dims(kv("dims").ok_or("compress needs dims=…")?, 'x')?;
+            let ranks = parse_dims(kv("ranks").ok_or("compress needs ranks=…")?, 'x')?;
+            let init = match kv("init") {
+                Some(s) => parse_dims(s, 'x')?,
+                None => vec![2; dims.len()],
+            };
+            let parse_f64 = |key: &str, default: f64| -> Result<f64, String> {
+                kv(key).map_or(Ok(default), |s| {
+                    s.parse().map_err(|_| format!("malformed {key}={s:?}"))
+                })
+            };
+            let parse_u64 = |key: &str, default: u64| -> Result<u64, String> {
+                kv(key).map_or(Ok(default), |s| {
+                    s.parse().map_err(|_| format!("malformed {key}={s:?}"))
+                })
+            };
+            Ok(Some(Command::Submit {
+                tenant: tenant.to_string(),
+                request: Request::Compress(CompressSpec {
+                    name: name.to_string(),
+                    dims,
+                    construction_ranks: ranks,
+                    noise: parse_f64("noise", 0.01)?,
+                    seed: parse_u64("seed", 1)?,
+                    eps: parse_f64("eps", 0.1)?,
+                    initial_ranks: init,
+                    alpha: parse_f64("alpha", 2.0)?,
+                    max_iters: parse_u64("iters", 3)? as usize,
+                }),
+            }))
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_job_kinds() {
+        let c = parse_line("compress acme field dims=12x10x8 ranks=3x3x2 eps=0.15 seed=9")
+            .unwrap()
+            .unwrap();
+        let Command::Submit {
+            tenant,
+            request: Request::Compress(spec),
+        } = c
+        else {
+            panic!("not a compress");
+        };
+        assert_eq!(tenant, "acme");
+        assert_eq!(spec.dims, vec![12, 10, 8]);
+        assert_eq!(spec.construction_ranks, vec![3, 3, 2]);
+        assert_eq!(spec.initial_ranks, vec![2, 2, 2], "default init");
+        assert!((spec.eps - 0.15).abs() < 1e-12);
+        assert_eq!(spec.seed, 9);
+
+        let q = parse_line("query acme field off=0,2,1 len=4,4,2")
+            .unwrap()
+            .unwrap();
+        let Command::Submit {
+            request: Request::Query(spec),
+            ..
+        } = q
+        else {
+            panic!("not a query");
+        };
+        assert_eq!(spec.offsets, vec![0, 2, 1]);
+        assert_eq!(spec.lens, vec![4, 4, 2]);
+
+        assert!(matches!(
+            parse_line("status acme").unwrap().unwrap(),
+            Command::Submit {
+                request: Request::Status,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_line("shutdown").unwrap().unwrap(),
+            Command::Shutdown
+        ));
+    }
+
+    #[test]
+    fn blank_and_comment_lines_are_skipped() {
+        assert!(parse_line("").unwrap().is_none());
+        assert!(parse_line("   ").unwrap().is_none());
+        assert!(parse_line("# hello").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_lines_are_refused_with_reasons() {
+        assert!(parse_line("launch x").is_err());
+        assert!(
+            parse_line("compress acme field ranks=1x1").is_err(),
+            "missing dims"
+        );
+        assert!(parse_line("compress acme field dims=axb ranks=1x1").is_err());
+        assert!(
+            parse_line("query acme field off=0,0").is_err(),
+            "missing len"
+        );
+        assert!(parse_line("query acme field off=0,z len=1,1").is_err());
+        assert!(parse_line("status").is_err());
+        assert!(parse_line("shutdown now").is_err());
+    }
+}

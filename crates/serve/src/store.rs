@@ -1,0 +1,248 @@
+//! The indexed core store: compressed tensors at rest, hyperslab
+//! extraction on demand.
+//!
+//! Generalizes `examples/partial_decompression.rs` into a service
+//! component: cores live under `(tenant, name)` keys, tenants are
+//! namespaces (a query can only see its own tenant's cores), and
+//! extraction goes through [`ratucker::TuckerTensor::extract_hyperslab`]
+//! so a query answers with the *same bits* a client would get by
+//! reconstructing everything and slicing — at partial-decompression
+//! cost.
+
+use ratucker::TuckerTensor;
+use ratucker_tensor::dense::DenseTensor;
+use std::collections::BTreeMap;
+
+/// A compressed tensor at rest, with its provenance.
+#[derive(Clone, Debug)]
+pub struct StoredCore {
+    /// The decomposition.
+    pub tucker: TuckerTensor<f64>,
+    /// Relative error the compressing job achieved.
+    pub rel_error: f64,
+}
+
+/// Why a query failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryError {
+    /// No core stored under `(tenant, name)`.
+    NotFound {
+        /// The missing name.
+        name: String,
+    },
+    /// Offsets/lens have the wrong number of modes.
+    WrongOrder {
+        /// Modes of the stored core.
+        expected: usize,
+        /// Modes in the request.
+        got: usize,
+    },
+    /// A zero-length extent (mode index attached).
+    EmptyExtent(usize),
+    /// `offsets[mode] + lens[mode]` exceeds the stored dimension.
+    OutOfBounds {
+        /// Violating mode.
+        mode: usize,
+        /// Requested end (offset + len).
+        end: usize,
+        /// Stored dimension of that mode.
+        dim: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::NotFound { name } => write!(f, "no stored core named {name:?}"),
+            QueryError::WrongOrder { expected, got } => {
+                write!(f, "core has {expected} modes but the request names {got}")
+            }
+            QueryError::EmptyExtent(mode) => write!(f, "zero-length extent in mode {mode}"),
+            QueryError::OutOfBounds { mode, end, dim } => {
+                write!(
+                    f,
+                    "mode {mode}: slab ends at {end} but the dimension is {dim}"
+                )
+            }
+        }
+    }
+}
+
+/// In-memory indexed store of compressed tensors, keyed by
+/// `(tenant, name)`. Deterministic iteration order for stable reports.
+#[derive(Debug, Default)]
+pub struct CoreStore {
+    cores: BTreeMap<(String, String), StoredCore>,
+}
+
+impl CoreStore {
+    /// An empty store.
+    pub fn new() -> CoreStore {
+        CoreStore::default()
+    }
+
+    /// Inserts (or replaces) a core under the tenant's namespace.
+    pub fn insert(&mut self, tenant: &str, name: &str, core: StoredCore) {
+        self.cores
+            .insert((tenant.to_string(), name.to_string()), core);
+    }
+
+    /// Looks up a core in the tenant's namespace.
+    pub fn get(&self, tenant: &str, name: &str) -> Option<&StoredCore> {
+        self.cores.get(&(tenant.to_string(), name.to_string()))
+    }
+
+    /// Number of stored cores across tenants.
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// Names stored under one tenant.
+    pub fn names(&self, tenant: &str) -> Vec<&str> {
+        self.cores
+            .keys()
+            .filter(|(t, _)| t == tenant)
+            .map(|(_, n)| n.as_str())
+            .collect()
+    }
+
+    /// Total stored entries (cores + factors) across tenants — the
+    /// store's resident footprint in elements.
+    pub fn storage_entries(&self) -> usize {
+        self.cores
+            .values()
+            .map(|c| c.tucker.storage_entries())
+            .sum()
+    }
+
+    /// Extracts the hyperslab `offsets[k]..offsets[k]+lens[k]` of the
+    /// named core's approximated tensor, bit-identically to slicing the
+    /// full reconstruction, after validating bounds.
+    pub fn extract(
+        &self,
+        tenant: &str,
+        name: &str,
+        offsets: &[usize],
+        lens: &[usize],
+    ) -> Result<DenseTensor<f64>, QueryError> {
+        let stored = self.get(tenant, name).ok_or_else(|| QueryError::NotFound {
+            name: name.to_string(),
+        })?;
+        let dims = stored.tucker.outer_dims();
+        if offsets.len() != dims.len() || lens.len() != dims.len() {
+            return Err(QueryError::WrongOrder {
+                expected: dims.len(),
+                got: offsets.len().max(lens.len()),
+            });
+        }
+        for (mode, ((&off, &len), &dim)) in offsets.iter().zip(lens).zip(&dims).enumerate() {
+            if len == 0 {
+                return Err(QueryError::EmptyExtent(mode));
+            }
+            let end = off.checked_add(len).ok_or(QueryError::OutOfBounds {
+                mode,
+                end: usize::MAX,
+                dim,
+            })?;
+            if end > dim {
+                return Err(QueryError::OutOfBounds { mode, end, dim });
+            }
+        }
+        Ok(stored.tucker.extract_hyperslab(offsets, lens))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratucker::SyntheticSpec;
+    use ratucker::{ra_hooi, RaConfig};
+
+    fn store_one(tenant: &str, name: &str) -> (CoreStore, DenseTensor<f64>) {
+        let x = SyntheticSpec::new(&[8, 7, 6], &[3, 2, 2], 0.01, 77).build::<f64>();
+        let cfg = RaConfig::ra_hosi_dt(0.1, &[2, 2, 2])
+            .with_seed(5)
+            .with_max_iters(3);
+        let res = ra_hooi(&x, &cfg);
+        let mut store = CoreStore::new();
+        let full = res.tucker.reconstruct();
+        store.insert(
+            tenant,
+            name,
+            StoredCore {
+                tucker: res.tucker,
+                rel_error: res.rel_error,
+            },
+        );
+        (store, full)
+    }
+
+    #[test]
+    fn extract_is_bit_identical_to_slicing_the_reconstruction() {
+        let (store, full) = store_one("acme", "hcci");
+        let slab = store
+            .extract("acme", "hcci", &[2, 1, 3], &[4, 5, 2])
+            .unwrap();
+        assert_eq!(slab.shape().dims(), &[4, 5, 2]);
+        for idx in slab.shape().indices() {
+            let gidx = [idx[0] + 2, idx[1] + 1, idx[2] + 3];
+            let a = slab.get(&idx);
+            let b = full.get(&gidx);
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "{idx:?}: {a:e} != {b:e} (bitwise)"
+            );
+        }
+    }
+
+    #[test]
+    fn tenants_are_namespaces() {
+        let (store, _) = store_one("acme", "hcci");
+        assert!(store.get("other", "hcci").is_none());
+        assert_eq!(
+            store.extract("other", "hcci", &[0, 0, 0], &[1, 1, 1]),
+            Err(QueryError::NotFound {
+                name: "hcci".into()
+            })
+        );
+        assert_eq!(store.names("acme"), vec!["hcci"]);
+        assert!(store.storage_entries() > 0);
+    }
+
+    #[test]
+    fn bounds_are_validated() {
+        let (store, _) = store_one("acme", "hcci");
+        assert_eq!(
+            store.extract("acme", "hcci", &[0, 0], &[1, 1]),
+            Err(QueryError::WrongOrder {
+                expected: 3,
+                got: 2
+            })
+        );
+        assert_eq!(
+            store.extract("acme", "hcci", &[0, 0, 0], &[1, 0, 1]),
+            Err(QueryError::EmptyExtent(1))
+        );
+        assert_eq!(
+            store.extract("acme", "hcci", &[5, 0, 0], &[4, 1, 1]),
+            Err(QueryError::OutOfBounds {
+                mode: 0,
+                end: 9,
+                dim: 8
+            })
+        );
+        assert_eq!(
+            store.extract("acme", "hcci", &[usize::MAX, 0, 0], &[2, 1, 1]),
+            Err(QueryError::OutOfBounds {
+                mode: 0,
+                end: usize::MAX,
+                dim: 8
+            })
+        );
+    }
+}

@@ -185,6 +185,28 @@ impl<T: Scalar> ResilientOutcome<T> {
             ResilientOutcome::FallbackToCheckpoint { timings, .. } => timings,
         }
     }
+
+    /// A stable one-word label for the outcome variant, for job-scoped
+    /// status reporting (the serve layer surfaces this per job without
+    /// matching on the generic enum itself).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            ResilientOutcome::Completed { .. } => "completed",
+            ResilientOutcome::Spare { .. } => "spare",
+            ResilientOutcome::FallbackToCheckpoint { .. } => "fallback",
+        }
+    }
+
+    /// The recovery report, when the stack produced one. `Completed` and
+    /// `Spare` ranks carry a report; a `FallbackToCheckpoint` verdict is
+    /// reached *before* a report exists, so it returns `None`.
+    pub fn report(&self) -> Option<&RecoveryReport> {
+        match self {
+            ResilientOutcome::Completed { report, .. } => Some(report),
+            ResilientOutcome::Spare { report, .. } => Some(report),
+            ResilientOutcome::FallbackToCheckpoint { .. } => None,
+        }
+    }
 }
 
 /// What one recovery round decided.

@@ -101,6 +101,31 @@ impl<T: Scalar> TuckerTensor<T> {
         cur
     }
 
+    /// Decompresses the hyper-rectangular region
+    /// `offsets[k]..offsets[k]+lens[k]` **bit-identically** to slicing
+    /// [`TuckerTensor::reconstruct`]'s output at the same coordinates.
+    ///
+    /// Unlike [`TuckerTensor::reconstruct_region`] (which reorders the
+    /// TTMs by restrictiveness — same math, different floating-point
+    /// summation nesting, so results agree only to roundoff), this
+    /// applies the TTMs in mode order with row-sliced factors: every
+    /// retained output element is computed by exactly the arithmetic
+    /// the full reconstruction performs, so the extraction is a bitwise
+    /// sub-array of it. The serve layer's `CoreStore` uses this so a
+    /// query against a stored core answers with the *same bits* a
+    /// client would get by decompressing everything and slicing —
+    /// still at `O(Π lens · Σ r)` cost, never `O(Π n · Σ r)`.
+    pub fn extract_hyperslab(&self, offsets: &[usize], lens: &[usize]) -> DenseTensor<T> {
+        assert_eq!(offsets.len(), self.order());
+        assert_eq!(lens.len(), self.order());
+        let mut cur = self.core.clone();
+        for (k, u) in self.factors.iter().enumerate() {
+            let rows = u.row_slice(offsets[k], lens[k]);
+            cur = ttm(&cur, k, &rows, Transpose::No);
+        }
+        cur
+    }
+
     /// Decompresses a single mode-`mode` hyper-slice (e.g. one time step
     /// or one variable of a simulation dataset).
     pub fn reconstruct_slice(&self, mode: usize, index: usize) -> DenseTensor<T> {
@@ -243,6 +268,27 @@ mod tests {
                 gidx[mode] = idx_in_mode;
                 assert!((slice.get(&idx) - full.get(&gidx)).abs() < 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn hyperslab_extraction_is_bitwise_a_subarray_of_reconstruction() {
+        // Unlike reconstruct_region (which may reorder TTMs), the
+        // serve-layer contract for extract_hyperslab is exact bit
+        // identity with slicing the full reconstruction.
+        let t = random_tucker(&[7, 6, 5, 4], &[3, 2, 2, 2], 9);
+        let full = t.reconstruct();
+        let offsets = [2usize, 1, 0, 3];
+        let lens = [3usize, 4, 5, 1];
+        let slab = t.extract_hyperslab(&offsets, &lens);
+        assert_eq!(slab.shape().dims(), &lens);
+        for idx in slab.shape().indices() {
+            let gidx: Vec<usize> = idx.iter().zip(&offsets).map(|(&i, &o)| i + o).collect();
+            assert_eq!(
+                slab.get(&idx).to_bits(),
+                full.get(&gidx).to_bits(),
+                "{idx:?} not bit-identical"
+            );
         }
     }
 

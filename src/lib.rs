@@ -17,6 +17,7 @@
 //! - [`datasets`] — scientific-simulation stand-in generators.
 //! - [`perfmodel`] — analytic cost model and scaling simulator.
 //! - [`obs`] — span tracing, traffic attribution, perf-model validation.
+//! - [`serve`] — the multi-tenant compression service over the fabric.
 
 pub use ratucker as tucker;
 pub use ratucker_datasets as datasets;
@@ -26,6 +27,7 @@ pub use ratucker_mem as mem;
 pub use ratucker_mpi as mpi;
 pub use ratucker_obs as obs;
 pub use ratucker_perfmodel as perfmodel;
+pub use ratucker_serve as serve;
 pub use ratucker_tensor as tensor;
 
 /// One-stop imports for examples and quick experiments.

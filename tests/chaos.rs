@@ -54,6 +54,14 @@
 //!     rank dead, reason naming the memory budget), and the disk
 //!     resume on a healthy universe matches the fault-free run within
 //!     1e-10.
+//!
+//! Service scenarios (ISSUE "multi-tenant service" tentpole):
+//! 16. kill one rank mid-compress *through the service* under load:
+//!     the victim job still completes (online recovery, or checkpoint
+//!     fallback + resume), concurrent query jobs on other stored cores
+//!     keep succeeding throughout, the one-shot plan does not leak
+//!     into the next job on the warm universe, and the per-tenant
+//!     traffic charges still partition the global ledger exactly.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -64,6 +72,7 @@ use ra_hooi::mpi::{
 };
 use ra_hooi::obs::StragglerPolicy;
 use ra_hooi::prelude::*;
+use ra_hooi::serve::{CompressSpec, JobOutcome, QuerySpec, Request, ServeConfig, Service};
 use ra_hooi::tucker::dist::{dist_hooi, dist_ra_hooi, dist_ra_hooi_checkpointed, dist_sthosvd};
 use ra_hooi::tucker::{dist_ra_hooi_resilient, ResilienceConfig, ResilientOutcome};
 
@@ -1080,5 +1089,124 @@ fn budget_below_checkpoint_floor_falls_back_cleanly() {
     assert_eq!(resumed.1.ranks(), reference.1.ranks());
     assert!(resumed.1.core.max_abs_diff(&reference.1.core) <= 1e-10);
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------------------------------ 16
+
+#[test]
+fn service_survives_rank_kill_mid_compress_while_queries_keep_flowing() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let dir = ckpt_dir("service_kill");
+    let service = Service::start(ServeConfig {
+        p: 4,
+        query_workers: 2,
+        checkpoint_dir: Some(dir.clone()),
+        recv_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    });
+    let compress = |name: &str, seed: u64| {
+        Request::Compress(CompressSpec {
+            name: name.into(),
+            dims: vec![12, 10, 8],
+            construction_ranks: vec![3, 3, 2],
+            noise: 0.01,
+            seed,
+            eps: 0.1,
+            initial_ranks: vec![2, 2, 2],
+            alpha: 2.0,
+            max_iters: 3,
+        })
+    };
+
+    // Tenant "steady" stores a core fault-free; its queries are the
+    // availability probe during the crash.
+    let id = service.submit("steady", compress("baseline", 916)).unwrap();
+    let (outcome, _) = service.wait(id);
+    assert!(
+        outcome.is_success(),
+        "baseline compress failed: {outcome:?}"
+    );
+
+    // Arm a one-shot mid-sweep kill, then compress for tenant "victim"
+    // while "steady" hammers queries from another thread.
+    service.inject_fault_plan(FaultPlan::quiet(53).with_crash(1, 60));
+    let compress_done = AtomicBool::new(false);
+    let (victim_outcome, probe_stats) = std::thread::scope(|scope| {
+        let service = &service;
+        let done = &compress_done;
+        let prober = scope.spawn(move || {
+            let (mut issued, mut during_crash) = (0usize, 0usize);
+            while !done.load(Ordering::SeqCst) {
+                let q = service
+                    .submit(
+                        "steady",
+                        Request::Query(QuerySpec {
+                            name: "baseline".into(),
+                            offsets: vec![2, 1, 0],
+                            lens: vec![4, 4, 3],
+                        }),
+                    )
+                    .expect("query submission must stay open during recovery");
+                let (outcome, _) = service.wait(q);
+                let JobOutcome::Queried { entries, .. } = outcome else {
+                    panic!("query failed during mid-compress crash: {outcome:?}");
+                };
+                assert_eq!(entries, 4 * 4 * 3);
+                issued += 1;
+                if !done.load(Ordering::SeqCst) {
+                    during_crash += 1;
+                }
+            }
+            (issued, during_crash)
+        });
+        let id = service.submit("victim", compress("wounded", 917)).unwrap();
+        let outcome = service.wait(id).0;
+        compress_done.store(true, Ordering::SeqCst);
+        (outcome, prober.join().expect("prober must not panic"))
+    });
+
+    // The victim job completed despite the kill — online or via disk.
+    let JobOutcome::Compressed {
+        rel_error,
+        recovery,
+        ..
+    } = &victim_outcome
+    else {
+        panic!("victim job must complete, got {victim_outcome:?}");
+    };
+    assert!(*rel_error <= 0.1, "victim job missed eps: {rel_error}");
+    assert!(
+        recovery.recoveries >= 1 || recovery.resumed_from_checkpoint,
+        "the kill must have been visible to the recovery stack: {recovery:?}"
+    );
+    assert!(
+        probe_stats.0 >= 1,
+        "availability probe never ran ({probe_stats:?})"
+    );
+
+    // The one-shot plan must not leak: a warm universe re-arms plan op
+    // counters every run, so a fresh compress would crash again if the
+    // service failed to clear it.
+    let id = service.submit("steady", compress("after", 918)).unwrap();
+    let (outcome, _) = service.wait(id);
+    let JobOutcome::Compressed { recovery, .. } = &outcome else {
+        panic!("post-crash compress failed: {outcome:?}");
+    };
+    assert_eq!(
+        (recovery.recoveries, recovery.resumed_from_checkpoint),
+        (0, false),
+        "the injected plan leaked into the next job: {recovery:?}"
+    );
+
+    assert!(
+        service.check_partition(),
+        "tenant charges must partition global traffic after recovery"
+    );
+    let report = service.shutdown();
+    assert_eq!(report.failed, 0, "no job may be lost to the injected kill");
+    assert_eq!(report.stored_cores, 3);
+    assert!(report.partition_ok);
     let _ = std::fs::remove_dir_all(&dir);
 }

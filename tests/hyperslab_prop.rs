@@ -1,0 +1,96 @@
+//! Property test for the serve layer's hyperslab queries: partial
+//! decompression through the [`CoreStore`] must be **bit-identical** to
+//! reconstructing the full tensor and slicing it at the same
+//! coordinates, for random problems and random slabs, d ∈ {3, 4}.
+//!
+//! This is the contract that lets a service client verify a query
+//! response against its own full decompression without any tolerance
+//! negotiation: `extract_hyperslab` applies the TTMs in mode order with
+//! row-sliced factors, so every retained element is produced by exactly
+//! the arithmetic the full reconstruction performs.
+
+use proptest::prelude::*;
+use ra_hooi::prelude::*;
+use ra_hooi::serve::{CoreStore, StoredCore};
+
+/// Strategy: (dims, true ranks, noise, seed, slab_seed) for a small
+/// synthetic problem of order 3 or 4.
+fn arb_problem() -> impl Strategy<Value = (Vec<usize>, Vec<usize>, f64, u64, u64)> {
+    (3usize..=4)
+        .prop_flat_map(|d| {
+            (
+                prop::collection::vec(5usize..=8, d..=d),
+                prop::collection::vec(2usize..=3, d..=d),
+            )
+        })
+        .prop_flat_map(|(dims, ranks)| {
+            (
+                Just(dims),
+                Just(ranks),
+                0.0f64..0.2,
+                0u64..10_000,
+                0u64..u64::MAX,
+            )
+        })
+}
+
+/// Deterministic slab from a seed: any offset, any length ≥ 1 that
+/// stays in bounds (splitmix64 per mode).
+fn derive_slab(dims: &[usize], slab_seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut state = slab_seed;
+    let mut next = || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    let mut offsets = Vec::with_capacity(dims.len());
+    let mut lens = Vec::with_capacity(dims.len());
+    for &n in dims {
+        let len = 1 + (next() % n as u64) as usize;
+        offsets.push((next() % (n - len + 1) as u64) as usize);
+        lens.push(len);
+    }
+    (offsets, lens)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn store_extraction_is_bitwise_a_subarray_of_full_reconstruction(
+        (dims, ranks, noise, seed, slab_seed) in arb_problem()
+    ) {
+        let x = SyntheticSpec::new(&dims, &ranks, noise, seed).build::<f64>();
+        let cfg = RaConfig::ra_hosi_dt(0.15, &vec![2; dims.len()])
+            .with_seed(seed)
+            .with_alpha(2.0)
+            .with_max_iters(2);
+        let res = ra_hooi(&x, &cfg);
+        let full = res.tucker.reconstruct();
+
+        let mut store = CoreStore::new();
+        store.insert("prop", "t", StoredCore {
+            tucker: res.tucker,
+            rel_error: res.rel_error,
+        });
+
+        let (offsets, lens) = derive_slab(&dims, slab_seed);
+        let slab = store
+            .extract("prop", "t", &offsets, &lens)
+            .expect("in-bounds slab");
+        prop_assert_eq!(slab.shape().dims(), lens.as_slice());
+        for idx in slab.shape().indices() {
+            let gidx: Vec<usize> = idx.iter().zip(&offsets).map(|(&i, &o)| i + o).collect();
+            let got = slab.get(&idx);
+            let want = full.get(&gidx);
+            prop_assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{:?}: {:e} != {:e} bitwise (dims {:?}, offsets {:?}, lens {:?})",
+                idx, got, want, &dims, &offsets, &lens
+            );
+        }
+    }
+}
