@@ -28,6 +28,20 @@ cargo test -q --offline -p ratucker-verify --test explore -- \
 echo "==> verify: conformance sweep d in {3,4} x P in {1,2,4,8} vs sequential oracles"
 cargo test -q --offline --test conformance
 
+echo "==> kernel proptests (packed GEMM/SYRK vs naive oracles, 1 vs 4 workers bit-identical)"
+cargo test -q --offline --test proptest_kernels
+
+echo "==> 2-thread conformance smoke (intra-rank workers on; results must stay bit-identical; 60 s guard)"
+PAR_T0=$SECONDS
+RATUCKER_THREADS=2 cargo test -q --offline --test conformance -- \
+  sthosvd_conforms_to_the_sequential_oracle_on_every_grid \
+  ra_hosi_dt_conforms_to_the_sequential_oracle_on_every_grid
+PAR_ELAPSED=$((SECONDS - PAR_T0))
+if [ "$PAR_ELAPSED" -ge 60 ]; then
+  echo "2-thread conformance smoke took ${PAR_ELAPSED}s (>= 60s): the worker pool is stalling" >&2
+  exit 1
+fi
+
 echo "==> chaos smoke (single-threaded: fault scenarios share wall-clock budgets)"
 cargo test -q --offline --test chaos -- --test-threads=1
 
@@ -91,6 +105,13 @@ BENCH_JSON="$PWD/target/BENCH_kernels.json" \
 BENCH_JSON="$PWD/target/BENCH_tucker.json" \
   cargo bench -q --offline -p ratucker-bench --bench tucker_algorithms ||
   echo "warning: tucker_algorithms bench did not run cleanly" >&2
+# Diff fresh reports against the committed baselines before refreshing
+# them: each run prints the per-benchmark trajectory and soft-warns on
+# >25% regressions (never fails CI — bench noise must not gate merges).
+cargo run -q --release --offline -p ratucker-bench --bin benchdiff -- \
+  BENCH_kernels.json target/BENCH_kernels.json \
+  BENCH_tucker.json target/BENCH_tucker.json ||
+  echo "warning: benchdiff did not run cleanly" >&2
 for b in kernels tucker; do
   if [ -s "target/BENCH_${b}.json" ]; then
     cp "target/BENCH_${b}.json" "BENCH_${b}.json"

@@ -99,11 +99,56 @@ fn bench_evd_vs_qrcp(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_multithread(c: &mut Criterion) {
+    // Thread-sweep series for the intra-rank worker pool: the same
+    // kernels as `gemm`/`ttm_mode`/`gram_mode` but with 2 workers.
+    // Results are bit-identical to the serial series by construction
+    // (see crates/tensor/src/par.rs); these series track wall-clock
+    // scaling, which only materializes on hosts with >1 core — on a
+    // single-core runner they sit at the serial numbers plus a small
+    // spawn overhead.
+    ratucker_tensor::par::set_num_threads(2);
+
+    let mut g = c.benchmark_group("gemm_t2");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let n = 128usize;
+    let a = factor(n, n);
+    let b = factor(n, n);
+    g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+        bench.iter(|| black_box(a.matmul(&b)));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("ttm_mode_t2");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let x = tensor_3way(64);
+    for mode in 0..3 {
+        let u = factor(64, 8);
+        g.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |bench, &m| {
+            bench.iter(|| black_box(ttm(&x, m, &u, Transpose::Yes)));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("gram_mode_t2");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let x = tensor_3way(48);
+    for mode in 0..3 {
+        g.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |bench, &m| {
+            bench.iter(|| black_box(gram(&x, m)));
+        });
+    }
+    g.finish();
+
+    ratucker_tensor::par::set_num_threads(1);
+}
+
 criterion_group!(
     benches,
     bench_gemm,
     bench_ttm_modes,
     bench_gram_modes,
+    bench_multithread,
     bench_contract,
     bench_evd_vs_qrcp
 );

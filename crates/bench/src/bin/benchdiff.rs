@@ -1,0 +1,160 @@
+//! `benchdiff` — compares fresh bench JSON against committed baselines.
+//!
+//! Reads pairs of bench report files (the line-oriented JSON the vendored
+//! criterion stub writes via `BENCH_JSON`) and prints per-benchmark
+//! deltas in ns and percent, so each PR's `BENCH_*.json` refresh carries
+//! a visible before/after trajectory. Regressions above the soft
+//! threshold produce a loud warning but never a failing exit: bench
+//! noise on shared hardware must not gate CI (ROADMAP item 1 asks for a
+//! measured trajectory, not a flaky gate).
+//!
+//! ```sh
+//! cargo run -p ratucker-bench --bin benchdiff -- \
+//!     BENCH_kernels.json target/BENCH_kernels.json
+//! ```
+//!
+//! With one argument pair per suite; `--soft-threshold <pct>` overrides
+//! the default 25% warning bar.
+
+use std::fmt::Write as _;
+
+/// A benchmark's slowdown past this percentage gets a WARN line.
+const DEFAULT_SOFT_THRESHOLD_PCT: f64 = 25.0;
+
+/// One `{"name": …, "per_iter_ns": …, "iters": …}` record.
+struct Entry {
+    name: String,
+    per_iter_ns: f64,
+}
+
+/// Extracts a string field from a single-line JSON object. The input is
+/// machine-written by our own criterion stub (one benchmark per line),
+/// so a tiny field scanner is enough — no JSON dependency.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts a numeric field from a single-line JSON object.
+fn number_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn parse_report(text: &str) -> Vec<Entry> {
+    text.lines()
+        .filter_map(|line| {
+            Some(Entry {
+                name: string_field(line, "name")?,
+                per_iter_ns: number_field(line, "per_iter_ns")?,
+            })
+        })
+        .collect()
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns.abs() >= 1e6 {
+        format!("{:+.2} ms", ns / 1e6)
+    } else if ns.abs() >= 1e3 {
+        format!("{:+.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:+.0} ns")
+    }
+}
+
+fn diff_suite(baseline_path: &str, fresh_path: &str, soft_threshold_pct: f64) -> usize {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => parse_report(&t),
+        Err(e) => {
+            println!("benchdiff: no baseline {baseline_path} ({e}); nothing to compare");
+            return 0;
+        }
+    };
+    let fresh = match std::fs::read_to_string(fresh_path) {
+        Ok(t) => parse_report(&t),
+        Err(e) => {
+            println!("benchdiff: no fresh report {fresh_path} ({e}); run the benches first");
+            return 0;
+        }
+    };
+    println!("benchdiff: {baseline_path} -> {fresh_path}");
+    let mut regressions = 0;
+    for f in &fresh {
+        let Some(b) = baseline.iter().find(|b| b.name == f.name) else {
+            println!("  {:<44} NEW      {:>12.0} ns", f.name, f.per_iter_ns);
+            continue;
+        };
+        let delta = f.per_iter_ns - b.per_iter_ns;
+        let pct = if b.per_iter_ns > 0.0 {
+            100.0 * delta / b.per_iter_ns
+        } else {
+            0.0
+        };
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "  {:<44} {:>12.0} -> {:>12.0} ns  {:>12} ({pct:+.1}%)",
+            f.name,
+            b.per_iter_ns,
+            f.per_iter_ns,
+            human_ns(delta)
+        );
+        if pct > soft_threshold_pct {
+            regressions += 1;
+            let _ = write!(line, "  WARN: regression above {soft_threshold_pct:.0}%");
+        }
+        println!("{line}");
+    }
+    for b in &baseline {
+        if !fresh.iter().any(|f| f.name == b.name) {
+            println!("  {:<44} GONE (was {:.0} ns)", b.name, b.per_iter_ns);
+        }
+    }
+    regressions
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut soft_threshold_pct = DEFAULT_SOFT_THRESHOLD_PCT;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = argv.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--soft-threshold" {
+            let v = it.next().unwrap_or_default();
+            match v.parse::<f64>() {
+                Ok(p) if p > 0.0 => soft_threshold_pct = p,
+                _ => {
+                    eprintln!("benchdiff: bad --soft-threshold {v:?}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            paths.push(arg);
+        }
+    }
+    if paths.is_empty() || !paths.len().is_multiple_of(2) {
+        eprintln!(
+            "usage: benchdiff [--soft-threshold <pct>] <baseline.json> <fresh.json> \
+             [<baseline2.json> <fresh2.json> …]"
+        );
+        std::process::exit(2);
+    }
+    let mut regressions = 0;
+    for pair in paths.chunks(2) {
+        regressions += diff_suite(&pair[0], &pair[1], soft_threshold_pct);
+    }
+    if regressions > 0 {
+        // Soft failure by design: warn loudly, exit clean.
+        println!(
+            "benchdiff: WARNING — {regressions} benchmark(s) regressed more than \
+             {soft_threshold_pct:.0}% (soft: not failing the build)"
+        );
+    } else {
+        println!("benchdiff: no regressions above {soft_threshold_pct:.0}%");
+    }
+}

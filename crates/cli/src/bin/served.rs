@@ -16,7 +16,7 @@ use std::io::{BufRead, Write};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: served [--p N] [--mem-budget SIZE] [--ingest-limit SIZE] \
+        "usage: served [--p N] [--threads N] [--mem-budget SIZE] [--ingest-limit SIZE] \
          [--queue-cap N] [--query-workers N] [--checkpoint-dir DIR]"
     );
     std::process::exit(2);
@@ -37,6 +37,15 @@ fn parse_config() -> ServeConfig {
         };
         match flag.as_str() {
             "--p" => cfg.p = value.parse().unwrap_or_else(|_| bad("--p")),
+            // Installed before Service::start spawns the warm universe's
+            // rank threads; results are bit-identical at any setting.
+            "--threads" => ratucker_tensor::par::set_num_threads(
+                value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| bad("--threads")),
+            ),
             "--mem-budget" => {
                 cfg.mem_budget =
                     Some(ratucker_mem::parse_size(value).unwrap_or_else(|| bad("--mem-budget")))

@@ -35,6 +35,7 @@
 //! | `Retry` + | max retransmissions per p2p op, with exponential backoff (also `--retry <n>`) | `0` |
 //! | `Straggler demotion` + | demote a rank whose induced wait exceeds this multiple of the median (also `--straggler-demotion <x>`) | off |
 //! | `Mem budget` + | per-rank memory budget in bytes, `K`/`M`/`G` suffixes accepted (also `--mem-budget <size>`); the run is admitted through the perf-model peak estimate, possibly at a degraded rung, or refused up front | none |
+//! | `Threads` + | intra-rank kernel worker threads (also `--threads <n>`, `RATUCKER_THREADS` env); results are bit-identical at any setting | `1` |
 //! | `Trace out` + | write a merged Chrome trace JSON here (also `--trace-out <path>`) | none |
 //! | `Seed` + | RNG seed | `0` |
 //! | `Precision` + | `single` / `double` | `single` |
@@ -224,6 +225,34 @@ pub fn mem_budget(params: &Params) -> Result<Option<u64>, ParamError> {
     }
 }
 
+/// Parses the `Threads` key (intra-rank kernel worker threads; values
+/// above `ratucker_tensor::par::MAX_THREADS` saturate there). Unlike the
+/// `RATUCKER_THREADS` env override — which warns and runs serial on
+/// garbage, matching the `MPISIM_RECV_TIMEOUT_SECS` precedent — a
+/// malformed *config file* value is a hard error.
+pub fn threads(params: &Params) -> Result<Option<usize>, ParamError> {
+    match params.get("Threads") {
+        None => Ok(None),
+        Some(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n.min(ratucker_tensor::par::MAX_THREADS))),
+            _ => Err(ParamError::Invalid {
+                key: "Threads".into(),
+                value: s.into(),
+                expected: "a positive worker count",
+            }),
+        },
+    }
+}
+
+/// Installs the configured worker-pool size before any rank thread
+/// spawns (rank threads inherit the process-global setting). `None`
+/// leaves the `RATUCKER_THREADS` env resolution in charge.
+fn install_threads(n: Option<usize>) {
+    if let Some(n) = n {
+        ratucker_tensor::par::set_num_threads(n);
+    }
+}
+
 /// Parses the `Deadline profile` key into a per-collective deadline
 /// policy (`off`, `strict`, or `lenient`).
 pub fn deadline_policy(params: &Params) -> Result<Option<DeadlinePolicy>, ParamError> {
@@ -298,6 +327,7 @@ pub fn run_sthosvd_driver<T: IoScalar>(
         )
     };
     let p: usize = grid.iter().product();
+    install_threads(threads(params)?);
     let outcome = run_collective(
         p,
         &grid,
@@ -361,6 +391,7 @@ pub fn run_hooi_driver<T: IoScalar>(
             .into());
     }
     let p: usize = grid.iter().product();
+    install_threads(threads(params)?);
     let deadline = deadline_policy(params)?;
     let retry = retry_policy(params)?;
     // Memory-budget admission (perfmodel peak projection): the run is
@@ -553,7 +584,7 @@ pub fn params_from_argv(args: &[String]) -> Result<Params, Box<dyn std::error::E
         "usage: <driver> --parameter-file <file.cfg> [--checkpoint-dir <dir>] [--resume] \
              [--buddy-replication <k>] [--abft off|detect|recover] [--trace-out <trace.json>] \
              [--deadline-profile off|strict|lenient] [--retry <n>] [--straggler-demotion <x>] \
-             [--mem-budget <size>]",
+             [--mem-budget <size>] [--threads <n>]",
     )?;
     let path = args
         .get(pos + 1)
@@ -609,6 +640,12 @@ pub fn params_from_argv(args: &[String]) -> Result<Params, Box<dyn std::error::E
             .get(pos + 1)
             .ok_or("--mem-budget requires a size argument (bytes, K/M/G suffixes accepted)")?;
         params.set("Mem budget", size);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        let n = args
+            .get(pos + 1)
+            .ok_or("--threads requires a worker-count argument")?;
+        params.set("Threads", n);
     }
     Ok(params)
 }
@@ -1051,6 +1088,44 @@ mod tests {
     }
 
     #[test]
+    fn threads_key_parses_saturates_and_rejects_garbage() {
+        let p = Params::parse("Threads = 4\n").unwrap();
+        assert_eq!(threads(&p).unwrap(), Some(4));
+        assert_eq!(threads(&Params::parse("").unwrap()).unwrap(), None);
+        let big = Params::parse("Threads = 99999999\n").unwrap();
+        assert_eq!(
+            threads(&big).unwrap(),
+            Some(ratucker_tensor::par::MAX_THREADS)
+        );
+        for bad in ["Threads = 0\n", "Threads = two\n", "Threads = -1\n"] {
+            assert!(threads(&Params::parse(bad).unwrap()).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn threads_flag_layers_over_the_parameter_file() {
+        let dir = std::env::temp_dir();
+        let cfg = dir.join(format!(
+            "ratucker_cli_threads_argv_{}.cfg",
+            std::process::id()
+        ));
+        std::fs::write(&cfg, "Global dims = 8 8\nRanks = 2 2\nThreads = 1\n").unwrap();
+        let args: Vec<String> = [
+            "driver",
+            "--parameter-file",
+            cfg.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let p = params_from_argv(&args).unwrap();
+        assert_eq!(p.get("Threads"), Some("2"));
+        std::fs::remove_file(&cfg).unwrap();
+    }
+
+    #[test]
     fn generous_mem_budget_leaves_the_run_bit_identical() {
         let base = "Global dims = 12 10 8\nConstruction Ranks = 3 3 2\n\
                     Decomposition Ranks = 2 2 2\nNoise = 0.01\nProcessor grid dims = 1 2 2\n\
@@ -1063,6 +1138,24 @@ mod tests {
         // nothing: same arithmetic, same decisions.
         assert_eq!(budgeted.rel_error, plain.rel_error);
         assert_eq!(budgeted.ranks, plain.ranks);
+    }
+
+    #[test]
+    fn multithreaded_run_is_bit_identical_to_serial() {
+        let base = "Global dims = 12 10 8\nConstruction Ranks = 3 3 2\n\
+                    Decomposition Ranks = 2 2 2\nNoise = 0.01\nProcessor grid dims = 1 2 2\n\
+                    HOOI-Adapt Threshold = 0.05\nHOOI max iters = 3\nPrecision = double\n";
+        let serial =
+            run_hooi_driver::<f64>(&Params::parse(&format!("{base}Threads = 1\n")).unwrap())
+                .unwrap();
+        let threaded =
+            run_hooi_driver::<f64>(&Params::parse(&format!("{base}Threads = 4\n")).unwrap())
+                .unwrap();
+        ratucker_tensor::par::set_num_threads(1);
+        assert_eq!(serial.rel_error.to_bits(), threaded.rel_error.to_bits());
+        assert_eq!(serial.ranks, threaded.ranks);
+        let bits = |v: &[f64]| v.iter().map(|e| e.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&serial.sweep_errors), bits(&threaded.sweep_errors));
     }
 
     #[test]

@@ -468,10 +468,15 @@ fn gram_impl<T: Scalar>(
         // and apply the symmetric rank-k update G += A Aᵀ. On rung ≥ 2
         // the unfolding is *streamed*: A is assembled and consumed in
         // contiguous ascending column batches of 1/8 of the share, so
-        // the scratch shrinks 8× — and because `syrk_nt` accumulates
-        // column-by-column in ascending order (symmetrization is an
-        // overwrite copy), the batched result is bit-identical to the
-        // monolithic one.
+        // the scratch shrinks 8× — and because every `syrk_nt` path
+        // (packed, small-fallback, multithreaded) accumulates each
+        // G[i,j] by the same strictly-ascending-k chain with an exact
+        // store/load between batches (symmetrization is an overwrite
+        // copy), the batched result is bit-identical to the monolithic
+        // one at ANY batch boundaries — the DESIGN.md §16 contract,
+        // regression-tested by
+        // `syrk_nt_k_batched_accumulation_is_bit_identical` in
+        // crates/tensor.
         let batch_cols = if mem::rung() >= 2 {
             my_cols.div_ceil(8).max(1)
         } else {

@@ -282,6 +282,31 @@ pub fn stats() -> LedgerStats {
     })
 }
 
+/// Folds a finished worker thread's ledger counters into the calling
+/// thread's ledger (harvest-on-join for the intra-rank kernel pool).
+///
+/// Cumulative `charged`/`released` add up; any bytes the worker left
+/// live transfer to the caller (normally zero — kernel workers release
+/// everything before joining); and the worker's high-water mark is
+/// stacked on the caller's *current* live level, the conservative
+/// reading of "the worker's peak existed alongside whatever the rank
+/// held at join time". With this, per-rank accounting (and the
+/// `tests/mem_band.rs` prediction band) is independent of how many pool
+/// workers the kernels used.
+pub fn absorb_worker(w: &LedgerStats) {
+    LEDGER.with(|l| {
+        let mut l = l.borrow_mut();
+        l.charged += w.charged;
+        l.released += w.released;
+        l.hwm = l.hwm.max(l.live + w.hwm);
+        l.live += w.live;
+        for p in 0..MemPhase::COUNT {
+            l.hwm_by_phase[p] = l.hwm_by_phase[p].max(l.live_by_phase[p] + w.hwm_by_phase[p]);
+            l.live_by_phase[p] += w.live_by_phase[p];
+        }
+    });
+}
+
 /// Resets the high-water marks to the current live level. Used after
 /// setup (e.g. materializing a test tensor) so the marks measure the
 /// solver's working set, not the harness's.
@@ -640,6 +665,31 @@ mod tests {
         drop(copy);
         drop(orig);
         assert_eq!(stats().live, 0);
+    }
+
+    #[test]
+    fn absorb_worker_folds_counters_and_stacks_hwm() {
+        install_rank(None, 0);
+        let held = Charge::force(100); // rank holds 100 B at join time
+        let worker = std::thread::spawn(|| {
+            let _g = with_phase(MemPhase::Ttm);
+            let c = Charge::force(40);
+            drop(c);
+            stats()
+        })
+        .join()
+        .unwrap();
+        absorb_worker(&worker);
+        let s = stats();
+        assert_eq!(s.charged, 140);
+        assert_eq!(s.released, 40);
+        assert_eq!(s.live, 100);
+        // Worker peak (40) stacked on the rank's live at join (100).
+        assert_eq!(s.hwm, 140);
+        assert_eq!(s.hwm_by_phase[MemPhase::Ttm.index()], 40);
+        drop(held);
+        assert_eq!(stats().live, 0);
+        install_rank(None, 0);
     }
 
     #[test]

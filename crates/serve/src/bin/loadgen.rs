@@ -73,6 +73,16 @@ fn parse_args() -> Result<Args, String> {
                     ratucker_mem::parse_size(v).ok_or(format!("--mem-budget: bad size {v:?}"))?,
                 )
             }
+            // Installed before Service::start spawns rank threads;
+            // results are bit-identical at any setting.
+            "--threads" => {
+                let v = value()?;
+                let n: usize = v.parse().map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be positive".into());
+                }
+                ratucker_tensor::par::set_num_threads(n);
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }

@@ -6,6 +6,24 @@
 //! thread-local so that each simulated MPI rank (one thread per rank in
 //! `ratucker-mpi`) accumulates its own local count, mirroring the per-
 //! processor cost expressions of the paper.
+//!
+//! # Accounting convention
+//!
+//! Counts are **formula-based and input-independent**: each public kernel
+//! charges its closed-form cost (`2mnk` for GEMM, `n(n+1)k` for the SYRK
+//! Gram update, the analogous sums for TTM) up front on the thread that
+//! *called* it, regardless of the data. The old scalar kernels had a
+//! zero-skip branch that silently made performed work data-dependent; the
+//! packed microkernel path performs exactly the counted multiply-adds
+//! (padded edge lanes compute on zeros and are charged — they are real
+//! issued operations). Internal helpers (`kernels::gemm_serial` and the
+//! slab loops in `ttm`/`gram`) charge nothing, so routing one product
+//! through many sub-calls never double-counts.
+//!
+//! Intra-rank worker threads ([`crate::par`]) start with a zero counter
+//! and are harvested back into the calling rank thread on join, so the
+//! per-rank totals — and every obs/trace partition invariant built on
+//! them — are independent of `RATUCKER_THREADS`.
 
 use std::cell::Cell;
 

@@ -37,6 +37,32 @@ pub fn gram_accumulate<T: Scalar>(x: &DenseTensor<T>, mode: usize, g: &mut Matri
     let left = x.shape().left(mode);
     let right = x.shape().right(mode);
     let slab = left * n_j;
+
+    let total_fl = (n_j as u64) * (n_j as u64 + 1) * (left as u64) * (right as u64);
+    let nt = crate::par::num_threads();
+    if nt > 1 && right >= 2 && n_j >= 2 && total_fl >= crate::par::PAR_MIN_FLOPS {
+        // Split G's *columns* across the pool; every worker sweeps ALL
+        // slabs in ascending order for its columns, so each Gram entry
+        // sees the same ascending (slab, k) accumulation chain as the
+        // serial per-slab loop below — bit-identical at any worker
+        // count. The mirror runs once at the end (the serial path's
+        // per-slab mirrors are overwrites of the same lower triangle,
+        // so the final bits agree). Formula flops for the whole update
+        // are charged on the calling rank thread.
+        crate::flops::add(total_fl);
+        let xdata = x.data();
+        let ranges = crate::par::partition(n_j, nt.min(n_j));
+        let parts = crate::par::split_columns(g.as_mut_slice(), n_j, &ranges);
+        crate::par::for_each_part(parts, |_, (cols, gsub)| {
+            for r in 0..right {
+                let a = &xdata[r * slab..(r + 1) * slab];
+                kernels::syrk_trapezoid(n_j, left, a, left, false, cols.clone(), gsub, n_j);
+            }
+        });
+        kernels::mirror_lower(n_j, g.as_mut_slice(), n_j);
+        return;
+    }
+
     // Each slab A_r is left × n_j; G += A_rᵀ A_r.
     for r in 0..right {
         let a = &x.data()[r * slab..(r + 1) * slab];

@@ -4,17 +4,75 @@
 //! dimensions so the tensor slab views in [`crate::ttm`] and
 //! [`crate::gram`] can be multiplied in place without copies. Every kernel
 //! *accumulates* into `C` (callers zero the output first when needed) and
-//! reports its flops to [`crate::flops`].
+//! reports its flops to [`crate::flops`] (formula-based counts — see the
+//! convention documented there).
 //!
-//! The inner loops are written as contiguous column updates
-//! (`c[i] += a[i] * s`), the form rustc auto-vectorizes reliably; we avoid
-//! `mul_add` here because without `-C target-feature=+fma` it lowers to a
+//! # Architecture (DESIGN.md §16)
+//!
+//! The GEMM variants share one BLIS-style packed path: operand panels are
+//! copied into contiguous cache-blocked buffers (`MC`×`KC` micropanels of
+//! A in MR-row strips, `KC`×`NC` micropanels of B in NR-column strips,
+//! zero-padded at the edges), and an `MR`×`NR` register-tile microkernel
+//! walks the packed panels in an autovectorization-friendly inner loop.
+//! Packing makes the inner loop layout-independent, so the transposed
+//! variants (`gemm_tn`/`gemm_nt`) and non-unit leading dimensions cost
+//! only a different pack gather, and odd `m`/`n`/`k` are handled by
+//! padded edge tiles whose out-of-range lanes are computed (on zeros) but
+//! never stored. Tiny products (`2mnk <` [`PACK_MIN_FLOPS`]) skip the
+//! packing overhead and run an unblocked loop instead. We avoid
+//! `mul_add` because without `-C target-feature=+fma` it lowers to a
 //! libm call and destroys throughput.
+//!
+//! # The canonical accumulation order (bit-identity contract)
+//!
+//! Every path — packed, unblocked, any worker count, and any split of
+//! `k` into separate accumulating calls — produces *bit-identical*
+//! results, because each output element is always the same rounding
+//! chain: `C[i,j] ← ((C[i,j] + A(i,0)·B(0,j)) + A(i,1)·B(1,j)) + …` in
+//! ascending `k`. The microkernel loads the C tile into registers,
+//! consumes `KC` blocks in ascending order, and stores back between
+//! blocks; an exact f32/f64 store/load does not re-round, so the chain
+//! equals the fully sequential one. Parallel execution splits *output
+//! columns* (or TTM slabs) across workers, never the `k` dimension, so
+//! each element's chain is computed entirely by one worker in the same
+//! order regardless of [`crate::par::num_threads`]. The SYRK kernels
+//! inherit the same guarantee for the lower triangle (the upper one is
+//! an exact mirror copy), which is what lets `ratucker-dist` stream Gram
+//! updates in `k`-batches at degradation rung ≥ 2 bit-identically.
 
-#![allow(clippy::too_many_arguments)] // BLAS-style (dims, buffers, leading dims) signatures
+// BLAS-style (dims, buffers, leading dims) signatures, and indexed
+// micro-loops kept in the shape rustc's vectorizer handles best.
+#![allow(clippy::too_many_arguments)]
+#![allow(clippy::needless_range_loop)]
 
 use crate::flops;
+use crate::par;
 use crate::scalar::Scalar;
+
+/// Microkernel register-tile rows (one-or-two SIMD vectors of f64/f32).
+const MR: usize = 8;
+/// Microkernel register-tile columns: 8 independent accumulator rows
+/// (one per column) hide the vector-add latency of the per-element
+/// dependency chains, measurably better than the classic 4-wide tile
+/// (the chain, not issue width, is the bound — see DESIGN.md §16).
+const NR: usize = 8;
+/// Rows of A packed per cache block (micropanel strip height `MC`×`KC`
+/// sized for L2 residency: 128·256·8 B = 256 KiB for f64).
+const MC: usize = 128;
+/// Depth of one packed block; also the interval between exact C
+/// store/loads in the accumulation chain.
+const KC: usize = 256;
+/// Columns of B packed per cache block (`KC`×`NC` ≈ 1 MiB for f64).
+const NC: usize = 512;
+/// Column-block width of the SYRK trapezoid sweep: small enough that the
+/// redundant above-diagonal work within a diagonal block stays a few
+/// percent, large enough to amortize packing the trapezoid's A panel.
+const SYRK_BLOCK: usize = 8;
+
+/// Below this many flops (`2mnk`) a product runs the unblocked loop:
+/// packing would cost a comparable number of memory moves. The threshold
+/// never changes results — both paths produce the canonical chain.
+const PACK_MIN_FLOPS: u64 = 16 * 1024;
 
 /// Panic-with-context bounds check shared by the GEMM kernels.
 #[inline]
@@ -27,6 +85,279 @@ fn check_dims(len: usize, ld: usize, inner: usize, outer: usize, name: &str) {
             ld * (outer - 1) + inner
         );
     }
+}
+
+/// Packs the `mc`×`kc` block of A starting at (`ic`, `pc`) into MR-row
+/// micropanels: panel `p` holds rows `ic + p·MR ..` stored as
+/// `buf[p·kc·MR + l·MR + i]`, zero-padded past the last valid row.
+/// `at == true` reads A transposed (element `(i, l)` at `a[l + i·lda]`).
+fn pack_a<T: Scalar>(
+    a: &[T],
+    lda: usize,
+    at: bool,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    buf: &mut [T],
+) {
+    let panels = mc.div_ceil(MR);
+    for p in 0..panels {
+        let i0 = ic + p * MR;
+        let rows = MR.min(ic + mc - i0);
+        let dst = &mut buf[p * kc * MR..(p * kc + kc) * MR];
+        for l in 0..kc {
+            let d = &mut dst[l * MR..(l + 1) * MR];
+            if at {
+                for i in 0..rows {
+                    d[i] = a[(pc + l) + (i0 + i) * lda];
+                }
+            } else {
+                let src = &a[i0 + (pc + l) * lda..];
+                d[..rows].copy_from_slice(&src[..rows]);
+            }
+            for x in &mut d[rows..] {
+                *x = T::ZERO;
+            }
+        }
+    }
+}
+
+/// Packs the `kc`×`nc` block of B starting at (`pc`, `jc`) into NR-column
+/// micropanels: panel `q` holds columns `jc + q·NR ..` stored as
+/// `buf[q·kc·NR + l·NR + j]`, zero-padded past the last valid column.
+/// `bt == true` reads B transposed (element `(l, j)` at `b[j + l·ldb]`).
+fn pack_b<T: Scalar>(
+    b: &[T],
+    ldb: usize,
+    bt: bool,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    buf: &mut [T],
+) {
+    let panels = nc.div_ceil(NR);
+    for q in 0..panels {
+        let j0 = jc + q * NR;
+        let cols = NR.min(jc + nc - j0);
+        let dst = &mut buf[q * kc * NR..(q * kc + kc) * NR];
+        for l in 0..kc {
+            let d = &mut dst[l * NR..(l + 1) * NR];
+            for j in 0..cols {
+                d[j] = if bt {
+                    b[(j0 + j) + (pc + l) * ldb]
+                } else {
+                    b[(pc + l) + (j0 + j) * ldb]
+                };
+            }
+            for x in &mut d[cols..] {
+                *x = T::ZERO;
+            }
+        }
+    }
+}
+
+/// The register-tile inner kernel: `acc[MR×NR] += Ap · Bp` over `kc`
+/// depth steps in ascending order. `ap`/`bp` are one packed micropanel
+/// each; fixed-size row/column views let rustc unroll and vectorize the
+/// update without bounds checks.
+///
+/// `acc` is taken and returned **by value**, and inlining is forced: as
+/// a standalone function the accumulator is an in-memory argument that
+/// must stay consistent across the loop's potential panic edges, which
+/// makes LLVM spill all MR×NR accumulators to the stack on every depth
+/// step (~3× slower). Inlined, the tile is a caller-local that SROA
+/// promotes to vector registers and the loop carries no stores at all.
+#[inline(always)]
+fn microkernel<T: Scalar>(kc: usize, ap: &[T], bp: &[T], mut acc: [T; MR * NR]) -> [T; MR * NR] {
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    for l in 0..kc {
+        let ar: &[T; MR] = ap[l * MR..(l + 1) * MR].try_into().expect("MR slice");
+        let br: &[T; NR] = bp[l * NR..(l + 1) * NR].try_into().expect("NR slice");
+        for j in 0..NR {
+            let s = br[j];
+            for i in 0..MR {
+                acc[j * MR + i] += ar[i] * s;
+            }
+        }
+    }
+    acc
+}
+
+/// Unblocked fallback for tiny products; same canonical accumulation
+/// chain as the packed path (ascending `k`, per-element sequential).
+fn gemm_small<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[T],
+    lda: usize,
+    at: bool,
+    b: &[T],
+    ldb: usize,
+    bt: bool,
+    c: &mut [T],
+    ldc: usize,
+) {
+    for j in 0..n {
+        let cj = &mut c[j * ldc..j * ldc + m];
+        for l in 0..k {
+            let s = if bt { b[j + l * ldb] } else { b[l + j * ldb] };
+            if at {
+                for i in 0..m {
+                    cj[i] += a[l + i * lda] * s;
+                }
+            } else {
+                let al = &a[l * lda..l * lda + m];
+                for i in 0..m {
+                    cj[i] += al[i] * s;
+                }
+            }
+        }
+    }
+}
+
+/// The packed MC/KC/NC loop nest over one output column range.
+fn gemm_packed<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[T],
+    lda: usize,
+    at: bool,
+    b: &[T],
+    ldb: usize,
+    bt: bool,
+    c: &mut [T],
+    ldc: usize,
+) {
+    let kc_cap = KC.min(k);
+    let apack_cap = MC.div_ceil(MR).min(m.div_ceil(MR)) * MR * kc_cap;
+    let bpack_cap = (NC / NR).min(n.div_ceil(NR)) * NR * kc_cap;
+    // Plain (unledgered) scratch: bounded transient kernel workspace,
+    // ≤ ~1.5 MiB, documented as outside the memory-budget model.
+    let mut apack = vec![T::ZERO; apack_cap];
+    let mut bpack = vec![T::ZERO; bpack_cap];
+    let mut acc = [T::ZERO; MR * NR];
+
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let nc_panels = nc.div_ceil(NR);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b(b, ldb, bt, pc, kc, jc, nc, &mut bpack);
+            let mut ic = 0;
+            while ic < m {
+                let mc = MC.min(m - ic);
+                let mc_panels = mc.div_ceil(MR);
+                pack_a(a, lda, at, ic, mc, pc, kc, &mut apack);
+                for q in 0..nc_panels {
+                    let jb = jc + q * NR;
+                    let tn = NR.min(jc + nc - jb);
+                    let bp = &bpack[q * kc * NR..(q + 1) * kc * NR];
+                    for p in 0..mc_panels {
+                        let ib = ic + p * MR;
+                        let tm = MR.min(ic + mc - ib);
+                        let ap = &apack[p * kc * MR..(p + 1) * kc * MR];
+                        if tm == MR && tn == NR {
+                            for j in 0..NR {
+                                let col = &c[ib + (jb + j) * ldc..ib + (jb + j) * ldc + MR];
+                                acc[j * MR..(j + 1) * MR].copy_from_slice(col);
+                            }
+                            acc = microkernel(kc, ap, bp, acc);
+                            for j in 0..NR {
+                                let col = &mut c[ib + (jb + j) * ldc..ib + (jb + j) * ldc + MR];
+                                col.copy_from_slice(&acc[j * MR..(j + 1) * MR]);
+                            }
+                        } else {
+                            // Edge tile: stage through a zero-padded
+                            // register tile; padded lanes multiply zeros
+                            // and are never stored.
+                            acc = [T::ZERO; MR * NR];
+                            for j in 0..tn {
+                                for i in 0..tm {
+                                    acc[j * MR + i] = c[(ib + i) + (jb + j) * ldc];
+                                }
+                            }
+                            acc = microkernel(kc, ap, bp, acc);
+                            for j in 0..tn {
+                                for i in 0..tm {
+                                    c[(ib + i) + (jb + j) * ldc] = acc[j * MR + i];
+                                }
+                            }
+                        }
+                    }
+                }
+                ic += mc;
+            }
+            pc += kc;
+        }
+        jc += nc;
+    }
+}
+
+/// Serial GEMM entry shared by every variant and by the TTM/Gram slab
+/// paths: no flop accounting (callers count their documented formulas)
+/// and no worker-pool dispatch (callers own the parallel split), so it
+/// is safe to invoke from inside pool workers.
+pub(crate) fn gemm_serial<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[T],
+    lda: usize,
+    at: bool,
+    b: &[T],
+    ldb: usize,
+    bt: bool,
+    c: &mut [T],
+    ldc: usize,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if 2 * (m as u64) * (n as u64) * (k as u64) < PACK_MIN_FLOPS {
+        gemm_small(m, n, k, a, lda, at, b, ldb, bt, c, ldc);
+    } else {
+        gemm_packed(m, n, k, a, lda, at, b, ldb, bt, c, ldc);
+    }
+}
+
+/// Counts flops, then runs the product across the worker pool by
+/// splitting C's columns into per-worker panels (see the module docs for
+/// why the split cannot change results).
+fn gemm_dispatch<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[T],
+    lda: usize,
+    at: bool,
+    b: &[T],
+    ldb: usize,
+    bt: bool,
+    c: &mut [T],
+    ldc: usize,
+) {
+    let fl = 2 * (m as u64) * (n as u64) * (k as u64);
+    flops::add(fl);
+    let nt = par::num_threads();
+    if nt <= 1 || fl < par::PAR_MIN_FLOPS || n < 2 {
+        return gemm_serial(m, n, k, a, lda, at, b, ldb, bt, c, ldc);
+    }
+    let ranges = par::partition(n, nt.min(n));
+    let parts = par::split_columns(c, ldc, &ranges);
+    par::for_each_part(parts, |_, (cols, csub)| {
+        let b_off = if bt {
+            &b[cols.start..]
+        } else {
+            &b[cols.start * ldb..]
+        };
+        gemm_serial(m, cols.len(), k, a, lda, at, b_off, ldb, bt, csub, ldc);
+    });
 }
 
 /// `C += A · B` where `A` is `m×k`, `B` is `k×n`, `C` is `m×n`.
@@ -44,20 +375,7 @@ pub fn gemm_nn<T: Scalar>(
     check_dims(a.len(), lda, m, k, "gemm_nn A");
     check_dims(b.len(), ldb, k, n, "gemm_nn B");
     check_dims(c.len(), ldc, m, n, "gemm_nn C");
-    flops::add(2 * (m as u64) * (n as u64) * (k as u64));
-    for j in 0..n {
-        let c_col = &mut c[j * ldc..j * ldc + m];
-        for l in 0..k {
-            let s = b[l + j * ldb];
-            if s == T::ZERO {
-                continue;
-            }
-            let a_col = &a[l * lda..l * lda + m];
-            for i in 0..m {
-                c_col[i] += a_col[i] * s;
-            }
-        }
-    }
+    gemm_dispatch(m, n, k, a, lda, false, b, ldb, false, c, ldc);
 }
 
 /// `C += Aᵀ · B` where `A` is `k×m`, `B` is `k×n`, `C` is `m×n`.
@@ -75,18 +393,7 @@ pub fn gemm_tn<T: Scalar>(
     check_dims(a.len(), lda, k, m, "gemm_tn A");
     check_dims(b.len(), ldb, k, n, "gemm_tn B");
     check_dims(c.len(), ldc, m, n, "gemm_tn C");
-    flops::add(2 * (m as u64) * (n as u64) * (k as u64));
-    for j in 0..n {
-        let b_col = &b[j * ldb..j * ldb + k];
-        for i in 0..m {
-            let a_col = &a[i * lda..i * lda + k];
-            let mut acc = T::ZERO;
-            for l in 0..k {
-                acc += a_col[l] * b_col[l];
-            }
-            c[i + j * ldc] += acc;
-        }
-    }
+    gemm_dispatch(m, n, k, a, lda, true, b, ldb, false, c, ldc);
 }
 
 /// `C += A · Bᵀ` where `A` is `m×k`, `B` is `n×k`, `C` is `m×n`.
@@ -104,42 +411,11 @@ pub fn gemm_nt<T: Scalar>(
     check_dims(a.len(), lda, m, k, "gemm_nt A");
     check_dims(b.len(), ldb, n, k, "gemm_nt B");
     check_dims(c.len(), ldc, m, n, "gemm_nt C");
-    flops::add(2 * (m as u64) * (n as u64) * (k as u64));
-    for l in 0..k {
-        let a_col = &a[l * lda..l * lda + m];
-        for j in 0..n {
-            let s = b[j + l * ldb];
-            if s == T::ZERO {
-                continue;
-            }
-            let c_col = &mut c[j * ldc..j * ldc + m];
-            for i in 0..m {
-                c_col[i] += a_col[i] * s;
-            }
-        }
-    }
+    gemm_dispatch(m, n, k, a, lda, false, b, ldb, true, c, ldc);
 }
 
-/// Symmetric rank-k update: `C += Aᵀ · A` (`A` is `k×n`, `C` is `n×n`).
-///
-/// Only the lower triangle is computed, then mirrored; this is the Gram
-/// building block and costs `n(n+1)k` multiply-adds, counted as such.
-pub fn syrk_tn<T: Scalar>(n: usize, k: usize, a: &[T], lda: usize, c: &mut [T], ldc: usize) {
-    check_dims(a.len(), lda, k, n, "syrk_tn A");
-    check_dims(c.len(), ldc, n, n, "syrk_tn C");
-    flops::add((n as u64) * ((n as u64) + 1) * (k as u64));
-    for j in 0..n {
-        let a_j = &a[j * lda..j * lda + k];
-        for i in j..n {
-            let a_i = &a[i * lda..i * lda + k];
-            let mut acc = T::ZERO;
-            for l in 0..k {
-                acc += a_i[l] * a_j[l];
-            }
-            c[i + j * ldc] += acc;
-        }
-    }
-    // Mirror the strictly-lower triangle into the upper one.
+/// Copies the strictly-lower triangle into the upper one.
+pub(crate) fn mirror_lower<T: Scalar>(n: usize, c: &mut [T], ldc: usize) {
     for j in 0..n {
         for i in j + 1..n {
             c[j + i * ldc] = c[i + j * ldc];
@@ -147,32 +423,121 @@ pub fn syrk_tn<T: Scalar>(n: usize, k: usize, a: &[T], lda: usize, c: &mut [T], 
     }
 }
 
+/// Unblocked SYRK fallbacks: canonical ascending-`k` chains on the lower
+/// triangle, mirrored by the caller.
+fn syrk_tn_small<T: Scalar>(n: usize, k: usize, a: &[T], lda: usize, c: &mut [T], ldc: usize) {
+    for j in 0..n {
+        for l in 0..k {
+            let s = a[l + j * lda];
+            for i in j..n {
+                c[i + j * ldc] += a[l + i * lda] * s;
+            }
+        }
+    }
+}
+
+fn syrk_nt_small<T: Scalar>(m: usize, k: usize, a: &[T], lda: usize, c: &mut [T], ldc: usize) {
+    for j in 0..m {
+        for l in 0..k {
+            let s = a[j + l * lda];
+            let col = &a[l * lda..l * lda + m];
+            for i in j..m {
+                c[i + j * ldc] += col[i] * s;
+            }
+        }
+    }
+}
+
+/// One worker's share of a SYRK: sweeps its column range `cols` of the
+/// lower trapezoid in [`SYRK_BLOCK`]-wide panels, each panel one packed
+/// GEMM `C[j0.., j0..j1) += op(A)[j0.., :] · op(A)[:, j0..j1)`. Entries
+/// *above* the diagonal inside a panel are computed redundantly and later
+/// overwritten by the mirror — the price of routing through the packed
+/// rectangular kernel, bounded by `SYRK_BLOCK / n`.
+///
+/// `nt == true` selects the `A·Aᵀ` orientation (`A` is `dim×k`, offset
+/// rows), otherwise `Aᵀ·A` (`A` is `k×dim`, offset columns). `csub` is
+/// the column panel of C starting at column `cols.start`.
+pub(crate) fn syrk_trapezoid<T: Scalar>(
+    dim: usize,
+    k: usize,
+    a: &[T],
+    lda: usize,
+    nt: bool,
+    cols: std::ops::Range<usize>,
+    csub: &mut [T],
+    ldc: usize,
+) {
+    let mut j0 = cols.start;
+    while j0 < cols.end {
+        let jw = SYRK_BLOCK.min(cols.end - j0);
+        let rows = dim - j0;
+        let cblk = &mut csub[(j0 - cols.start) * ldc + j0..];
+        if nt {
+            let a_off = &a[j0..];
+            gemm_serial(rows, jw, k, a_off, lda, false, a_off, lda, true, cblk, ldc);
+        } else {
+            let a_off = &a[j0 * lda..];
+            gemm_serial(rows, jw, k, a_off, lda, true, a_off, lda, false, cblk, ldc);
+        }
+        j0 += jw;
+    }
+}
+
+/// Shared SYRK driver: formula flop count, small/packed selection,
+/// column partition across the pool, final mirror.
+fn syrk_dispatch<T: Scalar>(
+    dim: usize,
+    k: usize,
+    a: &[T],
+    lda: usize,
+    nt_kind: bool,
+    c: &mut [T],
+    ldc: usize,
+) {
+    let fl = (dim as u64) * ((dim as u64) + 1) * (k as u64);
+    flops::add(fl);
+    if fl < PACK_MIN_FLOPS {
+        if nt_kind {
+            syrk_nt_small(dim, k, a, lda, c, ldc);
+        } else {
+            syrk_tn_small(dim, k, a, lda, c, ldc);
+        }
+    } else {
+        let workers = if fl < par::PAR_MIN_FLOPS {
+            1
+        } else {
+            par::num_threads()
+        };
+        let ranges = par::partition(dim, workers.min(dim));
+        let parts = par::split_columns(c, ldc, &ranges);
+        par::for_each_part(parts, |_, (cols, csub)| {
+            syrk_trapezoid(dim, k, a, lda, nt_kind, cols, csub, ldc);
+        });
+    }
+    mirror_lower(dim, c, ldc);
+}
+
+/// Symmetric rank-k update: `C += Aᵀ · A` (`A` is `k×n`, `C` is `n×n`).
+///
+/// Only the lower triangle is accumulated (then mirrored); this is the
+/// Gram building block and is counted as `n(n+1)k` multiply-adds.
+/// Accumulating in ascending `k`-batches over several calls is
+/// bit-identical to one monolithic call (module docs).
+pub fn syrk_tn<T: Scalar>(n: usize, k: usize, a: &[T], lda: usize, c: &mut [T], ldc: usize) {
+    check_dims(a.len(), lda, k, n, "syrk_tn A");
+    check_dims(c.len(), ldc, n, n, "syrk_tn C");
+    syrk_dispatch(n, k, a, lda, false, c, ldc);
+}
+
 /// Symmetric rank-k update from the left: `C += A · Aᵀ` (`A` is `m×k`,
-/// `C` is `m×m`). Lower triangle computed, then mirrored; costs
+/// `C` is `m×m`). Lower triangle accumulated, then mirrored; counted as
 /// `m(m+1)k` multiply-adds — half of the general `gemm_nt`, which is what
 /// the Gram-matrix cost rows of the paper's Table 1 assume.
 pub fn syrk_nt<T: Scalar>(m: usize, k: usize, a: &[T], lda: usize, c: &mut [T], ldc: usize) {
     check_dims(a.len(), lda, m, k, "syrk_nt A");
     check_dims(c.len(), ldc, m, m, "syrk_nt C");
-    flops::add((m as u64) * ((m as u64) + 1) * (k as u64));
-    for l in 0..k {
-        let col = &a[l * lda..l * lda + m];
-        for j in 0..m {
-            let s = col[j];
-            if s == T::ZERO {
-                continue;
-            }
-            let c_col = &mut c[j * ldc..j * ldc + m];
-            for i in j..m {
-                c_col[i] += col[i] * s;
-            }
-        }
-    }
-    for j in 0..m {
-        for i in j + 1..m {
-            c[j + i * ldc] = c[i + j * ldc];
-        }
-    }
+    syrk_dispatch(m, k, a, lda, true, c, ldc);
 }
 
 /// `y += alpha * x`.
@@ -272,6 +637,27 @@ mod tests {
     }
 
     #[test]
+    fn gemm_nn_matches_naive_above_pack_threshold() {
+        // 37·41·43 is odd in every dimension and well past PACK_MIN_FLOPS,
+        // so this exercises the packed path with edge tiles on all sides.
+        let (a, b) = test_mats(37, 41, 43);
+        let want = naive_mm(&a, &b);
+        let mut c = Matrix::zeros(37, 43);
+        gemm_nn(
+            37,
+            43,
+            41,
+            a.as_slice(),
+            37,
+            b.as_slice(),
+            41,
+            c.as_mut_slice(),
+            37,
+        );
+        assert!(c.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
     fn gemm_tn_matches_naive() {
         // A is stored k×m; the kernel computes C = Aᵀ B.
         let a_km = Matrix::from_fn(5, 7, |i, j| ((i * 7 + j) as f64).sin());
@@ -293,6 +679,26 @@ mod tests {
     }
 
     #[test]
+    fn gemm_tn_matches_naive_above_pack_threshold() {
+        let a_km = Matrix::from_fn(33, 29, |i, j| ((i * 29 + j) as f64 * 0.1).sin());
+        let b_kn = Matrix::from_fn(33, 31, |i, j| ((i + 2 * j) as f64 * 0.1).cos());
+        let want = naive_mm(&a_km.transpose(), &b_kn);
+        let mut c = Matrix::zeros(29, 31);
+        gemm_tn(
+            29,
+            31,
+            33,
+            a_km.as_slice(),
+            33,
+            b_kn.as_slice(),
+            33,
+            c.as_mut_slice(),
+            29,
+        );
+        assert!(c.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
     fn gemm_nt_matches_naive() {
         let a = Matrix::from_fn(4, 5, |i, j| ((i + 3 * j) as f64).sin());
         let b = Matrix::from_fn(6, 5, |i, j| ((2 * i + j) as f64).cos());
@@ -310,6 +716,26 @@ mod tests {
             4,
         );
         assert!(c.max_abs_diff(&want) < 1e-13);
+    }
+
+    #[test]
+    fn gemm_nt_matches_naive_above_pack_threshold() {
+        let a = Matrix::from_fn(31, 37, |i, j| ((i + 3 * j) as f64 * 0.07).sin());
+        let b = Matrix::from_fn(35, 37, |i, j| ((2 * i + j) as f64 * 0.07).cos());
+        let want = naive_mm(&a, &b.transpose());
+        let mut c = Matrix::zeros(31, 35);
+        gemm_nt(
+            31,
+            35,
+            37,
+            a.as_slice(),
+            31,
+            b.as_slice(),
+            35,
+            c.as_mut_slice(),
+            31,
+        );
+        assert!(c.max_abs_diff(&want) < 1e-12);
     }
 
     #[test]
@@ -347,6 +773,79 @@ mod tests {
     }
 
     #[test]
+    fn syrk_tn_matches_reference_above_pack_threshold() {
+        let a = Matrix::from_fn(61, 45, |i, j| ((i * 45 + j) as f64 * 0.03).sin());
+        let want = a.t_matmul(&a);
+        let mut c = Matrix::zeros(45, 45);
+        syrk_tn(45, 61, a.as_slice(), 61, c.as_mut_slice(), 45);
+        assert!(c.max_abs_diff(&want) < 1e-11);
+        // Symmetry is exact (mirror copy).
+        for j in 0..45 {
+            for i in j + 1..45 {
+                assert_eq!(c[(i, j)].to_bits(), c[(j, i)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_nt_matches_reference_above_pack_threshold() {
+        let a = Matrix::from_fn(45, 61, |i, j| ((i * 61 + j) as f64 * 0.03).cos());
+        let want = a.matmul(&a.transpose());
+        let mut c = Matrix::zeros(45, 45);
+        syrk_nt(45, 61, a.as_slice(), 45, c.as_mut_slice(), 45);
+        assert!(c.max_abs_diff(&want) < 1e-11);
+    }
+
+    #[test]
+    fn syrk_nt_k_batched_accumulation_is_bit_identical() {
+        // The streamed-Gram contract (`ratucker-dist` at rung ≥ 2):
+        // accumulating A's columns in ascending batches over several
+        // syrk_nt calls must reproduce the monolithic call bit-for-bit.
+        let m = 45;
+        let k = 64;
+        let a = Matrix::from_fn(m, k, |i, j| ((i * k + j) as f64 * 0.011).sin());
+        let mut mono = Matrix::<f64>::zeros(m, m);
+        syrk_nt(m, k, a.as_slice(), m, mono.as_mut_slice(), m);
+        let mut batched = Matrix::<f64>::zeros(m, m);
+        for (k0, kb) in [(0usize, 17usize), (17, 30), (47, 17)] {
+            syrk_nt(m, kb, &a.as_slice()[k0 * m..], m, batched.as_mut_slice(), m);
+        }
+        for (x, y) in mono.as_slice().iter().zip(batched.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_worker_counts() {
+        let (a, b) = test_mats(67, 59, 71);
+        let mut reference: Option<Vec<f64>> = None;
+        for nt in [1usize, 2, 4] {
+            crate::par::set_num_threads(nt);
+            let mut c = Matrix::<f64>::zeros(67, 71);
+            gemm_nn(
+                67,
+                71,
+                59,
+                a.as_slice(),
+                67,
+                b.as_slice(),
+                59,
+                c.as_mut_slice(),
+                67,
+            );
+            match &reference {
+                None => reference = Some(c.as_slice().to_vec()),
+                Some(want) => {
+                    for (x, y) in want.iter().zip(c.as_slice()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "worker count {nt} diverged");
+                    }
+                }
+            }
+        }
+        crate::par::set_num_threads(1);
+    }
+
+    #[test]
     fn gemm_with_submatrix_leading_dims() {
         // Multiply the top-left 2x2 blocks of 4x4 matrices using lda=4.
         let a = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
@@ -358,6 +857,22 @@ mod tests {
             for j in 0..2 {
                 let want: f64 = (0..2).map(|l| a[(i, l)] * b[(l, j)]).sum();
                 assert_eq!(c[i + 2 * j], want);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_gemm_with_nonunit_leading_dims() {
+        // 30×30 blocks of 40×40 buffers (lda=ldb=ldc=40), past the pack
+        // threshold so the packed path handles the ld gather.
+        let a = Matrix::from_fn(40, 40, |i, j| ((i * 40 + j) as f64 * 0.01).sin());
+        let b = Matrix::from_fn(40, 40, |i, j| ((i + j) as f64 * 0.01).cos());
+        let mut c = vec![0.0f64; 40 * 40];
+        gemm_nn(30, 30, 30, a.as_slice(), 40, b.as_slice(), 40, &mut c, 40);
+        for i in 0..30 {
+            for j in 0..30 {
+                let want: f64 = (0..30).map(|l| a[(i, l)] * b[(l, j)]).sum();
+                assert!((c[i + 40 * j] - want).abs() < 1e-12);
             }
         }
     }
@@ -399,5 +914,28 @@ mod tests {
             4,
         );
         assert_eq!(crate::flops::get(), 2 * 4 * 5 * 3);
+    }
+
+    #[test]
+    fn flop_count_is_input_independent() {
+        // The zero-skip branch of the old scalar kernel made performed
+        // work depend on the data; the accounting convention (flops.rs)
+        // is formula-based, and the packed kernel now performs exactly
+        // the counted multiply-adds regardless of zeros in the input.
+        crate::flops::reset();
+        let a: Matrix<f64> = Matrix::zeros(6, 6); // all zeros
+        let mut c: Matrix<f64> = Matrix::zeros(6, 6);
+        gemm_nn(
+            6,
+            6,
+            6,
+            a.as_slice(),
+            6,
+            a.as_slice(),
+            6,
+            c.as_mut_slice(),
+            6,
+        );
+        assert_eq!(crate::flops::get(), 2 * 6 * 6 * 6);
     }
 }

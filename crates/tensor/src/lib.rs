@@ -35,6 +35,7 @@ pub mod gram;
 pub mod io;
 pub mod kernels;
 pub mod matrix;
+pub mod par;
 pub mod prefix;
 pub mod random;
 pub mod scalar;

@@ -1,0 +1,314 @@
+//! Intra-rank worker pool for the compute kernels.
+//!
+//! Each simulated MPI rank is one OS thread (`ratucker-mpi`); this module
+//! lets the kernels on that rank fan work out across a small pool of
+//! scoped workers (`std::thread::scope`, no external dependencies) while
+//! keeping every numerical result **bit-identical at any worker count**.
+//!
+//! The contract that makes this safe (DESIGN.md §16):
+//!
+//! - Work is split into *parts* (GEMM column panels, TTM slabs, SYRK
+//!   column blocks) such that every output element is computed entirely
+//!   within one part, and the per-element accumulation order inside a
+//!   part does not depend on the partition. The partition itself
+//!   ([`partition`]) is a deterministic function of `(len, workers)`, so
+//!   runs are reproducible, and because floating-point order is fixed per
+//!   element the result is the same at 1, 2, or 64 workers.
+//! - Workers start with fresh thread-local [`crate::flops`] and
+//!   `ratucker_mem` ledgers; on join, [`for_each_part`] *harvests* both
+//!   back into the calling (rank) thread — flops are added and ledger
+//!   counters absorbed via [`ratucker_mem::absorb_worker`] — so per-rank
+//!   accounting partitions exactly as if the work had run inline.
+//!
+//! The pool size resolves, in order: [`set_num_threads`] (the `Threads`
+//! config key / `--threads` flag land here), then the
+//! [`THREADS_ENV`]` = RATUCKER_THREADS` environment variable, then 1
+//! (serial). Parsing the env saturates absurd values to [`MAX_THREADS`]
+//! and warns once on malformed input instead of silently ignoring it,
+//! matching the `MPISIM_RECV_TIMEOUT_SECS` precedent in `ratucker-mpi`.
+
+use crate::flops;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable selecting the per-rank worker count.
+pub const THREADS_ENV: &str = "RATUCKER_THREADS";
+
+/// Upper bound on the worker count; values parsed from the environment
+/// or passed to [`set_num_threads`] saturate here. Far above any sane
+/// oversubscription (every simulated rank spawns its own pool).
+pub const MAX_THREADS: usize = 256;
+
+/// Kernels skip the pool entirely below this many flops: spawning a
+/// scoped worker costs on the order of 10 µs, so a parallel region must
+/// amortize several spawns to win. ~2 Mflop (≈ a 100³ GEMM) is the
+/// break-even neighbourhood on current hardware.
+pub(crate) const PAR_MIN_FLOPS: u64 = 2 * 1024 * 1024;
+
+/// 0 = unresolved (consult the environment on first use).
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Parses a `RATUCKER_THREADS` value: a positive integer, saturating to
+/// [`MAX_THREADS`].
+fn parse_threads(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<u128>() {
+        Ok(0) => Err("0 workers is meaningless (use 1 for serial)".into()),
+        Ok(n) => Ok(usize::try_from(n).unwrap_or(usize::MAX).min(MAX_THREADS)),
+        Err(err) => Err(format!("not a number: {err}")),
+    }
+}
+
+fn threads_from_env() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => parse_threads(&v).unwrap_or_else(|why| {
+            // Warn exactly once per process, like mpisim's recv-timeout
+            // override: a silently ignored knob is worse than a noisy one.
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "ratucker: ignoring malformed {THREADS_ENV}={v:?} ({why}); running serial"
+                );
+            });
+            1
+        }),
+        Err(_) => 1,
+    }
+}
+
+/// The resolved worker count (≥ 1). Results never depend on it — only
+/// wall-clock time does.
+pub fn num_threads() -> usize {
+    match NUM_THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let n = threads_from_env();
+            NUM_THREADS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Overrides the worker count process-wide (clamped to
+/// `1..=`[`MAX_THREADS`]). Process-wide rather than thread-local on
+/// purpose: simulated rank threads are spawned *after* the driver parses
+/// its flags, and must inherit the setting.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+}
+
+/// Splits `0..len` into `parts` contiguous, maximally balanced ranges
+/// (the first `len % parts` ranges get one extra item). Deterministic in
+/// `(len, parts)`; empty ranges are never returned (callers clamp
+/// `parts` to `len` first — a `parts > len` request yields `len`
+/// single-item ranges).
+pub fn partition(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for w in 0..parts {
+        let size = base + usize::from(w < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// What a worker sends home when it joins.
+struct Harvest {
+    flops: u64,
+    ledger: ratucker_mem::LedgerStats,
+}
+
+/// Runs `f(index, part)` for every part, splitting the parts across up
+/// to [`num_threads`] scoped workers (contiguous assignment via
+/// [`partition`]; the calling thread works the first chunk itself).
+///
+/// On join, each worker's thread-local flop count and memory-ledger
+/// counters are harvested back into the calling thread, so rank-level
+/// accounting is independent of the worker count. A panicking worker
+/// propagates its panic to the caller.
+///
+/// Correctness requirement on callers: parts must own disjoint output
+/// regions (e.g. `&mut` column panels), and the numerical work for a
+/// given part must not depend on which worker runs it or on how many
+/// workers exist — see the module docs for the bit-identity argument.
+pub fn for_each_part<P, F>(parts: Vec<P>, f: F)
+where
+    P: Send,
+    F: Fn(usize, P) + Sync,
+{
+    let n = parts.len();
+    let nt = num_threads().min(n);
+    if nt <= 1 {
+        for (i, p) in parts.into_iter().enumerate() {
+            f(i, p);
+        }
+        return;
+    }
+    let ranges = partition(n, nt);
+    let mut chunks: Vec<(usize, Vec<P>)> = Vec::with_capacity(nt);
+    let mut it = parts.into_iter();
+    for r in &ranges {
+        chunks.push((r.start, it.by_ref().take(r.len()).collect()));
+    }
+    let f = &f;
+    let mut harvested: Vec<Harvest> = Vec::with_capacity(nt - 1);
+    std::thread::scope(|s| {
+        let mut drain = chunks.into_iter();
+        let mine = drain.next().expect("nt >= 1");
+        let handles: Vec<_> = drain
+            .map(|(base, chunk)| {
+                s.spawn(move || {
+                    for (off, p) in chunk.into_iter().enumerate() {
+                        f(base + off, p);
+                    }
+                    // Fresh thread ⇒ the counters hold exactly this
+                    // worker's contribution.
+                    Harvest {
+                        flops: flops::get(),
+                        ledger: ratucker_mem::stats(),
+                    }
+                })
+            })
+            .collect();
+        for (off, p) in mine.1.into_iter().enumerate() {
+            f(mine.0 + off, p);
+        }
+        for h in handles {
+            harvested.push(h.join().expect("ratucker kernel worker panicked"));
+        }
+    });
+    for h in harvested {
+        flops::add(h.flops);
+        ratucker_mem::absorb_worker(&h.ledger);
+    }
+}
+
+/// Splits a column-major buffer into per-range `&mut` column panels:
+/// range `j0..j1` maps to `buf[j0*ld ..]` up to the next range's start
+/// (the final panel takes the buffer tail, covering `ld ≥ rows` slack).
+/// Ranges must be the contiguous ascending cover produced by
+/// [`partition`].
+pub(crate) fn split_columns<'a, T>(
+    buf: &'a mut [T],
+    ld: usize,
+    ranges: &[Range<usize>],
+) -> Vec<(Range<usize>, &'a mut [T])> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut rest = buf;
+    let mut consumed = 0;
+    for (idx, r) in ranges.iter().enumerate() {
+        debug_assert_eq!(r.start, consumed, "ranges must tile 0..n contiguously");
+        if idx + 1 == ranges.len() {
+            out.push((r.clone(), std::mem::take(&mut rest)));
+        } else {
+            let (head, tail) = rest.split_at_mut(r.len() * ld);
+            out.push((r.clone(), head));
+            rest = tail;
+        }
+        consumed = r.end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Serializes tests that flip the process-global worker count.
+    static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn partition_is_balanced_and_exhaustive() {
+        for len in 0..40usize {
+            for parts in 1..10usize {
+                let ranges = partition(len, parts);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, len);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                if len > 0 {
+                    let min = ranges.iter().map(|r| r.len()).min().unwrap();
+                    let max = ranges.iter().map(|r| r.len()).max().unwrap();
+                    assert!(max - min <= 1, "unbalanced: {ranges:?}");
+                    assert!(ranges.iter().all(|r| !r.is_empty()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_saturates_and_rejects() {
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads(" 2 "), Ok(2));
+        assert_eq!(parse_threads("999999999999999999999999"), Ok(MAX_THREADS));
+        assert!(parse_threads("0").is_err());
+        assert!(parse_threads("two").is_err());
+        assert!(parse_threads("").is_err());
+    }
+
+    #[test]
+    fn for_each_part_visits_every_index_once() {
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        for nt in [1, 2, 4] {
+            set_num_threads(nt);
+            let hits: Vec<AtomicU64> = (0..23).map(|_| AtomicU64::new(0)).collect();
+            let parts: Vec<usize> = (0..23).collect();
+            for_each_part(parts, |idx, item| {
+                assert_eq!(idx, item);
+                hits[idx].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn worker_flops_are_harvested_to_the_caller() {
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(4);
+        flops::reset();
+        for_each_part((0..8).collect::<Vec<usize>>(), |_, _| flops::add(10));
+        assert_eq!(flops::get(), 80);
+        set_num_threads(1);
+        flops::reset();
+    }
+
+    #[test]
+    fn worker_ledger_charges_are_absorbed() {
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(2);
+        ratucker_mem::install_rank(None, 0);
+        for_each_part(vec![0usize, 1], |_, _| {
+            let c = ratucker_mem::Charge::force(1000);
+            drop(c);
+        });
+        let s = ratucker_mem::stats();
+        assert_eq!(s.charged, 2000);
+        assert_eq!(s.released, 2000);
+        assert_eq!(s.live, 0);
+        assert!(s.hwm >= 1000);
+        set_num_threads(1);
+        ratucker_mem::install_rank(None, 0);
+    }
+
+    #[test]
+    fn split_columns_tiles_the_buffer() {
+        let mut buf = vec![0u32; 3 * 7]; // 3 rows (ld=3), 7 cols
+        let ranges = partition(7, 3);
+        let parts = split_columns(&mut buf, 3, &ranges);
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(|(_, s)| s.len()).sum();
+        assert_eq!(total, 21);
+        for (r, s) in &parts {
+            assert!(s.len() >= r.len() * 3);
+        }
+    }
+}

@@ -81,13 +81,40 @@ pub fn ttm<T: Scalar>(
     let right = x.shape().right(mode);
     let x_slab = left * n_j;
     let y_slab = left * p;
+    // C_r (left×p) = A_r (left×n_j) · op(M): Transpose::No applies Mᵀ
+    // (M : p × n_j), Transpose::Yes applies M as stored (M : n_j × p).
+    let bt = trans == Transpose::No;
+    let ldb = if bt { p } else { n_j };
+
+    let total_fl = 2 * (left as u64) * (p as u64) * (n_j as u64) * (right as u64);
+    let nt = crate::par::num_threads();
+    if nt > 1 && right >= nt && total_fl >= crate::par::PAR_MIN_FLOPS {
+        // Enough slabs to feed every worker: split the *slab batch*
+        // across the pool (each output slab is written by exactly one
+        // worker, so the per-element accumulation order is unchanged and
+        // the result is bit-identical to the serial loop below). The
+        // flop formula for the whole batch is charged on the calling
+        // rank thread, matching the accounting convention in `flops`.
+        crate::flops::add(total_fl);
+        let xdata = x.data();
+        let mslice = m.as_slice();
+        let ranges = crate::par::partition(right, nt);
+        let parts = crate::par::split_columns(y.data_mut(), y_slab, &ranges);
+        crate::par::for_each_part(parts, |_, (slabs, ysub)| {
+            for (off, c) in ysub.chunks_exact_mut(y_slab).enumerate() {
+                let r = slabs.start + off;
+                let a = &xdata[r * x_slab..(r + 1) * x_slab];
+                kernels::gemm_serial(left, p, n_j, a, left, false, mslice, ldb, bt, c, left);
+            }
+        });
+        return y;
+    }
+
     for r in 0..right {
         let a = &x.data()[r * x_slab..(r + 1) * x_slab];
         let c = &mut y.data_mut()[r * y_slab..(r + 1) * y_slab];
         match trans {
-            // C (left×p) = A (left×n_j) · Mᵀ with M : p × n_j.
             Transpose::No => kernels::gemm_nt(left, p, n_j, a, left, m.as_slice(), p, c, left),
-            // C (left×p) = A (left×n_j) · M with M : n_j × p.
             Transpose::Yes => kernels::gemm_nn(left, p, n_j, a, left, m.as_slice(), n_j, c, left),
         }
     }

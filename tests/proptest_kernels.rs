@@ -1,0 +1,218 @@
+//! Property tests for the packed GEMM/SYRK kernels against the naive
+//! oracles, over adversarial shapes: every dimension drawn from
+//! `{1..=17} ∪ {31, 64, 65}` (tiny, odd, power-of-two, and
+//! just-past-power-of-two sizes hit all microkernel edge-tile and
+//! cache-block remainder paths), with non-unit leading dimensions and
+//! accumulation into a nonzero C — and bitwise identity between 1 and 4
+//! worker threads (the DESIGN.md §16 determinism contract).
+
+use proptest::prelude::*;
+use ra_hooi::tensor::kernels::{gemm_nn, gemm_nt, gemm_tn, syrk_nt, syrk_tn};
+use ra_hooi::tensor::par;
+use ra_hooi::tensor::Matrix;
+use ratucker_verify::oracle::matmul_naive;
+use ratucker_verify::tolerances::TOL_ORACLE;
+
+/// The worker-count sweep is process-global state; tests that flip it
+/// must not interleave.
+static THREADS_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Adversarial dimension: everything up to 17 plus the sizes that
+/// straddle the MR/NR tiles and the KC block edge.
+fn arb_dim() -> impl Strategy<Value = usize> {
+    (0usize..20).prop_map(|v| match v {
+        17 => 31,
+        18 => 64,
+        19 => 65,
+        small => small + 1,
+    })
+}
+
+/// A column-major `rows × cols` operand embedded in a buffer with
+/// leading dimension `rows + pad`, filled with a seeded pattern.
+#[derive(Clone, Debug)]
+struct Padded {
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    buf: Vec<f64>,
+}
+
+impl Padded {
+    fn matrix(&self) -> Matrix<f64> {
+        Matrix::from_fn(self.rows, self.cols, |i, j| self.buf[i + j * self.ld])
+    }
+}
+
+fn arb_padded(rows: usize, cols: usize) -> impl Strategy<Value = Padded> {
+    (0usize..=3, 0u64..1000).prop_map(move |(pad, seed)| {
+        let ld = rows + pad;
+        let buf = (0..ld * cols)
+            .map(|t| (((t as u64 * 2654435761 + seed * 97) % 2000) as f64 / 1000.0 - 1.0).sin())
+            .collect();
+        Padded {
+            rows,
+            cols,
+            ld,
+            buf,
+        }
+    })
+}
+
+/// (m, n, k, variant, A, B, C) with operand storage shaped per variant
+/// (0 = nn, 1 = tn, 2 = nt) and independent padding on each buffer.
+fn arb_gemm_case() -> impl Strategy<Value = (usize, usize, usize, usize, Padded, Padded, Padded)> {
+    (arb_dim(), arb_dim(), arb_dim(), 0usize..3).prop_flat_map(|(m, n, k, variant)| {
+        let (a_rows, a_cols) = if variant == 1 { (k, m) } else { (m, k) };
+        let (b_rows, b_cols) = if variant == 2 { (n, k) } else { (k, n) };
+        (
+            Just((m, n, k, variant)),
+            arb_padded(a_rows, a_cols),
+            arb_padded(b_rows, b_cols),
+            arb_padded(m, n),
+        )
+            .prop_map(|(dims, a, b, c)| (dims.0, dims.1, dims.2, dims.3, a, b, c))
+    })
+}
+
+/// (n, k, nt_kind, A, C) for the SYRK orientations.
+fn arb_syrk_case() -> impl Strategy<Value = (usize, usize, bool, Padded, Padded)> {
+    (arb_dim(), arb_dim(), 0usize..2).prop_flat_map(|(n, k, which)| {
+        let nt_kind = which == 1;
+        let (a_rows, a_cols) = if nt_kind { (n, k) } else { (k, n) };
+        (
+            Just((n, k, nt_kind)),
+            arb_padded(a_rows, a_cols),
+            arb_padded(n, n),
+        )
+            .prop_map(|(dims, a, c)| (dims.0, dims.1, dims.2, a, c))
+    })
+}
+
+/// Runs `f` (which fills a fresh copy of `c0`) at 1 and 4 workers,
+/// asserts bitwise identity, and returns the result.
+fn run_at_1_and_4(c0: &[f64], f: impl Fn(&mut [f64])) -> Vec<f64> {
+    let _g = THREADS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    par::set_num_threads(1);
+    let mut c1 = c0.to_vec();
+    f(&mut c1);
+    par::set_num_threads(4);
+    let mut c4 = c0.to_vec();
+    f(&mut c4);
+    par::set_num_threads(1);
+    for (i, (x, y)) in c1.iter().zip(&c4).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "thread-count divergence at index {i}: {x:e} vs {y:e}"
+        );
+    }
+    c1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Packed gemm_nn/tn/nt vs the naive oracle, accumulating into a
+    /// nonzero C, bit-identical at 1 and 4 workers.
+    #[test]
+    fn gemm_variants_match_oracle_and_threads(
+        (m, n, k, variant, a, b, c) in arb_gemm_case()
+    ) {
+        let want = {
+            let (am, bm) = match variant {
+                0 => (a.matrix(), b.matrix()),
+                1 => (a.matrix().transpose(), b.matrix()),
+                _ => (a.matrix(), b.matrix().transpose()),
+            };
+            let mut w = matmul_naive(&am, &bm);
+            // The kernels accumulate: add the preexisting C.
+            let c0 = c.matrix();
+            for j in 0..n {
+                for i in 0..m {
+                    w[(i, j)] += c0[(i, j)];
+                }
+            }
+            w
+        };
+
+        let got = run_at_1_and_4(&c.buf, |cbuf| match variant {
+            0 => gemm_nn(m, n, k, &a.buf, a.ld, &b.buf, b.ld, cbuf, c.ld),
+            1 => gemm_tn(m, n, k, &a.buf, a.ld, &b.buf, b.ld, cbuf, c.ld),
+            _ => gemm_nt(m, n, k, &a.buf, a.ld, &b.buf, b.ld, cbuf, c.ld),
+        });
+
+        for j in 0..n {
+            for i in 0..m {
+                let g = got[i + j * c.ld];
+                let w = want[(i, j)];
+                prop_assert!(
+                    (g - w).abs() <= TOL_ORACLE * (1.0 + w.abs()),
+                    "variant {} ({}x{}x{}) at ({},{}): {} vs {}",
+                    variant, m, n, k, i, j, g, w
+                );
+            }
+        }
+    }
+
+    /// Packed SYRK (both orientations, the Gram building block) vs the
+    /// naive oracle, accumulating into a nonzero symmetric C,
+    /// bit-identical at 1 and 4 workers, exactly symmetric.
+    #[test]
+    fn syrk_matches_oracle_and_threads(
+        (n, k, nt_kind, a, c) in arb_syrk_case()
+    ) {
+        // Symmetrize the preexisting C so the mirrored output stays
+        // comparable entry-wise.
+        let mut cbuf0 = c.buf.clone();
+        for j in 0..n {
+            for i in 0..j {
+                cbuf0[i + j * c.ld] = cbuf0[j + i * c.ld];
+            }
+        }
+
+        let want = {
+            let am = a.matrix();
+            let mut w = if nt_kind {
+                matmul_naive(&am, &am.transpose())
+            } else {
+                matmul_naive(&am.transpose(), &am)
+            };
+            for j in 0..n {
+                for i in 0..n {
+                    w[(i, j)] += cbuf0[i + j * c.ld];
+                }
+            }
+            w
+        };
+
+        let got = run_at_1_and_4(&cbuf0, |cbuf| {
+            if nt_kind {
+                syrk_nt(n, k, &a.buf, a.ld, cbuf, c.ld);
+            } else {
+                syrk_tn(n, k, &a.buf, a.ld, cbuf, c.ld);
+            }
+        });
+
+        for j in 0..n {
+            for i in 0..n {
+                let g = got[i + j * c.ld];
+                let w = want[(i, j)];
+                prop_assert!(
+                    (g - w).abs() <= TOL_ORACLE * (1.0 + w.abs()),
+                    "syrk nt={} ({}x{}, k={}) at ({},{}): {} vs {}",
+                    nt_kind, n, n, k, i, j, g, w
+                );
+            }
+        }
+        // The mirror makes symmetry exact, not approximate.
+        for j in 0..n {
+            for i in 0..j {
+                prop_assert_eq!(
+                    got[i + j * c.ld].to_bits(),
+                    got[j + i * c.ld].to_bits()
+                );
+            }
+        }
+    }
+}
