@@ -19,11 +19,12 @@ cargo test --workspace --offline -q
 echo "==> verify: differential oracles + invariant checkers"
 cargo test -q --offline -p ratucker-verify
 
-echo "==> verify: 25-schedule exploration incl. crash-recovery, straggler demotion, budget pressure (fixed seeds)"
+echo "==> verify: 25-schedule exploration incl. crash-recovery, straggler demotion, budget pressure, pipelined overlap (fixed seeds)"
 cargo test -q --offline -p ratucker-verify --test explore -- \
   p4_recovery_converges_to_identical_state_under_25_schedules \
   p4_straggler_demotion_converges_to_identical_state_under_25_schedules \
-  p8_budget_pressure_converges_to_identical_state_under_25_schedules
+  p8_budget_pressure_converges_to_identical_state_under_25_schedules \
+  p4_pipelined_ttm_si_bit_identical_under_25_schedules
 
 echo "==> verify: conformance sweep d in {3,4} x P in {1,2,4,8} vs sequential oracles"
 cargo test -q --offline --test conformance
@@ -39,6 +40,19 @@ RATUCKER_THREADS=2 cargo test -q --offline --test conformance -- \
 PAR_ELAPSED=$((SECONDS - PAR_T0))
 if [ "$PAR_ELAPSED" -ge 60 ]; then
   echo "2-thread conformance smoke took ${PAR_ELAPSED}s (>= 60s): the worker pool is stalling" >&2
+  exit 1
+fi
+
+echo "==> overlap smoke (pipelined vs blocking TTM/SI bitwise + mid-pipeline drain; 60 s guard)"
+OVL_T0=$SECONDS
+cargo test -q --offline --test conformance -- \
+  overlap_on_is_bitwise_identical_to_blocking_on_every_grid \
+  p4_pipelined_hooi_matches_blocking_smoke \
+  straggler_demotion_drains_inflight_pipeline_cleanly
+cargo test -q --offline --test overlap_prop
+OVL_ELAPSED=$((SECONDS - OVL_T0))
+if [ "$OVL_ELAPSED" -ge 60 ]; then
+  echo "overlap smoke took ${OVL_ELAPSED}s (>= 60s): a split-phase wait is stalling" >&2
   exit 1
 fi
 

@@ -19,6 +19,7 @@
 pub mod distribution;
 pub mod dtensor;
 pub mod ops;
+pub mod overlap;
 pub mod redistribute;
 pub mod replica;
 
@@ -29,5 +30,6 @@ pub use ops::{
     try_dist_gram_checked, try_dist_multi_ttm_all_but, try_dist_ttm, try_dist_ttm_checked,
     AbftMode,
 };
+pub use overlap::{overlap, set_overlap, OverlapMode};
 pub use redistribute::{try_redistribute, BlockPiece};
 pub use replica::{restorer_for, try_refresh_buddies, BuddyStore, Replica};

@@ -20,7 +20,7 @@
 use crate::distribution::block_range;
 use crate::dtensor::DistTensor;
 use ratucker_mem::{self as mem, MemPhase};
-use ratucker_mpi::{sum_op, CartGrid, Comm, CommError};
+use ratucker_mpi::{sum_op, CartGrid, Comm, CommError, Request};
 use ratucker_tensor::dense::DenseTensor;
 use ratucker_tensor::matrix::Matrix;
 use ratucker_tensor::scalar::Scalar;
@@ -236,91 +236,110 @@ fn ttm_impl<T: Scalar>(
     // Preflight the partial product's footprint before allocating it:
     // under a budget, a rank that cannot even hold the local multiply
     // output fails typed (and revokes) rather than aborting on OOM.
-    {
-        let lf = x.local().shape().left(mode);
-        let rt = x.local().shape().right(mode);
-        mem::ensure_headroom(mem::bytes_of::<T>(lf * out_dim * rt))
-            .map_err(|e| budget_error(&grid.comm, e))?;
-    }
-    // Local partial product: full `out_dim` in the contracted mode.
-    let partial = ttm(x.local(), mode, &m_sub, trans);
+    let left = x.local().shape().left(mode);
+    let right = x.local().shape().right(mode);
+    mem::ensure_headroom(mem::bytes_of::<T>(left * out_dim * right))
+        .map_err(|e| budget_error(&grid.comm, e))?;
 
     let out_dist = x.dist().with_dim(mode, out_dim);
     let coords = x.coords().to_vec();
     let fiber = grid.mode_comm(mode);
     let p_j = fiber.size();
     if p_j == 1 {
+        // Local partial product: full `out_dim` in the contracted mode.
+        let partial = ttm(x.local(), mode, &m_sub, trans);
         return Ok(DistTensor::from_parts(out_dist, coords, partial));
     }
 
-    // Pack the partial into P_j contiguous chunks along the output mode
-    // (chunk q = the block of `out_dim` owned by fiber rank q), each chunk
-    // in standard [left, block, right] layout.
-    let left: usize = partial.shape().left(mode);
-    let right: usize = partial.shape().right(mode);
-    let pack_chunk = |packed: &mut Vec<T>, q: usize| {
-        let r_q = block_range(out_dim, p_j, q);
-        let chunk_start = packed.len();
-        for r in 0..right {
-            for i in 0..r_q.len {
-                let src = (r * out_dim + r_q.offset + i) * left;
-                packed.extend_from_slice(&partial.data()[src..src + left]);
-            }
-        }
-        if abft.is_enabled() {
-            // Linear chunk total: summed elementwise across the fiber
-            // along with the data, so at the destination the last slot
-            // holds the expected total of the reduced block.
-            let cs = T::from_f64(sum_f64(&packed[chunk_start..]));
-            packed.push(cs);
-        }
-    };
-    let mut my_block = if mem::rung() >= 1 {
-        // Degradation rung ≥ 1: per-chunk reductions instead of one
-        // monolithic reduce-scatter. Peak staging drops from the full
-        // packed partial (≈ the local block size) to a single 1/P_j
-        // chunk, at the cost of P_j collectives. Every fiber member
-        // iterates the roots in the same order, so the pattern is as
-        // deterministic as the reduce-scatter it replaces.
-        let mut mine: Option<Vec<T>> = None;
-        for q in 0..p_j {
-            let r_q = block_range(out_dim, p_j, q);
-            let cap = left * r_q.len * right + usize::from(abft.is_enabled());
-            let mut chunk =
-                mem::TrackedBuf::try_with_capacity(cap).map_err(|e| budget_error(&grid.comm, e))?;
-            pack_chunk(&mut chunk, q);
-            let reduced = fiber.try_reduce(q, chunk.into_vec(), sum_op)?;
-            if fiber.rank() == q {
-                mine = reduced;
-            }
-        }
-        mine.expect("fiber rank received its reduced chunk")
+    // Slab count for the pipelined path: enough slabs to overlap, few
+    // enough that per-slab GEMMs stay well above kernel overheads.
+    let n_slabs = right.min(2);
+    let pipelined = crate::overlap::overlap().is_on() && mem::rung() == 0 && n_slabs >= 2;
+    let mut local_rel = 0.0f64;
+    let my_block = if pipelined {
+        let (block, rel) = ttm_pipelined(
+            grid, x, mode, &m_sub, trans, abft, out_dim, left, right, n_slabs, fiber,
+        )?;
+        local_rel = rel;
+        block
     } else {
-        let cap = partial.num_entries() + p_j;
-        let mut packed =
-            mem::TrackedBuf::try_with_capacity(cap).map_err(|e| budget_error(&grid.comm, e))?;
-        let mut counts = Vec::with_capacity(p_j);
-        for q in 0..p_j {
-            pack_chunk(&mut packed, q);
+        // Local partial product: full `out_dim` in the contracted mode.
+        let partial = ttm(x.local(), mode, &m_sub, trans);
+        // Pack the partial into P_j contiguous chunks along the output
+        // mode (chunk q = the block of `out_dim` owned by fiber rank q),
+        // each chunk in standard [left, block, right] layout.
+        let pack_chunk = |packed: &mut Vec<T>, q: usize| {
             let r_q = block_range(out_dim, p_j, q);
-            counts.push(left * r_q.len * right + usize::from(abft.is_enabled()));
+            let chunk_start = packed.len();
+            for r in 0..right {
+                for i in 0..r_q.len {
+                    let src = (r * out_dim + r_q.offset + i) * left;
+                    packed.extend_from_slice(&partial.data()[src..src + left]);
+                }
+            }
+            if abft.is_enabled() {
+                // Linear chunk total: summed elementwise across the fiber
+                // along with the data, so at the destination the last slot
+                // holds the expected total of the reduced block.
+                let cs = T::from_f64(sum_f64(&packed[chunk_start..]));
+                packed.push(cs);
+            }
+        };
+        let mut blk = if mem::rung() >= 1 {
+            // Degradation rung ≥ 1: per-chunk reductions instead of one
+            // monolithic reduce-scatter. Peak staging drops from the full
+            // packed partial (≈ the local block size) to a single 1/P_j
+            // chunk, at the cost of P_j collectives. Every fiber member
+            // iterates the roots in the same order, so the pattern is as
+            // deterministic as the reduce-scatter it replaces. (This is
+            // also why rung ≥ 1 never pipelines: the lean path trades
+            // overlap for minimum staging memory.)
+            let mut mine: Option<Vec<T>> = None;
+            for q in 0..p_j {
+                let r_q = block_range(out_dim, p_j, q);
+                let cap = left * r_q.len * right + usize::from(abft.is_enabled());
+                let mut chunk = mem::TrackedBuf::try_with_capacity(cap)
+                    .map_err(|e| budget_error(&grid.comm, e))?;
+                pack_chunk(&mut chunk, q);
+                let reduced = fiber.try_reduce(q, chunk.into_vec(), sum_op)?;
+                if fiber.rank() == q {
+                    mine = reduced;
+                }
+            }
+            mine.expect("fiber rank received its reduced chunk")
+        } else {
+            let cap = partial.num_entries() + p_j;
+            let mut packed =
+                mem::TrackedBuf::try_with_capacity(cap).map_err(|e| budget_error(&grid.comm, e))?;
+            let mut counts = Vec::with_capacity(p_j);
+            for q in 0..p_j {
+                pack_chunk(&mut packed, q);
+                let r_q = block_range(out_dim, p_j, q);
+                counts.push(left * r_q.len * right + usize::from(abft.is_enabled()));
+            }
+            fiber.try_reduce_scatter(packed.into_vec(), &counts, sum_op)?
+        };
+        if abft.is_enabled() {
+            let cs = blk
+                .pop()
+                .expect("checked reduce-scatter block carries a checksum")
+                .to_f64();
+            local_rel = if blk.iter().any(|v| !v.is_finite_s()) {
+                f64::INFINITY
+            } else {
+                let s = sum_f64(&blk);
+                (s - cs).abs() / (abs_sum_f64(&blk) + cs.abs() + f64::MIN_POSITIVE)
+            };
         }
-        fiber.try_reduce_scatter(packed.into_vec(), &counts, sum_op)?
+        blk
     };
     if abft.is_enabled() {
-        let cs = my_block
-            .pop()
-            .expect("checked reduce-scatter block carries a checksum")
-            .to_f64();
         // Fold the non-finite screen into the checksum error (NaN/Inf ⇒
         // infinite relative error) and agree on a grid-wide verdict so
         // every rank aborts — or retries — together.
-        let local_rel = if my_block.iter().any(|v| !v.is_finite_s()) {
-            f64::INFINITY
-        } else {
-            let s = sum_f64(&my_block);
-            (s - cs).abs() / (abs_sum_f64(&my_block) + cs.abs() + f64::MIN_POSITIVE)
-        };
+        if my_block.iter().any(|v| !v.is_finite_s()) {
+            local_rel = f64::INFINITY;
+        }
         abft_verdict::<T>(grid, mode, local_rel)?;
     } else if my_block.iter().any(|v| !v.is_finite_s()) {
         return Err(CommError::Corrupted {
@@ -334,6 +353,163 @@ fn ttm_impl<T: Scalar>(
     let local_shape = out_dist.local_shape(&coords);
     let local = DenseTensor::from_vec(local_shape, my_block);
     Ok(DistTensor::from_parts(out_dist, coords, local))
+}
+
+/// The rung-0 pipelined TTM backend (`Overlap on`, DESIGN.md §17): the
+/// local partial product is computed and reduce-scattered in `n_slabs`
+/// right-slabs, slab `s`'s collective in flight while slab `s+1`'s GEMM
+/// and packing run on this rank. `ireduce_scatter` posts all of a
+/// slab's contribution sends eagerly, so the traffic genuinely moves
+/// during the next slab's compute; at most one collective is ever in
+/// flight per fiber (the links are tagless FIFOs), waited before the
+/// next slab posts.
+///
+/// Bit-identity with the blocking path: a right-slab of the local block
+/// is contiguous, its GEMM is the right-slab restriction of the blocking
+/// GEMM (bit-equal per the §16 kernel contract), the split-phase
+/// reduce-scatter reproduces the blocking ring's exact elementwise
+/// accumulation order (fixed by rank arithmetic alone), and slabs are
+/// waited and appended in ascending order — exactly the blocking
+/// `[left, block, right]` layout.
+#[allow(clippy::too_many_arguments)]
+fn ttm_pipelined<T: Scalar>(
+    grid: &CartGrid,
+    x: &DistTensor<T>,
+    mode: usize,
+    m_sub: &Matrix<T>,
+    trans: Transpose,
+    abft: AbftMode,
+    out_dim: usize,
+    left: usize,
+    right: usize,
+    n_slabs: usize,
+    fiber: &Comm,
+) -> Result<(Vec<T>, f64), CommError> {
+    let p_j = fiber.size();
+    let my_len = block_range(out_dim, p_j, fiber.rank()).len;
+
+    // Staging charge: the *blocking envelope* — the full packed partial
+    // plus the collective's resident copy — even though the pipeline's
+    // real allocations are per-slab and smaller. The §14 admission
+    // estimate and the degradation-ladder pressure points are
+    // calibrated against the blocking staging trajectory; charging the
+    // same envelope keeps a budgeted run refusing (and the ladder
+    // engaging) at the same pressure whichever way the overlap knob is
+    // set. The perf win of the pipeline is deleted copies, not deleted
+    // accounting.
+    let stage_entries = left * out_dim * right + p_j;
+    let _stage = mem::Charge::try_new(mem::bytes_of::<T>(2 * stage_entries))
+        .map_err(|e| budget_error(&grid.comm, e))?;
+
+    let mut out: Vec<T> = Vec::with_capacity(left * my_len * right);
+    let mut rel = 0.0f64;
+    // Per-slab checksums differ from the blocking path's single chunk
+    // checksum, but they guard the *same* reduced data (which is
+    // bit-identical); folding the per-slab relative errors by max keeps
+    // the verdict semantics.
+    //
+    // Each chunk additionally carries a slab-sequence *sentinel* as its
+    // last element (value `s + 1`; the sum-reduce turns it into
+    // `p_j * (s + 1)` at the owner). Slabbing splits what the blocking
+    // path sent as one message into several — often of *equal* length —
+    // so a dropped message could silently pair a receive with the
+    // neighboring slab's same-typed, same-sized payload, which no type
+    // or length check can notice. A sentinel mismatch must surface
+    // *symmetrically*: under ABFT it rides the kernel's collective
+    // checksum verdict as an infinite relative error (every rank agrees
+    // on the abort — a lone typed error here would strand peers mid
+    // collective); without ABFT there is no verdict round, so the
+    // mismatching rank revokes the fabric — peers fail fast with
+    // [`CommError::Revoked`] — and returns [`CommError::Corrupted`].
+    let absorb = |req: Request<Vec<T>>, s: usize, out: &mut Vec<T>, rel: &mut f64| {
+        let mut blk = req.wait()?;
+        let tag = blk
+            .pop()
+            .expect("pipelined reduce-scatter slab carries a sequence sentinel")
+            .to_f64();
+        let want_tag = (p_j * (s + 1)) as f64;
+        if (tag - want_tag).abs() > 0.5 {
+            if !abft.is_enabled() {
+                fiber.revoke();
+                return Err(CommError::Corrupted {
+                    rank: fiber.world_rank_of(fiber.rank()),
+                    what: format!(
+                        "pipelined reduce-scatter slab out of sequence \
+                         (sentinel {tag} where slab {s} expects {want_tag}): \
+                         a lost message desynchronized the fiber"
+                    ),
+                });
+            }
+            *rel = f64::INFINITY;
+        }
+        if abft.is_enabled() {
+            let cs = blk
+                .pop()
+                .expect("checked reduce-scatter slab carries a checksum")
+                .to_f64();
+            let e = if blk.iter().any(|v| !v.is_finite_s()) {
+                f64::INFINITY
+            } else {
+                let s = sum_f64(&blk);
+                (s - cs).abs() / (abs_sum_f64(&blk) + cs.abs() + f64::MIN_POSITIVE)
+            };
+            *rel = rel.max(e);
+        }
+        out.extend_from_slice(&blk);
+        Ok::<(), CommError>(())
+    };
+
+    let mut pending: Option<Request<Vec<T>>> = None;
+    for s in 0..n_slabs {
+        let rr = block_range(right, n_slabs, s);
+        // `ttm_right_range` computes exactly this right-slab of the
+        // blocking partial product, zero-copy on the input and bit-equal
+        // to the matching run of the full GEMM (§16 kernel contract).
+        let partial_s = ratucker_tensor::ttm_right_range(
+            x.local(),
+            mode,
+            m_sub,
+            trans,
+            rr.offset..rr.offset + rr.len,
+        );
+
+        // Pack this slab's P_j chunks directly as owned per-destination
+        // blocks, each in [left, block, right-slab] layout, with the
+        // linear ABFT chunk total appended when checked. The blocks are
+        // *moved* into the fabric by `ireduce_scatter_blocks` — unlike
+        // the blocking path, no contiguous staging buffer is ever built,
+        // which deletes one full copy of the partial product per slab.
+        let mut blocks: Vec<Vec<T>> = Vec::with_capacity(p_j);
+        for q in 0..p_j {
+            let r_q = block_range(out_dim, p_j, q);
+            let mut chunk: Vec<T> =
+                Vec::with_capacity(left * r_q.len * rr.len + 1 + usize::from(abft.is_enabled()));
+            for r in 0..rr.len {
+                for i in 0..r_q.len {
+                    let src = (r * out_dim + r_q.offset + i) * left;
+                    chunk.extend_from_slice(&partial_s[src..src + left]);
+                }
+            }
+            if abft.is_enabled() {
+                let cs = T::from_f64(sum_f64(&chunk));
+                chunk.push(cs);
+            }
+            chunk.push(T::from_f64((s + 1) as f64)); // slab-sequence sentinel
+            blocks.push(chunk);
+        }
+
+        // Overlap point: slab s−1's reduce-scatter has been in flight
+        // across the GEMM + pack above; drain it before posting slab s
+        // so only one collective ever occupies the fiber.
+        if let Some(req) = pending.take() {
+            absorb(req, s - 1, &mut out, &mut rel)?;
+        }
+        pending = Some(fiber.ireduce_scatter_blocks(blocks, sum_op));
+    }
+    if let Some(req) = pending.take() {
+        absorb(req, n_slabs - 1, &mut out, &mut rel)?;
+    }
+    Ok((out, rel))
 }
 
 /// Fallible distributed multi-TTM with every factor transposed, skipping
@@ -586,26 +762,98 @@ pub fn try_dist_contract<T: Scalar>(
             }
         })
         .collect();
-    let sub_dims: Vec<usize> = ranges.iter().map(|r| r.len).collect();
-    let mut gidx = vec![0usize; d];
-    let g_sub = DenseTensor::from_fn(ratucker_tensor::shape::Shape::new(&sub_dims), |lidx| {
-        for k in 0..d {
-            gidx[k] = ranges[k].offset + lidx[k];
-        }
-        core.get(&gidx)
-    });
-
-    // Local contraction covers my row block and my column set.
-    let z_local = ratucker_tensor::contract::contract_all_but(y.local(), &g_sub, mode);
-
-    // Embed at my row offset and sum-reduce + broadcast (allreduce).
     let my_rows = y.dist().range(mode, grid.coord(mode));
-    let mut z_full = Matrix::zeros(n_j, r_j);
-    for c in 0..r_j {
-        z_full.col_mut(c)[my_rows.offset..my_rows.offset + my_rows.len]
-            .copy_from_slice(z_local.col(c));
+    // A rank's local contraction for a *column slab* of the iterate only
+    // needs the matching mode-slab of the core, so the iterate can be
+    // built in column slabs — and slab s's allreduce overlapped with
+    // slab s+1's local contraction (`Overlap on`, DESIGN.md §17).
+    let make_slab = |cr: crate::distribution::BlockRange| {
+        let mut slab_ranges = ranges.clone();
+        slab_ranges[mode] = cr;
+        let sub_dims: Vec<usize> = slab_ranges.iter().map(|r| r.len).collect();
+        let mut gidx = vec![0usize; d];
+        let g_s = DenseTensor::from_fn(ratucker_tensor::shape::Shape::new(&sub_dims), |lidx| {
+            for k in 0..d {
+                gidx[k] = slab_ranges[k].offset + lidx[k];
+            }
+            core.get(&gidx)
+        });
+        // Local contraction covers my row block and the slab's columns;
+        // embed at my row offset for the sum-reduce + broadcast.
+        let z_s = ratucker_tensor::contract::contract_all_but(y.local(), &g_s, mode);
+        let mut z_full = Matrix::zeros(n_j, cr.len);
+        for c in 0..cr.len {
+            z_full.col_mut(c)[my_rows.offset..my_rows.offset + my_rows.len]
+                .copy_from_slice(z_s.col(c));
+        }
+        z_full.into_vec()
+    };
+
+    if crate::overlap::overlap().is_on() && mem::rung() == 0 && grid.comm.size() > 1 && r_j >= 2 {
+        // Two column slabs, one allreduce in flight at a time. Each
+        // column's binomial combine is elementwise and fixed by rank
+        // arithmetic alone, so per-slab allreduces are bit-identical to
+        // the monolithic one column by column; ascending-slab concat of
+        // a column-major matrix is the blocking layout verbatim.
+        const SI_SLABS: usize = 2;
+        // Slab-sequence sentinel base (kept distinct from the TTM
+        // pipeline's `s + 1` tags so the two kernels' slabs can never
+        // masquerade as each other): each slab's allreduce payload ends
+        // with `SI_TAG_BASE + s`, which the sum-reduce turns into
+        // `p * (SI_TAG_BASE + s)`. Column slabs of equal width produce
+        // equal-length payloads, so a dropped message could otherwise
+        // silently pair a wait with the neighboring slab's broadcast;
+        // the sentinel turns that swap into a typed error (see the TTM
+        // pipeline's matching check).
+        const SI_TAG_BASE: usize = 16;
+        let p = grid.comm.size();
+        let absorb = |req: Request<Vec<T>>, s: usize, out: &mut Vec<T>| {
+            let mut v = req.wait()?;
+            let tag = v
+                .pop()
+                .expect("pipelined SI slab carries a sequence sentinel")
+                .to_f64();
+            let want_tag = (p * (SI_TAG_BASE + s)) as f64;
+            if (tag - want_tag).abs() > 0.5 {
+                // No checksum-verdict round exists on this path, so the
+                // abort cannot ride a collective: revoke instead, so
+                // peers still blocked in the allreduce fail fast with
+                // `Revoked` rather than stranding on a dead collective.
+                grid.comm.revoke();
+                return Err(CommError::Corrupted {
+                    rank: grid.comm.world_rank_of(grid.comm.rank()),
+                    what: format!(
+                        "pipelined SI slab out of sequence \
+                         (sentinel {tag} where slab {s} expects {want_tag}): \
+                         a lost message desynchronized the channel"
+                    ),
+                });
+            }
+            out.extend_from_slice(&v);
+            Ok::<(), CommError>(())
+        };
+        let mut out: Vec<T> = Vec::with_capacity(n_j * r_j);
+        let mut pending: Option<Request<Vec<T>>> = None;
+        for s in 0..SI_SLABS {
+            let cr = block_range(r_j, SI_SLABS, s);
+            let mut embedded = make_slab(cr);
+            embedded.push(T::from_f64((SI_TAG_BASE + s) as f64));
+            if let Some(req) = pending.take() {
+                absorb(req, s - 1, &mut out)?;
+            }
+            pending = Some(grid.comm.iallreduce(embedded, sum_op));
+        }
+        if let Some(req) = pending.take() {
+            absorb(req, SI_SLABS - 1, &mut out)?;
+        }
+        return Ok(Matrix::from_vec(n_j, r_j, out));
     }
-    let summed = grid.comm.try_allreduce(z_full.into_vec(), sum_op)?;
+
+    let embedded = make_slab(crate::distribution::BlockRange {
+        offset: 0,
+        len: r_j,
+    });
+    let summed = grid.comm.try_allreduce(embedded, sum_op)?;
     Ok(Matrix::from_vec(n_j, r_j, summed))
 }
 

@@ -1,0 +1,87 @@
+//! The comm/compute overlap knob (`Overlap on|off`, `--overlap`).
+//!
+//! When **on** (the default), the distributed TTM and the SI contraction
+//! pipeline their collectives: slab `k`'s reduce-scatter (or allreduce)
+//! is in flight while slab `k+1`'s local GEMM and packing run, using the
+//! split-phase requests of `ratucker_mpi::request`. When **off**, the
+//! kernels run their original fully-blocking paths.
+//!
+//! The setting is **thread-local**: each simulated rank is an OS thread,
+//! so a rank closure (or the CLI's rank launcher) sets the mode for
+//! itself at the start of a run and concurrently-running tests cannot
+//! interfere with each other. Rank threads are freshly spawned per
+//! `Universe` run, so the default (`On`) applies unless the closure
+//! overrides it — all ranks of one job must agree, the usual collective
+//! contract.
+//!
+//! # Determinism contract
+//!
+//! The pipelined paths are **bit-identical** to the blocking paths (see
+//! DESIGN.md §17): slab-local GEMMs are column/right-slab restrictions
+//! of the blocking GEMM (bit-equal per the §16 kernel contract), the
+//! split-phase collectives reproduce the blocking algorithms' exact
+//! floating-point accumulation order, and slabs are waited and
+//! assembled in canonical ascending order before any combine. The knob
+//! therefore changes wall-clock only — never results.
+
+use std::cell::Cell;
+
+/// Whether the distributed TTM/SI kernels pipeline communication behind
+/// the next slab's local compute (see the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverlapMode {
+    /// Pipelined split-phase collectives (the default).
+    #[default]
+    On,
+    /// Original blocking collectives.
+    Off,
+}
+
+impl OverlapMode {
+    /// Is the pipelined path selected?
+    pub fn is_on(&self) -> bool {
+        matches!(self, OverlapMode::On)
+    }
+
+    /// Parses `on` / `off` (the CLI flag values).
+    pub fn parse(s: &str) -> Option<OverlapMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "on" => Some(OverlapMode::On),
+            "off" => Some(OverlapMode::Off),
+            _ => None,
+        }
+    }
+}
+
+thread_local! {
+    static OVERLAP: Cell<OverlapMode> = const { Cell::new(OverlapMode::On) };
+}
+
+/// Sets this rank thread's overlap mode for subsequent kernels.
+pub fn set_overlap(mode: OverlapMode) {
+    OVERLAP.with(|m| m.set(mode));
+}
+
+/// This rank thread's current overlap mode.
+pub fn overlap() -> OverlapMode {
+    OVERLAP.with(|m| m.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_defaults_on_parses_and_is_thread_local() {
+        assert_eq!(OverlapMode::parse("on"), Some(OverlapMode::On));
+        assert_eq!(OverlapMode::parse(" Off "), Some(OverlapMode::Off));
+        assert_eq!(OverlapMode::parse("auto"), None);
+        assert!(OverlapMode::On.is_on());
+        set_overlap(OverlapMode::Off);
+        // Another thread still sees the default.
+        let other = std::thread::spawn(overlap).join().unwrap();
+        assert_eq!(other, OverlapMode::On);
+        assert_eq!(overlap(), OverlapMode::Off);
+        set_overlap(OverlapMode::On);
+    }
+}

@@ -33,11 +33,11 @@ impl<T: Clone + Send + 'static> Elem for T {}
 /// A communicator: an ordered group of ranks over a shared fabric.
 #[derive(Clone)]
 pub struct Comm {
-    fabric: Arc<Fabric>,
+    pub(crate) fabric: Arc<Fabric>,
     /// World ranks of the group members, in communicator order.
-    group: Arc<Vec<usize>>,
+    pub(crate) group: Arc<Vec<usize>>,
     /// This rank's index within `group`.
-    rank: usize,
+    pub(crate) rank: usize,
 }
 
 impl Comm {
@@ -102,7 +102,7 @@ impl Comm {
 
     /// Internal send charging the traffic to a specific collective kind.
     #[inline]
-    fn send_k<T: Elem>(
+    pub(crate) fn send_k<T: Elem>(
         &self,
         dst: usize,
         data: Vec<T>,
@@ -121,7 +121,11 @@ impl Comm {
     /// deadline budget (see [`crate::DeadlinePolicy`]). Collectives use
     /// this so a slow peer is blamed with the operation it stalled.
     #[inline]
-    fn recv_k<T: Elem>(&self, src: usize, kind: CollectiveKind) -> Result<Vec<T>, CommError> {
+    pub(crate) fn recv_k<T: Elem>(
+        &self,
+        src: usize,
+        kind: CollectiveKind,
+    ) -> Result<Vec<T>, CommError> {
         self.fabric
             .try_recv_kind(self.group[src], self.group[self.rank], kind)
     }
@@ -148,7 +152,7 @@ impl Comm {
 
     /// Broadcast with the traffic charged to `kind` (an allreduce's
     /// broadcast leg is an `Allreduce` for accounting purposes).
-    fn bcast_k<T: Elem>(
+    pub(crate) fn bcast_k<T: Elem>(
         &self,
         root: usize,
         data: Vec<T>,
@@ -204,7 +208,7 @@ impl Comm {
     }
 
     /// Reduce with the traffic charged to `kind`.
-    fn reduce_k<T: Elem>(
+    pub(crate) fn reduce_k<T: Elem>(
         &self,
         root: usize,
         data: Vec<T>,

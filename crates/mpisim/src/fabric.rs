@@ -650,6 +650,15 @@ pub enum Adversary {
     /// traffic flows freely — skewing every symmetric exchange so the
     /// two directions of a ring or butterfly never proceed in lockstep.
     CrossDelay,
+    /// The overlap adversary: every *receive-side* operation is delayed
+    /// by an index-varying amount (sends publish on time), so in-flight
+    /// split-phase requests complete in a different order than they were
+    /// posted and every `Request::wait` is starved behind freshly-posted
+    /// traffic. Receivers also always yield after a Condvar wakeup. This
+    /// is the schedule shape that flushes out pipelined-collective bugs:
+    /// compute/communication overlap windows stretch to their maximum
+    /// while per-link FIFO delivery stays intact.
+    StarveWaits,
 }
 
 /// Runtime state of an installed [`SchedulePolicy`]: the policy plus the
@@ -685,6 +694,14 @@ impl ScheduleState {
     /// wins a lock race; short enough that thousands of perturbed ops
     /// stay well under a second per run.
     const UNIT_US: u64 = 15;
+
+    /// Salt decorrelating send-side delay decisions (see [`Self::op_delay`]).
+    const SEND_SALT: u64 = 0x5E4D_5A17;
+    /// Salt decorrelating receive-side delay decisions. `StarveWaits`
+    /// keys on this to target only the waiting side of a rendezvous.
+    const RECV_SALT: u64 = 0x2EC5_5A17;
+    /// Salt decorrelating Condvar-wakeup yield decisions.
+    const WAKE_SALT: u64 = 0x3A4E_5A17;
 
     fn new(policy: SchedulePolicy, p: usize) -> ScheduleState {
         ScheduleState {
@@ -734,17 +751,25 @@ impl ScheduleState {
             SchedulePolicy::Adversarial(Adversary::CrossDelay) => {
                 (src > dst).then(|| Duration::from_micros(6 * Self::UNIT_US))
             }
+            SchedulePolicy::Adversarial(Adversary::StarveWaits) => {
+                // Receive-side only: an index-varying delay (2, 5, or 8
+                // quanta) reorders which of several in-flight requests a
+                // waiting rank observes first, while sends publish
+                // undelayed so overlap windows stretch to their maximum.
+                (salt == Self::RECV_SALT)
+                    .then(|| Duration::from_micros(Self::UNIT_US * (2 + (idx % 3) * 3)))
+            }
         }
     }
 
     fn send_delay(&self, src: usize, dst: usize) -> Option<Duration> {
         let idx = self.send_ops[dst * self.p + src].fetch_add(1, Ordering::Relaxed);
-        self.op_delay(src, src, dst, idx, 0x5E4D_5A17)
+        self.op_delay(src, src, dst, idx, Self::SEND_SALT)
     }
 
     fn recv_delay(&self, src: usize, dst: usize) -> Option<Duration> {
         let idx = self.recv_ops[dst * self.p + src].fetch_add(1, Ordering::Relaxed);
-        self.op_delay(dst, src, dst, idx, 0x2EC5_5A17)
+        self.op_delay(dst, src, dst, idx, Self::RECV_SALT)
     }
 
     /// Should a receiver that just woke from its Condvar briefly release
@@ -756,11 +781,14 @@ impl ScheduleState {
         match self.policy {
             SchedulePolicy::Os => false,
             SchedulePolicy::SeededRandom { seed } => {
-                sched_hash(seed ^ 0x3A4E_5A17, src as u64, dst as u64, idx) & 1 == 1
+                sched_hash(seed ^ Self::WAKE_SALT, src as u64, dst as u64, idx) & 1 == 1
             }
             SchedulePolicy::Adversarial(Adversary::StarveRank { rank }) => dst == rank,
             SchedulePolicy::Adversarial(Adversary::Lifo) => idx.is_multiple_of(2),
             SchedulePolicy::Adversarial(Adversary::CrossDelay) => src > dst,
+            // Waiters always lose the post-wakeup race: another
+            // contender (or a fresh poster) gets the lock first.
+            SchedulePolicy::Adversarial(Adversary::StarveWaits) => true,
         }
     }
 }
@@ -1164,6 +1192,21 @@ impl Fabric {
         link.lock().push_back((epoch, Box::new(data)));
         link.ready.notify_all();
         Ok(())
+    }
+
+    /// Nonblocking readiness poll for the `src → dst` link: would a
+    /// receive complete without waiting? True when an epoch-current
+    /// message is queued — and also when the fabric is revoked or either
+    /// endpoint is dead, so a poller that then calls `try_recv` observes
+    /// the typed error immediately instead of blocking. This is the
+    /// progress probe behind [`crate::request::Request::test`].
+    pub fn has_message(&self, src: usize, dst: usize) -> bool {
+        if self.is_revoked() || !self.is_alive(src) || !self.is_alive(dst) {
+            return true;
+        }
+        let current = self.current_epoch();
+        let queue = self.link(src, dst).lock();
+        queue.iter().any(|(epoch, _)| *epoch >= current)
     }
 
     /// Fallible receive of the next message sent from `src` to `dst`,
@@ -1870,6 +1913,7 @@ mod tests {
             SchedulePolicy::Adversarial(Adversary::StarveRank { rank: 0 }),
             SchedulePolicy::Adversarial(Adversary::Lifo),
             SchedulePolicy::Adversarial(Adversary::CrossDelay),
+            SchedulePolicy::Adversarial(Adversary::StarveWaits),
         ];
         for policy in policies {
             let f = Fabric::new(2);
@@ -1902,6 +1946,24 @@ mod tests {
         let d2 = lifo.op_delay(0, 0, 1, 2, 0).unwrap();
         assert!(d0 > d2, "older ops wait longer: {d0:?} vs {d2:?}");
         assert!(lifo.op_delay(0, 0, 1, 3, 0).is_none(), "newest goes first");
+
+        let waits = ScheduleState::new(SchedulePolicy::Adversarial(Adversary::StarveWaits), 2);
+        assert!(
+            waits
+                .op_delay(1, 0, 1, 0, ScheduleState::RECV_SALT)
+                .is_some(),
+            "receive side is starved"
+        );
+        assert!(
+            waits
+                .op_delay(0, 0, 1, 0, ScheduleState::SEND_SALT)
+                .is_none(),
+            "sends publish undelayed"
+        );
+        let w0 = waits.op_delay(1, 0, 1, 0, ScheduleState::RECV_SALT);
+        let w1 = waits.op_delay(1, 0, 1, 1, ScheduleState::RECV_SALT);
+        assert_ne!(w0, w1, "index-varying delays reorder completions");
+        assert!(waits.yield_after_wakeup(0, 1), "waiters always yield");
 
         let a = ScheduleState::new(SchedulePolicy::SeededRandom { seed: 5 }, 2);
         let b = ScheduleState::new(SchedulePolicy::SeededRandom { seed: 5 }, 2);

@@ -35,6 +35,7 @@ pub mod comm;
 pub mod fabric;
 pub mod fault;
 pub mod grid;
+pub mod request;
 pub mod universe;
 
 pub use comm::{max_op, sum_op, Comm};
@@ -44,6 +45,7 @@ pub use fabric::{
 };
 pub use fault::{CommError, CorruptMode, FaultPlan, RankFailure};
 pub use grid::{choose_shrunk_dims, enumerate_grids, try_rebuild_grid, CartGrid, ShrinkOutcome};
+pub use request::Request;
 pub use universe::{schedule_suite, ExploreReport, Universe};
 
 #[cfg(test)]

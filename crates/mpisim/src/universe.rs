@@ -62,16 +62,18 @@ pub struct ExploreReport {
 }
 
 /// The deterministic schedule suite [`Universe::explore`] runs: the `Os`
-/// baseline, the LIFO and crossing-delay adversaries, starvation of each
-/// rank in turn, then seeded-random schedules derived from `seed`. All
-/// `n_schedules` entries are pairwise distinct.
+/// baseline, the LIFO, crossing-delay, and wait-starving overlap
+/// adversaries, starvation of each rank in turn, then seeded-random
+/// schedules derived from `seed`. All `n_schedules` entries are pairwise
+/// distinct.
 pub fn schedule_suite(p: usize, n_schedules: usize, seed: u64) -> Vec<SchedulePolicy> {
     (0..n_schedules)
         .map(|i| match i {
             0 => SchedulePolicy::Os,
             1 => SchedulePolicy::Adversarial(Adversary::Lifo),
             2 => SchedulePolicy::Adversarial(Adversary::CrossDelay),
-            _ if i - 3 < p => SchedulePolicy::Adversarial(Adversary::StarveRank { rank: i - 3 }),
+            3 => SchedulePolicy::Adversarial(Adversary::StarveWaits),
+            _ if i - 4 < p => SchedulePolicy::Adversarial(Adversary::StarveRank { rank: i - 4 }),
             _ => SchedulePolicy::SeededRandom {
                 seed: seed
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)

@@ -50,7 +50,7 @@ pub use matrix::Matrix;
 pub use prefix::{leading_norm_sq, prefix_squared_sums};
 pub use scalar::Scalar;
 pub use shape::Shape;
-pub use ttm::{multi_ttm, multi_ttm_all_but, ttm, Transpose};
+pub use ttm::{multi_ttm, multi_ttm_all_but, ttm, ttm_right_range, Transpose};
 pub use unfold::{fold, unfold};
 
 /// Common imports.
@@ -59,5 +59,5 @@ pub mod prelude {
     pub use crate::matrix::Matrix;
     pub use crate::scalar::Scalar;
     pub use crate::shape::Shape;
-    pub use crate::ttm::{multi_ttm, multi_ttm_all_but, ttm, Transpose};
+    pub use crate::ttm::{multi_ttm, multi_ttm_all_but, ttm, ttm_right_range, Transpose};
 }

@@ -121,6 +121,92 @@ pub fn ttm<T: Scalar>(
     y
 }
 
+/// Computes the right-slab restriction of [`ttm`] without materializing
+/// the input slab: the output slabs `range` selects from
+/// `Y = X ×_mode op(M)`, returned as their packed contiguous run of
+/// `left × p × range.len()` entries (for mode 0, the column range
+/// `range` of the natural `p × (N/n_0)` output view).
+///
+/// Bit-identical to the matching entries of the full [`ttm`]: for
+/// `mode > 0` each output slab is one independent GEMM either way, and
+/// for `mode == 0` the restriction is a column range of the single
+/// natural GEMM, whose per-column results are independent of the column
+/// partition (the §16 kernel contract).
+///
+/// # Panics
+/// Panics on an inner dimension mismatch, or if `range` exceeds the
+/// right extent (`N/n_0` for mode 0).
+pub fn ttm_right_range<T: Scalar>(
+    x: &DenseTensor<T>,
+    mode: usize,
+    m: &Matrix<T>,
+    trans: Transpose,
+    range: std::ops::Range<usize>,
+) -> Vec<T> {
+    let n_j = x.dim(mode);
+    let (p, inner) = match trans {
+        Transpose::No => (m.rows(), m.cols()),
+        Transpose::Yes => (m.cols(), m.rows()),
+    };
+    assert_eq!(
+        inner, n_j,
+        "TTM inner dimension mismatch in mode {mode}: op(M) is ?x{inner}, n_mode={n_j}"
+    );
+    let cols = range.len();
+
+    if mode == 0 {
+        let rest = x.num_entries() / n_j;
+        assert!(range.end <= rest, "right range {range:?} exceeds {rest}");
+        let a = &x.data()[range.start * n_j..range.end * n_j];
+        let mut y = vec![T::ZERO; p * cols];
+        match trans {
+            Transpose::No => kernels::gemm_nn(p, cols, n_j, m.as_slice(), p, a, n_j, &mut y, p),
+            Transpose::Yes => kernels::gemm_tn(p, cols, n_j, m.as_slice(), n_j, a, n_j, &mut y, p),
+        }
+        return y;
+    }
+
+    let left = x.shape().left(mode);
+    let right = x.shape().right(mode);
+    assert!(range.end <= right, "right range {range:?} exceeds {right}");
+    let x_slab = left * n_j;
+    let y_slab = left * p;
+    let bt = trans == Transpose::No;
+    let ldb = if bt { p } else { n_j };
+    let mut y = vec![T::ZERO; y_slab * cols];
+
+    let total_fl = 2 * (left as u64) * (p as u64) * (n_j as u64) * (cols as u64);
+    let nt = crate::par::num_threads();
+    if nt > 1 && cols >= nt && total_fl >= crate::par::PAR_MIN_FLOPS {
+        // Same pooled split as `ttm`: each output slab is written by
+        // exactly one worker, bit-identical to the serial loop below.
+        crate::flops::add(total_fl);
+        let xdata = x.data();
+        let mslice = m.as_slice();
+        let ranges = crate::par::partition(cols, nt);
+        let start = range.start;
+        let parts = crate::par::split_columns(&mut y, y_slab, &ranges);
+        crate::par::for_each_part(parts, |_, (slabs, ysub)| {
+            for (off, c) in ysub.chunks_exact_mut(y_slab).enumerate() {
+                let r = start + slabs.start + off;
+                let a = &xdata[r * x_slab..(r + 1) * x_slab];
+                kernels::gemm_serial(left, p, n_j, a, left, false, mslice, ldb, bt, c, left);
+            }
+        });
+        return y;
+    }
+
+    for (off, r) in range.enumerate() {
+        let a = &x.data()[r * x_slab..(r + 1) * x_slab];
+        let c = &mut y[off * y_slab..(off + 1) * y_slab];
+        match trans {
+            Transpose::No => kernels::gemm_nt(left, p, n_j, a, left, m.as_slice(), p, c, left),
+            Transpose::Yes => kernels::gemm_nn(left, p, n_j, a, left, m.as_slice(), n_j, c, left),
+        }
+    }
+    y
+}
+
 /// Applies a sequence of TTMs in the given order.
 ///
 /// Each element is `(mode, matrix, transpose)`. Order matters for cost but
@@ -190,6 +276,42 @@ mod tests {
             }
             v.sin()
         })
+    }
+
+    #[test]
+    fn ttm_right_range_is_bitwise_slice_of_full_ttm() {
+        let x = test_tensor(&[4, 3, 5, 2]);
+        for mode in 0..4 {
+            let n_j = x.dim(mode);
+            let m = Matrix::from_fn(2, n_j, |i, j| ((i * n_j + j) as f64).cos());
+            for trans in [Transpose::No, Transpose::Yes] {
+                let (op, p) = match trans {
+                    Transpose::No => (m.clone(), 2),
+                    Transpose::Yes => (
+                        Matrix::from_fn(n_j, 2, |i, j| ((i + 3 * j) as f64).sin()),
+                        2,
+                    ),
+                };
+                let full = ttm(&x, mode, &op, trans);
+                let left = x.shape().left(mode);
+                let right = full.num_entries() / (left * p);
+                let y_slab = left * p;
+                // Every split point: the packed range must be the exact
+                // bit pattern of the matching run of the full output.
+                for split in 0..=right {
+                    for (range, base) in [(0..split, 0usize), (split..right, split * y_slab)] {
+                        let cols = range.len();
+                        let part = ttm_right_range(&x, mode, &op, trans, range);
+                        let want = &full.data()[base..base + cols * y_slab];
+                        assert_eq!(
+                            part.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                            "mode {mode} split {split}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! as TuckerMPI does — the paper's strong-scaling story (the sequential
 //! EVD plateau of STHOSVD vs. HOSI's thin QR) depends on reproducing that
 //! design decision.
+//!
+//! Under `ratucker_dist::OverlapMode::On` (the default; `--overlap` in
+//! the CLI) the TTM and SI kernels these algorithms call pipeline their
+//! collectives behind the next slab's local compute. The pipelined paths
+//! are bit-identical to the blocking ones (DESIGN.md §17), so every
+//! algorithm here is oblivious to the knob — it changes wall-clock only.
 
 use crate::checkpoint::{
     expansion_rng, Checkpoint, CheckpointPolicy, FileCheckpointer, NoCheckpoint, RaCheckpointer,

@@ -75,6 +75,7 @@ use ra_hooi::prelude::*;
 use ra_hooi::serve::{CompressSpec, JobOutcome, QuerySpec, Request, ServeConfig, Service};
 use ra_hooi::tucker::dist::{dist_hooi, dist_ra_hooi, dist_ra_hooi_checkpointed, dist_sthosvd};
 use ra_hooi::tucker::{dist_ra_hooi_resilient, ResilienceConfig, ResilientOutcome};
+use ratucker_verify::tolerances::TOL_DIST_REL_ERROR;
 
 /// The full set of messages a typed failure is allowed to carry. Anything
 /// else is an untyped panic leaking through the fault layer.
@@ -664,10 +665,33 @@ fn sampled_fault_plans_through_the_resilient_solver() {
 
         for r in &results {
             match r {
-                Ok(Digest::Completed { rel_error, .. }) => assert_eq!(
+                // Same-topology retries are bit-transparent: the sweep
+                // restarts from the replicated pre-sweep snapshot, so a
+                // run that rides out its faults on the original grid
+                // must land the exact fault-free answer.
+                Ok(Digest::Completed {
+                    rel_error,
+                    final_grid,
+                    ..
+                }) if final_grid == &[2, 1, 1] => assert_eq!(
                     rel_error.to_bits(),
                     want.to_bits(),
                     "seed {seed}: transient faults must be retried into the exact answer"
+                ),
+                // A mid-run shrink moves the remaining sweeps onto a
+                // smaller grid whose collectives reduce in a different
+                // order; bit-identity is a per-grid contract (the
+                // conformance suite holds grids to the sequential
+                // oracle only within TOL_DIST_REL_ERROR), so a shrunk
+                // completion is held to that same cross-grid tolerance.
+                Ok(Digest::Completed {
+                    rel_error,
+                    final_grid,
+                    ..
+                }) => assert!(
+                    (rel_error - want).abs() < TOL_DIST_REL_ERROR,
+                    "seed {seed}: shrunk completion on {final_grid:?} drifted \
+                     past the cross-grid tolerance: {rel_error} vs {want}"
                 ),
                 // At P = 2 a "failure" consensus can leave a lone
                 // survivor as the whole grid or a fallback — both are
